@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) on a scaled-down but structurally identical workload,
+prints the regenerated artifact, and attaches headline numbers to the
+pytest-benchmark record via ``extra_info``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Campaign, CampaignConfig
+from repro.sim import (adjacent_traffic, braking_lead, empty_road,
+                       highway_cruise, lead_vehicle_cutin, stalled_vehicle,
+                       two_lead_reveal)
+
+
+def bench_scenarios():
+    """The scenario population used by campaign benches."""
+    return [replace(empty_road(), duration=15.0),
+            replace(highway_cruise(), duration=20.0),
+            replace(lead_vehicle_cutin(), duration=15.0),
+            replace(two_lead_reveal(), duration=20.0),
+            replace(braking_lead(), duration=20.0),
+            replace(stalled_vehicle(), duration=20.0),
+            replace(adjacent_traffic(), duration=15.0)]
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """One shared campaign (golden runs are cached inside)."""
+    return Campaign(bench_scenarios(), CampaignConfig())
+
+
+@pytest.fixture(scope="session")
+def bayesian_result(campaign):
+    """One shared Bayesian campaign (mining + validation), reused by
+    the acceleration, comparison, and fidelity benches."""
+    return campaign.bayesian_campaign()

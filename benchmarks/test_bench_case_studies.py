@@ -1,0 +1,59 @@
+"""E5 — the two case studies of paper Fig. 4.
+
+Example 1: a cut-in collapses the safety potential; a max-throttle fault
+at that instant tips it negative.  Example 2 (Tesla crash shape): a
+world-model fault during the post-reveal braking turns a clean stop into
+a hazard.  Shape targets: both golden runs are safe, both faulted runs
+are hazardous, and the faulted delta series dips below zero.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import FaultSpec, Hazard, run_scenario
+from repro.sim import lead_vehicle_cutin, two_lead_reveal
+
+CUTIN_FAULT = FaultSpec("throttle", 1.0, start_tick=104, duration_ticks=4)
+REVEAL_FAULT = FaultSpec("tracked_gap", 250.0, start_tick=120,
+                         duration_ticks=14)
+
+
+def test_bench_case_studies(benchmark):
+    scenario = lead_vehicle_cutin()
+    benchmark(lambda: run_scenario(scenario, seed=0, duration=8.0,
+                                   record_trace=False))
+
+    cutin_golden = run_scenario(lead_vehicle_cutin(), seed=0, duration=14.0)
+    cutin_faulted = run_scenario(lead_vehicle_cutin(), seed=0,
+                                 faults=[CUTIN_FAULT],
+                                 horizon_after_fault=8.0)
+    reveal_golden = run_scenario(two_lead_reveal(), seed=0)
+    reveal_faulted = run_scenario(two_lead_reveal(), seed=0,
+                                  faults=[REVEAL_FAULT],
+                                  horizon_after_fault=12.0)
+
+    print("\nE5: case studies (paper Fig. 4)")
+    print(ascii_table(
+        ["case", "run", "outcome", "min delta_long (m)"],
+        [["Example 1 (cut-in)", "golden", cutin_golden.hazard.value,
+          cutin_golden.min_delta_long],
+         ["Example 1 (cut-in)", "max throttle at cut-in",
+          cutin_faulted.hazard.value, cutin_faulted.min_delta_long],
+         ["Example 2 (reveal)", "golden", reveal_golden.hazard.value,
+          reveal_golden.min_delta_long],
+         ["Example 2 (reveal)", "gap fault mid-braking",
+          reveal_faulted.hazard.value, reveal_faulted.min_delta_long]]))
+
+    faulted_series = cutin_faulted.trace.as_arrays()["delta_long"]
+    print("Example 1 delta_long series (faulted):",
+          np.array2string(faulted_series[-12:], precision=1))
+
+    benchmark.extra_info["cutin_min_delta"] = cutin_faulted.min_delta_long
+    benchmark.extra_info["reveal_min_delta"] = reveal_faulted.min_delta_long
+
+    assert cutin_golden.hazard is Hazard.NONE
+    assert reveal_golden.hazard is Hazard.NONE
+    assert cutin_faulted.hazard is not Hazard.NONE
+    assert reveal_faulted.hazard is not Hazard.NONE
+    assert cutin_faulted.min_delta_long <= 0.0
+    assert reveal_faulted.min_delta_long <= 0.0

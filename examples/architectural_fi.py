@@ -1,0 +1,70 @@
+"""Architectural fault injection: from a register bit to a driving hazard.
+
+Walks fault model (a) end to end:
+
+1. run real ADS kernels (GEMM, Kalman update, PID, IDM) on the tiny ISA
+   and flip register bits at random dynamic instructions,
+2. classify each flip (masked / SDC / crash / hang),
+3. propagate the silent corruptions into the matching ADS variable and
+   drive the closed-loop simulator,
+4. observe that — as in the paper — *none* of it produces a hazard.
+
+Run with::
+
+    python examples/architectural_fi.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.arch import (ArchitecturalInjector, Outcome, default_kernels,
+                        outcome_rates, run_campaign,
+                        run_instruction_campaign)
+from repro.core import Campaign
+
+
+def main() -> None:
+    kernels = default_kernels()
+
+    print("== 1. Register-state campaign (1000 flips) ==")
+    results = run_campaign(kernels, n_injections=1000, seed=0)
+    rates = outcome_rates(results)
+    print(ascii_table(["outcome", "rate", "paper"], [
+        ["masked", f"{rates['masked']:.1%}", "~90%"],
+        ["sdc", f"{rates['sdc']:.1%}", "1.93%"],
+        ["crash+hang", f"{rates['crash'] + rates['hang']:.1%}", "7.35%"]]))
+
+    print("== 2. Where do SDCs come from? ==")
+    by_kernel: Counter = Counter()
+    for result in results:
+        if result.outcome is Outcome.SDC:
+            by_kernel[result.kernel] += 1
+    print(ascii_table(["kernel", "SDCs"], sorted(by_kernel.items())))
+
+    print("== 3. How large are the silent corruptions? ==")
+    errors = np.array([r.relative_error for r in results
+                       if r.outcome is Outcome.SDC
+                       and np.isfinite(r.relative_error)])
+    print(f"median relative error {np.median(errors):.2e}; "
+          f"90th percentile {np.percentile(errors, 90):.2e} — most SDCs "
+          f"are numerically tiny, a few are catastrophic (exponent bits)\n")
+
+    print("== 4. Instruction-memory campaign (300 flips) ==")
+    instr_rates = outcome_rates(
+        run_instruction_campaign(kernels, 300, seed=1))
+    print(ascii_table(["outcome", "rate"], sorted(instr_rates.items())))
+    print("Opcode corruption traps at decode, so instruction flips crash "
+          "far more often than register flips.\n")
+
+    print("== 5. Driving the SDCs through the full stack ==")
+    campaign = Campaign()
+    summary, outcomes = campaign.architectural_campaign(120, seed=0)
+    print(f"outcome mix of 120 sampled faults: {outcomes}")
+    print(f"SDC-driven closed-loop experiments: {summary.total}; "
+          f"hazards: {summary.hazards} (paper: 0 in 5000)")
+
+
+if __name__ == "__main__":
+    main()

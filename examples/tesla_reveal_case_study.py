@@ -1,0 +1,46 @@
+"""Paper Example 2: the Tesla Autopilot crash shape.
+
+The ego follows a lead vehicle (TV1) that occludes a stopped car (TV2)
+farther down the lane.  TV1 swerves away; the ego suddenly faces TV2 with
+just enough room for a maximum-braking stop.  A world-model fault during
+that braking — the tracker briefly believes the road is clear — delays
+braking past the point of no return, reproducing the fatal outcome the
+paper attributes to delayed perception.
+
+Run with::
+
+    python examples/tesla_reveal_case_study.py
+"""
+
+from repro.analysis import ascii_table
+from repro.core import FaultSpec, run_scenario
+from repro.sim import two_lead_reveal
+
+
+def main() -> None:
+    scenario = two_lead_reveal()
+
+    golden = run_scenario(scenario, seed=0)
+    print(f"golden run: {golden.hazard.value} "
+          f"(min delta_long {golden.min_delta_long:.2f} m) — "
+          f"the stack stops in time without faults\n")
+
+    # Sweep the same tracked-gap corruption across the braking phase to
+    # show the criticality window the Bayesian engine exploits.
+    rows = []
+    for start_tick in range(80, 280, 20):
+        fault = FaultSpec("tracked_gap", 250.0, start_tick=start_tick,
+                          duration_ticks=14)
+        result = run_scenario(scenario, seed=0, faults=[fault],
+                              horizon_after_fault=12.0)
+        rows.append([start_tick, start_tick * 0.05,
+                     result.hazard.value, result.min_delta_long])
+    print(ascii_table(
+        ["injection tick", "t (s)", "outcome", "min delta_long (m)"], rows))
+    print("The same fault is masked early (plenty of distance) and "
+          "catastrophic mid-braking — timing is everything, which is "
+          "why random injection finds nothing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) works with
+this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

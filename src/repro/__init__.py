@@ -1,0 +1,35 @@
+"""repro: a reproduction of DriveFI (DSN 2019).
+
+ML-based (Bayesian) fault injection for autonomous vehicles: a complete
+ADS stack (`repro.ads`), a 2-D driving simulator (`repro.sim`), an
+architectural fault injector (`repro.arch`), a Bayesian-network library
+(`repro.bayesnet`), and the Bayesian fault-selection engine plus campaign
+machinery (`repro.core`).
+
+Quickstart::
+
+    from repro.core import Campaign
+
+    campaign = Campaign()              # default scenario population
+    result = campaign.bayesian_campaign(top_k=20)
+    for fault, record in zip(result.candidates, result.summary.records):
+        print(fault.variable, fault.value, record.hazard)
+
+See examples/ for runnable walkthroughs and benchmarks/ for the
+regeneration of every table and figure in the paper's evaluation.
+"""
+
+from .core import (BayesianFaultInjector, Campaign, CampaignConfig,
+                   FaultSpec, Hazard, run_scenario)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "BayesianFaultInjector",
+    "FaultSpec",
+    "Hazard",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""ADS substrate: the complete autonomous-driving software stack."""
+
+from .control import ControllerConfig, PIDController, VehicleController
+from .localization import EgoLocalizer, LocalizerConfig
+from .messages import (ActuationCommand, Detection, EgoEstimate, GpsFix,
+                       ImuSample, PlannerOutput, SensorBundle, TrackedObject,
+                       WorldModel)
+from .perception import Perception, PerceptionConfig
+from .planning import Planner, PlannerConfig
+from .prediction import (NO_COLLISION, minimum_predicted_gap,
+                         predict_positions, time_to_collision)
+from .runtime import ADSConfig, ADSPipeline, ArmedFault
+from .sensors import SensorSuite, SensorSuiteConfig
+from .tracking import MultiObjectTracker, TrackerConfig
+from .variables import (REGISTRY, STAGES, InjectableVariable,
+                        variable_by_name, variables_in_stage)
+
+__all__ = [
+    "Detection",
+    "GpsFix",
+    "ImuSample",
+    "SensorBundle",
+    "TrackedObject",
+    "EgoEstimate",
+    "WorldModel",
+    "PlannerOutput",
+    "ActuationCommand",
+    "SensorSuite",
+    "SensorSuiteConfig",
+    "Perception",
+    "PerceptionConfig",
+    "MultiObjectTracker",
+    "TrackerConfig",
+    "EgoLocalizer",
+    "LocalizerConfig",
+    "Planner",
+    "PlannerConfig",
+    "PIDController",
+    "VehicleController",
+    "ControllerConfig",
+    "NO_COLLISION",
+    "predict_positions",
+    "time_to_collision",
+    "minimum_predicted_gap",
+    "ADSConfig",
+    "ADSPipeline",
+    "ArmedFault",
+    "REGISTRY",
+    "STAGES",
+    "InjectableVariable",
+    "variable_by_name",
+    "variables_in_stage",
+]

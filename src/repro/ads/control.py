@@ -1,0 +1,126 @@
+"""Actuation control: PID speed tracking plus slew-rate smoothing.
+
+The paper's PID stage turns the planner's raw actuation ``U_A,t`` into
+the final command ``A_t`` while "ensuring the AV does not make any sudden
+changes".  That smoothing is the third resilience mechanism against
+transient faults: a one-frame corrupted raw command is rate-limited
+before it reaches the actuators.  The ``enabled`` flag exists for the
+resilience ablation (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import ActuationCommand, PlannerOutput
+
+
+@dataclass
+class PIDController:
+    """Textbook PID with output clamping and anti-windup."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_low: float = -1.0
+    output_high: float = 1.0
+    _integral: float = 0.0
+    _last_error: float | None = None
+
+    def reset(self) -> None:
+        """Clear integral and derivative memory."""
+        self._integral = 0.0
+        self._last_error = None
+
+    def step(self, error: float, dt: float) -> float:
+        """One control step; returns the clamped output."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+        candidate_integral = self._integral + error * dt
+        output = (self.kp * error + self.ki * candidate_integral
+                  + self.kd * derivative)
+        if self.output_low < output < self.output_high:
+            self._integral = candidate_integral  # integrate only unsaturated
+        return float(np.clip(output, self.output_low, self.output_high))
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Smoothing and speed-tracking parameters."""
+
+    speed_kp: float = 0.30
+    speed_ki: float = 0.04
+    pedal_slew_rate: float = 2.5      # pedal fraction per second
+    steering_slew_rate: float = 0.5   # rad per second
+    vehicle_max_accel: float = 3.5
+    vehicle_max_decel: float = 6.0
+    enabled: bool = True              # ablation: raw pass-through if False
+
+
+class VehicleController:
+    """Smooths planner output into the final actuation command ``A_t``."""
+
+    def __init__(self, config: ControllerConfig | None = None):
+        self.config = config or ControllerConfig()
+        self._speed_pid = PIDController(
+            kp=self.config.speed_kp, ki=self.config.speed_ki,
+            output_low=-self.config.vehicle_max_decel,
+            output_high=self.config.vehicle_max_accel)
+        self._last = ActuationCommand(0.0, 0.0, 0.0)
+
+    def reset(self) -> None:
+        """Forget controller state (new scenario)."""
+        self._speed_pid.reset()
+        self._last = ActuationCommand(0.0, 0.0, 0.0)
+
+    def actuate(self, plan: PlannerOutput, measured_speed: float,
+                dt: float) -> ActuationCommand:
+        """PID speed tracking + slew-limited pedals and steering."""
+        cfg = self.config
+        if not cfg.enabled:
+            command = ActuationCommand(plan.throttle, plan.brake,
+                                       plan.steering).clipped()
+            self._remember(command)
+            return command
+
+        # Feedforward from the planner's pedals, feedback from speed error.
+        feedforward = (plan.throttle * cfg.vehicle_max_accel
+                       - plan.brake * cfg.vehicle_max_decel)
+        correction = self._speed_pid.step(
+            plan.target_speed - measured_speed, dt)
+        accel = feedforward + correction
+        if accel >= 0.0:
+            raw = ActuationCommand(accel / cfg.vehicle_max_accel, 0.0,
+                                   plan.steering)
+        else:
+            raw = ActuationCommand(0.0, -accel / cfg.vehicle_max_decel,
+                                   plan.steering)
+
+        command = ActuationCommand(
+            throttle=self._slew(self._last.throttle, raw.throttle,
+                                cfg.pedal_slew_rate * dt),
+            brake=self._slew(self._last.brake, raw.brake,
+                             cfg.pedal_slew_rate * dt),
+            steering=self._slew(self._last.steering, raw.steering,
+                                cfg.steering_slew_rate * dt),
+        ).clipped()
+        self._remember(command)
+        return command
+
+    def _remember(self, command: ActuationCommand) -> None:
+        # Keep a private copy: the runtime may corrupt the returned
+        # message in place (fault injection), and the controller's slew
+        # memory is a separate architectural location.
+        self._last = ActuationCommand(command.throttle, command.brake,
+                                      command.steering)
+
+    @staticmethod
+    def _slew(previous: float, target: float, max_delta: float) -> float:
+        return previous + float(np.clip(target - previous,
+                                        -max_delta, max_delta))

@@ -1,0 +1,94 @@
+"""Ego localization: an extended Kalman filter fusing GPS and IMU.
+
+State is ``[x, y, v, theta]`` with a bicycle-model motion prediction
+(nonlinear in theta, hence the EKF Jacobian).  GPS observes position, the
+IMU observes speed.  Like the object tracker, the EKF is a masking
+mechanism: a single corrupted GPS fix is weighed against the motion
+model instead of teleporting the pose estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .messages import EgoEstimate, GpsFix, ImuSample
+
+
+@dataclass(frozen=True)
+class LocalizerConfig:
+    """EKF noise parameters."""
+
+    position_process_noise: float = 0.05
+    speed_process_noise: float = 0.3
+    heading_process_noise: float = 0.005
+    gps_noise: float = 0.9
+    imu_speed_noise: float = 0.1
+    enabled: bool = True     # ablation switch: believe raw sensors if off
+
+
+class EgoLocalizer:
+    """EKF over ``[x, y, v, theta]``."""
+
+    def __init__(self, config: LocalizerConfig | None = None):
+        self.config = config or LocalizerConfig()
+        self._mean: np.ndarray | None = None
+        self._cov: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget the state (new scenario)."""
+        self._mean = None
+        self._cov = None
+
+    def update(self, gps: GpsFix, imu: ImuSample, yaw_rate: float,
+               dt: float) -> EgoEstimate:
+        """One predict-update cycle; returns the fused estimate."""
+        if not self.config.enabled:
+            return EgoEstimate(x=gps.x, y=gps.y, v=imu.v, theta=imu.heading)
+        if self._mean is None:
+            self._mean = np.array([gps.x, gps.y, imu.v, imu.heading])
+            self._cov = np.diag([2.0, 2.0, 1.0, 0.05])
+            return self._estimate()
+        self._predict(yaw_rate, dt)
+        self._correct(gps, imu)
+        return self._estimate()
+
+    def _predict(self, yaw_rate: float, dt: float) -> None:
+        x, y, v, theta = self._mean
+        self._mean = np.array([
+            x + v * np.cos(theta) * dt,
+            y + v * np.sin(theta) * dt,
+            v,
+            theta + yaw_rate * dt,
+        ])
+        jacobian = np.array([
+            [1, 0, np.cos(theta) * dt, -v * np.sin(theta) * dt],
+            [0, 1, np.sin(theta) * dt, v * np.cos(theta) * dt],
+            [0, 0, 1, 0],
+            [0, 0, 0, 1],
+        ])
+        cfg = self.config
+        process = np.diag([cfg.position_process_noise,
+                           cfg.position_process_noise,
+                           cfg.speed_process_noise,
+                           cfg.heading_process_noise]) * dt
+        self._cov = jacobian @ self._cov @ jacobian.T + process
+
+    def _correct(self, gps: GpsFix, imu: ImuSample) -> None:
+        h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0], [0, 0, 1.0, 0]])
+        z = np.array([gps.x, gps.y, imu.v])
+        cfg = self.config
+        r = np.diag([cfg.gps_noise ** 2, cfg.gps_noise ** 2,
+                     cfg.imu_speed_noise ** 2])
+        innovation = z - h @ self._mean
+        s = h @ self._cov @ h.T + r
+        gain = self._cov @ h.T @ np.linalg.inv(s)
+        self._mean = self._mean + gain @ innovation
+        self._cov = (np.eye(4) - gain @ h) @ self._cov
+        if self._mean[2] < 0.0:
+            self._mean[2] = 0.0
+
+    def _estimate(self) -> EgoEstimate:
+        x, y, v, theta = (float(value) for value in self._mean)
+        return EgoEstimate(x=x, y=y, v=v, theta=theta)

@@ -1,0 +1,134 @@
+"""Typed messages exchanged between ADS modules.
+
+These are the paper's instrumented interfaces: sensor inputs ``I_t``,
+inertial measurements ``M_t``, the ML-module state ``S_t`` (world model
+``W_t``), raw actuation ``U_A,t`` from the planner, and the smoothed
+actuation ``A_t`` from the PID controller.  Fault injection targets the
+fields of these messages (Fig. 10 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Detection:
+    """One perceived object, in ego-relative road coordinates."""
+
+    x: float                 # longitudinal position (m, world frame)
+    y: float                 # lateral position (m, world frame)
+    v: float = 0.0           # longitudinal speed estimate (m/s)
+    sensor: str = "camera"
+
+
+@dataclass
+class GpsFix:
+    """Satellite position fix for the ego vehicle."""
+
+    x: float
+    y: float
+
+
+@dataclass
+class ImuSample:
+    """Inertial measurement of the ego vehicle (paper's ``M_t``)."""
+
+    v: float                 # speed (m/s)
+    a: float = 0.0           # longitudinal acceleration (m/s^2)
+    yaw_rate: float = 0.0    # rad/s
+    heading: float = 0.0     # rad
+
+
+@dataclass
+class SensorBundle:
+    """Everything the sensing layer hands to perception (``I_t`` + ``M_t``)."""
+
+    time: float
+    camera: list[Detection] = field(default_factory=list)
+    radar: list[Detection] = field(default_factory=list)
+    gps: GpsFix = field(default_factory=lambda: GpsFix(0.0, 0.0))
+    imu: ImuSample = field(default_factory=lambda: ImuSample(0.0))
+    lane_offset: float = 0.0      # camera lane sensing: offset from center
+    lane_heading: float = 0.0     # relative heading to lane direction
+
+
+@dataclass
+class TrackedObject:
+    """A Kalman-tracked object in the world model ``W_t``."""
+
+    track_id: int
+    x: float
+    y: float
+    vx: float
+    vy: float
+    age: int = 0
+    misses: int = 0
+
+    @property
+    def speed(self) -> float:
+        """Longitudinal speed (highway convention: motion along x)."""
+        return self.vx
+
+
+@dataclass
+class EgoEstimate:
+    """Localization output: fused ego pose and speed."""
+
+    x: float
+    y: float
+    v: float
+    theta: float
+
+
+@dataclass
+class WorldModel:
+    """The ML-module state ``S_t``: ego estimate + tracked objects + lane."""
+
+    time: float
+    ego: EgoEstimate
+    tracks: list[TrackedObject] = field(default_factory=list)
+    lane_offset: float = 0.0
+    lane_heading: float = 0.0
+
+    def lead_track(self, corridor_half_width: float = 1.9
+                   ) -> TrackedObject | None:
+        """Nearest tracked object ahead within the travel corridor."""
+        lead = None
+        for track in self.tracks:
+            if track.x <= self.ego.x:
+                continue
+            if abs(track.y - self.ego.y) > corridor_half_width:
+                continue
+            if lead is None or track.x < lead.x:
+                lead = track
+        return lead
+
+
+@dataclass
+class PlannerOutput:
+    """Raw actuation ``U_A,t`` plus the planner's internal targets."""
+
+    target_speed: float      # v_p: planned speed (m/s)
+    throttle: float          # u_zeta in [0, 1]
+    brake: float             # u_b in [0, 1]
+    steering: float          # u_phi (rad)
+    gap: float               # planner's believed bumper gap to lead (m)
+    closing_speed: float     # ego speed minus lead speed (m/s)
+
+
+@dataclass
+class ActuationCommand:
+    """Smoothed actuation ``A_t`` sent to the vehicle."""
+
+    throttle: float
+    brake: float
+    steering: float
+
+    def clipped(self) -> "ActuationCommand":
+        """Physical range enforcement."""
+        def clip01(value: float) -> float:
+            return min(max(value, 0.0), 1.0)
+        steering = min(max(self.steering, -0.55), 0.55)
+        return ActuationCommand(clip01(self.throttle), clip01(self.brake),
+                                steering)

@@ -1,0 +1,62 @@
+"""Perception: fuse camera and radar detections into one object list.
+
+Camera gives good lateral position, radar good range and range-rate; the
+fuser matches detections greedily by distance and averages positions,
+preferring radar speed.  This mirrors the perception front end whose
+outputs DriveFI instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .messages import Detection, SensorBundle
+
+
+@dataclass(frozen=True)
+class PerceptionConfig:
+    """Association and gating parameters."""
+
+    association_gate: float = 3.5    # m: max camera/radar match distance
+    camera_weight: float = 0.55     # blend toward camera position
+
+
+class Perception:
+    """Camera/radar object-level fusion."""
+
+    def __init__(self, config: PerceptionConfig | None = None):
+        self.config = config or PerceptionConfig()
+
+    def process(self, bundle: SensorBundle) -> list[Detection]:
+        """Fused detections from one sensor snapshot."""
+        camera = list(bundle.camera)
+        radar = list(bundle.radar)
+        fused: list[Detection] = []
+        used_radar: set[int] = set()
+        for cam in camera:
+            best_index = None
+            best_distance = self.config.association_gate
+            for index, rad in enumerate(radar):
+                if index in used_radar:
+                    continue
+                distance = float(np.hypot(cam.x - rad.x, cam.y - rad.y))
+                if distance < best_distance:
+                    best_distance = distance
+                    best_index = index
+            if best_index is None:
+                fused.append(Detection(cam.x, cam.y, cam.v, sensor="camera"))
+            else:
+                rad = radar[best_index]
+                used_radar.add(best_index)
+                w = self.config.camera_weight
+                fused.append(Detection(
+                    x=w * cam.x + (1 - w) * rad.x,
+                    y=w * cam.y + (1 - w) * rad.y,
+                    v=rad.v,
+                    sensor="fused"))
+        for index, rad in enumerate(radar):
+            if index not in used_radar:
+                fused.append(Detection(rad.x, rad.y, rad.v, sensor="radar"))
+        return fused

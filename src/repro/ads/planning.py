@@ -1,0 +1,104 @@
+"""Planning: adaptive cruise (IDM) plus lane keeping.
+
+The planner is the paper's ML-module back end: it consumes the world
+model ``W_t`` and emits raw actuation ``U_A,t`` (throttle, brake,
+steering) and a planned speed ``v_p``.  Longitudinal control follows the
+Intelligent Driver Model; lateral control is a proportional law on lane
+offset and relative heading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.collision import SENSOR_RANGE
+from .messages import PlannerOutput, WorldModel
+from .prediction import time_to_collision
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Driving-policy parameters."""
+
+    cruise_speed: float = 31.0        # m/s desired free-flow speed
+    time_headway: float = 1.4         # s   (IDM T)
+    min_gap: float = 4.0              # m   (IDM s0)
+    comfort_accel: float = 2.0        # m/s^2 (IDM a)
+    comfort_decel: float = 3.0        # m/s^2 (IDM b)
+    idm_exponent: float = 4.0
+    hard_brake_ttc: float = 3.0       # s: below this, command full brake
+    vehicle_max_accel: float = 3.5    # pedal mapping (matches Vehicle)
+    vehicle_max_decel: float = 6.0
+    body_length: float = 4.8
+    lateral_gain: float = 0.10        # rad per m of lane offset
+    heading_gain: float = 0.9         # rad per rad of heading error
+    #: Lane-keeping steering authority.  Production autosteer clamps the
+    #: commanded angle at speed; it also keeps the recovery loop stable
+    #: under the vehicle's steering-rate limit (a saturated PD loop with
+    #: rate limiting would otherwise limit-cycle after a disturbance).
+    max_steering: float = 0.08
+    speed_horizon: float = 1.0        # s: v_p = speed this far ahead
+
+
+class Planner:
+    """IDM + lane keeping over the tracked world model."""
+
+    def __init__(self, config: PlannerConfig | None = None):
+        self.config = config or PlannerConfig()
+
+    def plan(self, model: WorldModel, dt: float) -> PlannerOutput:
+        """Raw actuation for the current world model.
+
+        ``dt`` is the planning period, used to turn the commanded
+        acceleration into the planned speed ``v_p``.
+        """
+        cfg = self.config
+        v = max(model.ego.v, 0.0)
+        lead = model.lead_track()
+        if lead is None:
+            gap = SENSOR_RANGE
+            closing = 0.0
+        else:
+            gap = max((lead.x - model.ego.x) - cfg.body_length, 0.01)
+            closing = v - lead.vx
+
+        accel = self._idm_acceleration(v, gap, closing)
+        if lead is not None:
+            ttc = time_to_collision(model.ego.x, v, lead, cfg.body_length)
+            if ttc < cfg.hard_brake_ttc:
+                accel = -cfg.vehicle_max_decel
+        accel = float(np.clip(accel, -cfg.vehicle_max_decel,
+                              cfg.comfort_accel))
+
+        if accel >= 0.0:
+            throttle = accel / cfg.vehicle_max_accel
+            brake = 0.0
+        else:
+            throttle = 0.0
+            brake = -accel / cfg.vehicle_max_decel
+        steering = float(np.clip(
+            -cfg.lateral_gain * model.lane_offset
+            - cfg.heading_gain * model.lane_heading,
+            -cfg.max_steering, cfg.max_steering))
+        target_speed = float(np.clip(v + accel * cfg.speed_horizon,
+                                     0.0, cfg.cruise_speed))
+        return PlannerOutput(target_speed=target_speed,
+                             throttle=float(np.clip(throttle, 0.0, 1.0)),
+                             brake=float(np.clip(brake, 0.0, 1.0)),
+                             steering=steering,
+                             gap=float(gap),
+                             closing_speed=float(closing))
+
+    def _idm_acceleration(self, v: float, gap: float,
+                          closing: float) -> float:
+        cfg = self.config
+        v0 = max(cfg.cruise_speed, 0.1)
+        desired_gap = (cfg.min_gap + v * cfg.time_headway
+                       + v * closing
+                       / (2.0 * np.sqrt(cfg.comfort_accel
+                                        * cfg.comfort_decel)))
+        desired_gap = max(desired_gap, cfg.min_gap)
+        return cfg.comfort_accel * (1.0 - (v / v0) ** cfg.idm_exponent
+                                    - (desired_gap / gap) ** 2)

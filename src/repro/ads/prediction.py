@@ -1,0 +1,55 @@
+"""Obstacle trajectory prediction: constant-velocity extrapolation.
+
+The planner consults predicted trajectories (not just instantaneous
+positions) when judging time-to-collision, matching the paper's note that
+production ADSs estimate object trajectories when computing ``d_safe``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .messages import TrackedObject
+
+#: Value returned when no collision is predicted within the horizon.
+NO_COLLISION = float("inf")
+
+
+def predict_positions(track: TrackedObject, horizon: float,
+                      dt: float = 0.25) -> np.ndarray:
+    """Future (x, y) positions under constant velocity, shape (n, 2)."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    steps = int(np.ceil(horizon / dt)) + 1
+    times = np.arange(steps) * dt
+    xs = track.x + track.vx * times
+    ys = track.y + track.vy * times
+    return np.column_stack([xs, ys])
+
+
+def time_to_collision(ego_x: float, ego_v: float, track: TrackedObject,
+                      body_length: float = 4.8) -> float:
+    """Time until the ego bumper reaches the track, constant speeds.
+
+    Returns :data:`NO_COLLISION` if the gap is opening or the track is
+    behind the ego.
+    """
+    gap = (track.x - ego_x) - body_length
+    if gap < 0.0:
+        return 0.0
+    closing = ego_v - track.vx
+    if closing <= 1e-9:
+        return NO_COLLISION
+    return gap / closing
+
+
+def minimum_predicted_gap(ego_x: float, ego_v: float, track: TrackedObject,
+                          horizon: float = 6.0, dt: float = 0.25,
+                          body_length: float = 4.8) -> float:
+    """Smallest bumper gap over the horizon, both bodies extrapolated."""
+    steps = int(np.ceil(horizon / dt)) + 1
+    times = np.arange(steps) * dt
+    ego_positions = ego_x + ego_v * times
+    track_positions = track.x + track.vx * times
+    gaps = track_positions - ego_positions - body_length
+    return float(gaps.min())

@@ -1,0 +1,171 @@
+"""The ADS runtime: rate-scheduled module pipeline with injection hooks.
+
+One :meth:`ADSPipeline.tick` is a control-rate cycle (default 20 Hz).
+Perception, tracking, and planning run every ``planner_divisor`` ticks
+(default 2, i.e. 10 Hz), matching the paper's layered refresh rates; the
+PID controller and vehicle actuation run every tick.  The frequent
+recomputation is the first of the paper's three masking mechanisms.
+
+Faults are armed on the pipeline as :class:`ArmedFault` records.  After a
+stage computes its payload and before the payload is handed downstream,
+every active fault targeting that stage corrupts the payload in place —
+precisely "modifying the software state of the ADS" as DriveFI does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..sim.world import World
+from .control import ControllerConfig, VehicleController
+from .localization import EgoLocalizer, LocalizerConfig
+from .messages import ActuationCommand, PlannerOutput, WorldModel
+from .perception import Perception, PerceptionConfig
+from .planning import Planner, PlannerConfig
+from .sensors import SensorSuite, SensorSuiteConfig
+from .tracking import MultiObjectTracker, TrackerConfig
+from .variables import InjectableVariable, variable_by_name
+
+
+@dataclass(frozen=True)
+class ADSConfig:
+    """Top-level ADS configuration (submodule configs plus scheduling)."""
+
+    control_rate: float = 20.0      # Hz: controller + actuation
+    planner_divisor: int = 2        # planning every N control ticks
+    sensors: SensorSuiteConfig = field(default_factory=SensorSuiteConfig)
+    perception: PerceptionConfig = field(default_factory=PerceptionConfig)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    localizer: LocalizerConfig = field(default_factory=LocalizerConfig)
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+
+    @property
+    def control_period(self) -> float:
+        """Seconds per control tick."""
+        return 1.0 / self.control_rate
+
+    @property
+    def planner_period(self) -> float:
+        """Seconds per planning cycle."""
+        return self.planner_divisor / self.control_rate
+
+    def with_resilience(self, tracking: bool = True, smoothing: bool = True,
+                        planner_divisor: int | None = None) -> "ADSConfig":
+        """Ablation helper: switch masking mechanisms on/off."""
+        return replace(
+            self,
+            tracker=replace(self.tracker, enabled=tracking),
+            controller=replace(self.controller, enabled=smoothing),
+            planner_divisor=(self.planner_divisor if planner_divisor is None
+                             else planner_divisor))
+
+
+@dataclass
+class ArmedFault:
+    """A scheduled transient corruption of one injectable variable."""
+
+    variable: InjectableVariable
+    value: float
+    start_tick: int
+    duration_ticks: int = 2     # one planner period at the default rates
+    landed: bool = False        # set once the corruption touched a payload
+
+    def active(self, tick: int) -> bool:
+        """True while the fault window covers ``tick``."""
+        return self.start_tick <= tick < self.start_tick + self.duration_ticks
+
+
+class ADSPipeline:
+    """The complete software stack of the ego vehicle."""
+
+    def __init__(self, config: ADSConfig | None = None, seed: int = 0):
+        self.config = config or ADSConfig()
+        self._rng = np.random.default_rng(seed)
+        self.sensors = SensorSuite(self.config.sensors, self._rng)
+        self.perception = Perception(self.config.perception)
+        self.tracker = MultiObjectTracker(self.config.tracker)
+        self.localizer = EgoLocalizer(self.config.localizer)
+        self.planner = Planner(self.config.planner)
+        self.controller = VehicleController(self.config.controller)
+        self.tick_index = 0
+        self.faults: list[ArmedFault] = []
+        self._plan: PlannerOutput | None = None
+        self._model: WorldModel | None = None
+        self._command = ActuationCommand(0.0, 0.0, 0.0)
+
+    # -- fault management ----------------------------------------------------
+
+    def arm_fault(self, variable_name: str, value: float, start_tick: int,
+                  duration_ticks: int = 2) -> ArmedFault:
+        """Schedule a transient corruption; returns the armed record."""
+        fault = ArmedFault(variable=variable_by_name(variable_name),
+                           value=float(value), start_tick=int(start_tick),
+                           duration_ticks=int(duration_ticks))
+        self.faults.append(fault)
+        return fault
+
+    def _corrupt(self, stage: str, payload: object) -> None:
+        for fault in self.faults:
+            if fault.variable.stage == stage and fault.active(
+                    self.tick_index):
+                if fault.variable.setter(payload, fault.value):
+                    fault.landed = True
+
+    # -- execution ------------------------------------------------------------
+
+    @property
+    def is_planning_tick(self) -> bool:
+        """True when the upcoming tick recomputes perception + planning."""
+        return self.tick_index % self.config.planner_divisor == 0
+
+    def tick(self, world: World) -> ActuationCommand:
+        """One control cycle: sense, (re)plan, smooth, return ``A_t``.
+
+        The caller owns stepping the world with the returned command.
+        """
+        dt = self.config.control_period
+        bundle = self.sensors.measure(world)
+        self._corrupt("sensing", bundle)
+
+        if self.is_planning_tick or self._plan is None:
+            detections = self.perception.process(bundle)
+            self._corrupt("perception", detections)
+
+            planning_dt = self.config.planner_period
+            tracks = self.tracker.update(detections, planning_dt)
+            ego = self.localizer.update(bundle.gps, bundle.imu,
+                                        bundle.imu.yaw_rate, planning_dt)
+            model = WorldModel(time=bundle.time, ego=ego, tracks=tracks,
+                               lane_offset=bundle.lane_offset,
+                               lane_heading=bundle.lane_heading)
+            self._corrupt("world_model", model)
+            self._model = model
+
+            plan = self.planner.plan(model, planning_dt)
+            self._corrupt("planning", plan)
+            self._plan = plan
+
+        command = self.controller.actuate(self._plan, bundle.imu.v, dt)
+        self._corrupt("actuation", command)
+        command = command.clipped()
+        self._command = command
+        self.tick_index += 1
+        return command
+
+    @property
+    def last_plan(self) -> PlannerOutput | None:
+        """Most recent planner output (``U_A,t``)."""
+        return self._plan
+
+    @property
+    def last_model(self) -> WorldModel | None:
+        """Most recent world model (``S_t``)."""
+        return self._model
+
+    @property
+    def last_command(self) -> ActuationCommand:
+        """Most recent actuation command (``A_t``)."""
+        return self._command

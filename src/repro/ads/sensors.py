@@ -1,0 +1,118 @@
+"""Sensor simulation: noisy views of the ground-truth world.
+
+Each sensor draws from an explicit ``numpy.random.Generator`` so runs are
+reproducible.  Noise magnitudes default to values typical of automotive
+hardware; perception-level faults are injected downstream of here, on the
+:class:`~repro.ads.messages.SensorBundle` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.world import World
+from .messages import Detection, GpsFix, ImuSample, SensorBundle
+
+
+@dataclass(frozen=True)
+class SensorSuiteConfig:
+    """Noise and coverage parameters of the ego sensor set."""
+
+    camera_range: float = 150.0
+    camera_position_noise: float = 0.35     # m (1 sigma)
+    camera_dropout: float = 0.02            # per-object miss probability
+    radar_range: float = 220.0
+    radar_position_noise: float = 0.6       # m
+    radar_speed_noise: float = 0.25         # m/s
+    gps_noise: float = 0.8                  # m
+    imu_speed_noise: float = 0.08           # m/s
+    imu_yaw_noise: float = 0.004            # rad/s
+    lane_offset_noise: float = 0.02         # m
+    lane_heading_noise: float = 0.002       # rad
+    #: A body hides anything behind it within this lateral half-width.
+    #: This is what makes the paper's Example 2 (Tesla crash shape)
+    #: reproducible: the stopped second lead is invisible until the
+    #: first lead moves aside.
+    occlusion_half_width: float = 1.5
+
+
+class SensorSuite:
+    """The full ego sensor set: camera, radar, GPS, IMU, lane camera."""
+
+    def __init__(self, config: SensorSuiteConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.config = config or SensorSuiteConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self._last_speed: float | None = None
+        self._last_time: float | None = None
+
+    def measure(self, world: World) -> SensorBundle:
+        """One synchronized snapshot of every sensor."""
+        cfg = self.config
+        ego = world.ego.state
+        camera = []
+        radar = []
+        obstacles = world.obstacles()
+        for obstacle in obstacles:
+            ahead = obstacle.x - ego.x
+            if ahead > 0.0 and self._occluded(obstacle, obstacles, ego.x):
+                continue
+            if 0.0 < ahead <= cfg.camera_range:
+                if self.rng.random() >= cfg.camera_dropout:
+                    camera.append(Detection(
+                        x=obstacle.x + self.rng.normal(
+                            0, cfg.camera_position_noise),
+                        y=obstacle.y + self.rng.normal(
+                            0, cfg.camera_position_noise),
+                        v=obstacle.v,
+                        sensor="camera"))
+            if 0.0 < ahead <= cfg.radar_range:
+                radar.append(Detection(
+                    x=obstacle.x + self.rng.normal(
+                        0, cfg.radar_position_noise),
+                    y=obstacle.y + self.rng.normal(
+                        0, cfg.radar_position_noise),
+                    v=obstacle.v + self.rng.normal(0, cfg.radar_speed_noise),
+                    sensor="radar"))
+
+        acceleration = self._estimate_acceleration(world.time, ego.v)
+        yaw_rate = (ego.v * np.tan(ego.phi)
+                    / world.ego.params.wheelbase)
+        lane_center = world.road.lane_center(world.road.lane_of(ego.y))
+        return SensorBundle(
+            time=world.time,
+            camera=camera,
+            radar=radar,
+            gps=GpsFix(x=ego.x + self.rng.normal(0, cfg.gps_noise),
+                       y=ego.y + self.rng.normal(0, cfg.gps_noise)),
+            imu=ImuSample(
+                v=max(0.0, ego.v + self.rng.normal(0, cfg.imu_speed_noise)),
+                a=acceleration,
+                yaw_rate=yaw_rate + self.rng.normal(0, cfg.imu_yaw_noise),
+                heading=ego.theta),
+            lane_offset=(ego.y - lane_center
+                         + self.rng.normal(0, cfg.lane_offset_noise)),
+            lane_heading=(ego.theta
+                          + self.rng.normal(0, cfg.lane_heading_noise)),
+        )
+
+    def _occluded(self, target, obstacles, ego_x: float) -> bool:
+        half_width = self.config.occlusion_half_width
+        for other in obstacles:
+            if other is target:
+                continue
+            if (ego_x + 1.0 < other.x < target.x
+                    and abs(other.y - target.y) < half_width):
+                return True
+        return False
+
+    def _estimate_acceleration(self, time: float, speed: float) -> float:
+        if self._last_time is None or time <= self._last_time:
+            accel = 0.0
+        else:
+            accel = (speed - self._last_speed) / (time - self._last_time)
+        self._last_time = time
+        self._last_speed = speed
+        return accel

@@ -1,0 +1,118 @@
+"""Multi-object tracking: per-object Kalman filters over fused detections.
+
+This is the world model ``W_t`` of the paper's ML module, and one of the
+three resilience mechanisms credited for masking random faults: a single
+corrupted detection is averaged against the track's state and prior
+covariance instead of being believed outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import Detection, TrackedObject
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Kalman and track-management parameters."""
+
+    process_noise: float = 0.8       # acceleration spectral density
+    measurement_noise: float = 0.5   # m (position measurement, 1 sigma)
+    speed_measurement_noise: float = 0.4   # m/s
+    association_gate: float = 4.5    # m
+    max_misses: int = 4              # drop a track after this many misses
+    confirm_age: int = 2             # report tracks at least this old
+    enabled: bool = True             # ablation switch: raw detections if off
+
+
+@dataclass
+class _KalmanTrack:
+    """Internal filter state for one object: [x, y, vx, vy]."""
+
+    track_id: int
+    mean: np.ndarray
+    covariance: np.ndarray
+    age: int = 0
+    misses: int = 0
+
+    def predict(self, dt: float, q: float) -> None:
+        f = np.eye(4)
+        f[0, 2] = dt
+        f[1, 3] = dt
+        g = np.array([[dt ** 2 / 2, 0], [0, dt ** 2 / 2], [dt, 0], [0, dt]])
+        self.mean = f @ self.mean
+        self.covariance = (f @ self.covariance @ f.T
+                           + q * (g @ g.T))
+
+    def update(self, detection: Detection, r_pos: float,
+               r_speed: float) -> None:
+        # Measure position and longitudinal speed: z = [x, y, vx].
+        h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0], [0, 0, 1.0, 0]])
+        z = np.array([detection.x, detection.y, detection.v])
+        r = np.diag([r_pos ** 2, r_pos ** 2, r_speed ** 2])
+        innovation = z - h @ self.mean
+        s = h @ self.covariance @ h.T + r
+        gain = self.covariance @ h.T @ np.linalg.inv(s)
+        self.mean = self.mean + gain @ innovation
+        self.covariance = (np.eye(4) - gain @ h) @ self.covariance
+
+
+@dataclass
+class MultiObjectTracker:
+    """Nearest-neighbour data association over per-object Kalman filters."""
+
+    config: TrackerConfig = field(default_factory=TrackerConfig)
+    _tracks: list[_KalmanTrack] = field(default_factory=list)
+    _next_id: int = 1
+
+    def update(self, detections: list[Detection],
+               dt: float) -> list[TrackedObject]:
+        """Advance all tracks by ``dt`` and fold in new detections."""
+        if not self.config.enabled:
+            # Ablation mode: believe raw detections directly.
+            return [TrackedObject(track_id=i + 1, x=d.x, y=d.y, vx=d.v,
+                                  vy=0.0, age=self.config.confirm_age)
+                    for i, d in enumerate(detections)]
+        for track in self._tracks:
+            track.predict(dt, self.config.process_noise)
+        unmatched = list(range(len(detections)))
+        for track in sorted(self._tracks, key=lambda t: -t.age):
+            best, best_distance = None, self.config.association_gate
+            for index in unmatched:
+                detection = detections[index]
+                distance = float(np.hypot(detection.x - track.mean[0],
+                                          detection.y - track.mean[1]))
+                if distance < best_distance:
+                    best, best_distance = index, distance
+            if best is None:
+                track.misses += 1
+            else:
+                unmatched.remove(best)
+                track.update(detections[best],
+                             self.config.measurement_noise,
+                             self.config.speed_measurement_noise)
+                track.misses = 0
+            track.age += 1
+        for index in unmatched:
+            detection = detections[index]
+            self._tracks.append(_KalmanTrack(
+                track_id=self._next_id,
+                mean=np.array([detection.x, detection.y, detection.v, 0.0]),
+                covariance=np.diag([2.0, 2.0, 4.0, 1.0]),
+                age=1))
+            self._next_id += 1
+        self._tracks = [t for t in self._tracks
+                        if t.misses <= self.config.max_misses]
+        return [TrackedObject(track_id=t.track_id,
+                              x=float(t.mean[0]), y=float(t.mean[1]),
+                              vx=float(t.mean[2]), vy=float(t.mean[3]),
+                              age=t.age, misses=t.misses)
+                for t in self._tracks if t.age >= self.config.confirm_age]
+
+    def reset(self) -> None:
+        """Drop all tracks (new scenario)."""
+        self._tracks.clear()
+        self._next_id = 1

@@ -1,0 +1,195 @@
+"""Registry of injectable ADS variables (the paper's fault model b targets).
+
+Each entry names one inter-module variable (a field of ``I_t``, ``M_t``,
+``S_t``/``W_t``, ``U_A,t`` or ``A_t``), the pipeline stage whose payload
+carries it, the physical min/max corruption values used by the min/max
+fault model, and a setter that applies a corrupted value to the payload.
+
+Setters return ``True`` when the corruption actually landed; injecting
+into, say, the lead track of an empty world model is inherently masked
+and returns ``False`` (the paper counts those as masked faults too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .messages import (ActuationCommand, Detection, PlannerOutput,
+                       SensorBundle, WorldModel)
+
+#: Pipeline stage names, in dataflow order.
+STAGES = ("sensing", "perception", "world_model", "planning", "actuation")
+
+
+@dataclass(frozen=True)
+class InjectableVariable:
+    """One fault-injectable inter-module variable."""
+
+    name: str
+    stage: str            # one of STAGES
+    group: str            # paper grouping: I_t, M_t, W_t, U_A, A_t
+    min_value: float
+    max_value: float
+    setter: Callable[[object, float], bool]
+
+    def corruption_values(self) -> tuple[float, float]:
+        """The (min, max) corruption pair of fault model (b)."""
+        return (self.min_value, self.max_value)
+
+
+# -- setters ---------------------------------------------------------------
+
+def _set_gps_x(bundle: SensorBundle, value: float) -> bool:
+    bundle.gps.x = value
+    return True
+
+
+def _set_gps_y(bundle: SensorBundle, value: float) -> bool:
+    bundle.gps.y = value
+    return True
+
+
+def _set_imu_speed(bundle: SensorBundle, value: float) -> bool:
+    bundle.imu.v = value
+    return True
+
+
+def _set_lane_offset(bundle: SensorBundle, value: float) -> bool:
+    bundle.lane_offset = value
+    return True
+
+
+def _nearest_detection(detections: list[Detection]) -> Detection | None:
+    ahead = [d for d in detections if d.x >= 0.0]
+    if not ahead:
+        return None
+    return min(ahead, key=lambda d: d.x)
+
+
+def _set_detection_x(detections: list[Detection], value: float) -> bool:
+    detection = _nearest_detection(detections)
+    if detection is None:
+        return False
+    detection.x = value
+    return True
+
+
+def _set_detection_y(detections: list[Detection], value: float) -> bool:
+    detection = _nearest_detection(detections)
+    if detection is None:
+        return False
+    detection.y = value
+    return True
+
+
+def _set_tracked_gap(model: WorldModel, value: float) -> bool:
+    lead = model.lead_track()
+    if lead is None:
+        return False
+    lead.x = model.ego.x + value
+    return True
+
+
+def _set_tracked_speed(model: WorldModel, value: float) -> bool:
+    lead = model.lead_track()
+    if lead is None:
+        return False
+    lead.vx = value
+    return True
+
+
+def _set_model_lane_offset(model: WorldModel, value: float) -> bool:
+    model.lane_offset = value
+    return True
+
+
+def _set_ego_speed_estimate(model: WorldModel, value: float) -> bool:
+    model.ego.v = value
+    return True
+
+
+def _set_planned_speed(plan: PlannerOutput, value: float) -> bool:
+    plan.target_speed = value
+    return True
+
+
+def _set_raw_throttle(plan: PlannerOutput, value: float) -> bool:
+    plan.throttle = value
+    return True
+
+
+def _set_raw_brake(plan: PlannerOutput, value: float) -> bool:
+    plan.brake = value
+    return True
+
+
+def _set_raw_steering(plan: PlannerOutput, value: float) -> bool:
+    plan.steering = value
+    return True
+
+
+def _set_throttle(command: ActuationCommand, value: float) -> bool:
+    command.throttle = value
+    return True
+
+
+def _set_brake(command: ActuationCommand, value: float) -> bool:
+    command.brake = value
+    return True
+
+
+def _set_steering(command: ActuationCommand, value: float) -> bool:
+    command.steering = value
+    return True
+
+
+#: The full registry: 17 variables across the five instrumented interfaces.
+REGISTRY: tuple[InjectableVariable, ...] = (
+    InjectableVariable("gps_x", "sensing", "I_t", 0.0, 10_000.0, _set_gps_x),
+    InjectableVariable("gps_y", "sensing", "I_t", -50.0, 50.0, _set_gps_y),
+    InjectableVariable("imu_speed", "sensing", "M_t", 0.0, 45.0,
+                       _set_imu_speed),
+    InjectableVariable("sensed_lane_offset", "sensing", "I_t", -2.0, 2.0,
+                       _set_lane_offset),
+    InjectableVariable("detection_x", "perception", "I_t", 0.0, 250.0,
+                       _set_detection_x),
+    InjectableVariable("detection_y", "perception", "I_t", -50.0, 50.0,
+                       _set_detection_y),
+    InjectableVariable("tracked_gap", "world_model", "W_t", 0.0, 250.0,
+                       _set_tracked_gap),
+    InjectableVariable("tracked_speed", "world_model", "W_t", 0.0, 45.0,
+                       _set_tracked_speed),
+    InjectableVariable("model_lane_offset", "world_model", "W_t", -2.0, 2.0,
+                       _set_model_lane_offset),
+    InjectableVariable("ego_speed_estimate", "world_model", "M_t", 0.0, 45.0,
+                       _set_ego_speed_estimate),
+    InjectableVariable("planned_speed", "planning", "U_A", 0.0, 45.0,
+                       _set_planned_speed),
+    InjectableVariable("raw_throttle", "planning", "U_A", 0.0, 1.0,
+                       _set_raw_throttle),
+    InjectableVariable("raw_brake", "planning", "U_A", 0.0, 1.0,
+                       _set_raw_brake),
+    InjectableVariable("raw_steering", "planning", "U_A", -0.55, 0.55,
+                       _set_raw_steering),
+    InjectableVariable("throttle", "actuation", "A_t", 0.0, 1.0,
+                       _set_throttle),
+    InjectableVariable("brake", "actuation", "A_t", 0.0, 1.0, _set_brake),
+    InjectableVariable("steering", "actuation", "A_t", -0.55, 0.55,
+                       _set_steering),
+)
+
+
+def variable_by_name(name: str) -> InjectableVariable:
+    """Look up a registry entry; raises ``KeyError`` for unknown names."""
+    for variable in REGISTRY:
+        if variable.name == name:
+            return variable
+    raise KeyError(f"unknown injectable variable {name!r}")
+
+
+def variables_in_stage(stage: str) -> list[InjectableVariable]:
+    """Registry entries whose payload lives in ``stage``."""
+    if stage not in STAGES:
+        raise KeyError(f"unknown stage {stage!r}")
+    return [v for v in REGISTRY if v.stage == stage]

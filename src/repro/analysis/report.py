@@ -1,0 +1,43 @@
+"""Rendering helpers: ASCII tables and CSV series for every experiment."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width table, the output format of every bench."""
+    materialized = [[_format(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    divider = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.write("\n" + divider + "\n")
+    for row in materialized:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        out.write("\n")
+    return out.getvalue()
+
+
+def csv_series(headers: Sequence[str],
+               rows: Iterable[Sequence[object]]) -> str:
+    """Comma-separated series (for plotting the figure benches)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        lines.append(",".join(_format(cell) for cell in row))
+    return "\n".join(lines) + "\n"
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

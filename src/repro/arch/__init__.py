@@ -1,0 +1,55 @@
+"""Architectural fault-injection substrate: ISA, kernels, bit flips."""
+
+from .bitflip import (bits_to_float, flip_bit, flip_bits, float_to_bits,
+                      random_flip)
+from .encoding import (decode_instruction, encode_instruction,
+                       encode_program, flip_instruction_bit,
+                       random_instruction_flip)
+from .gpu import GPUExecutor, WarpResult
+from .injector import (ArchitecturalInjector, InjectionResult, Outcome,
+                       inject_instruction_fault, outcome_rates,
+                       run_campaign, run_instruction_campaign)
+from .isa import (N_REGISTERS, Assembler, CPUState, HangError, Instruction,
+                  Interpreter, Program, TrapError)
+from .kernels import (Kernel, default_kernels, dot_kernel, idm_kernel,
+                      kalman_kernel, matmul_kernel, pid_kernel)
+from .memory import MemoryAccessError, MemoryModel
+
+__all__ = [
+    "flip_bit",
+    "flip_bits",
+    "float_to_bits",
+    "bits_to_float",
+    "random_flip",
+    "encode_instruction",
+    "decode_instruction",
+    "encode_program",
+    "flip_instruction_bit",
+    "random_instruction_flip",
+    "MemoryModel",
+    "MemoryAccessError",
+    "N_REGISTERS",
+    "Instruction",
+    "Program",
+    "CPUState",
+    "Interpreter",
+    "Assembler",
+    "TrapError",
+    "HangError",
+    "Kernel",
+    "dot_kernel",
+    "matmul_kernel",
+    "kalman_kernel",
+    "pid_kernel",
+    "idm_kernel",
+    "default_kernels",
+    "ArchitecturalInjector",
+    "InjectionResult",
+    "Outcome",
+    "run_campaign",
+    "inject_instruction_fault",
+    "run_instruction_campaign",
+    "outcome_rates",
+    "GPUExecutor",
+    "WarpResult",
+]

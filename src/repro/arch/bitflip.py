@@ -1,0 +1,45 @@
+"""Bit-level corruption of IEEE-754 double values.
+
+The paper's fault model (a) flips bits in non-ECC processor structures.
+Register values are float64 here; flips act on the raw 64-bit pattern, so
+an exponent-bit flip produces the huge silent corruptions that make
+hardware faults dangerous, while low mantissa bits are usually benign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def float_to_bits(value: float) -> int:
+    """Raw 64-bit pattern of a double, as a Python int."""
+    return int(np.float64(value).view(np.uint64))
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return float(np.uint64(bits & 0xFFFFFFFFFFFFFFFF).view(np.float64))
+
+
+def flip_bit(value: float, bit: int) -> float:
+    """Flip one bit (0 = LSB of the mantissa, 63 = sign) of a double."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit index {bit} out of range")
+    return bits_to_float(float_to_bits(value) ^ (1 << bit))
+
+
+def flip_bits(value: float, bits: list[int]) -> float:
+    """Flip several bits (multi-bit upset)."""
+    pattern = 0
+    for bit in bits:
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit index {bit} out of range")
+        pattern ^= 1 << bit
+    return bits_to_float(float_to_bits(value) ^ pattern)
+
+
+def random_flip(value: float, rng: np.random.Generator,
+                n_bits: int = 1) -> tuple[float, list[int]]:
+    """Flip ``n_bits`` distinct random bits; returns (new value, bits)."""
+    bits = [int(b) for b in rng.choice(64, size=n_bits, replace=False)]
+    return flip_bits(value, bits), bits

@@ -1,0 +1,114 @@
+"""Instruction encoding and instruction-memory fault injection.
+
+Beyond register-state flips, real soft errors also strike instruction
+queues and pipeline latches.  This module gives instructions a concrete
+64-bit encoding so a bit flip can corrupt the *program* itself:
+
+======  =============================
+bits    field
+0-7     opcode
+8-15    dst register
+16-23   a register
+24-31   b register
+32-63   immediate (float32 payload)
+======  =============================
+
+A flipped opcode usually decodes to an illegal instruction (a trap, i.e.
+a detectable crash); a flipped register field silently redirects
+dataflow (SDC or masked); a flipped immediate perturbs constants and
+addresses.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .isa import OPS, Instruction, Program, TrapError
+
+_OPCODES = {name: index for index, name in enumerate(OPS)}
+_NAMES = dict(enumerate(OPS))
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Pack one instruction into its 64-bit word."""
+    word = _OPCODES[instruction.op]
+    word |= (instruction.dst or 0) << 8
+    word |= (instruction.a or 0) << 16
+    word |= (instruction.b or 0) << 24
+    payload = instruction.imm
+    if payload is None and instruction.target is not None:
+        payload = float(instruction.target)
+    payload_bits = struct.unpack(
+        "<I", struct.pack("<f", float(payload or 0.0)))[0]
+    word |= payload_bits << 32
+    return word
+
+
+def decode_instruction(word: int, has_target: bool = False) -> Instruction:
+    """Unpack a 64-bit word; raises :class:`TrapError` on bad opcodes."""
+    opcode = word & 0xFF
+    if opcode not in _NAMES:
+        raise TrapError(f"illegal opcode byte {opcode:#x}")
+    op = _NAMES[opcode]
+    dst = (word >> 8) & 0xFF
+    a = (word >> 16) & 0xFF
+    b = (word >> 24) & 0xFF
+    payload = struct.unpack("<f", struct.pack("<I", (word >> 32)
+                                              & 0xFFFFFFFF))[0]
+    for register in (dst, a, b):
+        if register >= 32:
+            raise TrapError(f"register index {register} out of range")
+    kwargs: dict = {"op": op}
+    if op in ("LI", "MOV", "ADD", "SUB", "MUL", "DIV", "MIN", "MAX",
+              "ABS", "SQRT", "ADDI", "LOAD"):
+        kwargs["dst"] = dst
+    if op in ("MOV", "ADD", "SUB", "MUL", "DIV", "MIN", "MAX", "ABS",
+              "SQRT", "ADDI", "STORE", "JNZ"):
+        kwargs["a"] = a
+    if op in ("ADD", "SUB", "MUL", "DIV", "MIN", "MAX", "LOAD", "STORE"):
+        kwargs["b"] = b
+    if op in ("LI", "ADDI", "LOAD", "STORE"):
+        kwargs["imm"] = payload
+    if op in ("JNZ", "JMP"):
+        kwargs["target"] = int(payload)
+    return Instruction(**kwargs)
+
+
+def encode_program(program: Program) -> list[int]:
+    """Encode every instruction of a program."""
+    return [encode_instruction(instr) for instr in program.instructions]
+
+
+def flip_instruction_bit(program: Program, index: int,
+                         bit: int) -> Program:
+    """A new program with one bit flipped in one encoded instruction.
+
+    Raises :class:`TrapError` at *decode* time if the flip produces an
+    illegal instruction — matching hardware, where a corrupted opcode
+    traps when it reaches decode, not when the particle struck.
+    """
+    if not 0 <= index < len(program.instructions):
+        raise IndexError(f"instruction index {index} out of range")
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit {bit} out of range")
+    words = encode_program(program)
+    words[index] ^= 1 << bit
+    instructions = []
+    for word in words:
+        instructions.append(decode_instruction(word))
+    return Program(instructions=instructions,
+                   input_base=program.input_base,
+                   input_length=program.input_length,
+                   output_base=program.output_base,
+                   output_length=program.output_length,
+                   name=f"{program.name}+ibit")
+
+
+def random_instruction_flip(program: Program,
+                            rng: np.random.Generator) -> Program:
+    """Flip one random bit in one random instruction (may trap)."""
+    index = int(rng.integers(len(program.instructions)))
+    bit = int(rng.integers(64))
+    return flip_instruction_bit(program, index, bit)

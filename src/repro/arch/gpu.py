@@ -1,0 +1,79 @@
+"""A GPU-flavoured executor: many lanes running the same kernel (SIMT).
+
+The paper injects into GPU architectural state; the distinguishing
+feature versus a CPU is that one corrupted lane silently poisons one
+element of a wide result while the other lanes complete normally.
+:class:`GPUExecutor` models exactly that: ``n_lanes`` independent
+register files and data memories executing one program, with injection
+targeted at a single lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .injector import ArchitecturalInjector, InjectionResult, Outcome
+from .kernels import Kernel
+
+
+@dataclass(frozen=True)
+class WarpResult:
+    """Outcome of one warp-level injection experiment.
+
+    ``lane_results`` has one entry per lane; only ``faulty_lane`` saw the
+    flip.  The warp outcome is the worst lane outcome, because a crashed
+    or hung lane stalls the warp and an SDC lane corrupts the batch.
+    """
+
+    faulty_lane: int
+    lane_results: tuple[InjectionResult | None, ...]
+    warp_outcome: Outcome
+
+
+_SEVERITY = {Outcome.MASKED: 0, Outcome.SDC: 1, Outcome.HANG: 2,
+             Outcome.CRASH: 3}
+
+
+class GPUExecutor:
+    """SIMT execution of one kernel across independent lanes."""
+
+    def __init__(self, kernel: Kernel, n_lanes: int = 8):
+        if n_lanes < 1:
+            raise ValueError("need at least one lane")
+        self.kernel = kernel
+        self.n_lanes = n_lanes
+        self._injector = ArchitecturalInjector(kernel)
+
+    def run_batch(self, rng: np.random.Generator) -> list[np.ndarray]:
+        """Fault-free execution of every lane; returns per-lane outputs."""
+        outputs = []
+        for _ in range(self.n_lanes):
+            inputs = self.kernel.make_inputs(rng)
+            golden, _ = self._injector.golden_run(inputs)
+            outputs.append(golden)
+        return outputs
+
+    def inject_warp(self, rng: np.random.Generator) -> WarpResult:
+        """Inject into one random lane of a warp-wide execution."""
+        faulty_lane = int(rng.integers(self.n_lanes))
+        lane_results: list[InjectionResult | None] = []
+        for lane in range(self.n_lanes):
+            inputs = self.kernel.make_inputs(rng)
+            if lane == faulty_lane:
+                lane_results.append(self._injector.inject(rng, inputs))
+            else:
+                self._injector.golden_run(inputs)
+                lane_results.append(None)
+        fault = lane_results[faulty_lane]
+        return WarpResult(faulty_lane=faulty_lane,
+                          lane_results=tuple(lane_results),
+                          warp_outcome=fault.outcome)
+
+    @staticmethod
+    def worst_outcome(outcomes: list[Outcome]) -> Outcome:
+        """Most severe of several outcomes (CRASH > HANG > SDC > MASKED)."""
+        if not outcomes:
+            raise ValueError("no outcomes")
+        return max(outcomes, key=lambda outcome: _SEVERITY[outcome])

@@ -1,0 +1,224 @@
+"""The architectural fault injector (fault model (a) of the paper).
+
+One injection experiment:
+
+1. run the kernel fault-free to get the golden output and the dynamic
+   instruction count,
+2. pick a random (dynamic instruction, register, bit) triple,
+3. re-run with a hook that flips that register bit at that instant,
+4. classify the outcome:
+
+   * ``MASKED`` — output bit-identical to golden (dead register, dead
+     value, or logically masked),
+   * ``SDC``    — silent data corruption: run completed, output differs,
+   * ``CRASH``  — architectural trap (out-of-bounds access from a
+     corrupted index, non-finite address),
+   * ``HANG``   — instruction budget exceeded (corrupted loop counter).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitflip import flip_bit
+from .isa import HangError, Interpreter, TrapError
+from .kernels import Kernel
+from .memory import MemoryAccessError, MemoryModel
+
+
+class Outcome(enum.Enum):
+    """Classification of one architectural injection."""
+
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    HANG = "hang"
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Full record of one architectural injection experiment."""
+
+    kernel: str
+    outcome: Outcome
+    dynamic_index: int
+    register: int
+    bit: int
+    golden_output: np.ndarray
+    corrupted_output: np.ndarray | None
+    relative_error: float
+
+    @property
+    def silent(self) -> bool:
+        """True for silent corruptions (the dangerous class)."""
+        return self.outcome is Outcome.SDC
+
+
+class ArchitecturalInjector:
+    """Runs golden and faulted executions of one kernel."""
+
+    def __init__(self, kernel: Kernel, budget_multiplier: float = 10.0):
+        self.kernel = kernel
+        self.budget_multiplier = budget_multiplier
+
+    def _fresh_memory(self, inputs: np.ndarray) -> MemoryModel:
+        # Data memory is SECDED-protected in the paper's model, but the
+        # interpreter writes through it functionally; protection only
+        # blocks *injected* flips, which we direct at registers anyway.
+        memory = MemoryModel(self.kernel.memory_size, protected=True)
+        memory.write_block(self.kernel.program.input_base,
+                           np.asarray(inputs, dtype=np.float64))
+        return memory
+
+    def golden_run(self, inputs: np.ndarray) -> tuple[np.ndarray, int]:
+        """Fault-free execution: (outputs, dynamic instruction count)."""
+        memory = self._fresh_memory(inputs)
+        interpreter = Interpreter(memory)
+        state = interpreter.run(self.kernel.program)
+        outputs = memory.read_block(self.kernel.program.output_base,
+                                    self.kernel.program.output_length)
+        reference = self.kernel.reference(np.asarray(inputs, dtype=float))
+        if not np.allclose(outputs, reference, rtol=1e-9, atol=1e-9,
+                           equal_nan=True):
+            raise AssertionError(
+                f"kernel {self.kernel.name} disagrees with its reference "
+                f"model: {outputs} vs {reference}")
+        return outputs, state.dynamic_count
+
+    def inject(self, rng: np.random.Generator,
+               inputs: np.ndarray | None = None,
+               n_bits: int = 1) -> InjectionResult:
+        """One randomized register-bit-flip experiment."""
+        if inputs is None:
+            inputs = self.kernel.make_inputs(rng)
+        golden, dynamic_count = self.golden_run(inputs)
+        target_instruction = int(rng.integers(dynamic_count))
+        register = int(rng.integers(1, 32))   # r0 is conventionally unused
+        bits = [int(b) for b in rng.choice(64, size=n_bits, replace=False)]
+
+        memory = self._fresh_memory(inputs)
+        budget = max(int(dynamic_count * self.budget_multiplier), 10_000)
+        interpreter = Interpreter(memory, instruction_budget=budget)
+        injected = {"done": False}
+
+        def hook(state) -> None:
+            if not injected["done"] and (
+                    state.dynamic_count == target_instruction):
+                value = float(state.registers[register])
+                for bit in bits:
+                    value = flip_bit(value, bit)
+                state.registers[register] = value
+                injected["done"] = True
+
+        try:
+            interpreter.run(self.kernel.program, hook=hook)
+        except (TrapError, MemoryAccessError):
+            return self._result(Outcome.CRASH, target_instruction, register,
+                                bits, golden, None)
+        except HangError:
+            return self._result(Outcome.HANG, target_instruction, register,
+                                bits, golden, None)
+        outputs = memory.read_block(self.kernel.program.output_base,
+                                    self.kernel.program.output_length)
+        if np.array_equal(outputs, golden, equal_nan=True):
+            outcome = Outcome.MASKED
+        else:
+            outcome = Outcome.SDC
+        return self._result(outcome, target_instruction, register, bits,
+                            golden, outputs)
+
+    def _result(self, outcome: Outcome, dynamic_index: int, register: int,
+                bits: list[int], golden: np.ndarray,
+                corrupted: np.ndarray | None) -> InjectionResult:
+        relative_error = 0.0
+        if corrupted is not None and outcome is Outcome.SDC:
+            scale = float(np.max(np.abs(golden))) or 1.0
+            difference = np.asarray(corrupted) - np.asarray(golden)
+            if np.all(np.isfinite(difference)):
+                relative_error = float(np.max(np.abs(difference)) / scale)
+            else:
+                relative_error = math.inf
+        return InjectionResult(
+            kernel=self.kernel.name, outcome=outcome,
+            dynamic_index=dynamic_index, register=register, bit=bits[0],
+            golden_output=golden, corrupted_output=corrupted,
+            relative_error=relative_error)
+
+
+def run_campaign(kernels: list[Kernel], n_injections: int,
+                 seed: int = 0) -> list[InjectionResult]:
+    """A randomized register-state campaign across several kernels."""
+    rng = np.random.default_rng(seed)
+    injectors = [ArchitecturalInjector(kernel) for kernel in kernels]
+    results = []
+    for _ in range(n_injections):
+        injector = injectors[int(rng.integers(len(injectors)))]
+        results.append(injector.inject(rng))
+    return results
+
+
+def inject_instruction_fault(kernel: Kernel, rng: np.random.Generator
+                             ) -> InjectionResult:
+    """One instruction-memory bit-flip experiment on ``kernel``.
+
+    Mirrors :meth:`ArchitecturalInjector.inject` but corrupts the
+    *encoded program* instead of a register: a flipped opcode traps at
+    decode (CRASH), a flipped register field silently reroutes dataflow
+    (SDC or MASKED), a flipped loop-target or counter can spin (HANG).
+    """
+    from .encoding import random_instruction_flip
+    from .isa import Interpreter
+
+    injector = ArchitecturalInjector(kernel)
+    inputs = kernel.make_inputs(rng)
+    golden, dynamic_count = injector.golden_run(inputs)
+    index = int(rng.integers(len(kernel.program.instructions)))
+    bit = int(rng.integers(64))
+    try:
+        from .encoding import flip_instruction_bit
+        program = flip_instruction_bit(kernel.program, index, bit)
+    except TrapError:
+        return injector._result(Outcome.CRASH, index, -1, [bit], golden,
+                                None)
+    memory = injector._fresh_memory(inputs)
+    budget = max(int(dynamic_count * injector.budget_multiplier), 10_000)
+    interpreter = Interpreter(memory, instruction_budget=budget)
+    try:
+        interpreter.run(program)
+    except (TrapError, MemoryAccessError):
+        return injector._result(Outcome.CRASH, index, -1, [bit], golden,
+                                None)
+    except HangError:
+        return injector._result(Outcome.HANG, index, -1, [bit], golden,
+                                None)
+    outputs = memory.read_block(program.output_base, program.output_length)
+    outcome = (Outcome.MASKED if np.array_equal(outputs, golden,
+                                                equal_nan=True)
+               else Outcome.SDC)
+    return injector._result(outcome, index, -1, [bit], golden, outputs)
+
+
+def run_instruction_campaign(kernels: list[Kernel], n_injections: int,
+                             seed: int = 0) -> list[InjectionResult]:
+    """A randomized instruction-memory campaign across several kernels."""
+    rng = np.random.default_rng(seed)
+    results = []
+    for _ in range(n_injections):
+        kernel = kernels[int(rng.integers(len(kernels)))]
+        results.append(inject_instruction_fault(kernel, rng))
+    return results
+
+
+def outcome_rates(results: list[InjectionResult]) -> dict[str, float]:
+    """Fraction of each outcome class in a campaign."""
+    total = len(results)
+    if total == 0:
+        raise ValueError("empty campaign")
+    rates = {outcome.value: 0.0 for outcome in Outcome}
+    for result in results:
+        rates[result.outcome.value] += 1.0
+    return {name: count / total for name, count in rates.items()}

@@ -1,0 +1,267 @@
+"""ADS compute kernels compiled for the tiny ISA.
+
+Each kernel is a real piece of ADS math — perception linear algebra,
+tracker Kalman updates, controller PID steps, planner IDM acceleration —
+expressed as an ISA program plus a numpy reference model.  The
+architectural injector flips register bits while these run, which is how
+fault model (a) ultimately manifests as corrupted module outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .isa import Assembler, Program
+
+# Register conventions used by all kernels: r1-r9 scratch, r10+ locals.
+_IDX, _COUNT, _ACC = 1, 2, 3
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An ISA program plus its I/O contract and reference model."""
+
+    name: str
+    program: Program
+    memory_size: int
+    make_inputs: Callable[[np.random.Generator], np.ndarray]
+    reference: Callable[[np.ndarray], np.ndarray]
+
+
+def dot_kernel(n: int = 16) -> Kernel:
+    """Dot product of two length-``n`` vectors (perception inner loop)."""
+    a_base, b_base, out_base = 0, n, 2 * n
+    asm = Assembler()
+    asm.li(_IDX, 0.0)
+    asm.li(_COUNT, float(n))
+    asm.li(_ACC, 0.0)
+    asm.label("loop")
+    asm.load(4, a_base, _IDX)
+    asm.load(5, b_base, _IDX)
+    asm.mul(6, 4, 5)
+    asm.add(_ACC, _ACC, 6)
+    asm.addi(_IDX, _IDX, 1.0)
+    asm.addi(_COUNT, _COUNT, -1.0)
+    asm.jnz(_COUNT, "loop")
+    asm.li(_IDX, 0.0)
+    asm.store(_ACC, out_base, _IDX)
+    asm.halt()
+    program = asm.assemble(name=f"dot{n}", input_base=0, input_length=2 * n,
+                           output_base=out_base, output_length=1)
+
+    def make_inputs(rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, 1.0, size=2 * n)
+
+    def reference(inputs: np.ndarray) -> np.ndarray:
+        return np.array([inputs[:n] @ inputs[n:2 * n]])
+
+    return Kernel(f"dot{n}", program, memory_size=2 * n + 1,
+                  make_inputs=make_inputs, reference=reference)
+
+
+def matmul_kernel(n: int = 4) -> Kernel:
+    """Dense ``n x n`` matrix multiply (convolution/GEMM proxy)."""
+    a_base, b_base, c_base = 0, n * n, 2 * n * n
+    asm = Assembler()
+    # r10 = i, r11 = j, r12 = k, r13 = i-countdown, r14 = j-countdown,
+    # r15 = k-countdown
+    asm.li(10, 0.0)
+    asm.li(13, float(n))
+    asm.label("i_loop")
+    asm.li(11, 0.0)
+    asm.li(14, float(n))
+    asm.label("j_loop")
+    asm.li(12, 0.0)
+    asm.li(15, float(n))
+    asm.li(_ACC, 0.0)
+    asm.label("k_loop")
+    # A[i*n + k]
+    asm.li(4, float(n))
+    asm.mul(5, 10, 4)
+    asm.add(5, 5, 12)
+    asm.load(6, a_base, 5)
+    # B[k*n + j]
+    asm.mul(7, 12, 4)
+    asm.add(7, 7, 11)
+    asm.load(8, b_base, 7)
+    asm.mul(9, 6, 8)
+    asm.add(_ACC, _ACC, 9)
+    asm.addi(12, 12, 1.0)
+    asm.addi(15, 15, -1.0)
+    asm.jnz(15, "k_loop")
+    # C[i*n + j] = acc
+    asm.li(4, float(n))
+    asm.mul(5, 10, 4)
+    asm.add(5, 5, 11)
+    asm.store(_ACC, c_base, 5)
+    asm.addi(11, 11, 1.0)
+    asm.addi(14, 14, -1.0)
+    asm.jnz(14, "j_loop")
+    asm.addi(10, 10, 1.0)
+    asm.addi(13, 13, -1.0)
+    asm.jnz(13, "i_loop")
+    asm.halt()
+    program = asm.assemble(name=f"matmul{n}", input_base=0,
+                           input_length=2 * n * n, output_base=c_base,
+                           output_length=n * n)
+
+    def make_inputs(rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, 1.0, size=2 * n * n)
+
+    def reference(inputs: np.ndarray) -> np.ndarray:
+        a = inputs[:n * n].reshape(n, n)
+        b = inputs[n * n:].reshape(n, n)
+        return (a @ b).ravel()
+
+    return Kernel(f"matmul{n}", program, memory_size=3 * n * n,
+                  make_inputs=make_inputs, reference=reference)
+
+
+def kalman_kernel() -> Kernel:
+    """Scalar Kalman measurement update (tracker inner step).
+
+    Inputs ``[x, p, z, r]``; outputs ``[x', p']`` with
+    ``k = p / (p + r)``, ``x' = x + k (z - x)``, ``p' = (1 - k) p``.
+    """
+    asm = Assembler()
+    asm.li(_IDX, 0.0)
+    asm.load(10, 0, _IDX)      # x
+    asm.li(_IDX, 1.0)
+    asm.load(11, 0, _IDX)      # p
+    asm.li(_IDX, 2.0)
+    asm.load(12, 0, _IDX)      # z
+    asm.li(_IDX, 3.0)
+    asm.load(13, 0, _IDX)      # r
+    asm.add(14, 11, 13)        # p + r
+    asm.div(15, 11, 14)        # k
+    asm.sub(16, 12, 10)        # z - x
+    asm.mul(17, 15, 16)        # k (z - x)
+    asm.add(18, 10, 17)        # x'
+    asm.li(19, 1.0)
+    asm.sub(20, 19, 15)        # 1 - k
+    asm.mul(21, 20, 11)        # p'
+    asm.li(_IDX, 0.0)
+    asm.store(18, 4, _IDX)
+    asm.li(_IDX, 1.0)
+    asm.store(21, 4, _IDX)
+    asm.halt()
+    program = asm.assemble(name="kalman", input_base=0, input_length=4,
+                           output_base=4, output_length=2)
+
+    def make_inputs(rng: np.random.Generator) -> np.ndarray:
+        return np.array([rng.normal(50.0, 10.0),    # x
+                         rng.uniform(0.5, 4.0),     # p
+                         rng.normal(50.0, 10.0),    # z
+                         rng.uniform(0.1, 2.0)])    # r
+
+    def reference(inputs: np.ndarray) -> np.ndarray:
+        x, p, z, r = inputs
+        k = p / (p + r)
+        return np.array([x + k * (z - x), (1 - k) * p])
+
+    return Kernel("kalman", program, memory_size=6,
+                  make_inputs=make_inputs, reference=reference)
+
+
+def pid_kernel() -> Kernel:
+    """PID controller step (control module).
+
+    Inputs ``[e, e_prev, integral, dt, kp, ki, kd]``;
+    outputs ``[u, new_integral]``.
+    """
+    asm = Assembler()
+    for register, index in ((10, 0), (11, 1), (12, 2), (13, 3), (14, 4),
+                            (15, 5), (16, 6)):
+        asm.li(_IDX, float(index))
+        asm.load(register, 0, _IDX)
+    asm.mul(17, 10, 13)        # e dt
+    asm.add(18, 12, 17)        # new integral
+    asm.sub(19, 10, 11)        # e - e_prev
+    asm.div(20, 19, 13)        # derivative
+    asm.mul(21, 14, 10)        # kp e
+    asm.mul(22, 15, 18)        # ki integral
+    asm.mul(23, 16, 20)        # kd derivative
+    asm.add(24, 21, 22)
+    asm.add(24, 24, 23)        # u
+    asm.li(_IDX, 0.0)
+    asm.store(24, 7, _IDX)
+    asm.li(_IDX, 1.0)
+    asm.store(18, 7, _IDX)
+    asm.halt()
+    program = asm.assemble(name="pid", input_base=0, input_length=7,
+                           output_base=7, output_length=2)
+
+    def make_inputs(rng: np.random.Generator) -> np.ndarray:
+        return np.array([rng.normal(0.0, 2.0), rng.normal(0.0, 2.0),
+                         rng.normal(0.0, 1.0), 0.05,
+                         0.3, 0.05, 0.02])
+
+    def reference(inputs: np.ndarray) -> np.ndarray:
+        e, e_prev, integral, dt, kp, ki, kd = inputs
+        new_integral = integral + e * dt
+        u = kp * e + ki * new_integral + kd * (e - e_prev) / dt
+        return np.array([u, new_integral])
+
+    return Kernel("pid", program, memory_size=9,
+                  make_inputs=make_inputs, reference=reference)
+
+
+def idm_kernel() -> Kernel:
+    """IDM acceleration (planner longitudinal policy).
+
+    Inputs ``[v, v0, gap, closing, s0, T, a, b]``; output ``[accel]``.
+    """
+    asm = Assembler()
+    for register, index in ((10, 0), (11, 1), (12, 2), (13, 3), (14, 4),
+                            (15, 5), (16, 6), (17, 7)):
+        asm.li(_IDX, float(index))
+        asm.load(register, 0, _IDX)
+    # s_star = s0 + v T + v closing / (2 sqrt(a b))
+    asm.mul(18, 10, 15)        # v T
+    asm.mul(19, 16, 17)        # a b
+    asm.sqrt(20, 19)
+    asm.addi(21, 20, 0.0)
+    asm.add(21, 20, 20)        # 2 sqrt(a b)
+    asm.mul(22, 10, 13)        # v closing
+    asm.div(23, 22, 21)
+    asm.add(24, 14, 18)
+    asm.add(24, 24, 23)        # s_star
+    # ratio terms
+    asm.div(25, 10, 11)        # v / v0
+    asm.mul(26, 25, 25)
+    asm.mul(26, 26, 26)        # (v/v0)^4
+    asm.div(27, 24, 12)        # s_star / gap
+    asm.mul(28, 27, 27)        # squared
+    asm.li(29, 1.0)
+    asm.sub(30, 29, 26)
+    asm.sub(30, 30, 28)
+    asm.mul(31, 16, 30)        # a * (...)
+    asm.li(_IDX, 0.0)
+    asm.store(31, 8, _IDX)
+    asm.halt()
+    program = asm.assemble(name="idm", input_base=0, input_length=8,
+                           output_base=8, output_length=1)
+
+    def make_inputs(rng: np.random.Generator) -> np.ndarray:
+        return np.array([rng.uniform(15.0, 35.0),   # v
+                         31.0,                      # v0
+                         rng.uniform(10.0, 150.0),  # gap
+                         rng.uniform(-5.0, 5.0),    # closing
+                         6.0, 1.4, 2.0, 3.0])
+
+    def reference(inputs: np.ndarray) -> np.ndarray:
+        v, v0, gap, closing, s0, t, a, b = inputs
+        s_star = s0 + v * t + v * closing / (2 * np.sqrt(a * b))
+        return np.array([a * (1 - (v / v0) ** 4 - (s_star / gap) ** 2)])
+
+    return Kernel("idm", program, memory_size=9,
+                  make_inputs=make_inputs, reference=reference)
+
+
+def default_kernels() -> list[Kernel]:
+    """The kernel set exercised by the architectural FI campaign (E1)."""
+    return [dot_kernel(16), matmul_kernel(4), kalman_kernel(), pid_kernel(),
+            idm_kernel()]

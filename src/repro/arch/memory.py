@@ -1,0 +1,75 @@
+"""Memory model with SECDED protection.
+
+The paper assumes memories and caches (CPU and GPU) are SECDED-protected,
+so injected faults there are corrected; only architectural register state
+is vulnerable.  :class:`MemoryModel` enforces that split: flips against
+protected memory are corrected (and counted), flips against an
+unprotected instance land.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitflip import flip_bit
+
+
+class MemoryAccessError(Exception):
+    """Out-of-bounds access: the architectural analogue of a segfault."""
+
+
+class MemoryModel:
+    """A flat array of float64 words with optional SECDED protection."""
+
+    def __init__(self, size: int, protected: bool = True):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self.protected = protected
+        self.words = np.zeros(size, dtype=np.float64)
+        self.corrected_flips = 0
+
+    def _check(self, address: int) -> int:
+        address = int(address)
+        if not 0 <= address < self.size:
+            raise MemoryAccessError(f"address {address} out of bounds "
+                                    f"[0, {self.size})")
+        return address
+
+    def load(self, address: int) -> float:
+        """Read one word."""
+        return float(self.words[self._check(address)])
+
+    def store(self, address: int, value: float) -> None:
+        """Write one word."""
+        self.words[self._check(address)] = value
+
+    def write_block(self, address: int, values: np.ndarray) -> None:
+        """Bulk initialization helper."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        self._check(address)
+        if address + len(values) > self.size:
+            raise MemoryAccessError("block write past end of memory")
+        self.words[address:address + len(values)] = values
+
+    def read_block(self, address: int, length: int) -> np.ndarray:
+        """Bulk read helper."""
+        self._check(address)
+        if address + length > self.size:
+            raise MemoryAccessError("block read past end of memory")
+        return self.words[address:address + length].copy()
+
+    def inject_flip(self, address: int, bit: int) -> bool:
+        """Attempt a bit flip in memory.
+
+        Returns ``True`` if the flip landed (unprotected memory) or
+        ``False`` if SECDED corrected it.  Either way the attempt is
+        architecturally valid — the paper's model simply corrects flips
+        in protected structures.
+        """
+        address = self._check(address)
+        if self.protected:
+            self.corrected_flips += 1
+            return False
+        self.words[address] = flip_bit(float(self.words[address]), bit)
+        return True

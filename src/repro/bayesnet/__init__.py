@@ -1,0 +1,54 @@
+"""Bayesian-network substrate: graphs, CPDs, exact inference, do-calculus.
+
+Everything DriveFI's fault-selection engine needs, implemented from
+scratch: discrete networks with variable elimination, linear-Gaussian
+networks with closed-form inference, interventions, MLE learning, and
+dynamic (temporal) unrolling.
+"""
+
+from .cpd import LinearGaussianCPD, TabularCPD
+from .discretize import Discretizer
+from .dynamic import DynamicBayesianNetwork, slice_node, split_slice_node
+from .factors import DiscreteFactor, factor_product, identity_factor
+from .gaussian import GaussianDistribution, GaussianInference
+from .graph import DAG, CycleError
+from .inference import VariableElimination
+from .intervention import intervene_discrete, intervene_gaussian
+from .learning import (fit_discrete_network, fit_linear_gaussian_cpd,
+                       fit_linear_gaussian_network, fit_tabular_cpd)
+from .network import DiscreteBayesianNetwork, LinearGaussianBayesianNetwork
+from .sampling import gaussian_likelihood_weighting, likelihood_weighting
+from .score import (bic_score, empty_dag, fit_and_score,
+                    gaussian_log_likelihood, n_parameters)
+
+__all__ = [
+    "DAG",
+    "CycleError",
+    "DiscreteFactor",
+    "identity_factor",
+    "factor_product",
+    "TabularCPD",
+    "LinearGaussianCPD",
+    "DiscreteBayesianNetwork",
+    "LinearGaussianBayesianNetwork",
+    "VariableElimination",
+    "GaussianDistribution",
+    "GaussianInference",
+    "intervene_discrete",
+    "intervene_gaussian",
+    "fit_tabular_cpd",
+    "fit_discrete_network",
+    "fit_linear_gaussian_cpd",
+    "fit_linear_gaussian_network",
+    "DynamicBayesianNetwork",
+    "slice_node",
+    "split_slice_node",
+    "Discretizer",
+    "likelihood_weighting",
+    "gaussian_likelihood_weighting",
+    "gaussian_log_likelihood",
+    "n_parameters",
+    "bic_score",
+    "fit_and_score",
+    "empty_dag",
+]

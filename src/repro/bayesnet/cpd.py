@@ -1,0 +1,145 @@
+"""Conditional probability distributions attached to network nodes.
+
+Two families are supported, matching the paper's needs:
+
+* :class:`TabularCPD` for discretized variables (scene categories, fault
+  indicators, binned kinematic state).
+* :class:`LinearGaussianCPD` for continuous kinematic variables, where
+  each node is Gaussian with a mean linear in its parents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .factors import DiscreteFactor
+
+
+class TabularCPD:
+    """P(variable | parents) as a conditional probability table.
+
+    ``table`` has shape ``(variable_card, prod(parent_cards))`` with columns
+    enumerating parent assignments in row-major (first parent slowest)
+    order, the layout conventional for CPTs.  Every column must sum to 1.
+    """
+
+    def __init__(self, variable: str, variable_card: int,
+                 table: np.ndarray | Sequence[Sequence[float]],
+                 parents: Sequence[str] = (),
+                 parent_cards: Sequence[int] = ()):
+        self.variable = variable
+        self.variable_card = int(variable_card)
+        self.parents = tuple(parents)
+        self.parent_cards = tuple(int(c) for c in parent_cards)
+        if len(self.parents) != len(self.parent_cards):
+            raise ValueError("parents and parent_cards length mismatch")
+        expected_cols = int(np.prod(self.parent_cards)) if self.parents else 1
+        array = np.asarray(table, dtype=float)
+        if array.shape != (self.variable_card, expected_cols):
+            raise ValueError(
+                f"CPT for {variable!r} must have shape "
+                f"({self.variable_card}, {expected_cols}); got {array.shape}")
+        if (array < 0).any():
+            raise ValueError(f"CPT for {variable!r} has negative entries")
+        sums = array.sum(axis=0)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise ValueError(
+                f"CPT columns for {variable!r} must each sum to 1")
+        self.table = array
+
+    @classmethod
+    def point_mass(cls, variable: str, variable_card: int,
+                   state: int) -> "TabularCPD":
+        """A deterministic CPD: P(variable = state) = 1.
+
+        Used by the do-operator to pin an intervened node.
+        """
+        column = np.zeros((variable_card, 1))
+        column[state, 0] = 1.0
+        return cls(variable, variable_card, column)
+
+    @classmethod
+    def uniform(cls, variable: str, variable_card: int,
+                parents: Sequence[str] = (),
+                parent_cards: Sequence[int] = ()) -> "TabularCPD":
+        """A uniform CPD, handy as a prior or placeholder."""
+        cols = int(np.prod(parent_cards)) if parents else 1
+        table = np.full((variable_card, cols), 1.0 / variable_card)
+        return cls(variable, variable_card, table, parents, parent_cards)
+
+    def to_factor(self) -> DiscreteFactor:
+        """View the CPT as a factor over (variable, *parents)."""
+        scope = (self.variable,) + self.parents
+        cards = (self.variable_card,) + self.parent_cards
+        values = self.table.reshape(cards)
+        return DiscreteFactor(scope, cards, values)
+
+    def probability(self, state: int,
+                    parent_states: Mapping[str, int] | None = None) -> float:
+        """P(variable = state | parents = parent_states)."""
+        column = self._column_index(parent_states or {})
+        return float(self.table[state, column])
+
+    def sample(self, rng: np.random.Generator,
+               parent_states: Mapping[str, int] | None = None) -> int:
+        """Draw a state given parent states."""
+        column = self._column_index(parent_states or {})
+        return int(rng.choice(self.variable_card,
+                              p=self.table[:, column]))
+
+    def _column_index(self, parent_states: Mapping[str, int]) -> int:
+        index = 0
+        for parent, card in zip(self.parents, self.parent_cards):
+            state = int(parent_states[parent])
+            if not 0 <= state < card:
+                raise IndexError(f"state {state} out of range for {parent!r}")
+            index = index * card + state
+        return index
+
+    def __repr__(self) -> str:
+        return (f"TabularCPD({self.variable!r}, card={self.variable_card}, "
+                f"parents={self.parents})")
+
+
+class LinearGaussianCPD:
+    """P(variable | parents) = Normal(intercept + weights . parents, variance).
+
+    The ubiquitous conditional-linear-Gaussian parameterization: exact
+    inference stays closed-form because the joint over all nodes is a
+    single multivariate Gaussian.
+    """
+
+    def __init__(self, variable: str, intercept: float, variance: float,
+                 parents: Sequence[str] = (),
+                 weights: Iterable[float] = ()):
+        self.variable = variable
+        self.intercept = float(intercept)
+        self.variance = float(variance)
+        self.parents = tuple(parents)
+        self.weights = np.asarray(list(weights), dtype=float)
+        if self.weights.shape != (len(self.parents),):
+            raise ValueError(
+                f"need one weight per parent for {variable!r}; got "
+                f"{self.weights.shape} for {len(self.parents)} parents")
+        if self.variance < 0:
+            raise ValueError(f"negative variance for {variable!r}")
+
+    def mean(self, parent_values: Mapping[str, float] | None = None) -> float:
+        """Conditional mean given parent values."""
+        values = parent_values or {}
+        total = self.intercept
+        for parent, weight in zip(self.parents, self.weights):
+            total += weight * float(values[parent])
+        return total
+
+    def sample(self, rng: np.random.Generator,
+               parent_values: Mapping[str, float] | None = None) -> float:
+        """Draw a value given parent values."""
+        return float(rng.normal(self.mean(parent_values),
+                                np.sqrt(self.variance)))
+
+    def __repr__(self) -> str:
+        return (f"LinearGaussianCPD({self.variable!r}, "
+                f"parents={self.parents}, variance={self.variance:.4g})")

@@ -1,0 +1,99 @@
+"""Discretization of continuous signals for tabular-CPD models.
+
+The discrete variant of the fault-selection model bins each kinematic
+variable; :class:`Discretizer` owns the bin edges (uniform or quantile)
+and maps both directions: value -> bin index and bin index -> midpoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+
+class Discretizer:
+    """Per-variable binning with invertible (midpoint) decoding."""
+
+    def __init__(self, edges: Mapping[str, np.ndarray]):
+        self.edges: dict[str, np.ndarray] = {}
+        for variable, bin_edges in edges.items():
+            array = np.asarray(bin_edges, dtype=float)
+            if array.ndim != 1 or len(array) < 2:
+                raise ValueError(
+                    f"{variable!r} needs at least two bin edges")
+            if (np.diff(array) <= 0).any():
+                raise ValueError(
+                    f"bin edges for {variable!r} must be increasing")
+            self.edges[variable] = array
+
+    @classmethod
+    def uniform(cls, ranges: Mapping[str, tuple[float, float]],
+                n_bins: int) -> "Discretizer":
+        """Equal-width bins over explicit (low, high) ranges."""
+        if n_bins < 1:
+            raise ValueError("n_bins must be positive")
+        edges = {}
+        for variable, (low, high) in ranges.items():
+            if not high > low:
+                raise ValueError(f"empty range for {variable!r}")
+            edges[variable] = np.linspace(low, high, n_bins + 1)
+        return cls(edges)
+
+    @classmethod
+    def from_data(cls, data: Mapping[str, np.ndarray],
+                  n_bins: int) -> "Discretizer":
+        """Quantile bins estimated from data (duplicates nudged apart)."""
+        if n_bins < 1:
+            raise ValueError("n_bins must be positive")
+        edges = {}
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+        for variable, values in data.items():
+            array = np.asarray(values, dtype=float)
+            raw = np.quantile(array, quantiles)
+            # Constant or near-constant signals collapse quantiles; force
+            # strictly increasing edges so binning stays well defined.  The
+            # nudge must be scale-aware or it underflows against the edge
+            # magnitude in float64.
+            scale = max(raw[-1] - raw[0], float(np.abs(raw).max()), 1.0)
+            step = 1e-9 * scale
+            for i in range(1, len(raw)):
+                minimum = raw[i - 1] + step
+                if raw[i] <= minimum:
+                    raw[i] = minimum
+            edges[variable] = raw
+        return cls(edges)
+
+    def n_bins(self, variable: str) -> int:
+        """Number of bins for ``variable``."""
+        return len(self.edges[variable]) - 1
+
+    def cardinalities(self) -> dict[str, int]:
+        """Bin counts for every known variable."""
+        return {v: self.n_bins(v) for v in self.edges}
+
+    def transform_value(self, variable: str, value: float) -> int:
+        """Bin index of ``value`` (values outside the range are clipped)."""
+        bin_edges = self.edges[variable]
+        index = int(np.searchsorted(bin_edges, value, side="right")) - 1
+        return int(np.clip(index, 0, len(bin_edges) - 2))
+
+    def transform(self, data: Mapping[str, np.ndarray]
+                  ) -> dict[str, np.ndarray]:
+        """Vectorized binning of every column present in the discretizer."""
+        out = {}
+        for variable, values in data.items():
+            if variable not in self.edges:
+                continue
+            bin_edges = self.edges[variable]
+            idx = np.searchsorted(bin_edges, np.asarray(values, dtype=float),
+                                  side="right") - 1
+            out[variable] = np.clip(idx, 0, len(bin_edges) - 2).astype(int)
+        return out
+
+    def midpoint(self, variable: str, index: int) -> float:
+        """Center of bin ``index``, the canonical decoded value."""
+        bin_edges = self.edges[variable]
+        if not 0 <= index < len(bin_edges) - 1:
+            raise IndexError(f"bin {index} out of range for {variable!r}")
+        return float((bin_edges[index] + bin_edges[index + 1]) / 2.0)

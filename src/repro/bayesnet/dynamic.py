@@ -1,0 +1,133 @@
+"""Dynamic Bayesian networks: temporal templates unrolled to k slices.
+
+The paper models the ADS with a 3-temporal Bayesian network (3-TBN): a
+per-slice ("intra") structure derived from the ADS dataflow, plus
+inter-slice edges carrying state from t to t+1, unrolled three times
+(Fig. 6).  This module provides the template, its unrolling into a plain
+network, and trace-windowing utilities for training.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .graph import DAG
+from .learning import fit_discrete_network, fit_linear_gaussian_network
+from .network import DiscreteBayesianNetwork, LinearGaussianBayesianNetwork
+
+SLICE_SEPARATOR = "@"
+
+
+def slice_node(variable: str, t: int) -> str:
+    """Name of ``variable`` in slice ``t`` of an unrolled network."""
+    return f"{variable}{SLICE_SEPARATOR}{t}"
+
+
+def split_slice_node(node: str) -> tuple[str, int]:
+    """Inverse of :func:`slice_node`."""
+    variable, _, t = node.rpartition(SLICE_SEPARATOR)
+    return variable, int(t)
+
+
+class DynamicBayesianNetwork:
+    """A two-slice temporal template.
+
+    * ``intra_edges`` are edges within one time slice (replicated per slice),
+    * ``inter_edges`` are edges from slice t to slice t+1.
+
+    Unrolling to ``n_slices`` produces a plain DAG over ``var@t`` nodes.
+    """
+
+    def __init__(self, variables: Iterable[str],
+                 intra_edges: Iterable[tuple[str, str]] = (),
+                 inter_edges: Iterable[tuple[str, str]] = ()):
+        self.variables = list(variables)
+        known = set(self.variables)
+        self.intra_edges = [tuple(e) for e in intra_edges]
+        self.inter_edges = [tuple(e) for e in inter_edges]
+        for parent, child in self.intra_edges + self.inter_edges:
+            if parent not in known or child not in known:
+                raise ValueError(
+                    f"edge ({parent!r}, {child!r}) uses unknown variables")
+        # Validate the template is acyclic by test-unrolling two slices.
+        self.unrolled_dag(2)
+
+    def unrolled_dag(self, n_slices: int) -> DAG:
+        """The DAG of the template unrolled to ``n_slices`` >= 1 slices."""
+        if n_slices < 1:
+            raise ValueError("need at least one slice")
+        dag = DAG(nodes=[slice_node(v, t)
+                         for t in range(n_slices) for v in self.variables])
+        for t in range(n_slices):
+            for parent, child in self.intra_edges:
+                dag.add_edge(slice_node(parent, t), slice_node(child, t))
+        for t in range(n_slices - 1):
+            for parent, child in self.inter_edges:
+                dag.add_edge(slice_node(parent, t), slice_node(child, t + 1))
+        return dag
+
+    # -- training-data preparation ----------------------------------------
+
+    def window_dataset(self, traces: Sequence[Mapping[str, np.ndarray]],
+                       n_slices: int) -> dict[str, np.ndarray]:
+        """Stack every length-``n_slices`` window of every trace.
+
+        Each trace maps variable name to a 1-D array over time; all
+        variables within a trace must share a length.  The result maps
+        unrolled node names (``var@t``) to aligned sample arrays, ready
+        for the fitting helpers in :mod:`repro.bayesnet.learning`.
+        """
+        columns: dict[str, list[np.ndarray]] = {
+            slice_node(v, t): []
+            for t in range(n_slices) for v in self.variables}
+        for trace in traces:
+            length = self._trace_length(trace)
+            n_windows = length - n_slices + 1
+            if n_windows <= 0:
+                continue
+            for variable in self.variables:
+                series = np.asarray(trace[variable])
+                for t in range(n_slices):
+                    columns[slice_node(variable, t)].append(
+                        series[t:t + n_windows])
+        dataset = {}
+        for node, chunks in columns.items():
+            if not chunks:
+                raise ValueError(
+                    "no training windows: traces shorter than n_slices")
+            dataset[node] = np.concatenate(chunks)
+        return dataset
+
+    def _trace_length(self, trace: Mapping[str, np.ndarray]) -> int:
+        lengths = {len(np.asarray(trace[v])) for v in self.variables}
+        if len(lengths) != 1:
+            raise ValueError(f"trace variables have differing lengths "
+                             f"{sorted(lengths)}")
+        return lengths.pop()
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit_linear_gaussian(self, traces: Sequence[Mapping[str, np.ndarray]],
+                            n_slices: int = 3, min_variance: float = 1e-9
+                            ) -> LinearGaussianBayesianNetwork:
+        """Unroll to ``n_slices`` and fit linear-Gaussian CPDs from traces."""
+        dag = self.unrolled_dag(n_slices)
+        data = self.window_dataset(traces, n_slices)
+        return fit_linear_gaussian_network(dag, data, min_variance)
+
+    def fit_discrete(self, traces: Sequence[Mapping[str, np.ndarray]],
+                     cardinalities: Mapping[str, int], n_slices: int = 3,
+                     pseudocount: float = 1.0) -> DiscreteBayesianNetwork:
+        """Unroll and fit CPTs from integer-state traces."""
+        dag = self.unrolled_dag(n_slices)
+        data = self.window_dataset(traces, n_slices)
+        cards = {slice_node(v, t): int(cardinalities[v])
+                 for t in range(n_slices) for v in self.variables}
+        return fit_discrete_network(dag, cards, data, pseudocount)
+
+    def __repr__(self) -> str:
+        return (f"DynamicBayesianNetwork(variables={len(self.variables)}, "
+                f"intra={len(self.intra_edges)}, "
+                f"inter={len(self.inter_edges)})")

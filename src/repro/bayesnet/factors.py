@@ -1,0 +1,154 @@
+"""Discrete factors: the workhorse of exact inference.
+
+A :class:`DiscreteFactor` is a non-negative tensor indexed by a tuple of
+named categorical variables.  Products, marginals, maximizations and
+evidence reductions are all expressed as numpy tensor operations, so
+variable elimination stays fast for the modest tree-widths of ADS models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+
+class DiscreteFactor:
+    """A factor phi(X1, .., Xn) over named discrete variables.
+
+    ``values`` has one axis per variable, in the order of ``variables``.
+    """
+
+    def __init__(self, variables: Iterable[str],
+                 cardinalities: Iterable[int],
+                 values: np.ndarray | Iterable[float]):
+        self.variables = tuple(variables)
+        self.cardinalities = tuple(int(c) for c in cardinalities)
+        if len(self.variables) != len(set(self.variables)):
+            raise ValueError(f"duplicate variables in {self.variables}")
+        if len(self.variables) != len(self.cardinalities):
+            raise ValueError("variables and cardinalities length mismatch")
+        array = np.asarray(values, dtype=float).reshape(self.cardinalities)
+        if (array < 0).any():
+            raise ValueError("factor values must be non-negative")
+        self.values = array
+
+    # -- helpers -----------------------------------------------------------
+
+    def _axis(self, variable: str) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"{variable!r} not in factor {self.variables}")
+
+    def cardinality(self, variable: str) -> int:
+        """Number of states of ``variable`` in this factor."""
+        return self.cardinalities[self._axis(variable)]
+
+    def copy(self) -> "DiscreteFactor":
+        """Deep copy."""
+        return DiscreteFactor(self.variables, self.cardinalities,
+                              self.values.copy())
+
+    # -- algebra -----------------------------------------------------------
+
+    def product(self, other: "DiscreteFactor") -> "DiscreteFactor":
+        """Pointwise factor product, aligning shared variables."""
+        all_vars = list(self.variables)
+        all_cards = list(self.cardinalities)
+        for variable, card in zip(other.variables, other.cardinalities):
+            if variable in all_vars:
+                if all_cards[all_vars.index(variable)] != card:
+                    raise ValueError(
+                        f"cardinality mismatch for {variable!r}")
+            else:
+                all_vars.append(variable)
+                all_cards.append(card)
+        left = self._broadcast_to(all_vars, all_cards)
+        right = other._broadcast_to(all_vars, all_cards)
+        return DiscreteFactor(all_vars, all_cards, left * right)
+
+    def _broadcast_to(self, all_vars: list[str],
+                      all_cards: list[int]) -> np.ndarray:
+        shape = [card if var in self.variables else 1
+                 for var, card in zip(all_vars, all_cards)]
+        source_order = [v for v in all_vars if v in self.variables]
+        permutation = [self.variables.index(v) for v in source_order]
+        return self.values.transpose(permutation).reshape(shape)
+
+    def marginalize(self, variables: Iterable[str]) -> "DiscreteFactor":
+        """Sum out ``variables``."""
+        return self._eliminate(variables, np.sum)
+
+    def maximize(self, variables: Iterable[str]) -> "DiscreteFactor":
+        """Max out ``variables`` (max-product elimination)."""
+        return self._eliminate(variables, np.max)
+
+    def _eliminate(self, variables: Iterable[str], op) -> "DiscreteFactor":
+        drop = list(variables)
+        axes = tuple(sorted(self._axis(v) for v in drop))
+        if not axes:
+            return self.copy()
+        keep = [v for v in self.variables if v not in drop]
+        keep_cards = [self.cardinality(v) for v in keep]
+        reduced = op(self.values, axis=axes)
+        return DiscreteFactor(keep, keep_cards, reduced)
+
+    def reduce(self, evidence: Mapping[str, int]) -> "DiscreteFactor":
+        """Slice the factor at observed states, dropping those variables.
+
+        Variables in ``evidence`` that do not appear in the factor are
+        ignored, which lets callers pass one global evidence dict around.
+        """
+        indexer: list = [slice(None)] * len(self.variables)
+        keep = []
+        keep_cards = []
+        for i, variable in enumerate(self.variables):
+            if variable in evidence:
+                state = int(evidence[variable])
+                if not 0 <= state < self.cardinalities[i]:
+                    raise IndexError(
+                        f"state {state} out of range for {variable!r}")
+                indexer[i] = state
+            else:
+                keep.append(variable)
+                keep_cards.append(self.cardinalities[i])
+        return DiscreteFactor(keep, keep_cards, self.values[tuple(indexer)])
+
+    def normalize(self) -> "DiscreteFactor":
+        """Scale values to sum to one (no-op direction if the sum is zero)."""
+        total = self.values.sum()
+        if total <= 0:
+            raise ZeroDivisionError("cannot normalize an all-zero factor")
+        return DiscreteFactor(self.variables, self.cardinalities,
+                              self.values / total)
+
+    # -- queries -----------------------------------------------------------
+
+    def argmax(self) -> dict[str, int]:
+        """The joint assignment with the highest value (first on ties)."""
+        flat_index = int(np.argmax(self.values))
+        states = np.unravel_index(flat_index, self.cardinalities)
+        return dict(zip(self.variables, (int(s) for s in states)))
+
+    def get(self, assignment: Mapping[str, int]) -> float:
+        """Value at a full assignment of this factor's variables."""
+        index = tuple(int(assignment[v]) for v in self.variables)
+        return float(self.values[index])
+
+    def __repr__(self) -> str:
+        return (f"DiscreteFactor(variables={self.variables}, "
+                f"cardinalities={self.cardinalities})")
+
+
+def identity_factor() -> DiscreteFactor:
+    """The multiplicative identity: a scalar factor with value 1."""
+    return DiscreteFactor((), (), np.array(1.0))
+
+
+def factor_product(factors: Iterable[DiscreteFactor]) -> DiscreteFactor:
+    """Product of an iterable of factors (identity for the empty product)."""
+    result = identity_factor()
+    for factor in factors:
+        result = result.product(factor)
+    return result

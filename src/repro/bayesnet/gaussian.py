@@ -1,0 +1,128 @@
+"""Exact inference for linear-Gaussian Bayesian networks.
+
+The joint over all nodes of a linear-Gaussian network is one multivariate
+Gaussian, so posterior queries reduce to Gaussian conditioning:
+
+    x = (x_a, x_b) ~ N(mu, Sigma)
+    x_a | x_b = e  ~  N(mu_a + S_ab S_bb^-1 (e - mu_b),
+                        S_aa - S_ab S_bb^-1 S_ba)
+
+Degenerate (zero-variance) evidence blocks — produced by do() point
+interventions — are handled with the Moore-Penrose pseudo-inverse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from .network import LinearGaussianBayesianNetwork
+
+
+class GaussianDistribution:
+    """A multivariate Gaussian over named variables."""
+
+    def __init__(self, variables: Iterable[str], mean: np.ndarray,
+                 covariance: np.ndarray):
+        self.variables = list(variables)
+        self.mean = np.asarray(mean, dtype=float).reshape(len(self.variables))
+        self.covariance = np.asarray(covariance, dtype=float).reshape(
+            (len(self.variables), len(self.variables)))
+        if not np.allclose(self.covariance, self.covariance.T, atol=1e-8):
+            raise ValueError("covariance must be symmetric")
+
+    def _indices(self, variables: Iterable[str]) -> list[int]:
+        positions = {v: i for i, v in enumerate(self.variables)}
+        try:
+            return [positions[v] for v in variables]
+        except KeyError as missing:
+            raise KeyError(f"unknown variable {missing}") from None
+
+    def mean_of(self, variable: str) -> float:
+        """Marginal mean of one variable."""
+        return float(self.mean[self._indices([variable])[0]])
+
+    def variance_of(self, variable: str) -> float:
+        """Marginal variance of one variable."""
+        i = self._indices([variable])[0]
+        return float(self.covariance[i, i])
+
+    def marginalize(self, keep: Iterable[str]) -> "GaussianDistribution":
+        """Marginal over ``keep`` (Gaussian marginals are submatrices)."""
+        keep = list(keep)
+        idx = self._indices(keep)
+        return GaussianDistribution(
+            keep, self.mean[idx], self.covariance[np.ix_(idx, idx)])
+
+    def condition(self, evidence: Mapping[str, float]
+                  ) -> "GaussianDistribution":
+        """Condition on observed values, returning the posterior Gaussian."""
+        observed = [v for v in self.variables if v in evidence]
+        if not observed:
+            return GaussianDistribution(self.variables, self.mean.copy(),
+                                        self.covariance.copy())
+        free = [v for v in self.variables if v not in evidence]
+        a = self._indices(free)
+        b = self._indices(observed)
+        e = np.array([float(evidence[v]) for v in observed])
+        s_aa = self.covariance[np.ix_(a, a)]
+        s_ab = self.covariance[np.ix_(a, b)]
+        s_bb = self.covariance[np.ix_(b, b)]
+        # pinv handles singular evidence blocks from point interventions.
+        s_bb_inv = np.linalg.pinv(s_bb, hermitian=True)
+        gain = s_ab @ s_bb_inv
+        new_mean = self.mean[a] + gain @ (e - self.mean[b])
+        new_cov = s_aa - gain @ s_ab.T
+        # Clamp tiny negative diagonal noise from the pinv round-trip.
+        new_cov = (new_cov + new_cov.T) / 2.0
+        diagonal = np.diag(new_cov).copy()
+        diagonal[diagonal < 0] = 0.0
+        np.fill_diagonal(new_cov, diagonal)
+        return GaussianDistribution(free, new_mean, new_cov)
+
+    def log_density(self, assignment: Mapping[str, float]) -> float:
+        """Log density at a full assignment (pseudo-inverse for rank loss)."""
+        x = np.array([float(assignment[v]) for v in self.variables])
+        diff = x - self.mean
+        cov = self.covariance
+        sign, logdet = np.linalg.slogdet(cov)
+        if sign <= 0:
+            eigenvalues = np.linalg.eigvalsh(cov)
+            positive = eigenvalues[eigenvalues > 1e-12]
+            logdet = float(np.sum(np.log(positive)))
+        quad = diff @ np.linalg.pinv(cov, hermitian=True) @ diff
+        k = len(self.variables)
+        return float(-0.5 * (k * np.log(2 * np.pi) + logdet + quad))
+
+    def __repr__(self) -> str:
+        return f"GaussianDistribution(variables={self.variables})"
+
+
+class GaussianInference:
+    """Posterior queries on a linear-Gaussian network.
+
+    The network's joint Gaussian is materialized once at construction;
+    queries are then O(n^3) conditioning operations.
+    """
+
+    def __init__(self, network: LinearGaussianBayesianNetwork):
+        network.validate()
+        self.network = network
+        order, mean, cov = network.joint_parameters()
+        self.joint = GaussianDistribution(order, mean, cov)
+
+    def posterior(self, variables: Iterable[str],
+                  evidence: Mapping[str, float] | None = None
+                  ) -> GaussianDistribution:
+        """P(variables | evidence) as a Gaussian."""
+        conditioned = self.joint.condition(evidence or {})
+        return conditioned.marginalize(list(variables))
+
+    def map_query(self, variables: Iterable[str],
+                  evidence: Mapping[str, float] | None = None
+                  ) -> dict[str, float]:
+        """MLE / MAP assignment: a Gaussian's mode is its mean."""
+        posterior = self.posterior(variables, evidence)
+        return {v: float(m)
+                for v, m in zip(posterior.variables, posterior.mean)}

@@ -1,0 +1,171 @@
+"""Directed acyclic graph used as the skeleton of Bayesian networks.
+
+The implementation is intentionally dependency-free: a ``DAG`` is a pair of
+adjacency maps (parents and children) plus insertion-ordered node tracking,
+which is all the inference and learning code needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class CycleError(ValueError):
+    """Raised when an edge insertion or validation would create a cycle."""
+
+
+class DAG:
+    """A directed acyclic graph over hashable node labels.
+
+    Nodes keep insertion order, which gives deterministic topological
+    orders and therefore deterministic inference results.
+
+    >>> g = DAG(edges=[("a", "b"), ("b", "c")])
+    >>> g.topological_order()
+    ['a', 'b', 'c']
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = (),
+                 nodes: Iterable[str] = ()):
+        self._parents: dict[str, list[str]] = {}
+        self._children: dict[str, list[str]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for parent, child in edges:
+            self.add_edge(parent, child)
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Add ``node`` if not already present."""
+        if node not in self._parents:
+            self._parents[node] = []
+            self._children[node] = []
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add a directed edge ``parent -> child``, creating nodes as needed.
+
+        Raises :class:`CycleError` if the edge would create a cycle and
+        ``ValueError`` for self-loops or duplicate edges.
+        """
+        if parent == child:
+            raise CycleError(f"self-loop on {parent!r}")
+        self.add_node(parent)
+        self.add_node(child)
+        if child in self._children[parent]:
+            raise ValueError(f"duplicate edge {parent!r} -> {child!r}")
+        if self.has_path(child, parent):
+            raise CycleError(f"edge {parent!r} -> {child!r} creates a cycle")
+        self._children[parent].append(child)
+        self._parents[child].append(parent)
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        """Remove the edge ``parent -> child``."""
+        self._children[parent].remove(child)
+        self._parents[child].remove(parent)
+
+    def remove_incoming_edges(self, node: str) -> None:
+        """Drop every edge pointing at ``node`` (the do-operator surgery)."""
+        for parent in list(self._parents[node]):
+            self.remove_edge(parent, node)
+
+    def copy(self) -> "DAG":
+        """Return an independent copy of the graph."""
+        clone = DAG(nodes=self.nodes())
+        for parent, children in self._children.items():
+            for child in children:
+                clone._children[parent].append(child)
+                clone._parents[child].append(parent)
+        return clone
+
+    # -- queries -----------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All nodes in insertion order."""
+        return list(self._parents)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges as (parent, child) pairs."""
+        return [(parent, child)
+                for parent, children in self._children.items()
+                for child in children]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def parents(self, node: str) -> list[str]:
+        """Direct predecessors of ``node`` in edge-insertion order."""
+        return list(self._parents[node])
+
+    def children(self, node: str) -> list[str]:
+        """Direct successors of ``node`` in edge-insertion order."""
+        return list(self._children[node])
+
+    def roots(self) -> list[str]:
+        """Nodes with no parents."""
+        return [node for node, parents in self._parents.items() if not parents]
+
+    def leaves(self) -> list[str]:
+        """Nodes with no children."""
+        return [n for n, children in self._children.items() if not children]
+
+    def has_path(self, source: str, target: str) -> bool:
+        """True if a directed path ``source -> ... -> target`` exists."""
+        if source not in self._parents or target not in self._parents:
+            return False
+        stack = [source]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._children[node])
+        return False
+
+    def ancestors(self, node: str) -> set[str]:
+        """All nodes with a directed path to ``node`` (excluding itself)."""
+        found: set[str] = set()
+        stack = list(self._parents[node])
+        while stack:
+            current = stack.pop()
+            if current not in found:
+                found.add(current)
+                stack.extend(self._parents[current])
+        return found
+
+    def descendants(self, node: str) -> set[str]:
+        """All nodes reachable from ``node`` (excluding itself)."""
+        found: set[str] = set()
+        stack = list(self._children[node])
+        while stack:
+            current = stack.pop()
+            if current not in found:
+                found.add(current)
+                stack.extend(self._children[current])
+        return found
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; ties broken by node insertion order."""
+        in_degree = {node: len(parents)
+                     for node, parents in self._parents.items()}
+        ready = [node for node in self._parents if in_degree[node] == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in self._children[node]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._parents):
+            raise CycleError("graph contains a cycle")
+        return order
+
+    def __repr__(self) -> str:
+        return f"DAG(nodes={len(self)}, edges={len(self.edges())})"

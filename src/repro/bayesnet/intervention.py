@@ -1,0 +1,57 @@
+"""The do-operator: graph surgery for causal interventions.
+
+``do(X = x)`` differs from conditioning on ``X = x``: an intervention cuts
+the edges *into* X (nothing upstream caused the fault — we forced it), so
+no belief flows backward from the corrupted node to its former parents,
+while all forward causal paths stay intact.  This is exactly how the paper
+models an injected fault (Section II-C, Eq. 2).
+
+Both network families get the same treatment:
+
+* the mutilated graph drops every edge into each intervened node, and
+* the intervened node's CPD becomes a point mass at the forced value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .cpd import LinearGaussianCPD, TabularCPD
+from .network import DiscreteBayesianNetwork, LinearGaussianBayesianNetwork
+
+
+def intervene_discrete(network: DiscreteBayesianNetwork,
+                       interventions: Mapping[str, int]
+                       ) -> DiscreteBayesianNetwork:
+    """Return the mutilated network for ``do(var = state)`` assignments."""
+    mutilated = network.copy()
+    for variable, state in interventions.items():
+        if variable not in mutilated.dag:
+            raise KeyError(f"unknown intervention target {variable!r}")
+        card = mutilated.cpds[variable].variable_card
+        if not 0 <= int(state) < card:
+            raise IndexError(
+                f"state {state} out of range for {variable!r} (card {card})")
+        mutilated.dag.remove_incoming_edges(variable)
+        mutilated.cpds[variable] = TabularCPD.point_mass(
+            variable, card, int(state))
+    return mutilated
+
+
+def intervene_gaussian(network: LinearGaussianBayesianNetwork,
+                       interventions: Mapping[str, float]
+                       ) -> LinearGaussianBayesianNetwork:
+    """Return the mutilated network for ``do(var = value)`` assignments.
+
+    The intervened node becomes a zero-variance root pinned at the forced
+    value; downstream Gaussian inference handles the resulting singular
+    covariance block through pseudo-inverse conditioning.
+    """
+    mutilated = network.copy()
+    for variable, value in interventions.items():
+        if variable not in mutilated.dag:
+            raise KeyError(f"unknown intervention target {variable!r}")
+        mutilated.dag.remove_incoming_edges(variable)
+        mutilated.cpds[variable] = LinearGaussianCPD(
+            variable, intercept=float(value), variance=0.0)
+    return mutilated

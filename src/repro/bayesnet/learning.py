@@ -1,0 +1,111 @@
+"""Maximum-likelihood parameter learning from complete data.
+
+The paper trains its temporal Bayesian network on golden (fault-free)
+driving traces.  Structures are given (derived from the ADS architecture),
+so learning reduces to per-node MLE:
+
+* tabular nodes: smoothed frequency counts per parent configuration,
+* linear-Gaussian nodes: ordinary least squares plus residual variance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .cpd import LinearGaussianCPD, TabularCPD
+from .graph import DAG
+from .network import DiscreteBayesianNetwork, LinearGaussianBayesianNetwork
+
+
+def fit_tabular_cpd(variable: str, variable_card: int,
+                    parents: Sequence[str], parent_cards: Sequence[int],
+                    data: Mapping[str, np.ndarray],
+                    pseudocount: float = 1.0) -> TabularCPD:
+    """MLE (with Dirichlet smoothing) of one CPT from complete data.
+
+    ``data`` maps variable name to an integer state array; all arrays must
+    be the same length.  ``pseudocount`` > 0 keeps unseen configurations
+    from producing zero columns.
+    """
+    if pseudocount < 0:
+        raise ValueError("pseudocount must be non-negative")
+    states = np.asarray(data[variable], dtype=int)
+    n_cols = int(np.prod(parent_cards)) if parents else 1
+    counts = np.full((variable_card, n_cols), float(pseudocount))
+    columns = np.zeros(len(states), dtype=int)
+    for parent, card in zip(parents, parent_cards):
+        parent_states = np.asarray(data[parent], dtype=int)
+        if parent_states.shape != states.shape:
+            raise ValueError(f"column length mismatch for {parent!r}")
+        columns = columns * card + parent_states
+    np.add.at(counts, (states, columns), 1.0)
+    totals = counts.sum(axis=0)
+    empty = totals == 0
+    if empty.any():
+        # Zero pseudocount and unseen parent configuration: fall back to
+        # uniform so the CPT stays a valid distribution.
+        counts[:, empty] = 1.0
+        totals = counts.sum(axis=0)
+    return TabularCPD(variable, variable_card, counts / totals,
+                      parents, parent_cards)
+
+
+def fit_discrete_network(dag: DAG, cardinalities: Mapping[str, int],
+                         data: Mapping[str, np.ndarray],
+                         pseudocount: float = 1.0) -> DiscreteBayesianNetwork:
+    """Fit every CPT of a discrete network with the structure of ``dag``."""
+    network = DiscreteBayesianNetwork()
+    network.dag = dag.copy()
+    for node in dag.nodes():
+        parents = dag.parents(node)
+        cpd = fit_tabular_cpd(
+            node, int(cardinalities[node]), parents,
+            [int(cardinalities[p]) for p in parents], data, pseudocount)
+        network.cpds[node] = cpd
+    network.validate()
+    return network
+
+
+def fit_linear_gaussian_cpd(variable: str, parents: Sequence[str],
+                            data: Mapping[str, np.ndarray],
+                            min_variance: float = 1e-9
+                            ) -> LinearGaussianCPD:
+    """Least-squares fit of one linear-Gaussian CPD.
+
+    ``min_variance`` floors the residual variance so later inference never
+    divides by zero on deterministic relationships in the training data.
+    """
+    y = np.asarray(data[variable], dtype=float)
+    n = len(y)
+    if n == 0:
+        raise ValueError(f"no data for {variable!r}")
+    if parents:
+        design = np.column_stack(
+            [np.asarray(data[p], dtype=float) for p in parents]
+            + [np.ones(n)])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        weights = solution[:-1]
+        intercept = float(solution[-1])
+        residuals = y - design @ solution
+    else:
+        weights = np.zeros(0)
+        intercept = float(np.mean(y))
+        residuals = y - intercept
+    variance = float(np.mean(residuals ** 2)) if n else 0.0
+    return LinearGaussianCPD(variable, intercept,
+                             max(variance, min_variance), parents, weights)
+
+
+def fit_linear_gaussian_network(dag: DAG, data: Mapping[str, np.ndarray],
+                                min_variance: float = 1e-9
+                                ) -> LinearGaussianBayesianNetwork:
+    """Fit every node of a linear-Gaussian network with structure ``dag``."""
+    network = LinearGaussianBayesianNetwork()
+    network.dag = dag.copy()
+    for node in dag.nodes():
+        network.cpds[node] = fit_linear_gaussian_cpd(
+            node, dag.parents(node), data, min_variance)
+    network.validate()
+    return network

@@ -1,0 +1,193 @@
+"""Bayesian network containers: a DAG plus one CPD per node."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from .cpd import LinearGaussianCPD, TabularCPD
+from .graph import DAG
+
+
+class DiscreteBayesianNetwork:
+    """A Bayesian network over discrete variables.
+
+    Build by adding edges and then attaching one :class:`TabularCPD` per
+    node whose parent list matches the graph.  ``validate`` checks the
+    model is complete and consistent before inference.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = (),
+                 nodes: Iterable[str] = ()):
+        self.dag = DAG(edges=edges, nodes=nodes)
+        self.cpds: dict[str, TabularCPD] = {}
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add an edge to the skeleton (invalidates affected CPDs)."""
+        self.dag.add_edge(parent, child)
+
+    def add_cpd(self, cpd: TabularCPD) -> None:
+        """Attach ``cpd`` to its node; parents must match the graph."""
+        if cpd.variable not in self.dag:
+            self.dag.add_node(cpd.variable)
+        graph_parents = set(self.dag.parents(cpd.variable))
+        if set(cpd.parents) != graph_parents:
+            raise ValueError(
+                f"CPD parents {cpd.parents} do not match graph parents "
+                f"{sorted(graph_parents)} for node {cpd.variable!r}")
+        self.cpds[cpd.variable] = cpd
+
+    def cardinality(self, variable: str) -> int:
+        """Number of states of ``variable``."""
+        return self.cpds[variable].variable_card
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every node has a consistent CPD."""
+        for node in self.dag.nodes():
+            if node not in self.cpds:
+                raise ValueError(f"node {node!r} has no CPD")
+            cpd = self.cpds[node]
+            for parent, card in zip(cpd.parents, cpd.parent_cards):
+                if self.cpds[parent].variable_card != card:
+                    raise ValueError(
+                        f"CPD of {node!r} expects parent {parent!r} with "
+                        f"{card} states, but {parent!r} has "
+                        f"{self.cpds[parent].variable_card}")
+
+    def copy(self) -> "DiscreteBayesianNetwork":
+        """Structure-and-parameters copy (CPDs are immutable, shared)."""
+        clone = DiscreteBayesianNetwork()
+        clone.dag = self.dag.copy()
+        clone.cpds = dict(self.cpds)
+        return clone
+
+    def sample(self, rng: np.random.Generator, n: int = 1,
+               evidence: Mapping[str, int] | None = None) -> list[dict[str, int]]:
+        """Ancestral sampling of ``n`` joint assignments.
+
+        ``evidence`` clamps nodes to fixed states (forward sampling with
+        clamping — valid when evidence nodes are ancestors of the nodes of
+        interest, as in intervention sampling).
+        """
+        evidence = dict(evidence or {})
+        order = self.dag.topological_order()
+        draws = []
+        for _ in range(n):
+            assignment: dict[str, int] = {}
+            for node in order:
+                if node in evidence:
+                    assignment[node] = int(evidence[node])
+                else:
+                    assignment[node] = self.cpds[node].sample(rng, assignment)
+            draws.append(assignment)
+        return draws
+
+    def log_likelihood(self, assignment: Mapping[str, int]) -> float:
+        """Log P(assignment) for a full joint assignment."""
+        total = 0.0
+        for node in self.dag.nodes():
+            cpd = self.cpds[node]
+            p = cpd.probability(int(assignment[node]), assignment)
+            if p <= 0:
+                return float("-inf")
+            total += float(np.log(p))
+        return total
+
+    def __repr__(self) -> str:
+        return (f"DiscreteBayesianNetwork(nodes={len(self.dag)}, "
+                f"edges={len(self.dag.edges())})")
+
+
+class LinearGaussianBayesianNetwork:
+    """A Bayesian network whose nodes are all linear-Gaussian.
+
+    The joint distribution is one multivariate Gaussian; see
+    :meth:`joint_parameters` for the closed-form construction used by
+    exact inference.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = (),
+                 nodes: Iterable[str] = ()):
+        self.dag = DAG(edges=edges, nodes=nodes)
+        self.cpds: dict[str, LinearGaussianCPD] = {}
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add an edge to the skeleton."""
+        self.dag.add_edge(parent, child)
+
+    def add_cpd(self, cpd: LinearGaussianCPD) -> None:
+        """Attach ``cpd``; parents must match the graph."""
+        if cpd.variable not in self.dag:
+            self.dag.add_node(cpd.variable)
+        graph_parents = set(self.dag.parents(cpd.variable))
+        if set(cpd.parents) != graph_parents:
+            raise ValueError(
+                f"CPD parents {cpd.parents} do not match graph parents "
+                f"{sorted(graph_parents)} for node {cpd.variable!r}")
+        self.cpds[cpd.variable] = cpd
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every node has a CPD."""
+        for node in self.dag.nodes():
+            if node not in self.cpds:
+                raise ValueError(f"node {node!r} has no CPD")
+
+    def copy(self) -> "LinearGaussianBayesianNetwork":
+        """Structure-and-parameters copy."""
+        clone = LinearGaussianBayesianNetwork()
+        clone.dag = self.dag.copy()
+        clone.cpds = dict(self.cpds)
+        return clone
+
+    def joint_parameters(self) -> tuple[list[str], np.ndarray, np.ndarray]:
+        """Return ``(order, mean, covariance)`` of the joint Gaussian.
+
+        Uses the standard forward recursion over a topological order: with
+        x = w . parents + b + noise,
+
+        * ``mean[x]   = w . mean[parents] + b``
+        * ``cov[x,y]  = w . cov[parents, y]`` for earlier y
+        * ``cov[x,x]  = variance + w . cov[parents, parents] . w``
+        """
+        order = self.dag.topological_order()
+        index = {node: i for i, node in enumerate(order)}
+        n = len(order)
+        mean = np.zeros(n)
+        cov = np.zeros((n, n))
+        for node in order:
+            i = index[node]
+            cpd = self.cpds[node]
+            parent_idx = [index[p] for p in cpd.parents]
+            w = cpd.weights
+            mean[i] = cpd.intercept + w @ mean[parent_idx]
+            if parent_idx:
+                cross = w @ cov[np.ix_(parent_idx, range(n))]
+                cov[i, :] = cross
+                cov[:, i] = cross
+                cov[i, i] = cpd.variance + w @ cov[
+                    np.ix_(parent_idx, parent_idx)] @ w
+            else:
+                cov[i, i] = cpd.variance
+        return order, mean, cov
+
+    def sample(self, rng: np.random.Generator, n: int = 1,
+               evidence: Mapping[str, float] | None = None
+               ) -> list[dict[str, float]]:
+        """Ancestral sampling with optional clamping (see discrete twin)."""
+        evidence = dict(evidence or {})
+        order = self.dag.topological_order()
+        draws = []
+        for _ in range(n):
+            assignment: dict[str, float] = {}
+            for node in order:
+                if node in evidence:
+                    assignment[node] = float(evidence[node])
+                else:
+                    assignment[node] = self.cpds[node].sample(rng, assignment)
+            draws.append(assignment)
+        return draws
+
+    def __repr__(self) -> str:
+        return (f"LinearGaussianBayesianNetwork(nodes={len(self.dag)}, "
+                f"edges={len(self.dag.edges())})")

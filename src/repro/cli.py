@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's campaigns:
+
+* ``golden``    — run the scenario library fault-free and print margins
+* ``random``    — random output-corruption campaign (fault model b)
+* ``arch``      — random architectural campaign (fault model a)
+* ``bayesian``  — Bayesian FI: train, mine, validate
+* ``exhaustive``— strided sample of the min/max grid
+* ``inject``    — one hand-specified fault
+* ``scenes``    — the E4 scene-population delta distribution
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.metrics import delta_distribution, hazard_table
+from .analysis.report import ascii_table
+from .core.campaign import Campaign, CampaignConfig
+from .core.persistence import save_candidates, save_summary
+from .core.safety import world_safety_potential
+from .core.simulate import FaultSpec
+from .sim.scenegen import SceneGenerator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DriveFI reproduction: Bayesian fault injection")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("golden", help="fault-free runs and safety margins")
+
+    random_cmd = sub.add_parser("random", help="random output corruption")
+    random_cmd.add_argument("-n", type=int, default=100,
+                            help="number of experiments")
+    random_cmd.add_argument("--seed", type=int, default=0)
+    random_cmd.add_argument("--save", help="write records to a JSON file")
+
+    arch_cmd = sub.add_parser("arch", help="random architectural faults")
+    arch_cmd.add_argument("-n", type=int, default=200,
+                          help="number of register flips")
+    arch_cmd.add_argument("--seed", type=int, default=0)
+
+    bayes_cmd = sub.add_parser("bayesian", help="mine + validate F_crit")
+    bayes_cmd.add_argument("--top-k", type=int, default=None,
+                           help="validate only the k most critical")
+    bayes_cmd.add_argument("--threshold", type=float, default=0.0,
+                           help="predicted-delta mining threshold (m)")
+    bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
+
+    grid_cmd = sub.add_parser("exhaustive", help="min/max grid sample")
+    grid_cmd.add_argument("--stride", type=int, default=25,
+                          help="planner ticks between injections")
+    grid_cmd.add_argument("--max", type=int, default=None,
+                          help="cap on experiments")
+    grid_cmd.add_argument("--save", help="write records to a JSON file")
+
+    inject_cmd = sub.add_parser("inject", help="one specific fault")
+    inject_cmd.add_argument("scenario")
+    inject_cmd.add_argument("variable")
+    inject_cmd.add_argument("value", type=float)
+    inject_cmd.add_argument("tick", type=int)
+    inject_cmd.add_argument("--duration", type=int, default=4,
+                            help="control ticks the corruption persists")
+
+    scenes_cmd = sub.add_parser("scenes", help="scene delta distribution")
+    scenes_cmd.add_argument("-n", type=int, default=7200)
+    scenes_cmd.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _print_golden(campaign: Campaign) -> None:
+    rows = [[name, run.hazard.value, run.min_delta_long, run.min_delta_lat]
+            for name, run in campaign.golden_runs().items()]
+    print(ascii_table(["scenario", "hazard", "min delta_long",
+                       "min delta_lat"], rows))
+
+
+def _print_summary(summary, label: str) -> None:
+    print(f"{label}: {summary.hazards}/{summary.total} hazards "
+          f"({summary.hazard_rate:.1%}) in {summary.wall_seconds:.1f}s")
+    rows = [[v, n, h, f"{rate:.1%}"]
+            for v, n, h, rate in hazard_table(summary)]
+    if rows:
+        print(ascii_table(["variable", "experiments", "hazards", "rate"],
+                          rows))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    campaign = Campaign(config=CampaignConfig())
+
+    if args.command == "golden":
+        _print_golden(campaign)
+    elif args.command == "random":
+        summary = campaign.random_campaign(args.n, seed=args.seed)
+        _print_summary(summary, "random campaign")
+        if args.save:
+            save_summary(summary, args.save)
+            print(f"records written to {args.save}")
+    elif args.command == "arch":
+        summary, outcomes = campaign.architectural_campaign(
+            args.n, seed=args.seed)
+        print(ascii_table(["outcome", "count"],
+                          sorted(outcomes.items())))
+        _print_summary(summary, "driven SDC experiments")
+    elif args.command == "bayesian":
+        result = campaign.bayesian_campaign(top_k=args.top_k,
+                                            threshold=args.threshold)
+        print(f"scored {result.mining.n_scored} candidate faults over "
+              f"{result.mining.n_scenes} scenes in "
+              f"{result.mining.wall_seconds:.1f}s")
+        _print_summary(result.summary, "validated mined faults")
+        print(f"precision: {result.precision:.1%}; total cost "
+              f"{result.total_wall_seconds:.1f}s")
+        if args.save:
+            save_candidates(result.candidates, args.save)
+            print(f"candidates written to {args.save}")
+    elif args.command == "exhaustive":
+        summary = campaign.exhaustive_campaign(tick_stride=args.stride,
+                                               max_experiments=args.max)
+        _print_summary(summary, "grid sample")
+        print(f"full grid would be {campaign.grid_size()} experiments")
+        if args.save:
+            save_summary(summary, args.save)
+            print(f"records written to {args.save}")
+    elif args.command == "inject":
+        fault = FaultSpec(args.variable, args.value, args.tick,
+                          args.duration)
+        try:
+            record = campaign.run_fault(args.scenario, fault)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(ascii_table(["field", "value"], [
+            ["outcome", record.hazard.value],
+            ["landed", record.landed],
+            ["min delta_long (m)", record.min_delta_long],
+            ["min delta_lat (m)", record.min_delta_lat]]))
+    elif args.command == "scenes":
+        generator = SceneGenerator(seed=args.seed)
+        deltas = [world_safety_potential(
+            scene.to_world(road=generator.road)).longitudinal
+            for scene in generator.generate(args.n)]
+        import numpy as np
+        print(ascii_table(["delta_long bin (m)", "scenes"],
+                          delta_distribution(np.array(deltas))))
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Core library: DriveFI's safety model, fault models, and Bayesian FI."""
+
+from .ablations import (ConditioningFaultInjector,
+                        DiscreteBayesianFaultInjector)
+from .bayesian_fi import (BN_VARIABLES, KINEMATIC_NODES, MINED_VARIABLES,
+                          NODE_MAPPING, BayesianFaultInjector,
+                          CandidateFault, MinedVariable, MiningReport,
+                          SceneRow, ads_dbn_template, scene_rows_from_trace)
+from .campaign import (BayesianCampaignResult, Campaign, CampaignConfig)
+from .fault_models import (DEFAULT_VARIABLES, KERNEL_VARIABLE_MAP,
+                           ArchFaultOutcome, ArchitecturalFaultModel,
+                           minmax_fault_grid, random_fault)
+from .results import (CampaignSummary, ExperimentRecord, Hazard,
+                      worst_hazard)
+from .safety import (SafetyConfig, SafetyPotential, StoppingDisplacement,
+                     longitudinal_envelope, safety_potential,
+                     steering_excursion, stopping_displacement,
+                     world_safety_potential)
+from .simulate import TRACE_COLUMNS, FaultSpec, RunResult, run_scenario
+
+__all__ = [
+    "SafetyConfig",
+    "SafetyPotential",
+    "StoppingDisplacement",
+    "stopping_displacement",
+    "longitudinal_envelope",
+    "safety_potential",
+    "steering_excursion",
+    "world_safety_potential",
+    "Hazard",
+    "worst_hazard",
+    "ExperimentRecord",
+    "CampaignSummary",
+    "FaultSpec",
+    "RunResult",
+    "run_scenario",
+    "TRACE_COLUMNS",
+    "minmax_fault_grid",
+    "random_fault",
+    "DEFAULT_VARIABLES",
+    "ArchitecturalFaultModel",
+    "ArchFaultOutcome",
+    "KERNEL_VARIABLE_MAP",
+    "ads_dbn_template",
+    "BayesianFaultInjector",
+    "ConditioningFaultInjector",
+    "DiscreteBayesianFaultInjector",
+    "MinedVariable",
+    "CandidateFault",
+    "MiningReport",
+    "SceneRow",
+    "scene_rows_from_trace",
+    "BN_VARIABLES",
+    "KINEMATIC_NODES",
+    "MINED_VARIABLES",
+    "NODE_MAPPING",
+    "Campaign",
+    "CampaignConfig",
+    "BayesianCampaignResult",
+]

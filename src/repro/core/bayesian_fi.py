@@ -1,0 +1,474 @@
+"""Bayesian fault injection: the paper's fault-selection engine (Sec. III).
+
+The ADS is modelled as a 3-slice temporal Bayesian network (3-TBN,
+Fig. 6) with linear-Gaussian CPDs fit from golden (fault-free) driving
+traces.  A candidate fault ``f`` over one inter-module variable is scored
+by counterfactual inference:
+
+1. clamp slice 0 to the scene's observed state (``t = k - 1``),
+2. apply ``do(node@1 = corrupted value)`` — graph surgery cuts the edges
+   into the corrupted node, so no belief leaks backward (``t = k``),
+3. take the MLE of the slice-2 kinematic state (Eq. 2; for a Gaussian
+   posterior the MLE is the posterior mean), and
+4. re-evaluate the safety potential ``delta`` through the kinematic
+   safety model (Eq. 7).
+
+A fault enters ``F_crit`` (Eq. 1) when the scene was safe before
+injection but the predicted post-injection potential is non-positive.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..bayesnet.dynamic import (SLICE_SEPARATOR, DynamicBayesianNetwork,
+                                slice_node)
+from ..bayesnet.gaussian import GaussianInference
+from ..bayesnet.network import LinearGaussianBayesianNetwork
+from ..sim.collision import SENSOR_RANGE
+from ..sim.trace import Trace
+from ..ads.variables import variable_by_name
+from .safety import (SafetyConfig, SafetyPotential, longitudinal_envelope,
+                     steering_excursion, stopping_displacement)
+from .simulate import FaultSpec, RunResult
+
+#: Nodes of the per-slice BN: kinematic state + actuation commands.
+BN_VARIABLES = ("v", "gap", "closing", "lat", "throttle", "brake",
+                "steering")
+
+#: Kinematic nodes whose slice-2 MLE feeds the safety re-evaluation.
+KINEMATIC_NODES = ("v", "gap", "closing", "lat")
+
+
+def ads_dbn_template() -> DynamicBayesianNetwork:
+    """The 3-TBN topology, derived from the ADS architecture (Fig. 1/6).
+
+    Within a slice, the world state drives the planner/controller
+    outputs; across slices, actuation moves the kinematic state.
+    """
+    intra = [("gap", "throttle"), ("gap", "brake"),
+             ("closing", "throttle"), ("closing", "brake"),
+             ("v", "throttle"), ("v", "brake"),
+             ("lat", "steering")]
+    inter = [("v", "v"), ("throttle", "v"), ("brake", "v"),
+             ("gap", "gap"), ("closing", "gap"),
+             ("closing", "closing"), ("throttle", "closing"),
+             ("brake", "closing"),
+             ("lat", "lat"), ("steering", "lat")]
+    return DynamicBayesianNetwork(BN_VARIABLES, intra_edges=intra,
+                                  inter_edges=inter)
+
+
+# -- mapping from injectable ADS variables to BN interventions --------------
+
+def _gap_from_detection(scene: Mapping[str, float], value: float) -> float:
+    # detection_x is a world coordinate; the BN node is a bumper gap.
+    return max(value - scene["x"] - 4.8, 0.01)
+
+
+def _closing_from_lead_speed(scene: Mapping[str, float],
+                             value: float) -> float:
+    return scene["v"] - value
+
+
+def _identity(scene: Mapping[str, float], value: float) -> float:
+    return value
+
+
+#: Pedal positions can move at most this far within the corruption
+#: window (controller slew rate 2.5/s x 0.2 s).
+_PEDAL_SLEW_WINDOW = 0.5
+
+
+def _slewed_throttle(scene: Mapping[str, float], value: float) -> float:
+    # A planner-stage (U_A) pedal corruption reaches the vehicle through
+    # the PID/slew stage, so its effective magnitude is rate-limited.
+    current = scene["throttle"]
+    delta = min(max(value - current, -_PEDAL_SLEW_WINDOW),
+                _PEDAL_SLEW_WINDOW)
+    return current + delta
+
+
+def _slewed_brake(scene: Mapping[str, float], value: float) -> float:
+    current = scene["brake"]
+    delta = min(max(value - current, -_PEDAL_SLEW_WINDOW),
+                _PEDAL_SLEW_WINDOW)
+    return current + delta
+
+
+@dataclass(frozen=True)
+class MinedVariable:
+    """How one injectable ADS variable maps into the 3-TBN.
+
+    ``recovery`` is the stack's latency to unwind the corruption once
+    the window closes: actuation-stage (A_t) corruptions are overwritten
+    by the controller on the next frame; planner-stage (U_A) corruptions
+    persist through the pedal slew; belief-stage (W_t / I_t / M_t)
+    corruptions persist until the filters re-converge.
+    """
+
+    node: str
+    transform: Callable[[Mapping[str, float], float], float] = _identity
+    recovery: float = 0.25
+
+
+#: ADS variable -> BN intervention description.
+NODE_MAPPING: dict[str, MinedVariable] = {
+    "throttle": MinedVariable("throttle", recovery=0.2),
+    "raw_throttle": MinedVariable("throttle", _slewed_throttle,
+                                  recovery=0.4),
+    "brake": MinedVariable("brake", recovery=0.2),
+    "raw_brake": MinedVariable("brake", _slewed_brake, recovery=0.4),
+    "steering": MinedVariable("steering", recovery=0.1),
+    "raw_steering": MinedVariable("steering", recovery=0.4),
+    "tracked_gap": MinedVariable("gap", recovery=0.25),
+    "detection_x": MinedVariable("gap", _gap_from_detection,
+                                 recovery=0.25),
+    "tracked_speed": MinedVariable("closing", _closing_from_lead_speed,
+                                   recovery=0.25),
+    "imu_speed": MinedVariable("v", recovery=0.25),
+    "ego_speed_estimate": MinedVariable("v", recovery=0.25),
+    "sensed_lane_offset": MinedVariable("lat", recovery=0.25),
+    "model_lane_offset": MinedVariable("lat", recovery=0.25),
+}
+
+#: The ADS variables the Bayesian engine can reason about.
+MINED_VARIABLES = tuple(NODE_MAPPING)
+
+
+@dataclass(frozen=True)
+class SceneRow:
+    """One golden-trace instant: evidence for slice 0 of the 3-TBN."""
+
+    scenario: str
+    evidence_tick: int      # control tick of the observed state (k - 1)
+    injection_tick: int     # control tick a mined fault would fire at (k)
+    values: dict            # all TRACE_COLUMNS at the evidence instant
+    observed_delta_long: float   # golden delta at the injection instant
+    observed_delta_lat: float
+
+    @property
+    def observed_safe(self) -> bool:
+        """The F_crit premise: the scene is safe without the fault."""
+        return (self.observed_delta_long > 0.0
+                and self.observed_delta_lat > 0.0)
+
+
+def scene_rows_from_trace(scenario: str, trace: Trace) -> list[SceneRow]:
+    """Consecutive-row pairs of a golden trace -> scene rows."""
+    arrays = trace.as_arrays()
+    n = len(trace)
+    rows = []
+    for i in range(n - 1):
+        values = {name: float(column[i]) for name, column in arrays.items()}
+        rows.append(SceneRow(
+            scenario=scenario,
+            evidence_tick=int(arrays["tick"][i]),
+            injection_tick=int(arrays["tick"][i + 1]),
+            values=values,
+            observed_delta_long=float(arrays["delta_long"][i + 1]),
+            observed_delta_lat=float(arrays["delta_lat"][i + 1])))
+    return rows
+
+
+@dataclass(frozen=True)
+class CandidateFault:
+    """A mined fault: scene + corruption + predicted consequence."""
+
+    scenario: str
+    injection_tick: int
+    variable: str
+    value: float
+    predicted_delta_long: float
+    predicted_delta_lat: float
+    observed_delta_long: float
+    observed_delta_lat: float
+
+    @property
+    def predicted_minimum(self) -> float:
+        """The binding predicted margin (ranking key)."""
+        return min(self.predicted_delta_long, self.predicted_delta_lat)
+
+    def to_fault_spec(self, duration_ticks: int = 2) -> FaultSpec:
+        """The executable fault for validation."""
+        return FaultSpec(variable=self.variable, value=self.value,
+                         start_tick=self.injection_tick,
+                         duration_ticks=duration_ticks)
+
+
+@dataclass
+class MiningReport:
+    """Cost accounting of one mining pass (feeds E2)."""
+
+    n_scenes: int = 0
+    n_scored: int = 0
+    n_critical: int = 0
+    wall_seconds: float = 0.0
+
+
+class BayesianFaultInjector:
+    """Trains the 3-TBN and mines ``F_crit`` by do-calculus scoring."""
+
+    def __init__(self, model: LinearGaussianBayesianNetwork,
+                 safety_config: SafetyConfig | None = None,
+                 n_slices: int = 3, slice_dt: float = 0.1):
+        self.model = model
+        self.safety_config = safety_config or SafetyConfig()
+        self.n_slices = n_slices
+        self.slice_dt = slice_dt      # s between planner frames / slices
+        self._engines: dict[str, GaussianInference] = {}
+
+    # -- training -----------------------------------------------------------
+
+    @classmethod
+    def train(cls, golden_runs: list[RunResult],
+              safety_config: SafetyConfig | None = None,
+              n_slices: int = 3) -> "BayesianFaultInjector":
+        """Fit the 3-TBN from fault-free traces."""
+        template = ads_dbn_template()
+        traces = []
+        slice_dt = 0.1
+        for run in golden_runs:
+            arrays = run.trace.as_arrays()
+            traces.append({name: arrays[name] for name in BN_VARIABLES})
+            if len(arrays["time"]) > 1:
+                slice_dt = float(arrays["time"][1] - arrays["time"][0])
+        model = template.fit_linear_gaussian(traces, n_slices=n_slices)
+        return cls(model, safety_config, n_slices, slice_dt)
+
+    # -- inference -----------------------------------------------------------
+    #
+    # The counterfactual follows the paper's factorization: the BN infers
+    # how the *controller* responds to the corrupted belief (actuation at
+    # slices 1 and 2), and the kinematic model propagates the *physical*
+    # state.  Belief and physics share nodes in the golden traces (they
+    # coincide without faults), so intervening on a belief node must not
+    # be allowed to rewrite physics directly — a corrupted "lead speed"
+    # does not move the real lead vehicle.
+
+    #: Actuation nodes inferred from the mutilated network.
+    _ACTUATION = ("throttle", "brake", "steering")
+    _ACTUATION_BOUNDS = {"throttle": (0.0, 1.0), "brake": (0.0, 1.0),
+                         "steering": (-0.55, 0.55)}
+    #: The planner's lane-keeping authority: *inferred* steering
+    #: responses (linear extrapolations of the learned CPDs) are clipped
+    #: here, because the real planner clips its output.  An *injected*
+    #: steering value bypasses the planner and keeps the physical range.
+    _STEERING_AUTHORITY = 0.08
+
+    def _engine_for(self, node: str) -> GaussianInference:
+        """Engine on the graph mutilated for ``do(node@1, node@2)``.
+
+        The corruption window spans two planner frames (the campaign
+        default), so the belief is forced at both future slices.  Cutting
+        the edges into the intervened nodes and conditioning on their
+        values is the truncated-factorization semantics of ``do``.
+        """
+        if node not in self._engines:
+            mutilated = self.model.copy()
+            from ..bayesnet.cpd import LinearGaussianCPD
+            for t in (1, 2):
+                name = slice_node(node, t)
+                mutilated.dag.remove_incoming_edges(name)
+                mutilated.cpds[name] = LinearGaussianCPD(
+                    name, intercept=0.0, variance=1.0)
+            self._engines[node] = GaussianInference(mutilated)
+        return self._engines[node]
+
+    def _infer_actuation(self, scene: SceneRow, node: str,
+                         node_value: float) -> dict[int, dict[str, float]]:
+        """MLE of (throttle, brake, steering) at slices 1 and 2."""
+        engine = self._engine_for(node)
+        evidence = {slice_node(name, 0): scene.values[name]
+                    for name in BN_VARIABLES}
+        evidence[slice_node(node, 1)] = node_value
+        evidence[slice_node(node, 2)] = node_value
+        query = [slice_node(name, t)
+                 for t in (1, 2) for name in self._ACTUATION
+                 if name != node]
+        estimate = engine.map_query(query, evidence) if query else {}
+        result: dict[int, dict[str, float]] = {1: {}, 2: {}}
+        for t in (1, 2):
+            for name in self._ACTUATION:
+                if name == node:
+                    raw = node_value
+                    low, high = self._ACTUATION_BOUNDS[name]
+                else:
+                    raw = estimate[slice_node(name, t)]
+                    low, high = self._ACTUATION_BOUNDS[name]
+                    if name == "steering":
+                        low = -self._STEERING_AUTHORITY
+                        high = self._STEERING_AUTHORITY
+                result[t][name] = float(min(max(raw, low), high))
+        return result
+
+    def _dynamics(self, target: str) -> "LinearGaussianCPD":
+        """The learned physical one-step dynamics CPD of ``target``."""
+        return self.model.cpds[slice_node(target, 1)]
+
+    def _step(self, cpd, values: Mapping[str, float]) -> float:
+        """Evaluate a slice-1 CPD's mean with slice-0 parent values."""
+        parents = {parent: values[parent.rsplit(SLICE_SEPARATOR, 1)[0]]
+                   for parent in cpd.parents}
+        return cpd.mean(parents)
+
+    def predict_after_fault(self, scene: SceneRow, node: str,
+                            node_value: float,
+                            recovery: float = 0.25) -> dict[str, float]:
+        """Physical kinematic state after ``do(f)`` plus recovery.
+
+        The BN infers the actuation response; the kinematic model then
+        propagates ``v`` through the corruption window *and* the
+        controller's recovery latency, while the environment (gap to the
+        real lead) evolves by the sensed ground truth — the paper's
+        Eq. 2 -> Eq. 7 pipeline.  Returns the MLE of
+        ``{v, gap, closing, lat, steering}`` at the worst rollout instant.
+        """
+        values = scene.values
+        actuation = self._infer_actuation(scene, node, node_value)
+        v_dynamics = self._dynamics("v")
+        lat_dynamics = self._dynamics("lat")
+
+        # Slice 1 physics follows the *observed* slice-0 actuation (the
+        # fault fires at slice 1, whose commands act between 1 and 2).
+        state0 = {name: values[name] for name in BN_VARIABLES}
+        v_path = [values["v"], max(self._step(v_dynamics, state0), 0.0)]
+        state1 = dict(state0)
+        state1.update(actuation[1])
+        state1["v"] = v_path[1]
+        state1["lat"] = self._step(lat_dynamics, state0)
+        v_path.append(max(self._step(v_dynamics, state1), 0.0))
+        lat2 = self._step(lat_dynamics, state1)
+
+        # Recovery phase: the stack unwinds the corruption over the
+        # variable's recovery latency, so the rollout decays the faulted
+        # commands linearly back to the scene's golden commands.
+        extra_steps = max(int(round(recovery / self.slice_dt)), 0)
+        for step in range(extra_steps):
+            blend = (step + 1) / (extra_steps + 1)
+            state = dict(state1)
+            for name in self._ACTUATION:
+                golden = scene.values[name]
+                state[name] = ((1.0 - blend) * actuation[2][name]
+                               + blend * golden)
+            state["v"] = v_path[-1]
+            v_path.append(max(self._step(v_dynamics, state), 0.0))
+
+        # Environment: sensed ground truth, lead at constant speed.
+        gt_gap = values["gt_gap"]
+        lead_v = values["gt_lead_v"]
+        if gt_gap >= 0.98 * SENSOR_RANGE or lead_v < 0.0:
+            return {"v": v_path[2], "v_end": v_path[-1],
+                    "gap": SENSOR_RANGE, "closing": 0.0,
+                    "lat": lat2, "steering": actuation[2]["steering"]}
+        gap = gt_gap
+        gap_path = [gap]
+        for i in range(1, len(v_path)):
+            closing_step = ((v_path[i - 1] - lead_v)
+                            + (v_path[i] - lead_v)) / 2.0
+            gap -= closing_step * self.slice_dt
+            gap_path.append(gap)
+        # Report the rollout instant with the worst safety margin.
+        worst = min(
+            range(len(v_path)),
+            key=lambda i: (gap_path[i] + lead_v ** 2
+                           / (2.0 * self.safety_config.a_max)
+                           - v_path[i] ** 2
+                           / (2.0 * self.safety_config.a_max)))
+        return {"v": v_path[worst], "v_end": v_path[-1],
+                "gap": gap_path[worst],
+                "closing": v_path[worst] - lead_v, "lat": lat2,
+                "steering": actuation[2]["steering"]}
+
+    def predicted_potential(self, scene: SceneRow, variable: str,
+                            value: float) -> SafetyPotential:
+        """``delta_hat_do(f)``: safety potential after the counterfactual.
+
+        Longitudinal: BN-inferred actuation + kinematic propagation (the
+        paper's pipeline).  Lateral: hazards are physical (off-road or
+        side collision), so steering-type faults are scored by the
+        predicted excursion of the corruption-and-recovery episode
+        against the scene's lateral clearance.
+        """
+        mapping = NODE_MAPPING[variable]
+        node = mapping.node
+        node_value = mapping.transform(scene.values, value)
+        estimate = self.predict_after_fault(scene, node, node_value,
+                                            recovery=mapping.recovery)
+        v_hat = max(estimate["v"], 0.0)
+        gap_hat = max(estimate["gap"], 0.0)
+        if gap_hat >= 0.98 * SENSOR_RANGE:
+            gap_hat, lead_speed = SENSOR_RANGE, None
+        else:
+            lead_speed = max(v_hat - estimate["closing"], 0.0)
+        stop = stopping_displacement(v_hat, 0.0, scene.values["steering"],
+                                     self.safety_config)
+        delta_long = (longitudinal_envelope(gap_hat, lead_speed,
+                                            self.safety_config)
+                      - stop.longitudinal)
+
+        # Lateral hazards are physical (side collision or road
+        # departure): score the corruption-and-recovery excursion against
+        # the clearance on the drift side.  For steering-type faults the
+        # excursion is the whole effect; for belief faults the excursion
+        # of the (authority-clipped) inferred response plus the predicted
+        # physical drift.
+        phi_fault = estimate["steering"]
+        excursion = steering_excursion(
+            v=scene.values["v"], phi_fault=phi_fault,
+            window=2.0 * self.slice_dt, config=self.safety_config)
+        drift = (0.0 if node == "steering"
+                 else estimate["lat"] - scene.values["lat"])
+        direction = phi_fault if abs(phi_fault) > 1e-3 else drift
+        if direction >= 0.0:
+            clearance = scene.values["lat_free_up"]
+        else:
+            clearance = scene.values["lat_free_down"]
+        delta_lat = clearance - excursion - abs(drift)
+        return SafetyPotential(longitudinal=delta_long, lateral=delta_lat)
+
+    # -- mining ---------------------------------------------------------------
+
+    def mine_critical_faults(self, scenes: list[SceneRow],
+                             variables: tuple[str, ...] = MINED_VARIABLES,
+                             threshold: float = 0.0,
+                             top_k: int | None = None
+                             ) -> tuple[list[CandidateFault], MiningReport]:
+        """Score every (scene, variable, min/max value); return ``F_crit``.
+
+        A candidate is critical when the scene was safe
+        (``delta > 0``) and the predicted potential after ``do(f)`` is at
+        or below ``threshold``.  Results are sorted most-critical first.
+        """
+        report = MiningReport(n_scenes=len(scenes))
+        start = time.perf_counter()
+        critical: list[CandidateFault] = []
+        for scene in scenes:
+            if not scene.observed_safe:
+                continue
+            for variable in variables:
+                for value in variable_by_name(variable).corruption_values():
+                    report.n_scored += 1
+                    potential = self.predicted_potential(scene, variable,
+                                                         float(value))
+                    if potential.minimum <= threshold:
+                        critical.append(CandidateFault(
+                            scenario=scene.scenario,
+                            injection_tick=scene.injection_tick,
+                            variable=variable,
+                            value=float(value),
+                            predicted_delta_long=potential.longitudinal,
+                            predicted_delta_lat=potential.lateral,
+                            observed_delta_long=scene.observed_delta_long,
+                            observed_delta_lat=scene.observed_delta_lat))
+        critical.sort(key=lambda c: c.predicted_minimum)
+        if top_k is not None:
+            critical = critical[:top_k]
+        report.n_critical = len(critical)
+        report.wall_seconds = time.perf_counter() - start
+        return critical, report

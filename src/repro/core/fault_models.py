@@ -1,0 +1,141 @@
+"""The three fault models of the paper (Section II-C).
+
+(a) Random, uniform faults in non-ECC processor structures — realized by
+    the :mod:`repro.arch` register-bit-flip injector running real ADS
+    kernels, with silent corruptions propagated into the matching ADS
+    variable.
+(b) Random/exhaustive corruption of ADS module outputs with their min or
+    max values.
+(c) Bayesian-selected corruptions: the same (variable, value) space as
+    (b), but chosen by the Bayesian fault injector (see
+    :mod:`repro.core.bayesian_fi`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ads.variables import REGISTRY, InjectableVariable, variable_by_name
+from ..arch.injector import ArchitecturalInjector, Outcome
+from ..arch.kernels import (Kernel, dot_kernel, idm_kernel, kalman_kernel,
+                            matmul_kernel, pid_kernel)
+from .simulate import FaultSpec
+
+#: Variables excluded from output-corruption campaigns by default: gps_x
+#: jumps teleport the localization estimate along the road axis, which
+#: the planner ignores on a straight highway (pure masking, only cost).
+DEFAULT_VARIABLES = tuple(v.name for v in REGISTRY if v.name != "gps_x")
+
+
+def minmax_fault_grid(injection_ticks: list[int],
+                      variable_names: list[str] | None = None,
+                      duration_ticks: int = 2) -> list[FaultSpec]:
+    """Fault model (b): every variable x {min, max} x every tick."""
+    names = list(variable_names or DEFAULT_VARIABLES)
+    grid = []
+    for tick in injection_ticks:
+        for name in names:
+            variable = variable_by_name(name)
+            for value in variable.corruption_values():
+                grid.append(FaultSpec(variable=name, value=float(value),
+                                      start_tick=int(tick),
+                                      duration_ticks=duration_ticks))
+    return grid
+
+
+def random_fault(rng: np.random.Generator, injection_ticks: list[int],
+                 variable_names: list[str] | None = None,
+                 duration_ticks: int = 2) -> FaultSpec:
+    """Fault model (b), randomized: uniform variable, value, and tick."""
+    names = list(variable_names or DEFAULT_VARIABLES)
+    name = names[int(rng.integers(len(names)))]
+    variable = variable_by_name(name)
+    value = float(rng.uniform(variable.min_value, variable.max_value))
+    tick = int(injection_ticks[int(rng.integers(len(injection_ticks)))])
+    return FaultSpec(variable=name, value=value, start_tick=tick,
+                     duration_ticks=duration_ticks)
+
+
+# -- fault model (a): architectural faults propagated into the ADS ---------
+
+#: Which ADS variable each kernel's output feeds (the module the kernel
+#: belongs to).  A silent corruption of the kernel output manifests as a
+#: corruption of this variable.
+KERNEL_VARIABLE_MAP = {
+    "dot16": "detection_x",       # perception front end
+    "matmul4": "detection_x",     # perception GEMM
+    "kalman": "tracked_gap",      # tracker measurement update
+    "pid": "throttle",            # control output
+    "idm": "raw_throttle",        # planner longitudinal command
+}
+
+
+@dataclass(frozen=True)
+class ArchFaultOutcome:
+    """Result of sampling one architectural fault.
+
+    ``fault`` is ``None`` for masked flips and for detectable crashes or
+    hangs (the paper notes those are recoverable with the redundant
+    systems AVs already carry, so they never reach the actuators).
+    """
+
+    kernel: str
+    outcome: Outcome
+    relative_error: float
+    fault: FaultSpec | None
+
+
+class ArchitecturalFaultModel:
+    """Fault model (a): register bit flips in ADS kernels.
+
+    A silent corruption with relative error ``r`` is mapped onto the
+    kernel's ADS variable as a deflection of fraction ``min(r, 1)`` from
+    the middle of the variable's physical range toward a random extreme:
+    tiny numerical errors stay near nominal (and are masked downstream),
+    while exponent-bit corruptions saturate at the min/max corruption
+    values — the same values fault model (b) uses.
+    """
+
+    def __init__(self, kernels: list[Kernel] | None = None):
+        self.kernels = kernels or [dot_kernel(16), matmul_kernel(4),
+                                   kalman_kernel(), pid_kernel(),
+                                   idm_kernel()]
+        self._injectors = {k.name: ArchitecturalInjector(k)
+                           for k in self.kernels}
+        unknown = [k.name for k in self.kernels
+                   if k.name not in KERNEL_VARIABLE_MAP]
+        if unknown:
+            raise ValueError(f"kernels without a variable mapping: "
+                             f"{unknown}")
+
+    def sample(self, rng: np.random.Generator, injection_ticks: list[int],
+               duration_ticks: int = 2) -> ArchFaultOutcome:
+        """One architectural injection, mapped to an ADS-level fault."""
+        kernel = self.kernels[int(rng.integers(len(self.kernels)))]
+        result = self._injectors[kernel.name].inject(rng)
+        if result.outcome is not Outcome.SDC:
+            return ArchFaultOutcome(kernel=kernel.name,
+                                    outcome=result.outcome,
+                                    relative_error=result.relative_error,
+                                    fault=None)
+        variable = variable_by_name(KERNEL_VARIABLE_MAP[kernel.name])
+        value = self._map_error_to_value(variable, result.relative_error,
+                                         rng)
+        tick = int(injection_ticks[int(rng.integers(len(injection_ticks)))])
+        fault = FaultSpec(variable=variable.name, value=value,
+                          start_tick=tick, duration_ticks=duration_ticks)
+        return ArchFaultOutcome(kernel=kernel.name, outcome=result.outcome,
+                                relative_error=result.relative_error,
+                                fault=fault)
+
+    @staticmethod
+    def _map_error_to_value(variable: InjectableVariable,
+                            relative_error: float,
+                            rng: np.random.Generator) -> float:
+        middle = (variable.min_value + variable.max_value) / 2.0
+        extreme = (variable.max_value if rng.random() < 0.5
+                   else variable.min_value)
+        fraction = min(relative_error, 1.0)
+        return float(middle + fraction * (extreme - middle))

@@ -1,0 +1,86 @@
+"""JSON persistence for campaign artifacts.
+
+Campaigns can take minutes; records are cheap to store and replay.
+Everything needed to reproduce an experiment (scenario, tick, variable,
+value, duration, seed) plus its outcome round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .bayesian_fi import CandidateFault
+from .results import CampaignSummary, ExperimentRecord, Hazard
+
+
+def record_to_dict(record: ExperimentRecord) -> dict:
+    """Flatten one experiment record to JSON-safe types."""
+    return {
+        "scenario": record.scenario,
+        "injection_tick": record.injection_tick,
+        "variable": record.variable,
+        "value": record.value,
+        "duration_ticks": record.duration_ticks,
+        "seed": record.seed,
+        "hazard": record.hazard.value,
+        "landed": record.landed,
+        "pre_delta_long": record.pre_delta_long,
+        "pre_delta_lat": record.pre_delta_lat,
+        "min_delta_long": record.min_delta_long,
+        "min_delta_lat": record.min_delta_lat,
+        "sim_seconds": record.sim_seconds,
+        "wall_seconds": record.wall_seconds,
+    }
+
+
+def record_from_dict(data: dict) -> ExperimentRecord:
+    """Inverse of :func:`record_to_dict`."""
+    fields = dict(data)
+    fields["hazard"] = Hazard(fields["hazard"])
+    return ExperimentRecord(**fields)
+
+
+def save_summary(summary: CampaignSummary, path: str | Path) -> None:
+    """Write a campaign summary to a JSON file."""
+    payload = {"records": [record_to_dict(r) for r in summary.records]}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_summary(path: str | Path) -> CampaignSummary:
+    """Read a campaign summary back."""
+    payload = json.loads(Path(path).read_text())
+    return CampaignSummary(
+        records=[record_from_dict(d) for d in payload["records"]])
+
+
+def candidate_to_dict(candidate: CandidateFault) -> dict:
+    """Flatten one mined candidate."""
+    return {
+        "scenario": candidate.scenario,
+        "injection_tick": candidate.injection_tick,
+        "variable": candidate.variable,
+        "value": candidate.value,
+        "predicted_delta_long": candidate.predicted_delta_long,
+        "predicted_delta_lat": candidate.predicted_delta_lat,
+        "observed_delta_long": candidate.observed_delta_long,
+        "observed_delta_lat": candidate.observed_delta_lat,
+    }
+
+
+def candidate_from_dict(data: dict) -> CandidateFault:
+    """Inverse of :func:`candidate_to_dict`."""
+    return CandidateFault(**data)
+
+
+def save_candidates(candidates: list[CandidateFault],
+                    path: str | Path) -> None:
+    """Write mined candidates to a JSON file."""
+    payload = {"candidates": [candidate_to_dict(c) for c in candidates]}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_candidates(path: str | Path) -> list[CandidateFault]:
+    """Read mined candidates back."""
+    payload = json.loads(Path(path).read_text())
+    return [candidate_from_dict(d) for d in payload["candidates"]]

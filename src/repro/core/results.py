@@ -1,0 +1,114 @@
+"""Experiment records and campaign summaries."""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class Hazard(enum.Enum):
+    """How a fault-injection experiment ended, worst first."""
+
+    COLLISION = "collision"
+    OFF_ROAD = "off_road"
+    SAFETY_VIOLATION = "safety_violation"   # delta <= 0 at some instant
+    NONE = "none"
+
+
+_SEVERITY = {Hazard.COLLISION: 3, Hazard.OFF_ROAD: 2,
+             Hazard.SAFETY_VIOLATION: 1, Hazard.NONE: 0}
+
+
+def worst_hazard(hazards: list[Hazard]) -> Hazard:
+    """The most severe hazard in a list (NONE for an empty list)."""
+    if not hazards:
+        return Hazard.NONE
+    return max(hazards, key=lambda h: _SEVERITY[h])
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One fault-injection experiment, fully reproducible from its fields."""
+
+    scenario: str
+    injection_tick: int
+    variable: str
+    value: float
+    duration_ticks: int
+    seed: int
+    hazard: Hazard
+    landed: bool                 # did the corruption touch a payload?
+    pre_delta_long: float        # ground-truth delta at injection time
+    pre_delta_lat: float
+    min_delta_long: float        # worst delta in the post-injection window
+    min_delta_lat: float
+    sim_seconds: float           # simulated time covered
+    wall_seconds: float          # host time spent
+
+    @property
+    def hazardous(self) -> bool:
+        """True for any safety hazard."""
+        return self.hazard is not Hazard.NONE
+
+    @property
+    def pre_injection_safe(self) -> bool:
+        """True when the scene was safe before the fault (F_crit premise)."""
+        return self.pre_delta_long > 0.0 and self.pre_delta_lat > 0.0
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate statistics of a list of experiment records."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of experiments."""
+        return len(self.records)
+
+    @property
+    def hazards(self) -> int:
+        """Experiments ending in any hazard."""
+        return sum(1 for r in self.records if r.hazardous)
+
+    @property
+    def hazard_rate(self) -> float:
+        """Fraction of experiments ending in a hazard."""
+        return self.hazards / self.total if self.total else 0.0
+
+    @property
+    def landed(self) -> int:
+        """Experiments whose corruption touched a payload."""
+        return sum(1 for r in self.records if r.landed)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total host time across experiments."""
+        return sum(r.wall_seconds for r in self.records)
+
+    def hazard_breakdown(self) -> dict[str, int]:
+        """Counts per hazard class."""
+        counts = Counter(r.hazard.value for r in self.records)
+        return dict(counts)
+
+    def hazards_by_variable(self) -> dict[str, int]:
+        """Hazard counts grouped by injected variable (for E3)."""
+        counts: Counter = Counter()
+        for record in self.records:
+            if record.hazardous:
+                counts[record.variable] += 1
+        return dict(counts)
+
+    def experiments_by_variable(self) -> dict[str, int]:
+        """Experiment counts grouped by injected variable."""
+        counts: Counter = Counter()
+        for record in self.records:
+            counts[record.variable] += 1
+        return dict(counts)
+
+    def hazardous_scenes(self) -> set[tuple[str, int]]:
+        """Distinct (scenario, tick) scenes where hazards manifested."""
+        return {(r.scenario, r.injection_tick)
+                for r in self.records if r.hazardous}

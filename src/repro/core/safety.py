@@ -1,0 +1,242 @@
+"""The paper's kinematics-based safety model (Section III-A).
+
+Definitions (paper Definitions 1-3):
+
+* ``d_stop``  — displacement of the ego during an *emergency stop*
+  maneuver: deceleration pinned at the maximum comfortable value
+  ``a_max`` with steering frozen (Eq. 5-6), integrated numerically with
+  RK4 (Eq. 7's procedure ``P``).  Both the longitudinal and the lateral
+  components of the displacement matter.
+* ``d_safe``  — the distance the ego can travel without striking any
+  object.  For a moving lead vehicle we charge the lead its own
+  worst-case stopping distance ``v_lead^2 / (2 a_max)`` (the RSS-style
+  reading of the paper's "estimate vehicle and object trajectories"):
+  following a same-speed lead at gap ``g`` yields ``delta ~= g``, which
+  matches the paper's Example 1 numbers (cut-in collapses delta from
+  20 m to 2 m).
+* ``delta = d_safe - d_stop`` — the safety potential.  The vehicle is
+  safe iff ``delta > 0`` in both the longitudinal and lateral directions.
+
+Laterally, the free distance is the clearance to the road edge and any
+flanking vehicle (see :func:`repro.sim.collision.lateral_clearance`);
+DESIGN.md records why the ego-lane line is not used for the lateral
+*envelope* (steering noise would flag every highway scene).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..sim.collision import SENSOR_RANGE
+from ..sim.world import World
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Parameters of the safety model."""
+
+    a_max: float = 6.0            # maximum comfortable deceleration (m/s^2)
+    wheelbase: float = 2.8        # m, matches VehicleParameters
+    integration_dt: float = 0.05  # s, RK4 step for the stop maneuver
+    max_maneuver_time: float = 30.0   # s, hard cap on integration
+    #: Lateral drift is charged over this initial window of the maneuver.
+    #: Freezing steering for the *entire* stop would flag every highway
+    #: scene (millimetre steering jitter integrates to metres over an
+    #: 80 m stop); within ~0.5 s the still-running lane keeper re-centres.
+    lateral_window: float = 0.5
+
+
+@dataclass(frozen=True)
+class StoppingDisplacement:
+    """Result of integrating the emergency-stop maneuver."""
+
+    longitudinal: float   # road-frame x displacement at full stop (m)
+    lateral: float        # road-frame y displacement in the window (m)
+    stop_time: float      # s until v = 0
+
+
+@lru_cache(maxsize=65536)
+def _canonical_stop(v: float, phi: float, a_max: float, wheelbase: float,
+                    dt: float, lateral_window: float, max_time: float
+                    ) -> tuple[float, float, float, float]:
+    """Emergency stop from heading 0: pure-float RK4 on (x, y, v, theta).
+
+    Returns ``(x_stop, y_stop, x_window, y_window, t_stop)``.  Heading
+    only rotates the trajectory rigidly, so callers rotate the result by
+    the actual initial heading; with quantized inputs this cache serves
+    every tick of every experiment.
+    """
+    x = y = theta = 0.0
+    t = 0.0
+    x_window = y_window = 0.0
+    window_done = lateral_window <= 0.0
+    tan_phi = math.tan(phi)
+    turn = tan_phi / wheelbase
+
+    def derivs(xx, yy, vv, th):
+        vv = vv if vv > 0.0 else 0.0
+        return (vv * math.cos(th), vv * math.sin(th), -a_max, vv * turn)
+
+    while v > 0.0 and t < max_time:
+        d1 = derivs(x, y, v, theta)
+        d2 = derivs(x + 0.5 * dt * d1[0], y + 0.5 * dt * d1[1],
+                    v + 0.5 * dt * d1[2], theta + 0.5 * dt * d1[3])
+        d3 = derivs(x + 0.5 * dt * d2[0], y + 0.5 * dt * d2[1],
+                    v + 0.5 * dt * d2[2], theta + 0.5 * dt * d2[3])
+        d4 = derivs(x + dt * d3[0], y + dt * d3[1], v + dt * d3[2],
+                    theta + dt * d3[3])
+        x += (dt / 6.0) * (d1[0] + 2 * d2[0] + 2 * d3[0] + d4[0])
+        y += (dt / 6.0) * (d1[1] + 2 * d2[1] + 2 * d3[1] + d4[1])
+        v += (dt / 6.0) * (d1[2] + 2 * d2[2] + 2 * d3[2] + d4[2])
+        theta += (dt / 6.0) * (d1[3] + 2 * d2[3] + 2 * d3[3] + d4[3])
+        t += dt
+        if not window_done and t >= lateral_window:
+            x_window, y_window = x, y
+            window_done = True
+    if not window_done:
+        x_window, y_window = x, y  # stopped inside the window
+    return x, y, x_window, y_window, t
+
+
+def stopping_displacement(v: float, theta: float, phi: float,
+                          config: SafetyConfig | None = None
+                          ) -> StoppingDisplacement:
+    """Integrate Eq. 5-6: brake at ``a_max`` with steering frozen.
+
+    Returns the displacement in the road frame (x longitudinal, y
+    lateral) and the stopping time, via RK4 per the paper's Eq. 7
+    procedure ``P``.  Longitudinal displacement covers the full stop;
+    lateral drift is charged over ``config.lateral_window`` (see
+    :class:`SafetyConfig`).  Inputs are quantized slightly so repeated
+    queries hit a cache.
+    """
+    config = config or SafetyConfig()
+    v = max(v, 0.0)
+    v_q = round(v / 0.05) * 0.05
+    phi_q = round(phi / 5e-4) * 5e-4
+    x_stop, y_stop, x_window, y_window, t_stop = _canonical_stop(
+        v_q, phi_q, config.a_max, config.wheelbase, config.integration_dt,
+        config.lateral_window, config.max_maneuver_time)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    longitudinal = x_stop * cos_t - y_stop * sin_t
+    lateral = x_window * sin_t + y_window * cos_t
+    return StoppingDisplacement(longitudinal=longitudinal, lateral=lateral,
+                                stop_time=t_stop)
+
+
+@lru_cache(maxsize=65536)
+def _excursion_rollout(v: float, phi_fault: float, window: float,
+                       slew_rate: float, recovery_phi: float,
+                       wheelbase: float, dt: float,
+                       max_time: float) -> float:
+    """Peak |lateral drift| of a steering-corruption episode.
+
+    The steering angle slews toward ``phi_fault`` for ``window`` seconds
+    (the corruption persists at the actuation interface), then the lane
+    keeper counters with its ``recovery_phi`` authority until the heading
+    re-crosses zero.  Speed is held constant — the episode is short.
+    """
+    y = theta = phi = 0.0
+    t = 0.0
+    peak = 0.0
+    while t < max_time:
+        if t < window:
+            target = phi_fault
+        else:
+            target = -recovery_phi if theta > 0 else recovery_phi
+            if abs(theta) < 1e-4 and abs(y) <= peak:
+                break
+        step = max(min(target - phi, slew_rate * dt), -slew_rate * dt)
+        phi += step
+        theta += v * math.tan(phi) / wheelbase * dt
+        y += v * math.sin(theta) * dt
+        peak = max(peak, abs(y))
+        t += dt
+    return peak
+
+
+def steering_excursion(v: float, phi_fault: float, window: float,
+                       slew_rate: float = 0.6, recovery_phi: float = 0.08,
+                       config: SafetyConfig | None = None) -> float:
+    """Predicted lateral excursion of a steering fault (see above).
+
+    Used by the Bayesian engine to predict physical lane/road departure;
+    inputs are quantized so repeated queries hit a cache.
+    """
+    config = config or SafetyConfig()
+    v_q = round(max(v, 0.0) / 0.1) * 0.1
+    phi_q = round(phi_fault / 1e-3) * 1e-3
+    window_q = round(window / 0.05) * 0.05
+    return _excursion_rollout(v_q, phi_q, window_q, slew_rate,
+                              recovery_phi, config.wheelbase, 0.01, 5.0)
+
+
+@dataclass(frozen=True)
+class SafetyPotential:
+    """The pair of safety potentials (paper Definition 3)."""
+
+    longitudinal: float
+    lateral: float
+
+    @property
+    def safe(self) -> bool:
+        """True iff both directions have positive potential."""
+        return self.longitudinal > 0.0 and self.lateral > 0.0
+
+    @property
+    def minimum(self) -> float:
+        """The binding margin."""
+        return min(self.longitudinal, self.lateral)
+
+
+def longitudinal_envelope(gap: float, lead_speed: float | None,
+                          config: SafetyConfig | None = None) -> float:
+    """``d_safe`` along the travel direction.
+
+    ``gap`` is the current bumper gap to the nearest in-corridor object;
+    ``lead_speed`` is that object's speed (``None`` for a clear road).
+    A moving lead contributes its own worst-case stopping distance.
+    """
+    config = config or SafetyConfig()
+    if lead_speed is None or gap >= SENSOR_RANGE:
+        # Clear corridor: the envelope is the sensing horizon.
+        return SENSOR_RANGE
+    lead_stopping = max(lead_speed, 0.0) ** 2 / (2.0 * config.a_max)
+    return gap + lead_stopping
+
+
+def safety_potential(v: float, theta: float, phi: float, gap: float,
+                     lead_speed: float | None, lateral_free: float,
+                     config: SafetyConfig | None = None) -> SafetyPotential:
+    """``delta`` in both directions from kinematic state + environment.
+
+    ``lateral_free`` is the clearance to the nearest lateral obstruction
+    (road edge or flanking vehicle).
+    """
+    config = config or SafetyConfig()
+    stop = stopping_displacement(v, theta, phi, config)
+    d_safe_long = longitudinal_envelope(gap, lead_speed, config)
+    return SafetyPotential(
+        longitudinal=d_safe_long - stop.longitudinal,
+        lateral=lateral_free - abs(stop.lateral))
+
+
+def world_safety_potential(world: World,
+                           config: SafetyConfig | None = None
+                           ) -> SafetyPotential:
+    """Ground-truth ``delta`` of a live world (used to judge hazards)."""
+    state = world.ego.state
+    lead = world.lead_obstacle()
+    if lead is None:
+        gap, lead_speed = SENSOR_RANGE, None
+    else:
+        gap = ((lead.x - state.x)
+               - (world.ego.params.length + lead.length) / 2.0)
+        lead_speed = lead.v
+    # Heading is measured relative to the road axis (road runs along x).
+    return safety_potential(v=state.v, theta=state.theta, phi=state.phi,
+                            gap=gap, lead_speed=lead_speed,
+                            lateral_free=world.lateral_clearance(),
+                            config=config)

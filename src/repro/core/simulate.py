@@ -1,0 +1,180 @@
+"""Closed-loop execution: world + ADS + optional faults + safety monitor.
+
+This is the experiment engine shared by golden-trace collection, random
+and exhaustive campaigns, and the validation step of Bayesian FI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..ads.runtime import ADSConfig, ADSPipeline
+from ..sim.collision import SENSOR_RANGE
+from ..sim.scenario import Scenario
+from ..sim.trace import Trace
+from .results import Hazard
+from .safety import SafetyConfig, world_safety_potential
+
+#: Signals recorded at every planner tick of a run.  The Bayesian network
+#: trains on the belief/actuation subset; the ``gt_*`` and ``lat_free*``
+#: columns are the sensor-level ground truth the safety model consumes
+#: (the paper: "d_safe is computed directly from the sensors").
+TRACE_COLUMNS = ("time", "tick", "x", "v", "gap", "closing", "lat",
+                 "lat_free", "lat_free_up", "lat_free_down", "gt_gap",
+                 "gt_lead_v", "throttle", "brake", "steering", "delta_long",
+                 "delta_lat")
+
+#: Sentinel for ``gt_lead_v`` when the corridor ahead is clear.
+NO_LEAD = -1.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A scheduled corruption of one ADS variable."""
+
+    variable: str
+    value: float
+    start_tick: int
+    duration_ticks: int = 2
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one closed-loop run."""
+
+    scenario: str
+    seed: int
+    trace: Trace
+    hazard: Hazard
+    collided: bool
+    went_off_road: bool
+    min_delta_long: float
+    min_delta_lat: float
+    pre_delta_long: float      # delta at first fault tick (golden: at start)
+    pre_delta_lat: float
+    landed: bool               # any armed fault touched a payload
+    sim_seconds: float
+    wall_seconds: float
+    faults: list[FaultSpec] = field(default_factory=list)
+
+
+def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
+                 seed: int = 0, faults: list[FaultSpec] | None = None,
+                 safety_config: SafetyConfig | None = None,
+                 duration: float | None = None,
+                 horizon_after_fault: float | None = 8.0,
+                 record_trace: bool = True) -> RunResult:
+    """Run one scenario under ADS control, with optional fault injection.
+
+    Safety is monitored from the first fault tick onward (or the whole
+    run when fault-free).  The run ends early at a collision, at
+    ``horizon_after_fault`` seconds past the last fault window, or at the
+    scenario duration.
+    """
+    ads_config = ads_config or ADSConfig()
+    safety_config = safety_config or SafetyConfig()
+    faults = list(faults or [])
+    world = scenario.make_world()
+    pipeline = ADSPipeline(ads_config, seed=seed)
+    for fault in faults:
+        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
+                           fault.duration_ticks)
+
+    dt = ads_config.control_period
+    total_seconds = duration if duration is not None else scenario.duration
+    n_ticks = int(round(total_seconds / dt))
+    monitor_from = min((f.start_tick for f in faults), default=0)
+    stop_after: int | None = None
+    if faults and horizon_after_fault is not None:
+        last_end = max(f.start_tick + f.duration_ticks for f in faults)
+        stop_after = last_end + int(round(horizon_after_fault / dt))
+
+    trace = Trace()
+    collided = False
+    went_off_road = False
+    min_delta_long = float("inf")
+    min_delta_lat = float("inf")
+    pre_delta_long = float("inf")
+    pre_delta_lat = float("inf")
+    wall_start = time.perf_counter()
+
+    for tick in range(n_ticks):
+        is_planning_tick = pipeline.is_planning_tick
+        command = pipeline.tick(world)
+        world.step(command.throttle, command.brake, command.steering, dt)
+
+        potential = world_safety_potential(world, safety_config)
+        if tick == monitor_from:
+            pre_delta_long = potential.longitudinal
+            pre_delta_lat = potential.lateral
+        if tick >= monitor_from:
+            min_delta_long = min(min_delta_long, potential.longitudinal)
+            min_delta_lat = min(min_delta_lat, potential.lateral)
+            if world.in_collision():
+                collided = True
+            if world.off_road():
+                went_off_road = True
+
+        if record_trace and is_planning_tick:
+            plan = pipeline.last_plan
+            model = pipeline.last_model
+            gap = plan.gap if plan is not None else SENSOR_RANGE
+            closing = plan.closing_speed if plan is not None else 0.0
+            lat = model.lane_offset if model is not None else 0.0
+            # A 1 m corridor margin captures impending entrants (a body
+            # mid-cut-in), which a tracker with lateral velocity would
+            # already treat as lead.
+            lead = world.lead_obstacle(extra_margin=1.0)
+            if lead is None:
+                gt_gap, gt_lead_v = SENSOR_RANGE, NO_LEAD
+            else:
+                gt_gap = ((lead.x - world.ego.state.x)
+                          - (world.ego.params.length + lead.length) / 2.0)
+                gt_lead_v = lead.v
+            trace.record({
+                "time": world.time,
+                "tick": float(tick),
+                "x": world.ego.state.x,
+                "v": world.ego.state.v,
+                "gap": gap,
+                "closing": closing,
+                "lat": lat,
+                "lat_free": world.lateral_clearance(),
+                "lat_free_up": world.lateral_clearance_toward(+1),
+                "lat_free_down": world.lateral_clearance_toward(-1),
+                "gt_gap": gt_gap,
+                "gt_lead_v": gt_lead_v,
+                "throttle": command.throttle,
+                "brake": command.brake,
+                "steering": command.steering,
+                "delta_long": potential.longitudinal,
+                "delta_lat": potential.lateral,
+            })
+        if collided:
+            break
+        if stop_after is not None and tick >= stop_after:
+            break
+
+    wall_seconds = time.perf_counter() - wall_start
+    if collided:
+        hazard = Hazard.COLLISION
+    elif went_off_road:
+        hazard = Hazard.OFF_ROAD
+    elif min_delta_long <= 0.0:
+        # The longitudinal potential is the robust counterfactual
+        # criterion (collision is inevitable if the lead brakes).  The
+        # lateral potential is recorded but not a hazard class by itself:
+        # it inherits steering jitter through the frozen-steering
+        # assumption, so lateral hazards are judged by the physical
+        # outcomes above (off-road, collision).
+        hazard = Hazard.SAFETY_VIOLATION
+    else:
+        hazard = Hazard.NONE
+    return RunResult(
+        scenario=scenario.name, seed=seed, trace=trace, hazard=hazard,
+        collided=collided, went_off_road=went_off_road,
+        min_delta_long=min_delta_long, min_delta_lat=min_delta_lat,
+        pre_delta_long=pre_delta_long, pre_delta_lat=pre_delta_lat,
+        landed=any(f.landed for f in pipeline.faults),
+        sim_seconds=world.time, wall_seconds=wall_seconds, faults=faults)

@@ -1,0 +1,58 @@
+"""World-simulator substrate: kinematics, roads, traffic, scenes, traces."""
+
+from .collision import (SENSOR_RANGE, Obstacle, ego_collides,
+                        lateral_clearance, lateral_clearance_directional,
+                        lateral_safe_distance, longitudinal_safe_distance,
+                        nearest_lead, obb_overlap)
+from .kinematics import (VehicleState, bicycle_derivatives, rk4_step,
+                         simulate_constant_controls)
+from .npc import LaneChangeCommand, NPCVehicle, SpeedCommand
+from .road import Road
+from .scenario import (Scenario, adjacent_traffic, braking_lead,
+                       crossing_pedestrian, default_scenarios, empty_road,
+                       highway_cruise, lead_vehicle_cutin, merging_traffic,
+                       scenario_by_name, stalled_vehicle, stop_and_go,
+                       two_lead_reveal)
+from .scenegen import Scene, SceneGenerator
+from .trace import Trace
+from .vehicle import Vehicle, VehicleParameters
+from .world import World
+
+__all__ = [
+    "VehicleState",
+    "bicycle_derivatives",
+    "rk4_step",
+    "simulate_constant_controls",
+    "Vehicle",
+    "VehicleParameters",
+    "Road",
+    "Obstacle",
+    "SENSOR_RANGE",
+    "obb_overlap",
+    "longitudinal_safe_distance",
+    "lateral_safe_distance",
+    "lateral_clearance",
+    "lateral_clearance_directional",
+    "nearest_lead",
+    "ego_collides",
+    "NPCVehicle",
+    "SpeedCommand",
+    "LaneChangeCommand",
+    "World",
+    "Scenario",
+    "default_scenarios",
+    "scenario_by_name",
+    "empty_road",
+    "highway_cruise",
+    "lead_vehicle_cutin",
+    "two_lead_reveal",
+    "braking_lead",
+    "stop_and_go",
+    "stalled_vehicle",
+    "adjacent_traffic",
+    "merging_traffic",
+    "crossing_pedestrian",
+    "Scene",
+    "SceneGenerator",
+    "Trace",
+]

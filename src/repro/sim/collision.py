@@ -1,0 +1,185 @@
+"""Collision tests and the safety envelope ``d_safe``.
+
+``d_safe`` (paper Definition 2) is the distance the ego vehicle can travel
+before touching any static or dynamic object.  We compute it separately
+for the longitudinal direction (bodies ahead in the ego's travel corridor)
+and the lateral direction (bodies alongside, plus the ego-lane boundaries,
+which the paper treats as static objects so that lane departures register
+as safety violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .road import Road
+
+#: Objects farther than this are invisible to the safety envelope, matching
+#: a realistic forward sensor range.
+SENSOR_RANGE = 250.0
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A rigid body in the world (typically a target vehicle)."""
+
+    obstacle_id: int
+    x: float
+    y: float
+    v: float = 0.0
+    theta: float = 0.0
+    length: float = 4.8
+    width: float = 1.9
+
+    def footprint(self) -> np.ndarray:
+        """Corners of the oriented bounding box, shape (4, 2)."""
+        half_l, half_w = self.length / 2.0, self.width / 2.0
+        corners = np.array([[half_l, half_w], [half_l, -half_w],
+                            [-half_l, -half_w], [-half_l, half_w]])
+        c, s = np.cos(self.theta), np.sin(self.theta)
+        rotation = np.array([[c, -s], [s, c]])
+        return corners @ rotation.T + np.array([self.x, self.y])
+
+
+def obb_overlap(corners_a: np.ndarray, corners_b: np.ndarray) -> bool:
+    """Separating-axis overlap test for two convex quadrilaterals."""
+    for corners in (corners_a, corners_b):
+        for i in range(len(corners)):
+            edge = corners[(i + 1) % len(corners)] - corners[i]
+            axis = np.array([-edge[1], edge[0]])
+            norm = np.linalg.norm(axis)
+            if norm < 1e-12:
+                continue
+            axis = axis / norm
+            proj_a = corners_a @ axis
+            proj_b = corners_b @ axis
+            if proj_a.max() < proj_b.min() or proj_b.max() < proj_a.min():
+                return False
+    return True
+
+
+def _corridor_overlaps(ego_y: float, ego_width: float,
+                       obstacle: Obstacle) -> bool:
+    """True if the obstacle's body intersects the ego travel corridor."""
+    gap = abs(obstacle.y - ego_y) - (ego_width + obstacle.width) / 2.0
+    return gap < 0.0
+
+
+def longitudinal_safe_distance(ego_x: float, ego_y: float, ego_length: float,
+                               ego_width: float,
+                               obstacles: list[Obstacle]) -> float:
+    """Bumper-to-bumper distance to the nearest body ahead in the corridor.
+
+    Returns :data:`SENSOR_RANGE` when the corridor is clear; can be
+    negative when bodies already overlap longitudinally.
+    """
+    nearest = SENSOR_RANGE
+    for obstacle in obstacles:
+        if not _corridor_overlaps(ego_y, ego_width, obstacle):
+            continue
+        gap = (obstacle.x - ego_x) - (ego_length + obstacle.length) / 2.0
+        if obstacle.x >= ego_x and gap < nearest:
+            nearest = gap
+    return nearest
+
+
+def lateral_safe_distance(ego_x: float, ego_y: float, ego_length: float,
+                          ego_width: float, obstacles: list[Obstacle],
+                          road: Road) -> float:
+    """Clearance to the nearest flanking body or ego-lane boundary.
+
+    The ego-lane boundary term implements the paper's "lane markings are
+    static objects" rule; crossing the line drives the margin negative.
+    """
+    margin = road.lateral_margin_in_lane(ego_y, ego_width / 2.0)
+    for obstacle in obstacles:
+        longitudinal_gap = (abs(obstacle.x - ego_x)
+                            - (ego_length + obstacle.length) / 2.0)
+        if longitudinal_gap >= 0.0:
+            continue  # no side-by-side overlap
+        side_gap = abs(obstacle.y - ego_y) - (ego_width + obstacle.width) / 2.0
+        margin = min(margin, side_gap)
+    return margin
+
+
+def lateral_clearance(ego_x: float, ego_y: float, ego_length: float,
+                      ego_width: float, obstacles: list[Obstacle],
+                      road: Road) -> float:
+    """Clearance to the nearest flanking body or *road edge*.
+
+    This is the envelope used by the emergency-stop lateral safety
+    check: the maneuver freezes steering, so the relevant free space is
+    everything up to the pavement edge and any vehicle alongside, not
+    the ego-lane line (which lane-keeping crosses benignly under small
+    steering noise).
+    """
+    margin = road.lateral_margin_on_road(ego_y, ego_width / 2.0)
+    for obstacle in obstacles:
+        longitudinal_gap = (abs(obstacle.x - ego_x)
+                            - (ego_length + obstacle.length) / 2.0)
+        if longitudinal_gap >= 0.0:
+            continue
+        side_gap = abs(obstacle.y - ego_y) - (ego_width + obstacle.width) / 2.0
+        margin = min(margin, side_gap)
+    return margin
+
+
+def lateral_clearance_directional(ego_x: float, ego_y: float,
+                                  ego_length: float, ego_width: float,
+                                  obstacles: list[Obstacle], road: Road,
+                                  side: int) -> float:
+    """Clearance toward one side (+1 = increasing y, -1 = decreasing).
+
+    Counts the road edge on that side plus any body alongside on that
+    side; used by the Bayesian engine to score directional steering
+    faults.
+    """
+    if side >= 0:
+        margin = road.width - (ego_y + ego_width / 2.0)
+    else:
+        margin = ego_y - ego_width / 2.0
+    for obstacle in obstacles:
+        longitudinal_gap = (abs(obstacle.x - ego_x)
+                            - (ego_length + obstacle.length) / 2.0)
+        if longitudinal_gap >= 0.0:
+            continue
+        if side >= 0 and obstacle.y <= ego_y:
+            continue
+        if side < 0 and obstacle.y >= ego_y:
+            continue
+        side_gap = abs(obstacle.y - ego_y) - (ego_width + obstacle.width) / 2.0
+        margin = min(margin, side_gap)
+    return margin
+
+
+def nearest_lead(ego_x: float, ego_y: float, ego_width: float,
+                 obstacles: list[Obstacle],
+                 extra_margin: float = 0.0) -> Obstacle | None:
+    """The closest obstacle ahead in the ego corridor, if any.
+
+    ``extra_margin`` widens the corridor test; scene recording uses it
+    to include impending entrants (a vehicle mid-cut-in) the way a
+    tracked world model with lateral velocities would.
+    """
+    lead = None
+    for obstacle in obstacles:
+        if obstacle.x < ego_x:
+            continue
+        gap = (abs(obstacle.y - ego_y)
+               - (ego_width + obstacle.width) / 2.0 - extra_margin)
+        if gap >= 0.0:
+            continue
+        if obstacle.x - ego_x > SENSOR_RANGE:
+            continue
+        if lead is None or obstacle.x < lead.x:
+            lead = obstacle
+    return lead
+
+
+def ego_collides(ego_footprint: np.ndarray,
+                 obstacles: list[Obstacle]) -> bool:
+    """True if the ego body overlaps any obstacle body."""
+    return any(obb_overlap(ego_footprint, obstacle.footprint())
+               for obstacle in obstacles)

@@ -1,0 +1,97 @@
+"""Bicycle-model vehicle kinematics (Eq. 3 of the paper) with RK4.
+
+State is ``(x, y, v, theta, phi)``: planar position, speed, heading, and
+steering angle.  The equations of motion are
+
+    dx/dt     = v cos(theta)
+    dy/dt     = v sin(theta)
+    dtheta/dt = v tan(phi) / L
+
+with ``L`` the wheelbase.  Speed and steering are driven by the control
+inputs (longitudinal acceleration and steering rate), which is how both
+the ego vehicle and the emergency-stop maneuver integrate forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Instantaneous kinematic state of one vehicle."""
+
+    x: float = 0.0
+    y: float = 0.0
+    v: float = 0.0
+    theta: float = 0.0
+    phi: float = 0.0
+
+    def as_array(self) -> np.ndarray:
+        """State as ``[x, y, v, theta, phi]``."""
+        return np.array([self.x, self.y, self.v, self.theta, self.phi])
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "VehicleState":
+        """Inverse of :meth:`as_array`."""
+        x, y, v, theta, phi = (float(value) for value in array)
+        return cls(x=x, y=y, v=v, theta=theta, phi=phi)
+
+    def with_speed(self, v: float) -> "VehicleState":
+        """Copy with a new speed."""
+        return replace(self, v=float(v))
+
+
+def bicycle_derivatives(state: np.ndarray, acceleration: float,
+                        steering_rate: float,
+                        wheelbase: float) -> np.ndarray:
+    """Time derivatives of ``[x, y, v, theta, phi]``.
+
+    Speed is clamped at zero inside the integrator (a braking vehicle does
+    not reverse), so the derivative uses the non-negative part of ``v``.
+    """
+    _, _, v, theta, phi = state
+    v = max(v, 0.0)
+    return np.array([
+        v * np.cos(theta),
+        v * np.sin(theta),
+        acceleration,
+        v * np.tan(phi) / wheelbase,
+        steering_rate,
+    ])
+
+
+def rk4_step(state: VehicleState, acceleration: float, steering_rate: float,
+             wheelbase: float, dt: float) -> VehicleState:
+    """One classical Runge-Kutta step of the bicycle model.
+
+    The returned state has ``v`` clamped to be non-negative: the model
+    covers forward driving and braking to a halt, not reversing.
+    """
+    y0 = state.as_array()
+
+    def f(y: np.ndarray) -> np.ndarray:
+        return bicycle_derivatives(y, acceleration, steering_rate, wheelbase)
+
+    k1 = f(y0)
+    k2 = f(y0 + 0.5 * dt * k1)
+    k3 = f(y0 + 0.5 * dt * k2)
+    k4 = f(y0 + dt * k3)
+    y1 = y0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+    if y1[2] < 0.0:
+        y1[2] = 0.0
+    new_state = VehicleState.from_array(y1)
+    return new_state
+
+
+def simulate_constant_controls(state: VehicleState, acceleration: float,
+                               steering_rate: float, wheelbase: float,
+                               dt: float, n_steps: int) -> list[VehicleState]:
+    """Integrate ``n_steps`` of constant controls; returns all states."""
+    states = [state]
+    for _ in range(n_steps):
+        state = rk4_step(state, acceleration, steering_rate, wheelbase, dt)
+        states.append(state)
+    return states

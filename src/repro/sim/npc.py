@@ -1,0 +1,90 @@
+"""Scripted traffic: target vehicles with piecewise speed and lane plans.
+
+NPCs (the paper's "target vehicles", TVs) follow deterministic scripts —
+speed setpoints reached under an acceleration limit, and smooth lane
+changes — which makes every scenario exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .collision import Obstacle
+
+
+@dataclass(frozen=True)
+class SpeedCommand:
+    """From time ``t`` onward, track ``target`` m/s."""
+
+    t: float
+    target: float
+
+
+@dataclass(frozen=True)
+class LaneChangeCommand:
+    """Starting at time ``t``, glide to ``target_y`` over ``duration`` s."""
+
+    t: float
+    target_y: float
+    duration: float = 3.0
+
+
+@dataclass
+class NPCVehicle:
+    """One scripted target vehicle."""
+
+    npc_id: int
+    x: float
+    y: float
+    v: float
+    length: float = 4.8
+    width: float = 1.9
+    acceleration_limit: float = 4.0
+    speed_commands: list[SpeedCommand] = field(default_factory=list)
+    lane_commands: list[LaneChangeCommand] = field(default_factory=list)
+    _lane_start_y: float | None = None
+
+    def _active_speed_target(self, t: float) -> float:
+        target = self.v
+        for command in self.speed_commands:
+            if t >= command.t:
+                target = command.target
+        return target
+
+    def _active_lane_change(self, t: float) -> LaneChangeCommand | None:
+        active = None
+        for command in self.lane_commands:
+            if t >= command.t:
+                active = command
+        return active
+
+    def step(self, t: float, dt: float) -> None:
+        """Advance the script by ``dt`` from scenario time ``t``."""
+        target = self._active_speed_target(t)
+        delta_v = np.clip(target - self.v,
+                          -self.acceleration_limit * dt,
+                          self.acceleration_limit * dt)
+        self.v = max(0.0, self.v + float(delta_v))
+        self.x += self.v * dt
+
+        change = self._active_lane_change(t)
+        if change is not None:
+            if self._lane_start_y is None:
+                self._lane_start_y = self.y
+            progress = np.clip((t + dt - change.t) / change.duration, 0.0, 1.0)
+            # Cosine easing: zero lateral velocity at both ends.
+            blend = 0.5 * (1.0 - np.cos(np.pi * progress))
+            self.y = (self._lane_start_y
+                      + (change.target_y - self._lane_start_y) * float(blend))
+            if progress >= 1.0:
+                self._lane_start_y = None
+                self.lane_commands = [c for c in self.lane_commands
+                                      if c is not change]
+
+    def as_obstacle(self) -> Obstacle:
+        """Snapshot for sensors and the safety envelope."""
+        return Obstacle(obstacle_id=self.npc_id, x=self.x, y=self.y,
+                        v=self.v, theta=0.0, length=self.length,
+                        width=self.width)

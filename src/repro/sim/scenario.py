@@ -1,0 +1,223 @@
+"""Scenario library: reproducible driving situations.
+
+Each scenario builds a fresh :class:`~repro.sim.world.World` with scripted
+traffic.  The library covers the situations the paper's examples and
+campaigns exercise: free cruise, car following, the Example-1 cut-in, the
+Example-2 Tesla-like two-lead reveal, a hard-braking lead, stop-and-go
+traffic, and a stalled vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .npc import LaneChangeCommand, NPCVehicle, SpeedCommand
+from .road import Road
+from .world import World
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible driving situation."""
+
+    name: str
+    build: Callable[[], World]
+    duration: float = 30.0  # seconds of simulated time
+
+    def make_world(self) -> World:
+        """Fresh world for one run."""
+        return self.build()
+
+
+def empty_road(ego_speed: float = 30.0) -> Scenario:
+    """Free cruise with no traffic."""
+    def build() -> World:
+        return World.on_highway(ego_speed=ego_speed)
+    return Scenario("empty_road", build, duration=30.0)
+
+
+def highway_cruise(ego_speed: float = 30.0, lead_gap: float = 60.0,
+                   lead_speed: float | None = None,
+                   name: str = "highway_cruise") -> Scenario:
+    """Steady car-following behind one lead vehicle."""
+    lead_speed = ego_speed if lead_speed is None else lead_speed
+
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        world.add_npc(NPCVehicle(npc_id=1, x=lead_gap,
+                                 y=world.road.lane_center(1), v=lead_speed))
+        return world
+    return Scenario(name, build, duration=40.0)
+
+
+def lead_vehicle_cutin(ego_speed: float = 31.0, cutin_time: float = 4.0,
+                       cutin_gap: float = 8.0,
+                       cutin_speed: float = 30.0) -> Scenario:
+    """Paper Example 1: a slightly slower TV cuts into the ego lane.
+
+    The geometry is tuned so the fault-free ADS stays (narrowly) safe:
+    the cut-in collapses the safety potential to a few metres, and a
+    throttle fault injected at that instant tips it negative.
+    """
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        ego_lane_y = world.road.lane_center(1)
+        npc = NPCVehicle(npc_id=1, x=cutin_gap,
+                         y=world.road.lane_center(2), v=cutin_speed)
+        npc.lane_commands.append(
+            LaneChangeCommand(t=cutin_time, target_y=ego_lane_y,
+                              duration=2.5))
+        world.add_npc(npc)
+        return world
+    return Scenario("lead_vehicle_cutin", build, duration=25.0)
+
+
+def two_lead_reveal(ego_speed: float = 33.5, first_gap: float = 45.0,
+                    second_gap: float = 210.0, reveal_time: float = 3.0,
+                    first_speed: float = 31.0,
+                    second_speed: float = 0.0) -> Scenario:
+    """Paper Example 2 (Tesla crash shape): TV1 swerves, revealing TV2.
+
+    The ego follows TV1, which occludes a stopped TV2 far ahead in the
+    same lane.  TV1 changes lanes at ``reveal_time`` and speeds away; the
+    ego suddenly faces the stopped car with just enough distance for a
+    clean maximum-braking stop.  A brake-suppression or world-model fault
+    during that braking reproduces the fatal crash.
+    """
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        ego_lane_y = world.road.lane_center(1)
+        tv1 = NPCVehicle(npc_id=1, x=first_gap, y=ego_lane_y, v=first_speed)
+        tv1.lane_commands.append(
+            LaneChangeCommand(t=reveal_time,
+                              target_y=world.road.lane_center(2),
+                              duration=2.0))
+        tv1.speed_commands.append(SpeedCommand(t=reveal_time, target=38.0))
+        tv2 = NPCVehicle(npc_id=2, x=second_gap, y=ego_lane_y,
+                         v=second_speed)
+        world.add_npc(tv1)
+        world.add_npc(tv2)
+        return world
+    return Scenario("two_lead_reveal", build, duration=25.0)
+
+
+def braking_lead(ego_speed: float = 30.0, lead_gap: float = 55.0,
+                 brake_time: float = 5.0,
+                 final_speed: float = 8.0) -> Scenario:
+    """A lead vehicle brakes hard mid-scenario."""
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        npc = NPCVehicle(npc_id=1, x=lead_gap,
+                         y=world.road.lane_center(1), v=ego_speed)
+        npc.speed_commands.append(SpeedCommand(t=brake_time,
+                                               target=final_speed))
+        npc.acceleration_limit = 6.0
+        world.add_npc(npc)
+        return world
+    return Scenario("braking_lead", build, duration=30.0)
+
+
+def stop_and_go(ego_speed: float = 22.0, lead_gap: float = 35.0) -> Scenario:
+    """Oscillating congested traffic ahead of the ego."""
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        npc = NPCVehicle(npc_id=1, x=lead_gap,
+                         y=world.road.lane_center(1), v=ego_speed)
+        for i, target in enumerate([8.0, 20.0, 5.0, 18.0, 10.0]):
+            npc.speed_commands.append(SpeedCommand(t=4.0 + 6.0 * i,
+                                                   target=target))
+        world.add_npc(npc)
+        return world
+    return Scenario("stop_and_go", build, duration=40.0)
+
+
+def stalled_vehicle(ego_speed: float = 30.0, gap: float = 160.0) -> Scenario:
+    """A stopped vehicle far ahead in the ego lane."""
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        world.add_npc(NPCVehicle(npc_id=1, x=gap,
+                                 y=world.road.lane_center(1), v=0.0))
+        return world
+    return Scenario("stalled_vehicle", build, duration=30.0)
+
+
+def adjacent_traffic(ego_speed: float = 30.0) -> Scenario:
+    """Vehicles in both adjacent lanes; a steering fault is hazardous."""
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        world.add_npc(NPCVehicle(npc_id=1, x=2.0,
+                                 y=world.road.lane_center(0), v=ego_speed))
+        world.add_npc(NPCVehicle(npc_id=2, x=-3.0,
+                                 y=world.road.lane_center(2), v=ego_speed))
+        world.add_npc(NPCVehicle(npc_id=3, x=70.0,
+                                 y=world.road.lane_center(1), v=ego_speed))
+        return world
+    return Scenario("adjacent_traffic", build, duration=30.0)
+
+
+def merging_traffic(ego_speed: float = 28.0, merge_time: float = 5.0,
+                    merge_gap: float = 30.0,
+                    merge_speed: float = 22.0) -> Scenario:
+    """A slower vehicle merges from the rightmost lane into the ego lane.
+
+    Unlike :func:`lead_vehicle_cutin`, the merger comes from below at a
+    visibly lower speed, so the ADS has more anticipation but a larger
+    speed differential to absorb.
+    """
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        npc = NPCVehicle(npc_id=1, x=merge_gap,
+                         y=world.road.lane_center(0), v=merge_speed)
+        npc.lane_commands.append(
+            LaneChangeCommand(t=merge_time,
+                              target_y=world.road.lane_center(1),
+                              duration=3.0))
+        world.add_npc(npc)
+        return world
+    return Scenario("merging_traffic", build, duration=30.0)
+
+
+def crossing_pedestrian(ego_speed: float = 20.0, cross_x: float = 120.0,
+                        cross_time: float = 2.0) -> Scenario:
+    """A pedestrian-sized body crosses the road ahead of the ego.
+
+    Modelled as a small, slow obstacle traversing the lanes laterally;
+    exercises the small-object detection and hard-braking paths at urban
+    speed.
+    """
+    def build() -> World:
+        world = World.on_highway(ego_speed=ego_speed)
+        pedestrian = NPCVehicle(npc_id=1, x=cross_x, y=-1.0, v=0.0,
+                                length=0.6, width=0.6)
+        pedestrian.lane_commands.append(
+            LaneChangeCommand(t=cross_time,
+                              target_y=world.road.width + 1.0,
+                              duration=9.0))
+        world.add_npc(pedestrian)
+        return world
+    return Scenario("crossing_pedestrian", build, duration=25.0)
+
+
+def default_scenarios() -> list[Scenario]:
+    """The scenario set used by campaigns and golden-trace training."""
+    return [
+        empty_road(),
+        highway_cruise(),
+        highway_cruise(ego_speed=33.5, lead_gap=80.0, lead_speed=31.0,
+                       name="highway_cruise_fast"),
+        lead_vehicle_cutin(),
+        two_lead_reveal(),
+        braking_lead(),
+        stop_and_go(),
+        stalled_vehicle(),
+        adjacent_traffic(),
+    ]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a default scenario by its name."""
+    for scenario in default_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}")

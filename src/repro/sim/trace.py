@@ -1,0 +1,77 @@
+"""Columnar recording of simulation signals.
+
+Traces feed two consumers: Bayesian-network training (golden runs) and
+experiment reporting (time series for the case-study figures).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+
+class Trace:
+    """An append-only, column-aligned record of named float signals."""
+
+    def __init__(self):
+        self._columns: dict[str, list[float]] = {}
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def columns(self) -> list[str]:
+        """Recorded signal names (insertion order)."""
+        return list(self._columns)
+
+    def record(self, sample: Mapping[str, float]) -> None:
+        """Append one row; every row must carry the same signal set."""
+        if self._length == 0 and not self._columns:
+            for name in sample:
+                self._columns[name] = []
+        if set(sample) != set(self._columns):
+            missing = set(self._columns) - set(sample)
+            extra = set(sample) - set(self._columns)
+            raise ValueError(
+                f"row schema mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}")
+        for name, value in sample.items():
+            self._columns[name].append(float(value))
+        self._length += 1
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columns as numpy arrays."""
+        return {name: np.asarray(values)
+                for name, values in self._columns.items()}
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a numpy array."""
+        return np.asarray(self._columns[name])
+
+    def last(self, name: str) -> float:
+        """Most recent value of a signal."""
+        values = self._columns[name]
+        if not values:
+            raise IndexError(f"no samples recorded for {name!r}")
+        return values[-1]
+
+    def window(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        """Slice every column to ``[start:stop]``."""
+        return {name: np.asarray(values[start:stop])
+                for name, values in self._columns.items()}
+
+    def to_csv(self) -> str:
+        """Render the whole trace as CSV text (header + one row per tick)."""
+        names = self.columns
+        lines = [",".join(names)]
+        for i in range(self._length):
+            lines.append(",".join(
+                f"{self._columns[name][i]:.6g}" for name in names))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to a file."""
+        from pathlib import Path
+        Path(path).write_text(self.to_csv())

@@ -1,0 +1,95 @@
+"""Vehicle bodies: physical parameters plus actuation-driven dynamics.
+
+The ADS emits an :class:`~repro.ads.messages.ActuationCommand`-style
+triple (throttle, brake, steering angle); :class:`Vehicle` turns it into
+longitudinal acceleration and a rate-limited steering motion, then
+integrates the bicycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kinematics import VehicleState, rk4_step
+
+
+@dataclass(frozen=True)
+class VehicleParameters:
+    """Physical limits of one vehicle.
+
+    ``max_deceleration`` is the paper's ``a_max``: the maximum comfortable
+    deceleration assumed by the emergency-stop maneuver that defines
+    ``d_stop``.
+    """
+
+    wheelbase: float = 2.8          # m
+    length: float = 4.8             # m (bounding box)
+    width: float = 1.9              # m (bounding box)
+    max_acceleration: float = 3.5   # m/s^2 at full throttle
+    max_deceleration: float = 6.0   # m/s^2 at full brake (a_max)
+    max_speed: float = 45.0         # m/s
+    max_steering_angle: float = 0.55    # rad
+    max_steering_rate: float = 0.6      # rad/s
+    drag: float = 0.0004            # quadratic speed-loss coefficient
+                                    # (~0.4 m/s^2 at highway speed)
+
+
+@dataclass
+class Vehicle:
+    """A vehicle body that integrates actuation commands."""
+
+    state: VehicleState
+    params: VehicleParameters = field(default_factory=VehicleParameters)
+
+    def acceleration_for(self, throttle: float, brake: float) -> float:
+        """Longitudinal acceleration for pedal positions in [0, 1].
+
+        Pedals are clipped to their physical range; drag grows with the
+        square of speed so top speed is naturally bounded.
+        """
+        throttle = float(np.clip(throttle, 0.0, 1.0))
+        brake = float(np.clip(brake, 0.0, 1.0))
+        accel = (throttle * self.params.max_acceleration
+                 - brake * self.params.max_deceleration
+                 - self.params.drag * self.state.v ** 2)
+        return accel
+
+    def apply_actuation(self, throttle: float, brake: float,
+                        steering: float, dt: float) -> VehicleState:
+        """Advance ``dt`` seconds under an actuation command.
+
+        ``steering`` is the commanded steering angle; the actual angle
+        slews toward it at the steering-rate limit, and is clipped to the
+        mechanical range.  Returns (and stores) the new state.
+        """
+        accel = self.acceleration_for(throttle, brake)
+        target = float(np.clip(steering, -self.params.max_steering_angle,
+                               self.params.max_steering_angle))
+        error = target - self.state.phi
+        max_delta = self.params.max_steering_rate * dt
+        steering_rate = float(np.clip(error / dt if dt > 0 else 0.0,
+                                      -self.params.max_steering_rate,
+                                      self.params.max_steering_rate))
+        del max_delta
+        new_state = rk4_step(self.state, accel, steering_rate,
+                             self.params.wheelbase, dt)
+        if new_state.v > self.params.max_speed:
+            new_state = new_state.with_speed(self.params.max_speed)
+        phi = float(np.clip(new_state.phi,
+                            -self.params.max_steering_angle,
+                            self.params.max_steering_angle))
+        self.state = VehicleState(new_state.x, new_state.y, new_state.v,
+                                  new_state.theta, phi)
+        return self.state
+
+    def footprint(self) -> np.ndarray:
+        """Corners of the oriented bounding box, shape (4, 2)."""
+        half_l = self.params.length / 2.0
+        half_w = self.params.width / 2.0
+        corners = np.array([[half_l, half_w], [half_l, -half_w],
+                            [-half_l, -half_w], [-half_l, half_w]])
+        c, s = np.cos(self.state.theta), np.sin(self.state.theta)
+        rotation = np.array([[c, -s], [s, c]])
+        return corners @ rotation.T + np.array([self.state.x, self.state.y])

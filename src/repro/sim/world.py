@@ -1,0 +1,100 @@
+"""The simulated world: road, ego vehicle, scripted traffic, and stepping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .collision import (Obstacle, ego_collides, lateral_clearance,
+                        lateral_clearance_directional, lateral_safe_distance,
+                        longitudinal_safe_distance, nearest_lead)
+from .kinematics import VehicleState
+from .npc import NPCVehicle
+from .road import Road
+from .vehicle import Vehicle, VehicleParameters
+
+
+@dataclass
+class World:
+    """Everything outside the ADS: geometry, bodies, ground truth."""
+
+    road: Road
+    ego: Vehicle
+    npcs: list[NPCVehicle] = field(default_factory=list)
+    time: float = 0.0
+
+    @classmethod
+    def on_highway(cls, ego_speed: float = 30.0, ego_lane: int = 1,
+                   road: Road | None = None,
+                   params: VehicleParameters | None = None) -> "World":
+        """A fresh world with the ego centered in ``ego_lane``."""
+        road = road or Road()
+        state = VehicleState(x=0.0, y=road.lane_center(ego_lane),
+                             v=ego_speed, theta=0.0, phi=0.0)
+        ego = Vehicle(state=state, params=params or VehicleParameters())
+        return cls(road=road, ego=ego)
+
+    def add_npc(self, npc: NPCVehicle) -> None:
+        """Register a scripted target vehicle."""
+        self.npcs.append(npc)
+
+    def obstacles(self) -> list[Obstacle]:
+        """Ground-truth snapshot of every non-ego body."""
+        return [npc.as_obstacle() for npc in self.npcs]
+
+    def step(self, throttle: float, brake: float, steering: float,
+             dt: float) -> None:
+        """Advance the whole world ``dt`` seconds.
+
+        The ego integrates the given actuation; NPCs advance their
+        scripts from the current scenario clock.
+        """
+        for npc in self.npcs:
+            npc.step(self.time, dt)
+        self.ego.apply_actuation(throttle, brake, steering, dt)
+        self.time += dt
+
+    # -- ground-truth safety signals ----------------------------------------
+
+    def longitudinal_d_safe(self) -> float:
+        """Bumper gap to the nearest body ahead in the ego corridor."""
+        state = self.ego.state
+        return longitudinal_safe_distance(
+            state.x, state.y, self.ego.params.length, self.ego.params.width,
+            self.obstacles())
+
+    def lateral_d_safe(self) -> float:
+        """Clearance to flanking bodies and the ego-lane boundaries."""
+        state = self.ego.state
+        return lateral_safe_distance(
+            state.x, state.y, self.ego.params.length, self.ego.params.width,
+            self.obstacles(), self.road)
+
+    def lateral_clearance(self) -> float:
+        """Clearance to flanking bodies and the road edge."""
+        state = self.ego.state
+        return lateral_clearance(
+            state.x, state.y, self.ego.params.length, self.ego.params.width,
+            self.obstacles(), self.road)
+
+    def lateral_clearance_toward(self, side: int) -> float:
+        """Clearance toward one side (+1 = +y, -1 = -y)."""
+        state = self.ego.state
+        return lateral_clearance_directional(
+            state.x, state.y, self.ego.params.length, self.ego.params.width,
+            self.obstacles(), self.road, side)
+
+    def lead_obstacle(self, extra_margin: float = 0.0) -> Obstacle | None:
+        """Ground-truth nearest in-corridor vehicle ahead, if any."""
+        state = self.ego.state
+        return nearest_lead(state.x, state.y, self.ego.params.width,
+                            self.obstacles(), extra_margin)
+
+    def in_collision(self) -> bool:
+        """True when the ego body overlaps any obstacle."""
+        return ego_collides(self.ego.footprint(), self.obstacles())
+
+    def off_road(self) -> bool:
+        """True when any part of the ego body leaves the pavement."""
+        half_width = self.ego.params.width / 2.0
+        return self.road.lateral_margin_on_road(
+            self.ego.state.y, half_width) < 0.0

@@ -1,0 +1,143 @@
+"""Tests for ADS kernels, the architectural injector, and the GPU model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (ArchitecturalInjector, GPUExecutor, Outcome,
+                        default_kernels, dot_kernel, idm_kernel,
+                        kalman_kernel, matmul_kernel, outcome_rates,
+                        pid_kernel, run_campaign)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_factory", [
+        lambda: dot_kernel(8), lambda: matmul_kernel(3), kalman_kernel,
+        pid_kernel, idm_kernel])
+    def test_kernel_matches_reference(self, kernel_factory):
+        kernel = kernel_factory()
+        injector = ArchitecturalInjector(kernel)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            inputs = kernel.make_inputs(rng)
+            outputs, dynamic_count = injector.golden_run(inputs)
+            assert np.allclose(outputs, kernel.reference(inputs),
+                               rtol=1e-9)
+            assert dynamic_count > 0
+
+    def test_matmul_sizes(self):
+        kernel = matmul_kernel(2)
+        injector = ArchitecturalInjector(kernel)
+        inputs = np.arange(8.0)
+        outputs, _ = injector.golden_run(inputs)
+        a = inputs[:4].reshape(2, 2)
+        b = inputs[4:].reshape(2, 2)
+        assert np.allclose(outputs.reshape(2, 2), a @ b)
+
+    def test_default_kernels_unique_names(self):
+        names = [k.name for k in default_kernels()]
+        assert len(names) == len(set(names))
+
+
+class TestInjector:
+    def test_injection_deterministic_for_seed(self):
+        kernel = dot_kernel(8)
+        injector = ArchitecturalInjector(kernel)
+        a = injector.inject(np.random.default_rng(7))
+        b = injector.inject(np.random.default_rng(7))
+        assert a.outcome == b.outcome
+        assert a.register == b.register and a.bit == b.bit
+
+    def test_outcomes_cover_masked_and_sdc(self):
+        kernel = dot_kernel(8)
+        injector = ArchitecturalInjector(kernel)
+        rng = np.random.default_rng(0)
+        outcomes = {injector.inject(rng).outcome for _ in range(300)}
+        assert Outcome.MASKED in outcomes
+        assert Outcome.SDC in outcomes
+
+    def test_crashes_occur_in_loopy_kernels(self):
+        kernel = matmul_kernel(4)
+        injector = ArchitecturalInjector(kernel)
+        rng = np.random.default_rng(1)
+        outcomes = [injector.inject(rng).outcome for _ in range(300)]
+        assert Outcome.CRASH in outcomes
+
+    def test_sdc_has_relative_error(self):
+        kernel = dot_kernel(8)
+        injector = ArchitecturalInjector(kernel)
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            result = injector.inject(rng)
+            if result.outcome is Outcome.SDC:
+                assert result.relative_error > 0.0
+                assert result.silent
+                break
+        else:
+            pytest.fail("no SDC found in 300 injections")
+
+    def test_masked_has_zero_error(self):
+        kernel = dot_kernel(8)
+        injector = ArchitecturalInjector(kernel)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            result = injector.inject(rng)
+            if result.outcome is Outcome.MASKED:
+                assert result.relative_error == 0.0
+                break
+        else:
+            pytest.fail("no masked injection found")
+
+    def test_explicit_inputs_respected(self):
+        kernel = kalman_kernel()
+        injector = ArchitecturalInjector(kernel)
+        inputs = np.array([50.0, 1.0, 52.0, 0.5])
+        result = injector.inject(np.random.default_rng(4), inputs=inputs)
+        assert np.allclose(result.golden_output,
+                           kernel.reference(inputs))
+
+
+class TestCampaign:
+    def test_campaign_rates_sum_to_one(self):
+        results = run_campaign(default_kernels(), n_injections=200, seed=0)
+        rates = outcome_rates(results)
+        assert sum(rates.values()) == pytest.approx(1.0)
+        assert rates["masked"] > 0.3   # most flips are benign
+
+    def test_campaign_deterministic(self):
+        a = run_campaign([dot_kernel(8)], n_injections=50, seed=5)
+        b = run_campaign([dot_kernel(8)], n_injections=50, seed=5)
+        assert [r.outcome for r in a] == [r.outcome for r in b]
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            outcome_rates([])
+
+
+class TestGPU:
+    def test_batch_runs_all_lanes(self):
+        executor = GPUExecutor(kalman_kernel(), n_lanes=4)
+        outputs = executor.run_batch(np.random.default_rng(0))
+        assert len(outputs) == 4
+
+    def test_warp_injection_targets_one_lane(self):
+        executor = GPUExecutor(dot_kernel(8), n_lanes=4)
+        warp = executor.inject_warp(np.random.default_rng(1))
+        injected = [r for r in warp.lane_results if r is not None]
+        assert len(injected) == 1
+        assert warp.lane_results[warp.faulty_lane] is not None
+
+    def test_warp_outcome_matches_faulty_lane(self):
+        executor = GPUExecutor(dot_kernel(8), n_lanes=4)
+        warp = executor.inject_warp(np.random.default_rng(2))
+        assert warp.warp_outcome is (
+            warp.lane_results[warp.faulty_lane].outcome)
+
+    def test_worst_outcome_ordering(self):
+        assert GPUExecutor.worst_outcome(
+            [Outcome.MASKED, Outcome.SDC]) is Outcome.SDC
+        assert GPUExecutor.worst_outcome(
+            [Outcome.SDC, Outcome.CRASH, Outcome.HANG]) is Outcome.CRASH
+
+    def test_bad_lane_count(self):
+        with pytest.raises(ValueError):
+            GPUExecutor(dot_kernel(4), n_lanes=0)

@@ -1,0 +1,39 @@
+"""Tests for the instruction-memory injection campaign."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (Outcome, default_kernels, inject_instruction_fault,
+                        kalman_kernel, outcome_rates,
+                        run_instruction_campaign)
+
+
+class TestInstructionInjection:
+    def test_single_injection_classified(self):
+        rng = np.random.default_rng(0)
+        result = inject_instruction_fault(kalman_kernel(), rng)
+        assert result.outcome in set(Outcome)
+        assert result.kernel == "kalman"
+
+    def test_deterministic_for_seed(self):
+        a = inject_instruction_fault(kalman_kernel(),
+                                     np.random.default_rng(3))
+        b = inject_instruction_fault(kalman_kernel(),
+                                     np.random.default_rng(3))
+        assert a.outcome == b.outcome
+
+    def test_campaign_covers_outcomes(self):
+        results = run_instruction_campaign(default_kernels(), 150, seed=0)
+        rates = outcome_rates(results)
+        assert rates["masked"] > 0.2
+        assert rates["crash"] > 0.05   # opcode corruption traps at decode
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_instruction_crashes_more_than_registers(self):
+        """Opcode bytes decode-trap; register values rarely do."""
+        from repro.arch import run_campaign
+        kernels = default_kernels()
+        instruction = outcome_rates(
+            run_instruction_campaign(kernels, 250, seed=1))
+        register = outcome_rates(run_campaign(kernels, 250, seed=1))
+        assert instruction["crash"] > register["crash"]

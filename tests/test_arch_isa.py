@@ -1,0 +1,206 @@
+"""Tests for the bit-flip helpers, memory model, ISA, and assembler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import (Assembler, HangError, Instruction, Interpreter,
+                        MemoryAccessError, MemoryModel, TrapError,
+                        bits_to_float, flip_bit, flip_bits, float_to_bits,
+                        random_flip)
+
+
+class TestBitflip:
+    def test_round_trip(self):
+        for value in [0.0, 1.0, -3.25, 1e300, float("inf")]:
+            assert bits_to_float(float_to_bits(value)) == value
+
+    def test_flip_twice_restores(self):
+        value = 42.125
+        assert flip_bit(flip_bit(value, 17), 17) == value
+
+    def test_sign_bit(self):
+        assert flip_bit(5.0, 63) == -5.0
+
+    def test_exponent_bit_large_change(self):
+        corrupted = flip_bit(1.0, 62)
+        assert abs(corrupted) != 1.0
+        assert abs(corrupted) > 1e100 or abs(corrupted) < 1e-100
+
+    def test_low_mantissa_small_change(self):
+        corrupted = flip_bit(1.0, 0)
+        assert corrupted != 1.0
+        assert abs(corrupted - 1.0) < 1e-12
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            flip_bit(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_bits(1.0, [0, -1])
+
+    def test_random_flip_reports_bits(self):
+        rng = np.random.default_rng(0)
+        corrupted, bits = random_flip(1.0, rng, n_bits=2)
+        assert len(bits) == 2
+        assert flip_bits(corrupted, bits) == 1.0
+
+
+class TestMemory:
+    def test_load_store(self):
+        memory = MemoryModel(8)
+        memory.store(3, 7.5)
+        assert memory.load(3) == 7.5
+
+    def test_bounds_checked(self):
+        memory = MemoryModel(8)
+        with pytest.raises(MemoryAccessError):
+            memory.load(8)
+        with pytest.raises(MemoryAccessError):
+            memory.store(-1, 0.0)
+
+    def test_block_io(self):
+        memory = MemoryModel(8)
+        memory.write_block(2, np.array([1.0, 2.0, 3.0]))
+        assert memory.read_block(2, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_block_bounds(self):
+        memory = MemoryModel(4)
+        with pytest.raises(MemoryAccessError):
+            memory.write_block(2, np.zeros(3))
+
+    def test_secded_corrects_protected_flip(self):
+        memory = MemoryModel(4, protected=True)
+        memory.store(0, 1.0)
+        landed = memory.inject_flip(0, 62)
+        assert not landed
+        assert memory.load(0) == 1.0
+        assert memory.corrected_flips == 1
+
+    def test_unprotected_flip_lands(self):
+        memory = MemoryModel(4, protected=False)
+        memory.store(0, 1.0)
+        assert memory.inject_flip(0, 63)
+        assert memory.load(0) == -1.0
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            MemoryModel(0)
+
+
+class TestInterpreter:
+    def run_program(self, build, memory_size=16, budget=100_000):
+        asm = Assembler()
+        build(asm)
+        program = asm.assemble()
+        memory = MemoryModel(memory_size)
+        interpreter = Interpreter(memory, instruction_budget=budget)
+        state = interpreter.run(program)
+        return state, memory
+
+    def test_arithmetic(self):
+        def build(asm):
+            asm.li(1, 6.0)
+            asm.li(2, 7.0)
+            asm.mul(3, 1, 2)
+            asm.li(4, 0.0)
+            asm.store(3, 0, 4)
+            asm.halt()
+        _, memory = self.run_program(build)
+        assert memory.load(0) == 42.0
+
+    def test_loop_countdown(self):
+        def build(asm):
+            asm.li(1, 5.0)     # counter
+            asm.li(2, 0.0)     # accumulator
+            asm.label("loop")
+            asm.addi(2, 2, 2.0)
+            asm.addi(1, 1, -1.0)
+            asm.jnz(1, "loop")
+            asm.li(3, 0.0)
+            asm.store(2, 0, 3)
+            asm.halt()
+        state, memory = self.run_program(build)
+        assert memory.load(0) == 10.0
+        assert state.dynamic_count > 15
+
+    def test_division_by_zero_is_ieee(self):
+        def build(asm):
+            asm.li(1, 1.0)
+            asm.li(2, 0.0)
+            asm.div(3, 1, 2)
+            asm.li(4, 0.0)
+            asm.store(3, 0, 4)
+            asm.halt()
+        _, memory = self.run_program(build)
+        assert math.isinf(memory.load(0))
+
+    def test_sqrt_negative_is_nan(self):
+        def build(asm):
+            asm.li(1, -4.0)
+            asm.sqrt(2, 1)
+            asm.li(3, 0.0)
+            asm.store(2, 0, 3)
+            asm.halt()
+        _, memory = self.run_program(build)
+        assert math.isnan(memory.load(0))
+
+    def test_oob_access_traps(self):
+        def build(asm):
+            asm.li(1, 1e9)
+            asm.load(2, 0, 1)
+            asm.halt()
+        with pytest.raises(MemoryAccessError):
+            self.run_program(build)
+
+    def test_budget_hang(self):
+        def build(asm):
+            asm.li(1, 1.0)
+            asm.label("forever")
+            asm.jmp("forever")
+            asm.halt()
+        with pytest.raises(HangError):
+            self.run_program(build, budget=1000)
+
+    def test_pc_escape_traps(self):
+        program_like = Assembler()
+        program_like.li(1, 1.0)   # no HALT
+        program = program_like.assemble()
+        with pytest.raises(TrapError):
+            Interpreter(MemoryModel(4)).run(program)
+
+    def test_min_max_abs(self):
+        def build(asm):
+            asm.li(1, -3.0)
+            asm.li(2, 2.0)
+            asm.minimum(3, 1, 2)
+            asm.maximum(4, 1, 2)
+            asm.absolute(5, 1)
+            asm.li(6, 0.0)
+            asm.store(3, 0, 6)
+            asm.li(6, 1.0)
+            asm.store(4, 0, 6)
+            asm.li(6, 2.0)
+            asm.store(5, 0, 6)
+            asm.halt()
+        _, memory = self.run_program(build)
+        assert memory.read_block(0, 3).tolist() == [-3.0, 2.0, 3.0]
+
+
+class TestAssembler:
+    def test_duplicate_label(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(ValueError):
+            asm.label("x")
+
+    def test_undefined_label(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        asm.halt()
+        with pytest.raises(ValueError):
+            asm.assemble()
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(TrapError):
+            Instruction(op="NOPE")

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_golden(self, capsys):
+        assert main(["golden"]) == 0
+        out = capsys.readouterr().out
+        assert "lead_vehicle_cutin" in out
+        assert "min delta_long" in out
+
+    def test_inject(self, capsys):
+        code = main(["inject", "highway_cruise", "throttle", "1.0", "100",
+                     "--duration", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome" in out
+        assert "min delta_long (m)" in out
+
+    def test_inject_unknown_scenario(self, capsys):
+        code = main(["inject", "nope", "throttle", "1.0", "100"])
+        assert code == 2
+
+    def test_random_with_save(self, tmp_path, capsys):
+        path = tmp_path / "random.json"
+        assert main(["random", "-n", "3", "--save", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["records"]) == 3
+
+    def test_arch(self, capsys):
+        assert main(["arch", "-n", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "masked" in out
+
+    def test_scenes(self, capsys):
+        assert main(["scenes", "-n", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_long bin" in out
+
+    def test_exhaustive_capped(self, capsys):
+        assert main(["exhaustive", "--stride", "200", "--max", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "full grid would be" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

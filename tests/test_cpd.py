@@ -1,0 +1,94 @@
+"""Tests for tabular and linear-Gaussian CPDs."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import LinearGaussianCPD, TabularCPD
+
+
+class TestTabularCPD:
+    def test_columns_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, [[0.5], [0.6]])
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, [[0.5, 0.5]], parents=["p"], parent_cards=[2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, [[-0.5], [1.5]])
+
+    def test_parents_cards_mismatch(self):
+        with pytest.raises(ValueError):
+            TabularCPD("x", 2, np.full((2, 2), 0.5), parents=["p"],
+                       parent_cards=[2, 2])
+
+    def test_probability_no_parents(self):
+        cpd = TabularCPD("x", 3, [[0.2], [0.3], [0.5]])
+        assert cpd.probability(2) == pytest.approx(0.5)
+
+    def test_probability_with_parents_column_order(self):
+        # Columns enumerate parents row-major: (p=0,q=0),(p=0,q=1),(p=1,0),(p=1,1)
+        table = np.array([[0.1, 0.2, 0.3, 0.4],
+                          [0.9, 0.8, 0.7, 0.6]])
+        cpd = TabularCPD("x", 2, table, parents=["p", "q"],
+                         parent_cards=[2, 2])
+        assert cpd.probability(0, {"p": 1, "q": 0}) == pytest.approx(0.3)
+        assert cpd.probability(1, {"p": 0, "q": 1}) == pytest.approx(0.8)
+
+    def test_parent_state_out_of_range(self):
+        cpd = TabularCPD("x", 2, np.full((2, 2), 0.5), parents=["p"],
+                         parent_cards=[2])
+        with pytest.raises(IndexError):
+            cpd.probability(0, {"p": 7})
+
+    def test_point_mass(self):
+        cpd = TabularCPD.point_mass("x", 4, 2)
+        assert cpd.probability(2) == 1.0
+        assert cpd.probability(0) == 0.0
+
+    def test_uniform(self):
+        cpd = TabularCPD.uniform("x", 4, parents=["p"], parent_cards=[3])
+        assert cpd.table.shape == (4, 3)
+        assert np.allclose(cpd.table, 0.25)
+
+    def test_to_factor_round_trip(self):
+        table = np.array([[0.1, 0.6], [0.9, 0.4]])
+        cpd = TabularCPD("x", 2, table, parents=["p"], parent_cards=[2])
+        factor = cpd.to_factor()
+        assert factor.get({"x": 0, "p": 1}) == pytest.approx(0.6)
+
+    def test_sample_respects_distribution(self):
+        rng = np.random.default_rng(0)
+        cpd = TabularCPD("x", 2, [[0.9], [0.1]])
+        draws = [cpd.sample(rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(0.1, abs=0.03)
+
+
+class TestLinearGaussianCPD:
+    def test_weight_count_enforced(self):
+        with pytest.raises(ValueError):
+            LinearGaussianCPD("x", 0.0, 1.0, parents=["a", "b"],
+                              weights=[1.0])
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            LinearGaussianCPD("x", 0.0, -1.0)
+
+    def test_mean_is_linear(self):
+        cpd = LinearGaussianCPD("x", 1.0, 0.5, parents=["a", "b"],
+                                weights=[2.0, -1.0])
+        assert cpd.mean({"a": 3.0, "b": 4.0}) == pytest.approx(1 + 6 - 4)
+
+    def test_sample_statistics(self):
+        rng = np.random.default_rng(1)
+        cpd = LinearGaussianCPD("x", 5.0, 4.0)
+        draws = np.array([cpd.sample(rng) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(5.0, abs=0.15)
+        assert draws.std() == pytest.approx(2.0, abs=0.15)
+
+    def test_zero_variance_sample_is_deterministic(self):
+        rng = np.random.default_rng(2)
+        cpd = LinearGaussianCPD("x", 3.0, 0.0)
+        assert cpd.sample(rng) == pytest.approx(3.0)

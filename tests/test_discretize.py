@@ -1,0 +1,79 @@
+"""Tests for the discretizer."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import Discretizer
+
+
+class TestConstruction:
+    def test_uniform_bins(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        assert d.n_bins("v") == 5
+        assert np.allclose(d.edges["v"], [0, 2, 4, 6, 8, 10])
+
+    def test_uniform_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Discretizer.uniform({"v": (1.0, 1.0)}, n_bins=3)
+
+    def test_bad_bin_count(self):
+        with pytest.raises(ValueError):
+            Discretizer.uniform({"v": (0, 1)}, n_bins=0)
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Discretizer({"v": np.array([0.0, 1.0, 1.0])})
+
+    def test_from_data_quantiles(self):
+        data = {"v": np.linspace(0, 100, 1001)}
+        d = Discretizer.from_data(data, n_bins=4)
+        assert d.edges["v"][1] == pytest.approx(25.0, abs=0.5)
+
+    def test_from_data_constant_signal(self):
+        d = Discretizer.from_data({"v": np.full(100, 3.0)}, n_bins=4)
+        # Degenerate input still yields strictly increasing edges.
+        assert (np.diff(d.edges["v"]) > 0).all()
+
+    def test_cardinalities(self):
+        d = Discretizer.uniform({"a": (0, 1), "b": (0, 2)}, n_bins=3)
+        assert d.cardinalities() == {"a": 3, "b": 3}
+
+
+class TestTransform:
+    def test_value_binning(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        assert d.transform_value("v", 0.5) == 0
+        assert d.transform_value("v", 9.9) == 4
+
+    def test_out_of_range_clipped(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        assert d.transform_value("v", -100.0) == 0
+        assert d.transform_value("v", 100.0) == 4
+
+    def test_upper_edge_in_last_bin(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        assert d.transform_value("v", 10.0) == 4
+
+    def test_vectorized_transform(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        binned = d.transform({"v": np.array([1.0, 5.0, 9.0])})
+        assert binned["v"].tolist() == [0, 2, 4]
+
+    def test_transform_skips_unknown_columns(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        binned = d.transform({"other": np.array([1.0])})
+        assert "other" not in binned
+
+
+class TestMidpoint:
+    def test_midpoint_round_trip(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        for value in [0.3, 4.4, 9.7]:
+            index = d.transform_value("v", value)
+            mid = d.midpoint("v", index)
+            assert abs(mid - value) <= 1.0  # within half a bin width
+
+    def test_midpoint_out_of_range(self):
+        d = Discretizer.uniform({"v": (0.0, 10.0)}, n_bins=5)
+        with pytest.raises(IndexError):
+            d.midpoint("v", 5)

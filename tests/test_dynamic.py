@@ -1,0 +1,146 @@
+"""Tests for dynamic Bayesian networks (temporal unrolling + training)."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (DynamicBayesianNetwork, GaussianInference,
+                            slice_node, split_slice_node)
+
+
+def ar1_template():
+    """Single-variable AR(1) template: v_t -> v_{t+1}."""
+    return DynamicBayesianNetwork(["v"], intra_edges=[],
+                                  inter_edges=[("v", "v")])
+
+
+def two_var_template():
+    """Throttle drives velocity within a slice; both persist over time."""
+    return DynamicBayesianNetwork(
+        ["throttle", "v"],
+        intra_edges=[("throttle", "v")],
+        inter_edges=[("v", "v"), ("throttle", "throttle")])
+
+
+class TestNaming:
+    def test_slice_node_round_trip(self):
+        node = slice_node("v", 2)
+        assert node == "v@2"
+        assert split_slice_node(node) == ("v", 2)
+
+    def test_split_handles_separator_in_name(self):
+        node = slice_node("a@b", 1)
+        assert split_slice_node(node) == ("a@b", 1)
+
+
+class TestUnrolling:
+    def test_unrolled_node_count(self):
+        dag = two_var_template().unrolled_dag(3)
+        assert len(dag) == 6
+
+    def test_intra_edges_replicated(self):
+        dag = two_var_template().unrolled_dag(2)
+        assert ("throttle@1", "v@1") in dag.edges()
+
+    def test_inter_edges_link_slices(self):
+        dag = two_var_template().unrolled_dag(3)
+        assert ("v@0", "v@1") in dag.edges()
+        assert ("v@1", "v@2") in dag.edges()
+        assert ("v@0", "v@2") not in dag.edges()
+
+    def test_single_slice_has_no_inter_edges(self):
+        dag = two_var_template().unrolled_dag(1)
+        assert dag.edges() == [("throttle@0", "v@0")]
+
+    def test_bad_slice_count(self):
+        with pytest.raises(ValueError):
+            two_var_template().unrolled_dag(0)
+
+    def test_unknown_edge_variable_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicBayesianNetwork(["a"], intra_edges=[("a", "b")])
+
+
+class TestWindowDataset:
+    def test_window_count(self):
+        template = ar1_template()
+        traces = [{"v": np.arange(10.0)}]
+        data = template.window_dataset(traces, n_slices=3)
+        assert len(data["v@0"]) == 8
+
+    def test_window_alignment(self):
+        template = ar1_template()
+        traces = [{"v": np.array([1.0, 2.0, 3.0, 4.0])}]
+        data = template.window_dataset(traces, n_slices=2)
+        assert np.allclose(data["v@0"], [1, 2, 3])
+        assert np.allclose(data["v@1"], [2, 3, 4])
+
+    def test_multiple_traces_concatenated(self):
+        template = ar1_template()
+        traces = [{"v": np.arange(5.0)}, {"v": np.arange(4.0)}]
+        data = template.window_dataset(traces, n_slices=3)
+        assert len(data["v@0"]) == 3 + 2
+
+    def test_short_traces_skipped(self):
+        template = ar1_template()
+        traces = [{"v": np.array([1.0])}, {"v": np.arange(4.0)}]
+        data = template.window_dataset(traces, n_slices=3)
+        assert len(data["v@0"]) == 2
+
+    def test_all_short_raises(self):
+        template = ar1_template()
+        with pytest.raises(ValueError):
+            template.window_dataset([{"v": np.array([1.0])}], n_slices=3)
+
+    def test_ragged_trace_rejected(self):
+        template = two_var_template()
+        bad = [{"throttle": np.arange(5.0), "v": np.arange(4.0)}]
+        with pytest.raises(ValueError):
+            template.window_dataset(bad, n_slices=2)
+
+
+class TestFitting:
+    def test_fit_recovers_ar1_dynamics(self):
+        rng = np.random.default_rng(0)
+        traces = []
+        for _ in range(20):
+            v = [rng.normal(0, 1)]
+            for _ in range(99):
+                v.append(0.8 * v[-1] + 1.0 + rng.normal(0, 0.1))
+            traces.append({"v": np.array(v)})
+        model = ar1_template().fit_linear_gaussian(traces, n_slices=3)
+        cpd = model.cpds["v@1"]
+        assert cpd.parents == ("v@0",)
+        assert cpd.weights[0] == pytest.approx(0.8, abs=0.02)
+        assert cpd.intercept == pytest.approx(1.0, abs=0.1)
+
+    def test_fit_prediction_two_steps_ahead(self):
+        rng = np.random.default_rng(1)
+        traces = []
+        for _ in range(30):
+            v = [float(rng.normal(10, 2))]
+            for _ in range(60):
+                v.append(0.5 * v[-1] + 2.0 + rng.normal(0, 0.05))
+            traces.append({"v": np.array(v)})
+        model = ar1_template().fit_linear_gaussian(traces, n_slices=3)
+        engine = GaussianInference(model)
+        predicted = engine.map_query(["v@2"], evidence={"v@0": 8.0})
+        # Two AR steps: 0.5*(0.5*8+2)+2 = 5
+        assert predicted["v@2"] == pytest.approx(5.0, abs=0.2)
+
+    def test_fit_discrete_dynamics(self):
+        rng = np.random.default_rng(2)
+        # Binary Markov chain with strong persistence.
+        traces = []
+        for _ in range(30):
+            states = [int(rng.integers(2))]
+            for _ in range(80):
+                stay = 0.9
+                states.append(states[-1] if rng.random() < stay
+                              else 1 - states[-1])
+            traces.append({"v": np.array(states)})
+        template = ar1_template()
+        model = template.fit_discrete(traces, {"v": 2}, n_slices=2,
+                                      pseudocount=0.5)
+        table = model.cpds["v@1"].table
+        assert table[0, 0] == pytest.approx(0.9, abs=0.05)
+        assert table[1, 1] == pytest.approx(0.9, abs=0.05)

@@ -1,0 +1,132 @@
+"""Tests for discrete factor algebra."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import DiscreteFactor, factor_product, identity_factor
+
+
+def make_ab():
+    # phi(a, b) with a in {0,1}, b in {0,1,2}
+    return DiscreteFactor(["a", "b"], [2, 3],
+                          [[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]])
+
+
+class TestConstruction:
+    def test_shape_enforced(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a"], [2], [0.1, 0.2, 0.3])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a"], [2], [-0.1, 1.1])
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteFactor(["a", "a"], [2, 2], np.ones((2, 2)))
+
+    def test_cardinality_lookup(self):
+        assert make_ab().cardinality("b") == 3
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            make_ab().cardinality("zz")
+
+
+class TestProduct:
+    def test_product_disjoint_is_outer(self):
+        fa = DiscreteFactor(["a"], [2], [0.5, 0.5])
+        fb = DiscreteFactor(["b"], [2], [0.25, 0.75])
+        product = fa.product(fb)
+        assert product.variables == ("a", "b")
+        assert product.values[1, 0] == pytest.approx(0.125)
+
+    def test_product_shared_variable_aligns(self):
+        fab = make_ab()
+        fb = DiscreteFactor(["b"], [3], [1.0, 2.0, 3.0])
+        product = fab.product(fb)
+        assert product.values[0, 2] == pytest.approx(0.3 * 3.0)
+        assert product.values[1, 1] == pytest.approx(0.5 * 2.0)
+
+    def test_product_order_invariance(self):
+        fab = make_ab()
+        fb = DiscreteFactor(["b", "c"], [3, 2], np.arange(6.0).reshape(3, 2))
+        left = fab.product(fb)
+        right = fb.product(fab)
+        permutation = [right.variables.index(v) for v in left.variables]
+        assert np.allclose(left.values, right.values.transpose(permutation))
+
+    def test_product_cardinality_mismatch(self):
+        fab = make_ab()
+        bad = DiscreteFactor(["b"], [2], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            fab.product(bad)
+
+    def test_identity_factor(self):
+        fab = make_ab()
+        same = fab.product(identity_factor())
+        assert np.allclose(same.values, fab.values)
+
+    def test_factor_product_helper(self):
+        fa = DiscreteFactor(["a"], [2], [1.0, 2.0])
+        fb = DiscreteFactor(["b"], [2], [3.0, 4.0])
+        combined = factor_product([fa, fb])
+        assert combined.values[1, 1] == pytest.approx(8.0)
+
+
+class TestEliminate:
+    def test_marginalize(self):
+        marginal = make_ab().marginalize(["b"])
+        assert marginal.variables == ("a",)
+        assert np.allclose(marginal.values, [0.6, 1.5])
+
+    def test_maximize(self):
+        maxed = make_ab().maximize(["a"])
+        assert np.allclose(maxed.values, [0.4, 0.5, 0.6])
+
+    def test_marginalize_everything_gives_scalar(self):
+        scalar = make_ab().marginalize(["a", "b"])
+        assert scalar.variables == ()
+        assert scalar.values.item() == pytest.approx(2.1)
+
+    def test_marginalize_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_ab().marginalize(["zz"])
+
+
+class TestReduce:
+    def test_reduce_drops_variable(self):
+        reduced = make_ab().reduce({"b": 1})
+        assert reduced.variables == ("a",)
+        assert np.allclose(reduced.values, [0.2, 0.5])
+
+    def test_reduce_ignores_foreign_evidence(self):
+        reduced = make_ab().reduce({"zz": 0})
+        assert reduced.variables == ("a", "b")
+
+    def test_reduce_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_ab().reduce({"b": 5})
+
+
+class TestQueries:
+    def test_normalize(self):
+        normalized = make_ab().normalize()
+        assert normalized.values.sum() == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        zero = DiscreteFactor(["a"], [2], [0.0, 0.0])
+        with pytest.raises(ZeroDivisionError):
+            zero.normalize()
+
+    def test_argmax(self):
+        assert make_ab().argmax() == {"a": 1, "b": 2}
+
+    def test_get(self):
+        assert make_ab().get({"a": 0, "b": 2}) == pytest.approx(0.3)
+
+    def test_copy_independent(self):
+        original = make_ab()
+        clone = original.copy()
+        clone.values[0, 0] = 99.0
+        assert original.values[0, 0] == pytest.approx(0.1)

@@ -1,0 +1,105 @@
+"""Tests for the three fault models."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Outcome
+from repro.core import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
+                        minmax_fault_grid, random_fault)
+from repro.core.fault_models import KERNEL_VARIABLE_MAP
+from repro.ads import variable_by_name
+
+
+class TestMinMaxGrid:
+    def test_grid_size(self):
+        grid = minmax_fault_grid([10, 20], ["throttle", "brake"])
+        assert len(grid) == 2 * 2 * 2
+
+    def test_grid_values_are_extremes(self):
+        grid = minmax_fault_grid([10], ["throttle"])
+        values = sorted(f.value for f in grid)
+        assert values == [0.0, 1.0]
+
+    def test_default_variables_exclude_gps_x(self):
+        assert "gps_x" not in DEFAULT_VARIABLES
+        grid = minmax_fault_grid([5])
+        assert all(f.variable != "gps_x" for f in grid)
+
+    def test_duration_propagates(self):
+        grid = minmax_fault_grid([5], ["brake"], duration_ticks=7)
+        assert all(f.duration_ticks == 7 for f in grid)
+
+
+class TestRandomFault:
+    def test_value_within_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            fault = random_fault(rng, [10, 20, 30])
+            variable = variable_by_name(fault.variable)
+            assert variable.min_value <= fault.value <= variable.max_value
+            assert fault.start_tick in (10, 20, 30)
+
+    def test_deterministic_for_seed(self):
+        a = random_fault(np.random.default_rng(5), [10, 20])
+        b = random_fault(np.random.default_rng(5), [10, 20])
+        assert a == b
+
+    def test_covers_variables(self):
+        rng = np.random.default_rng(1)
+        seen = {random_fault(rng, [10]).variable for _ in range(300)}
+        assert len(seen) > 10
+
+
+class TestArchitecturalFaultModel:
+    def test_kernel_mapping_complete(self):
+        model = ArchitecturalFaultModel()
+        for kernel in model.kernels:
+            assert kernel.name in KERNEL_VARIABLE_MAP
+
+    def test_unmapped_kernel_rejected(self):
+        from repro.arch import dot_kernel
+        with pytest.raises(ValueError):
+            ArchitecturalFaultModel(kernels=[dot_kernel(7)])
+
+    def test_sample_outcomes(self):
+        model = ArchitecturalFaultModel()
+        rng = np.random.default_rng(0)
+        outcomes = [model.sample(rng, [10, 20]) for _ in range(200)]
+        kinds = {o.outcome for o in outcomes}
+        assert Outcome.MASKED in kinds
+        assert Outcome.SDC in kinds
+
+    def test_only_sdc_produces_faults(self):
+        model = ArchitecturalFaultModel()
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            outcome = model.sample(rng, [10])
+            if outcome.outcome is Outcome.SDC:
+                assert outcome.fault is not None
+            else:
+                assert outcome.fault is None
+
+    def test_fault_value_in_variable_range(self):
+        model = ArchitecturalFaultModel()
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            outcome = model.sample(rng, [10])
+            if outcome.fault is not None:
+                variable = variable_by_name(outcome.fault.variable)
+                assert (variable.min_value <= outcome.fault.value
+                        <= variable.max_value)
+
+    def test_small_errors_stay_near_nominal(self):
+        variable = variable_by_name("throttle")
+        value = ArchitecturalFaultModel._map_error_to_value(
+            variable, relative_error=1e-6, rng=np.random.default_rng(0))
+        middle = (variable.min_value + variable.max_value) / 2
+        assert value == pytest.approx(middle, abs=1e-3)
+
+    def test_large_errors_saturate_at_extremes(self):
+        variable = variable_by_name("throttle")
+        rng = np.random.default_rng(0)
+        values = {ArchitecturalFaultModel._map_error_to_value(
+            variable, relative_error=1e9, rng=rng) for _ in range(50)}
+        assert values <= {0.0, 1.0}
+        assert len(values) == 2

@@ -1,0 +1,128 @@
+"""Tests for linear-Gaussian networks and exact Gaussian inference."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (GaussianDistribution, GaussianInference,
+                            LinearGaussianBayesianNetwork, LinearGaussianCPD)
+
+
+def chain_lg():
+    """x -> y -> z with known closed-form joint."""
+    net = LinearGaussianBayesianNetwork(edges=[("x", "y"), ("y", "z")])
+    net.add_cpd(LinearGaussianCPD("x", 1.0, 4.0))
+    net.add_cpd(LinearGaussianCPD("y", -1.0, 1.0, parents=["x"],
+                                  weights=[0.5]))
+    net.add_cpd(LinearGaussianCPD("z", 0.0, 2.0, parents=["y"],
+                                  weights=[2.0]))
+    return net
+
+
+class TestJointConstruction:
+    def test_chain_joint_mean(self):
+        order, mean, _ = chain_lg().joint_parameters()
+        by_name = dict(zip(order, mean))
+        assert by_name["x"] == pytest.approx(1.0)
+        assert by_name["y"] == pytest.approx(-0.5)   # -1 + 0.5*1
+        assert by_name["z"] == pytest.approx(-1.0)   # 2*-0.5
+
+    def test_chain_joint_covariance(self):
+        order, _, cov = chain_lg().joint_parameters()
+        i = {v: k for k, v in enumerate(order)}
+        # var(y) = 1 + 0.25*4 = 2 ; cov(x,y) = 0.5*4 = 2
+        assert cov[i["y"], i["y"]] == pytest.approx(2.0)
+        assert cov[i["x"], i["y"]] == pytest.approx(2.0)
+        # var(z) = 2 + 4*var(y) = 10 ; cov(x,z) = 2*cov(x,y) = 4
+        assert cov[i["z"], i["z"]] == pytest.approx(10.0)
+        assert cov[i["x"], i["z"]] == pytest.approx(4.0)
+
+    def test_v_structure_independent_parents(self):
+        net = LinearGaussianBayesianNetwork(edges=[("a", "c"), ("b", "c")])
+        net.add_cpd(LinearGaussianCPD("a", 0.0, 1.0))
+        net.add_cpd(LinearGaussianCPD("b", 0.0, 1.0))
+        net.add_cpd(LinearGaussianCPD("c", 0.0, 0.5, parents=["a", "b"],
+                                      weights=[1.0, 1.0]))
+        order, _, cov = net.joint_parameters()
+        i = {v: k for k, v in enumerate(order)}
+        assert cov[i["a"], i["b"]] == pytest.approx(0.0)
+        assert cov[i["c"], i["c"]] == pytest.approx(2.5)
+
+    def test_sampling_matches_joint(self):
+        net = chain_lg()
+        rng = np.random.default_rng(3)
+        draws = net.sample(rng, n=4000)
+        z = np.array([d["z"] for d in draws])
+        assert z.mean() == pytest.approx(-1.0, abs=0.2)
+        assert z.var() == pytest.approx(10.0, rel=0.15)
+
+
+class TestConditioning:
+    def test_condition_on_parent(self):
+        engine = GaussianInference(chain_lg())
+        posterior = engine.posterior(["y"], evidence={"x": 3.0})
+        assert posterior.mean_of("y") == pytest.approx(-1 + 0.5 * 3)
+        assert posterior.variance_of("y") == pytest.approx(1.0)
+
+    def test_condition_on_child_regresses_backward(self):
+        engine = GaussianInference(chain_lg())
+        posterior = engine.posterior(["x"], evidence={"y": 0.0})
+        # Standard Gaussian conditioning: mu = 1 + (2/2)*(0-(-0.5)) = 1.5
+        assert posterior.mean_of("x") == pytest.approx(1.5)
+        # var = 4 - 2*2/2 = 2
+        assert posterior.variance_of("x") == pytest.approx(2.0)
+
+    def test_map_query_is_posterior_mean(self):
+        engine = GaussianInference(chain_lg())
+        assignment = engine.map_query(["x", "z"], evidence={"y": 1.0})
+        posterior = engine.posterior(["x", "z"], evidence={"y": 1.0})
+        assert assignment["x"] == pytest.approx(posterior.mean_of("x"))
+        assert assignment["z"] == pytest.approx(posterior.mean_of("z"))
+
+    def test_condition_no_evidence_is_identity(self):
+        engine = GaussianInference(chain_lg())
+        posterior = engine.posterior(["x", "y", "z"])
+        assert posterior.mean_of("z") == pytest.approx(-1.0)
+
+    def test_monte_carlo_agreement(self):
+        """Conditioning matches rejection-free ancestral regression."""
+        net = chain_lg()
+        engine = GaussianInference(net)
+        rng = np.random.default_rng(11)
+        draws = net.sample(rng, n=20000)
+        x = np.array([d["x"] for d in draws])
+        y = np.array([d["y"] for d in draws])
+        window = np.abs(y - 1.0) < 0.05
+        empirical = x[window].mean()
+        analytic = engine.posterior(["x"], evidence={"y": 1.0}).mean_of("x")
+        assert empirical == pytest.approx(analytic, abs=0.15)
+
+
+class TestGaussianDistribution:
+    def test_symmetry_enforced(self):
+        with pytest.raises(ValueError):
+            GaussianDistribution(["a", "b"], [0, 0],
+                                 [[1.0, 0.5], [0.4, 1.0]])
+
+    def test_marginalize(self):
+        dist = GaussianDistribution(["a", "b"], [1.0, 2.0],
+                                    [[1.0, 0.3], [0.3, 2.0]])
+        marginal = dist.marginalize(["b"])
+        assert marginal.mean_of("b") == pytest.approx(2.0)
+        assert marginal.variance_of("b") == pytest.approx(2.0)
+
+    def test_unknown_variable(self):
+        dist = GaussianDistribution(["a"], [0.0], [[1.0]])
+        with pytest.raises(KeyError):
+            dist.mean_of("b")
+
+    def test_log_density_standard_normal(self):
+        dist = GaussianDistribution(["a"], [0.0], [[1.0]])
+        assert dist.log_density({"a": 0.0}) == pytest.approx(
+            -0.5 * np.log(2 * np.pi))
+
+    def test_degenerate_conditioning_from_zero_variance(self):
+        # Singular evidence block must not blow up (pinv path).
+        dist = GaussianDistribution(
+            ["a", "b"], [0.0, 0.0], [[0.0, 0.0], [0.0, 1.0]])
+        posterior = dist.condition({"a": 5.0})
+        assert posterior.mean_of("b") == pytest.approx(0.0)

@@ -1,0 +1,105 @@
+"""Tests for the DAG skeleton."""
+
+import pytest
+
+from repro.bayesnet import DAG, CycleError
+
+
+def diamond():
+    return DAG(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_nodes_keep_insertion_order(self):
+        g = DAG(nodes=["z", "a", "m"])
+        assert g.nodes() == ["z", "a", "m"]
+
+    def test_add_edge_creates_nodes(self):
+        g = DAG()
+        g.add_edge("x", "y")
+        assert "x" in g and "y" in g
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CycleError):
+            DAG(edges=[("a", "a")])
+
+    def test_cycle_rejected(self):
+        g = DAG(edges=[("a", "b"), ("b", "c")])
+        with pytest.raises(CycleError):
+            g.add_edge("c", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = DAG(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b")
+
+    def test_add_node_idempotent(self):
+        g = DAG()
+        g.add_node("a")
+        g.add_node("a")
+        assert len(g) == 1
+
+
+class TestQueries:
+    def test_parents_and_children(self):
+        g = diamond()
+        assert g.parents("d") == ["b", "c"]
+        assert g.children("a") == ["b", "c"]
+
+    def test_roots_and_leaves(self):
+        g = diamond()
+        assert g.roots() == ["a"]
+        assert g.leaves() == ["d"]
+
+    def test_ancestors(self):
+        g = diamond()
+        assert g.ancestors("d") == {"a", "b", "c"}
+        assert g.ancestors("a") == set()
+
+    def test_descendants(self):
+        g = diamond()
+        assert g.descendants("a") == {"b", "c", "d"}
+        assert g.descendants("d") == set()
+
+    def test_has_path(self):
+        g = diamond()
+        assert g.has_path("a", "d")
+        assert not g.has_path("d", "a")
+        assert not g.has_path("b", "c")
+
+    def test_has_path_unknown_nodes(self):
+        assert not diamond().has_path("nope", "d")
+
+    def test_topological_order_is_valid(self):
+        g = diamond()
+        order = g.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for parent, child in g.edges():
+            assert position[parent] < position[child]
+
+    def test_topological_order_deterministic(self):
+        assert diamond().topological_order() == ["a", "b", "c", "d"]
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = diamond()
+        g.remove_edge("b", "d")
+        assert g.parents("d") == ["c"]
+
+    def test_remove_incoming_edges(self):
+        g = diamond()
+        g.remove_incoming_edges("d")
+        assert g.parents("d") == []
+        assert g.children("b") == []
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        clone = g.copy()
+        clone.remove_incoming_edges("d")
+        assert g.parents("d") == ["b", "c"]
+        assert clone.parents("d") == []
+
+    def test_copy_preserves_edges(self):
+        g = diamond()
+        assert sorted(g.copy().edges()) == sorted(g.edges())

@@ -1,0 +1,166 @@
+"""Tests for variable elimination, checked against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (DiscreteBayesianNetwork, TabularCPD,
+                            VariableElimination)
+
+
+def sprinkler_network():
+    """The classic rain/sprinkler/grass network with textbook parameters."""
+    net = DiscreteBayesianNetwork(edges=[("rain", "sprinkler"),
+                                         ("rain", "grass"),
+                                         ("sprinkler", "grass")])
+    net.add_cpd(TabularCPD("rain", 2, [[0.8], [0.2]]))
+    net.add_cpd(TabularCPD("sprinkler", 2, [[0.6, 0.99], [0.4, 0.01]],
+                           parents=["rain"], parent_cards=[2]))
+    # grass wet: columns (rain, sprinkler) = (0,0),(0,1),(1,0),(1,1)
+    net.add_cpd(TabularCPD("grass", 2,
+                           [[1.0, 0.1, 0.2, 0.01],
+                            [0.0, 0.9, 0.8, 0.99]],
+                           parents=["rain", "sprinkler"],
+                           parent_cards=[2, 2]))
+    return net
+
+
+def chain_network():
+    """a -> b -> c with simple parameters for hand calculation."""
+    net = DiscreteBayesianNetwork(edges=[("a", "b"), ("b", "c")])
+    net.add_cpd(TabularCPD("a", 2, [[0.3], [0.7]]))
+    net.add_cpd(TabularCPD("b", 2, [[0.9, 0.2], [0.1, 0.8]],
+                           parents=["a"], parent_cards=[2]))
+    net.add_cpd(TabularCPD("c", 2, [[0.5, 0.6], [0.5, 0.4]],
+                           parents=["b"], parent_cards=[2]))
+    return net
+
+
+class TestPriorMarginals:
+    def test_root_marginal_is_prior(self):
+        engine = VariableElimination(sprinkler_network())
+        marginal = engine.marginal("rain")
+        assert np.allclose(marginal.values, [0.8, 0.2])
+
+    def test_chain_marginal(self):
+        engine = VariableElimination(chain_network())
+        # P(b=1) = 0.3*0.1 + 0.7*0.8 = 0.59
+        marginal = engine.marginal("b")
+        assert marginal.values[1] == pytest.approx(0.59)
+
+    def test_grass_prior(self):
+        engine = VariableElimination(sprinkler_network())
+        # P(grass=1) = sum over rain, sprinkler
+        # rain=0: 0.8 * (0.6*0 + 0.4*0.9) = 0.8*0.36 = 0.288
+        # rain=1: 0.2 * (0.99*0.8 + 0.01*0.99) = 0.2*0.8019 = 0.16038
+        marginal = engine.marginal("grass")
+        assert marginal.values[1] == pytest.approx(0.288 + 0.16038)
+
+
+class TestPosteriors:
+    def test_rain_given_wet_grass(self):
+        engine = VariableElimination(sprinkler_network())
+        posterior = engine.marginal("rain", evidence={"grass": 1})
+        # P(rain=1 | grass=1) = 0.16038 / 0.44838
+        assert posterior.values[1] == pytest.approx(0.16038 / 0.44838,
+                                                    rel=1e-6)
+
+    def test_explaining_away(self):
+        engine = VariableElimination(sprinkler_network())
+        p_rain_wet = engine.marginal(
+            "rain", evidence={"grass": 1}).values[1]
+        p_rain_wet_sprinkler = engine.marginal(
+            "rain", evidence={"grass": 1, "sprinkler": 1}).values[1]
+        # Knowing the sprinkler ran explains the wet grass away from rain.
+        assert p_rain_wet_sprinkler < p_rain_wet
+
+    def test_chain_evidence_downstream(self):
+        engine = VariableElimination(chain_network())
+        # P(a=1 | b=1) = 0.7*0.8 / 0.59
+        posterior = engine.marginal("a", evidence={"b": 1})
+        assert posterior.values[1] == pytest.approx(0.56 / 0.59)
+
+    def test_joint_query_shape_and_sum(self):
+        engine = VariableElimination(sprinkler_network())
+        joint = engine.query(["rain", "sprinkler"], evidence={"grass": 1})
+        assert joint.values.shape == (2, 2)
+        assert joint.values.sum() == pytest.approx(1.0)
+
+    def test_query_matches_brute_force(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        posterior = engine.query(["sprinkler"], evidence={"grass": 1})
+        # Brute force over the full joint.
+        total = np.zeros(2)
+        for r in range(2):
+            for s in range(2):
+                p = (net.cpds["rain"].probability(r)
+                     * net.cpds["sprinkler"].probability(s, {"rain": r})
+                     * net.cpds["grass"].probability(
+                         1, {"rain": r, "sprinkler": s}))
+                total[s] += p
+        assert np.allclose(posterior.values, total / total.sum())
+
+
+class TestMapQuery:
+    def test_map_single_variable(self):
+        engine = VariableElimination(sprinkler_network())
+        assignment = engine.map_query(["rain"], evidence={"grass": 1})
+        assert assignment == {"rain": 0}
+
+    def test_map_joint(self):
+        engine = VariableElimination(sprinkler_network())
+        assignment = engine.map_query(["rain", "sprinkler"],
+                                      evidence={"grass": 1})
+        joint = engine.query(["rain", "sprinkler"], evidence={"grass": 1})
+        assert joint.get(assignment) == pytest.approx(joint.values.max())
+
+
+class TestErrors:
+    def test_query_variable_in_evidence(self):
+        engine = VariableElimination(sprinkler_network())
+        with pytest.raises(ValueError):
+            engine.query(["rain"], evidence={"rain": 1})
+
+    def test_unknown_query_variable(self):
+        engine = VariableElimination(sprinkler_network())
+        with pytest.raises(ValueError):
+            engine.query(["nope"])
+
+    def test_impossible_evidence(self):
+        net = DiscreteBayesianNetwork(edges=[("a", "b")])
+        net.add_cpd(TabularCPD("a", 2, [[1.0], [0.0]]))
+        net.add_cpd(TabularCPD("b", 2, [[1.0, 0.0], [0.0, 1.0]],
+                               parents=["a"], parent_cards=[2]))
+        engine = VariableElimination(net)
+        with pytest.raises(ZeroDivisionError):
+            engine.marginal("a", evidence={"b": 1})
+
+    def test_incomplete_network_rejected(self):
+        net = DiscreteBayesianNetwork(edges=[("a", "b")])
+        net.add_cpd(TabularCPD("a", 2, [[0.5], [0.5]]))
+        with pytest.raises(ValueError):
+            VariableElimination(net)
+
+
+class TestNetworkContainer:
+    def test_cpd_parent_mismatch_rejected(self):
+        net = DiscreteBayesianNetwork(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            net.add_cpd(TabularCPD("b", 2, [[0.5], [0.5]]))
+
+    def test_sampling_approximates_marginals(self):
+        net = chain_network()
+        rng = np.random.default_rng(7)
+        draws = net.sample(rng, n=3000)
+        freq_b = np.mean([d["b"] for d in draws])
+        assert freq_b == pytest.approx(0.59, abs=0.03)
+
+    def test_log_likelihood(self):
+        net = chain_network()
+        ll = net.log_likelihood({"a": 0, "b": 0, "c": 1})
+        assert ll == pytest.approx(np.log(0.3 * 0.9 * 0.5))
+
+    def test_log_likelihood_impossible(self):
+        net = DiscreteBayesianNetwork()
+        net.add_cpd(TabularCPD("a", 2, [[1.0], [0.0]]))
+        assert net.log_likelihood({"a": 1}) == float("-inf")

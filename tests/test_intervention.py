@@ -1,0 +1,117 @@
+"""Tests for the do-operator: interventions vs conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (DiscreteBayesianNetwork, GaussianInference,
+                            LinearGaussianBayesianNetwork, LinearGaussianCPD,
+                            TabularCPD, VariableElimination,
+                            intervene_discrete, intervene_gaussian)
+
+
+def confounded_network():
+    """u -> x, u -> y, x -> y: conditioning and do() on x must differ."""
+    net = DiscreteBayesianNetwork(edges=[("u", "x"), ("u", "y"), ("x", "y")])
+    net.add_cpd(TabularCPD("u", 2, [[0.5], [0.5]]))
+    net.add_cpd(TabularCPD("x", 2, [[0.9, 0.1], [0.1, 0.9]],
+                           parents=["u"], parent_cards=[2]))
+    # y depends strongly on u, weakly on x.
+    # columns (u, x) = (0,0),(0,1),(1,0),(1,1)
+    net.add_cpd(TabularCPD("y", 2,
+                           [[0.9, 0.8, 0.2, 0.1],
+                            [0.1, 0.2, 0.8, 0.9]],
+                           parents=["u", "x"], parent_cards=[2, 2]))
+    return net
+
+
+class TestDiscreteIntervention:
+    def test_do_cuts_incoming_edges(self):
+        mutilated = intervene_discrete(confounded_network(), {"x": 1})
+        assert mutilated.dag.parents("x") == []
+        assert mutilated.cpds["x"].probability(1) == 1.0
+
+    def test_original_untouched(self):
+        net = confounded_network()
+        intervene_discrete(net, {"x": 1})
+        assert net.dag.parents("x") == ["u"]
+
+    def test_do_differs_from_conditioning(self):
+        net = confounded_network()
+        observe = VariableElimination(net).marginal(
+            "y", evidence={"x": 1}).values[1]
+        mutilated = intervene_discrete(net, {"x": 1})
+        do = VariableElimination(mutilated).marginal(
+            "y", evidence={"x": 1}).values[1]
+        # Conditioning: x=1 implies u likely 1 implies y likely 1.
+        # do(): u remains 50/50.
+        # P(y=1|do(x=1)) = 0.5*0.2 + 0.5*0.9 = 0.55
+        assert do == pytest.approx(0.55)
+        assert observe > do + 0.1
+
+    def test_do_matches_truncated_product_formula(self):
+        net = confounded_network()
+        mutilated = intervene_discrete(net, {"x": 1})
+        engine = VariableElimination(mutilated)
+        p_do = engine.marginal("y", evidence={"x": 1}).values[1]
+        # Truncated factorization: sum_u P(u) P(y | u, x=1)
+        manual = sum(
+            net.cpds["u"].probability(u)
+            * net.cpds["y"].probability(1, {"u": u, "x": 1})
+            for u in range(2))
+        assert p_do == pytest.approx(manual)
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            intervene_discrete(confounded_network(), {"zz": 0})
+
+    def test_state_out_of_range(self):
+        with pytest.raises(IndexError):
+            intervene_discrete(confounded_network(), {"x": 9})
+
+    def test_upstream_belief_unchanged_by_do(self):
+        net = confounded_network()
+        mutilated = intervene_discrete(net, {"x": 1})
+        posterior_u = VariableElimination(mutilated).marginal(
+            "u", evidence={"x": 1})
+        assert np.allclose(posterior_u.values, [0.5, 0.5])
+
+
+class TestGaussianIntervention:
+    def make_net(self):
+        # u -> x -> y and u -> y (confounder), all linear-Gaussian.
+        net = LinearGaussianBayesianNetwork(
+            edges=[("u", "x"), ("u", "y"), ("x", "y")])
+        net.add_cpd(LinearGaussianCPD("u", 0.0, 1.0))
+        net.add_cpd(LinearGaussianCPD("x", 0.0, 0.5, parents=["u"],
+                                      weights=[1.0]))
+        net.add_cpd(LinearGaussianCPD("y", 0.0, 0.25, parents=["u", "x"],
+                                      weights=[1.0, 1.0]))
+        return net
+
+    def test_do_value_pins_node(self):
+        mutilated = intervene_gaussian(self.make_net(), {"x": 2.0})
+        engine = GaussianInference(mutilated)
+        posterior = engine.posterior(["x"])
+        assert posterior.mean_of("x") == pytest.approx(2.0)
+        assert posterior.variance_of("x") == pytest.approx(0.0)
+
+    def test_do_differs_from_conditioning(self):
+        net = self.make_net()
+        observe = GaussianInference(net).posterior(
+            ["y"], evidence={"x": 2.0}).mean_of("y")
+        mutilated = intervene_gaussian(net, {"x": 2.0})
+        do = GaussianInference(mutilated).posterior(["y"]).mean_of("y")
+        # do: E[y | do(x=2)] = E[u] + 2 = 2.
+        assert do == pytest.approx(2.0)
+        # conditioning also updates u upward: E[u|x=2] = 2*2/3
+        assert observe == pytest.approx(2.0 + 4.0 / 3.0, rel=1e-6)
+
+    def test_downstream_variance_excludes_upstream(self):
+        mutilated = intervene_gaussian(self.make_net(), {"x": 0.0})
+        engine = GaussianInference(mutilated)
+        # var(y | do(x)) = var(u) + 0.25 = 1.25
+        assert engine.posterior(["y"]).variance_of("y") == pytest.approx(1.25)
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            intervene_gaussian(self.make_net(), {"zz": 1.0})

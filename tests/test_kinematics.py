@@ -1,0 +1,106 @@
+"""Tests for the bicycle model and RK4 integration."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (VehicleState, bicycle_derivatives, rk4_step,
+                       simulate_constant_controls)
+
+WHEELBASE = 2.8
+
+
+class TestState:
+    def test_array_round_trip(self):
+        state = VehicleState(1.0, 2.0, 3.0, 0.1, 0.05)
+        assert VehicleState.from_array(state.as_array()) == state
+
+    def test_with_speed(self):
+        state = VehicleState(v=10.0).with_speed(5.0)
+        assert state.v == 5.0
+
+
+class TestDerivatives:
+    def test_straight_motion(self):
+        deriv = bicycle_derivatives(np.array([0, 0, 10.0, 0.0, 0.0]),
+                                    acceleration=0.0, steering_rate=0.0,
+                                    wheelbase=WHEELBASE)
+        assert np.allclose(deriv, [10.0, 0.0, 0.0, 0.0, 0.0])
+
+    def test_heading_rotates_velocity(self):
+        deriv = bicycle_derivatives(
+            np.array([0, 0, 10.0, np.pi / 2, 0.0]), 0.0, 0.0, WHEELBASE)
+        assert deriv[0] == pytest.approx(0.0, abs=1e-12)
+        assert deriv[1] == pytest.approx(10.0)
+
+    def test_steering_creates_yaw_rate(self):
+        deriv = bicycle_derivatives(np.array([0, 0, 10.0, 0.0, 0.1]),
+                                    0.0, 0.0, WHEELBASE)
+        assert deriv[3] == pytest.approx(10.0 * np.tan(0.1) / WHEELBASE)
+
+    def test_negative_speed_clamped_in_derivative(self):
+        deriv = bicycle_derivatives(np.array([0, 0, -1.0, 0.0, 0.0]),
+                                    0.0, 0.0, WHEELBASE)
+        assert deriv[0] == 0.0
+
+
+class TestRK4:
+    def test_constant_speed_straight_line(self):
+        state = VehicleState(v=20.0)
+        state = rk4_step(state, 0.0, 0.0, WHEELBASE, dt=1.0)
+        assert state.x == pytest.approx(20.0)
+        assert state.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_acceleration_distance(self):
+        # x = v0 t + a t^2 / 2 is exact for RK4 on this system.
+        state = VehicleState(v=10.0)
+        for _ in range(100):
+            state = rk4_step(state, 2.0, 0.0, WHEELBASE, dt=0.01)
+        assert state.v == pytest.approx(12.0)
+        assert state.x == pytest.approx(10.0 * 1 + 2.0 * 0.5, rel=1e-6)
+
+    def test_braking_does_not_reverse(self):
+        state = VehicleState(v=1.0)
+        for _ in range(100):
+            state = rk4_step(state, -5.0, 0.0, WHEELBASE, dt=0.05)
+        assert state.v == 0.0
+        assert state.x > 0.0
+
+    def test_stopped_vehicle_stays_put(self):
+        state = VehicleState(v=0.0)
+        state = rk4_step(state, -3.0, 0.0, WHEELBASE, dt=0.5)
+        assert state.x == pytest.approx(0.0, abs=1e-6)
+
+    def test_circular_motion_radius(self):
+        # Constant speed and steering trace a circle of radius L / tan(phi).
+        phi = 0.2
+        speed = 10.0
+        radius = WHEELBASE / np.tan(phi)
+        state = VehicleState(v=speed, phi=phi)
+        states = simulate_constant_controls(state, 0.0, 0.0, WHEELBASE,
+                                            dt=0.005,
+                                            n_steps=2000)
+        xs = np.array([s.x for s in states])
+        ys = np.array([s.y for s in states])
+        # Circle center is at (0, radius) for theta0 = 0.
+        distances = np.sqrt(xs ** 2 + (ys - radius) ** 2)
+        assert np.allclose(distances, radius, rtol=1e-4)
+
+    def test_heading_integral_matches_turn(self):
+        phi = 0.1
+        state = VehicleState(v=5.0, phi=phi)
+        for _ in range(100):
+            state = rk4_step(state, 0.0, 0.0, WHEELBASE, dt=0.01)
+        expected = 5.0 * np.tan(phi) / WHEELBASE * 1.0
+        assert state.theta == pytest.approx(expected, rel=1e-6)
+
+    def test_steering_rate_integrates(self):
+        state = VehicleState(v=10.0)
+        state = rk4_step(state, 0.0, 0.05, WHEELBASE, dt=1.0)
+        assert state.phi == pytest.approx(0.05)
+
+    def test_simulate_returns_initial_state_first(self):
+        state = VehicleState(v=3.0)
+        states = simulate_constant_controls(state, 0.0, 0.0, WHEELBASE,
+                                            dt=0.1, n_steps=5)
+        assert states[0] == state
+        assert len(states) == 6

@@ -1,0 +1,111 @@
+"""Tests for MLE parameter learning: recover known generators from samples."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (DAG, DiscreteBayesianNetwork, GaussianInference,
+                            LinearGaussianBayesianNetwork, LinearGaussianCPD,
+                            TabularCPD, fit_discrete_network,
+                            fit_linear_gaussian_cpd,
+                            fit_linear_gaussian_network, fit_tabular_cpd)
+
+
+class TestTabularLearning:
+    def test_recovers_root_distribution(self):
+        rng = np.random.default_rng(0)
+        states = rng.choice(3, size=5000, p=[0.2, 0.3, 0.5])
+        cpd = fit_tabular_cpd("x", 3, [], [], {"x": states}, pseudocount=0)
+        assert np.allclose(cpd.table[:, 0], [0.2, 0.3, 0.5], atol=0.03)
+
+    def test_recovers_conditional(self):
+        rng = np.random.default_rng(1)
+        parent = rng.choice(2, size=8000)
+        table = np.array([[0.9, 0.3], [0.1, 0.7]])
+        child = np.array([rng.choice(2, p=table[:, p]) for p in parent])
+        cpd = fit_tabular_cpd("c", 2, ["p"], [2],
+                              {"c": child, "p": parent}, pseudocount=0)
+        assert np.allclose(cpd.table, table, atol=0.03)
+
+    def test_pseudocount_smooths_unseen(self):
+        data = {"c": np.array([0, 0]), "p": np.array([0, 0])}
+        cpd = fit_tabular_cpd("c", 2, ["p"], [2], data, pseudocount=1.0)
+        # Parent state 1 never observed: should be uniform from smoothing.
+        assert np.allclose(cpd.table[:, 1], [0.5, 0.5])
+
+    def test_zero_pseudocount_unseen_column_uniform(self):
+        data = {"c": np.array([0]), "p": np.array([0])}
+        cpd = fit_tabular_cpd("c", 2, ["p"], [2], data, pseudocount=0.0)
+        assert np.allclose(cpd.table[:, 1], [0.5, 0.5])
+
+    def test_negative_pseudocount_rejected(self):
+        with pytest.raises(ValueError):
+            fit_tabular_cpd("x", 2, [], [], {"x": np.array([0])},
+                            pseudocount=-1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_tabular_cpd("c", 2, ["p"], [2],
+                            {"c": np.array([0, 1]), "p": np.array([0])})
+
+    def test_fit_network_end_to_end(self):
+        generator = DiscreteBayesianNetwork(edges=[("a", "b")])
+        generator.add_cpd(TabularCPD("a", 2, [[0.7], [0.3]]))
+        generator.add_cpd(TabularCPD("b", 2, [[0.8, 0.1], [0.2, 0.9]],
+                                     parents=["a"], parent_cards=[2]))
+        rng = np.random.default_rng(2)
+        draws = generator.sample(rng, n=6000)
+        data = {v: np.array([d[v] for d in draws]) for v in ("a", "b")}
+        learned = fit_discrete_network(
+            DAG(edges=[("a", "b")]), {"a": 2, "b": 2}, data, pseudocount=0)
+        assert np.allclose(learned.cpds["a"].table[:, 0], [0.7, 0.3],
+                           atol=0.03)
+        assert np.allclose(learned.cpds["b"].table,
+                           generator.cpds["b"].table, atol=0.04)
+
+
+class TestLinearGaussianLearning:
+    def test_recovers_regression(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 2, size=6000)
+        b = rng.normal(1, 1, size=6000)
+        noise = rng.normal(0, 0.5, size=6000)
+        y = 2.0 * a - 3.0 * b + 4.0 + noise
+        cpd = fit_linear_gaussian_cpd("y", ["a", "b"],
+                                      {"a": a, "b": b, "y": y})
+        assert cpd.weights[0] == pytest.approx(2.0, abs=0.03)
+        assert cpd.weights[1] == pytest.approx(-3.0, abs=0.03)
+        assert cpd.intercept == pytest.approx(4.0, abs=0.1)
+        assert cpd.variance == pytest.approx(0.25, rel=0.1)
+
+    def test_root_node_fits_mean_variance(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(5.0, 3.0, size=5000)
+        cpd = fit_linear_gaussian_cpd("x", [], {"x": x})
+        assert cpd.intercept == pytest.approx(5.0, abs=0.15)
+        assert cpd.variance == pytest.approx(9.0, rel=0.1)
+
+    def test_variance_floor(self):
+        x = np.linspace(0, 1, 100)
+        cpd = fit_linear_gaussian_cpd("y", ["x"], {"x": x, "y": 2 * x},
+                                      min_variance=1e-6)
+        assert cpd.variance >= 1e-6
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_gaussian_cpd("x", [], {"x": np.array([])})
+
+    def test_fit_network_round_trip(self):
+        truth = LinearGaussianBayesianNetwork(edges=[("x", "y")])
+        truth.add_cpd(LinearGaussianCPD("x", 1.0, 1.0))
+        truth.add_cpd(LinearGaussianCPD("y", 0.5, 0.25, parents=["x"],
+                                        weights=[1.5]))
+        rng = np.random.default_rng(5)
+        draws = truth.sample(rng, n=8000)
+        data = {v: np.array([d[v] for d in draws]) for v in ("x", "y")}
+        learned = fit_linear_gaussian_network(DAG(edges=[("x", "y")]), data)
+        # Posterior inference on the learned model matches the generator.
+        truth_engine = GaussianInference(truth)
+        learned_engine = GaussianInference(learned)
+        expected = truth_engine.posterior(["y"], {"x": 2.0}).mean_of("y")
+        actual = learned_engine.posterior(["y"], {"x": 2.0}).mean_of("y")
+        assert actual == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,44 @@
+"""Tests for the extended scenario library (merging, pedestrian)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ads import ADSConfig, PlannerConfig
+from repro.core import Hazard, run_scenario
+from repro.sim import crossing_pedestrian, merging_traffic
+
+
+class TestMergingTraffic:
+    def test_builds_and_runs(self):
+        result = run_scenario(merging_traffic(), seed=0)
+        assert result.hazard is Hazard.NONE
+
+    def test_merger_changes_lane(self):
+        world = merging_traffic(merge_time=1.0).make_world()
+        start_y = world.npcs[0].y
+        for _ in range(120):
+            world.step(0.0, 0.0, 0.0, 0.05)
+        assert world.npcs[0].y > start_y + 2.0
+
+
+class TestCrossingPedestrian:
+    def test_pedestrian_crosses_all_lanes(self):
+        world = crossing_pedestrian(cross_time=0.5).make_world()
+        for _ in range(250):
+            world.step(0.0, 0.0, 0.0, 0.05)
+        assert world.npcs[0].y > world.road.width
+
+    def test_pedestrian_is_small(self):
+        world = crossing_pedestrian().make_world()
+        obstacle = world.obstacles()[0]
+        assert obstacle.width < 1.0
+        assert obstacle.length < 1.0
+
+    def test_urban_speed_stack_avoids_pedestrian(self):
+        """At urban cruise speed the stack must brake for the crossing."""
+        config = ADSConfig(planner=PlannerConfig(cruise_speed=14.0))
+        scenario = crossing_pedestrian(ego_speed=14.0, cross_x=110.0,
+                                       cross_time=1.0)
+        result = run_scenario(scenario, ads_config=config, seed=0)
+        assert not result.collided

@@ -1,0 +1,173 @@
+"""Tests for the IDM planner and PID/slew controller."""
+
+import pytest
+
+from repro.ads import (ActuationCommand, ControllerConfig, EgoEstimate,
+                       PIDController, Planner, PlannerConfig, PlannerOutput,
+                       TrackedObject, VehicleController, WorldModel)
+
+
+def model_with_lead(gap=None, lead_speed=20.0, ego_speed=25.0,
+                    lane_offset=0.0, lane_heading=0.0):
+    tracks = []
+    if gap is not None:
+        tracks = [TrackedObject(track_id=1, x=gap + 4.8, y=5.55,
+                                vx=lead_speed, vy=0.0, age=5)]
+    ego = EgoEstimate(x=0.0, y=5.55, v=ego_speed, theta=0.0)
+    return WorldModel(time=0.0, ego=ego, tracks=tracks,
+                      lane_offset=lane_offset, lane_heading=lane_heading)
+
+
+class TestPlanner:
+    def test_free_road_accelerates_toward_cruise(self):
+        planner = Planner(PlannerConfig(cruise_speed=31.0))
+        plan = planner.plan(model_with_lead(ego_speed=20.0), dt=0.1)
+        assert plan.throttle > 0.0
+        assert plan.brake == 0.0
+        assert plan.target_speed > 20.0
+
+    def test_at_cruise_speed_no_hard_accel(self):
+        planner = Planner(PlannerConfig(cruise_speed=31.0))
+        plan = planner.plan(model_with_lead(ego_speed=31.0), dt=0.1)
+        assert plan.throttle == pytest.approx(0.0, abs=0.05)
+
+    def test_close_gap_brakes(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(gap=8.0, lead_speed=20.0,
+                                            ego_speed=25.0), dt=0.1)
+        assert plan.brake > 0.0
+        assert plan.throttle == 0.0
+
+    def test_low_ttc_full_brake(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(gap=15.0, lead_speed=5.0,
+                                            ego_speed=30.0), dt=0.1)
+        assert plan.brake == pytest.approx(1.0)
+
+    def test_comfortable_following_is_gentle(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(gap=60.0, lead_speed=25.0,
+                                            ego_speed=25.0), dt=0.1)
+        assert plan.brake < 0.2
+        # Comfort acceleration cap maps to modest throttle.
+        assert plan.throttle <= (planner.config.comfort_accel
+                                 / planner.config.vehicle_max_accel + 1e-9)
+
+    def test_lane_offset_steers_back(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(lane_offset=0.5), dt=0.1)
+        assert plan.steering < 0.0
+        plan = planner.plan(model_with_lead(lane_offset=-0.5), dt=0.1)
+        assert plan.steering > 0.0
+
+    def test_heading_error_steers_back(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(lane_heading=0.05), dt=0.1)
+        assert plan.steering < 0.0
+
+    def test_gap_and_closing_reported(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(gap=40.0, lead_speed=22.0,
+                                            ego_speed=25.0), dt=0.1)
+        assert plan.gap == pytest.approx(40.0, abs=0.1)
+        assert plan.closing_speed == pytest.approx(3.0)
+
+    def test_empty_road_gap_is_sensor_range(self):
+        planner = Planner()
+        plan = planner.plan(model_with_lead(), dt=0.1)
+        assert plan.gap == pytest.approx(250.0)
+
+
+class TestPID:
+    def test_proportional(self):
+        pid = PIDController(kp=2.0)
+        assert pid.step(0.3, dt=0.1) == pytest.approx(0.6)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0)
+        pid.step(1.0, dt=0.5)
+        assert pid.step(1.0, dt=0.5) == pytest.approx(1.0)
+
+    def test_derivative(self):
+        pid = PIDController(kp=0.0, kd=1.0, output_low=-10.0,
+                            output_high=10.0)
+        pid.step(0.0, dt=0.1)
+        assert pid.step(0.2, dt=0.1) == pytest.approx(2.0)
+
+    def test_output_clamped(self):
+        pid = PIDController(kp=100.0, output_low=-1.0, output_high=1.0)
+        assert pid.step(10.0, dt=0.1) == 1.0
+
+    def test_anti_windup(self):
+        pid = PIDController(kp=0.0, ki=10.0, output_high=1.0)
+        for _ in range(100):
+            pid.step(5.0, dt=0.1)   # saturated: integral must not grow
+        pid_output_after_reversal = pid.step(-0.05, dt=0.1)
+        assert pid_output_after_reversal < 1.0
+
+    def test_reset(self):
+        pid = PIDController(kp=0.0, ki=1.0)
+        pid.step(1.0, dt=1.0)
+        pid.reset()
+        assert pid.step(0.0, dt=1.0) == 0.0
+
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            PIDController(kp=1.0).step(1.0, dt=0.0)
+
+
+class TestVehicleController:
+    def plan(self, throttle=0.5, brake=0.0, steering=0.0, target=25.0):
+        return PlannerOutput(target_speed=target, throttle=throttle,
+                             brake=brake, steering=steering, gap=100.0,
+                             closing_speed=0.0)
+
+    def test_slew_limits_pedal_step(self):
+        controller = VehicleController(ControllerConfig(
+            pedal_slew_rate=1.0))
+        command = controller.actuate(self.plan(throttle=1.0, target=40.0),
+                                     measured_speed=20.0, dt=0.05)
+        assert command.throttle <= 1.0 * 0.05 + 1e-9
+
+    def test_steering_slew(self):
+        controller = VehicleController(ControllerConfig(
+            steering_slew_rate=0.5))
+        command = controller.actuate(self.plan(steering=0.5),
+                                     measured_speed=25.0, dt=0.05)
+        assert command.steering == pytest.approx(0.025)
+
+    def test_disabled_passthrough(self):
+        controller = VehicleController(ControllerConfig(enabled=False))
+        command = controller.actuate(self.plan(throttle=0.9, steering=0.3),
+                                     measured_speed=0.0, dt=0.05)
+        assert command.throttle == pytest.approx(0.9)
+        assert command.steering == pytest.approx(0.3)
+
+    def test_speed_error_raises_throttle(self):
+        controller = VehicleController()
+        slow = None
+        for _ in range(40):
+            slow = controller.actuate(self.plan(throttle=0.2, target=30.0),
+                                      measured_speed=20.0, dt=0.05)
+        controller.reset()
+        fast = None
+        for _ in range(40):
+            fast = controller.actuate(self.plan(throttle=0.2, target=30.0),
+                                      measured_speed=29.5, dt=0.05)
+        assert slow.throttle > fast.throttle
+
+    def test_brake_commands_map_to_brake_pedal(self):
+        controller = VehicleController()
+        command = None
+        for _ in range(40):
+            command = controller.actuate(
+                self.plan(throttle=0.0, brake=0.8, target=0.0),
+                measured_speed=20.0, dt=0.05)
+        assert command.brake > 0.5
+        assert command.throttle == 0.0
+
+    def test_clipping(self):
+        command = ActuationCommand(2.0, -1.0, 3.0).clipped()
+        assert command.throttle == 1.0
+        assert command.brake == 0.0
+        assert command.steering == 0.55

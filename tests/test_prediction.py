@@ -1,0 +1,55 @@
+"""Tests for obstacle trajectory prediction."""
+
+import numpy as np
+import pytest
+
+from repro.ads import (NO_COLLISION, TrackedObject, minimum_predicted_gap,
+                       predict_positions, time_to_collision)
+
+
+def track(x=50.0, vx=20.0, y=5.5, vy=0.0):
+    return TrackedObject(track_id=1, x=x, y=y, vx=vx, vy=vy)
+
+
+class TestPredictPositions:
+    def test_constant_velocity_line(self):
+        positions = predict_positions(track(x=10.0, vx=4.0), horizon=1.0,
+                                      dt=0.5)
+        assert np.allclose(positions[:, 0], [10.0, 12.0, 14.0])
+
+    def test_lateral_motion(self):
+        positions = predict_positions(track(y=2.0, vy=1.0), horizon=1.0,
+                                      dt=1.0)
+        assert positions[-1, 1] == pytest.approx(3.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            predict_positions(track(), horizon=0.0)
+
+
+class TestTimeToCollision:
+    def test_closing(self):
+        ttc = time_to_collision(0.0, 30.0, track(x=54.8, vx=20.0))
+        assert ttc == pytest.approx(5.0)
+
+    def test_opening_gap_no_collision(self):
+        assert time_to_collision(0.0, 20.0, track(vx=30.0)) == NO_COLLISION
+
+    def test_equal_speeds_no_collision(self):
+        assert time_to_collision(0.0, 20.0, track(vx=20.0)) == NO_COLLISION
+
+    def test_overlapping_bodies_zero(self):
+        assert time_to_collision(0.0, 10.0, track(x=2.0, vx=0.0)) == 0.0
+
+
+class TestMinimumPredictedGap:
+    def test_constant_closing(self):
+        gap = minimum_predicted_gap(0.0, 30.0, track(x=104.8, vx=20.0),
+                                    horizon=5.0, dt=0.5)
+        # After 5 s the gap shrank by 50 m.
+        assert gap == pytest.approx(50.0)
+
+    def test_opening_gap_minimum_is_now(self):
+        gap = minimum_predicted_gap(0.0, 10.0, track(x=54.8, vx=30.0),
+                                    horizon=5.0)
+        assert gap == pytest.approx(50.0)

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the Bayesian-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet import (DAG, DiscreteFactor, Discretizer,
+                            GaussianInference,
+                            LinearGaussianBayesianNetwork, LinearGaussianCPD,
+                            fit_linear_gaussian_network)
+
+
+@st.composite
+def factors(draw, max_vars=3, max_card=4):
+    n_vars = draw(st.integers(1, max_vars))
+    names = [f"x{i}" for i in range(n_vars)]
+    cards = draw(st.lists(st.integers(2, max_card), min_size=n_vars,
+                          max_size=n_vars))
+    size = int(np.prod(cards))
+    values = draw(st.lists(
+        st.floats(0.0, 10.0, allow_nan=False), min_size=size, max_size=size))
+    return DiscreteFactor(names, cards, np.array(values).reshape(cards))
+
+
+@st.composite
+def positive_factors(draw, max_vars=3, max_card=4):
+    n_vars = draw(st.integers(1, max_vars))
+    names = [f"x{i}" for i in range(n_vars)]
+    cards = draw(st.lists(st.integers(2, max_card), min_size=n_vars,
+                          max_size=n_vars))
+    size = int(np.prod(cards))
+    values = draw(st.lists(
+        st.floats(0.01, 10.0, allow_nan=False), min_size=size, max_size=size))
+    return DiscreteFactor(names, cards, np.array(values).reshape(cards))
+
+
+class TestFactorProperties:
+    @given(factors())
+    def test_marginalize_preserves_total_mass(self, factor):
+        variable = factor.variables[0]
+        reduced = factor.marginalize([variable])
+        assert np.isclose(reduced.values.sum(), factor.values.sum())
+
+    @given(factors())
+    def test_marginalization_order_commutes(self, factor):
+        if len(factor.variables) < 2:
+            return
+        a, b = factor.variables[:2]
+        one = factor.marginalize([a]).marginalize([b])
+        other = factor.marginalize([b]).marginalize([a])
+        assert np.allclose(one.values, other.values)
+
+    @given(factors(), factors())
+    def test_product_commutes(self, f, g):
+        # Rename g's variables so overlap is partial but cardinalities match.
+        fg = f.product(g) if _compatible(f, g) else None
+        if fg is None:
+            return
+        gf = g.product(f)
+        permutation = [gf.variables.index(v) for v in fg.variables]
+        assert np.allclose(fg.values, gf.values.transpose(permutation))
+
+    @given(positive_factors())
+    def test_normalize_sums_to_one(self, factor):
+        assert np.isclose(factor.normalize().values.sum(), 1.0)
+
+    @given(positive_factors())
+    def test_argmax_attains_maximum(self, factor):
+        assignment = factor.argmax()
+        assert np.isclose(factor.get(assignment), factor.values.max())
+
+    @given(factors())
+    def test_maximize_bounds_marginalize(self, factor):
+        variable = factor.variables[0]
+        card = factor.cardinality(variable)
+        maxed = factor.maximize([variable])
+        summed = factor.marginalize([variable])
+        assert (summed.values <= maxed.values * card + 1e-9).all()
+
+    @given(factors(), st.integers(0, 3))
+    def test_reduce_then_marginalize_consistent(self, factor, state):
+        if len(factor.variables) < 2:
+            return
+        variable = factor.variables[0]
+        state = state % factor.cardinality(variable)
+        reduced = factor.reduce({variable: state})
+        # Reduction commutes with marginalizing a different variable.
+        other = factor.variables[1]
+        left = reduced.marginalize([other])
+        right = factor.marginalize([other]).reduce({variable: state})
+        assert np.allclose(left.values, right.values)
+
+
+def _compatible(f, g):
+    for variable in set(f.variables) & set(g.variables):
+        if f.cardinality(variable) != g.cardinality(variable):
+            return False
+    return True
+
+
+class TestDagProperties:
+    @given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                    max_size=25))
+    def test_insertion_never_creates_cycle(self, pairs):
+        dag = DAG()
+        for a, b in pairs:
+            try:
+                dag.add_edge(f"n{a}", f"n{b}")
+            except ValueError:
+                pass  # cycle or duplicate correctly refused
+        order = dag.topological_order()
+        position = {n: i for i, n in enumerate(order)}
+        for parent, child in dag.edges():
+            assert position[parent] < position[child]
+
+
+class TestGaussianProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-5, 5, allow_nan=False), min_size=3,
+                    max_size=3),
+           st.floats(0.1, 3.0))
+    def test_conditioning_reduces_variance(self, weights, variance):
+        net = LinearGaussianBayesianNetwork(edges=[("a", "b"), ("b", "c")])
+        net.add_cpd(LinearGaussianCPD("a", weights[0], variance))
+        net.add_cpd(LinearGaussianCPD("b", weights[1], variance,
+                                      parents=["a"], weights=[weights[2]]))
+        net.add_cpd(LinearGaussianCPD("c", 0.0, variance, parents=["b"],
+                                      weights=[1.0]))
+        engine = GaussianInference(net)
+        prior_var = engine.posterior(["c"]).variance_of("c")
+        posterior_var = engine.posterior(
+            ["c"], evidence={"a": 1.0}).variance_of("c")
+        assert posterior_var <= prior_var + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_learning_then_inference_close_to_truth(self, seed):
+        truth = LinearGaussianBayesianNetwork(edges=[("x", "y")])
+        truth.add_cpd(LinearGaussianCPD("x", 0.0, 1.0))
+        truth.add_cpd(LinearGaussianCPD("y", 1.0, 0.5, parents=["x"],
+                                        weights=[2.0]))
+        rng = np.random.default_rng(seed)
+        draws = truth.sample(rng, n=2500)
+        data = {v: np.array([d[v] for d in draws]) for v in ("x", "y")}
+        learned = fit_linear_gaussian_network(DAG(edges=[("x", "y")]), data)
+        cpd = learned.cpds["y"]
+        assert abs(cpd.weights[0] - 2.0) < 0.15
+        assert abs(cpd.intercept - 1.0) < 0.15
+
+
+class TestDiscretizerProperties:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=5,
+                    max_size=60),
+           st.integers(2, 8))
+    def test_transform_in_range(self, values, n_bins):
+        data = {"v": np.array(values)}
+        d = Discretizer.from_data(data, n_bins)
+        binned = d.transform(data)["v"]
+        assert (binned >= 0).all()
+        assert (binned < n_bins).all()
+
+    @given(st.floats(-50, 50, allow_nan=False), st.integers(2, 6))
+    def test_midpoint_lies_in_bin(self, value, n_bins):
+        d = Discretizer.uniform({"v": (-60.0, 60.0)}, n_bins)
+        index = d.transform_value("v", value)
+        mid = d.midpoint("v", index)
+        edges = d.edges["v"]
+        assert edges[index] <= mid <= edges[index + 1]

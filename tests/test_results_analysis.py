@@ -1,0 +1,117 @@
+"""Tests for experiment records, summaries, and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ascii_table, critical_scene_count, csv_series,
+                            delta_distribution, hazard_table)
+from repro.core import CampaignSummary, ExperimentRecord, Hazard, worst_hazard
+
+
+def record(variable="throttle", hazard=Hazard.NONE, scenario="s",
+           tick=10, wall=0.1):
+    return ExperimentRecord(
+        scenario=scenario, injection_tick=tick, variable=variable,
+        value=1.0, duration_ticks=2, seed=0, hazard=hazard, landed=True,
+        pre_delta_long=10.0, pre_delta_lat=2.0, min_delta_long=5.0,
+        min_delta_lat=1.0, sim_seconds=10.0, wall_seconds=wall)
+
+
+class TestHazard:
+    def test_worst_hazard_ordering(self):
+        assert worst_hazard([Hazard.NONE, Hazard.SAFETY_VIOLATION,
+                             Hazard.COLLISION]) is Hazard.COLLISION
+        assert worst_hazard([Hazard.OFF_ROAD,
+                             Hazard.SAFETY_VIOLATION]) is Hazard.OFF_ROAD
+        assert worst_hazard([]) is Hazard.NONE
+
+    def test_record_hazardous(self):
+        assert record(hazard=Hazard.COLLISION).hazardous
+        assert not record(hazard=Hazard.NONE).hazardous
+
+    def test_pre_injection_safe(self):
+        assert record().pre_injection_safe
+
+
+class TestCampaignSummary:
+    def summary(self):
+        return CampaignSummary(records=[
+            record("throttle", Hazard.COLLISION),
+            record("throttle", Hazard.NONE),
+            record("brake", Hazard.SAFETY_VIOLATION),
+            record("steering", Hazard.NONE),
+        ])
+
+    def test_counts(self):
+        summary = self.summary()
+        assert summary.total == 4
+        assert summary.hazards == 2
+        assert summary.hazard_rate == pytest.approx(0.5)
+
+    def test_breakdowns(self):
+        summary = self.summary()
+        assert summary.hazard_breakdown() == {
+            "collision": 1, "safety_violation": 1, "none": 2}
+        assert summary.hazards_by_variable() == {"throttle": 1, "brake": 1}
+        assert summary.experiments_by_variable() == {
+            "throttle": 2, "brake": 1, "steering": 1}
+
+    def test_empty_summary(self):
+        summary = CampaignSummary()
+        assert summary.hazard_rate == 0.0
+        assert summary.total == 0
+
+    def test_hazardous_scenes(self):
+        summary = CampaignSummary(records=[
+            record("throttle", Hazard.COLLISION, scenario="a", tick=5),
+            record("brake", Hazard.COLLISION, scenario="a", tick=5),
+            record("brake", Hazard.NONE, scenario="b", tick=9),
+        ])
+        assert summary.hazardous_scenes() == {("a", 5)}
+
+    def test_wall_seconds(self):
+        assert self.summary().wall_seconds == pytest.approx(0.4)
+
+
+class TestAnalysis:
+    def test_hazard_table_sorted_by_rate(self):
+        summary = CampaignSummary(records=[
+            record("throttle", Hazard.COLLISION),
+            record("throttle", Hazard.COLLISION),
+            record("brake", Hazard.COLLISION),
+            record("brake", Hazard.NONE),
+            record("gps_y", Hazard.NONE),
+        ])
+        rows = hazard_table(summary)
+        assert rows[0][0] == "throttle"
+        assert rows[0][3] == pytest.approx(1.0)
+        assert rows[-1][0] == "gps_y"
+
+    def test_delta_distribution_bins(self):
+        deltas = np.array([-2.0, 1.0, 10.0, 50.0, 500.0])
+        rows = delta_distribution(deltas)
+        assert sum(count for _, count in rows) == 5
+        assert rows[0][1] == 1  # the negative delta
+
+    def test_critical_scene_count(self):
+        deltas = np.array([1.0, 4.0, 6.0, 100.0])
+        assert critical_scene_count(deltas, threshold=5.0) == 2
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 2.5], ["xyz", 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "xyz" in lines[2] or "xyz" in lines[3]
+
+    def test_ascii_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_csv_series(self):
+        csv = csv_series(["t", "v"], [[0, 1.0], [1, 2.0]])
+        assert csv.splitlines()[0] == "t,v"
+        assert csv.splitlines()[1] == "0,1.000"
+
+    def test_csv_width_mismatch(self):
+        with pytest.raises(ValueError):
+            csv_series(["a", "b"], [[1]])

@@ -1,0 +1,182 @@
+"""Tests for the ADS runtime: closed-loop behavior and fault hooks."""
+
+import numpy as np
+import pytest
+
+from repro.ads import ADSConfig, ADSPipeline, variable_by_name
+from repro.sim import (NPCVehicle, World, highway_cruise,
+                       lead_vehicle_cutin)
+
+
+def run_closed_loop(world, pipeline, duration):
+    """Step the world under ADS control; returns per-tick speed history."""
+    dt = pipeline.config.control_period
+    speeds = []
+    for _ in range(int(duration / dt)):
+        command = pipeline.tick(world)
+        world.step(command.throttle, command.brake, command.steering, dt)
+        speeds.append(world.ego.state.v)
+        if world.in_collision():
+            break
+    return speeds
+
+
+class TestClosedLoop:
+    def test_reaches_cruise_on_empty_road(self):
+        world = World.on_highway(ego_speed=20.0)
+        pipeline = ADSPipeline(seed=0)
+        speeds = run_closed_loop(world, pipeline, duration=30.0)
+        assert speeds[-1] == pytest.approx(
+            pipeline.config.planner.cruise_speed, abs=1.5)
+
+    def test_car_following_no_collision(self):
+        scenario = highway_cruise(ego_speed=30.0, lead_gap=40.0,
+                                  lead_speed=24.0)
+        world = scenario.make_world()
+        pipeline = ADSPipeline(seed=1)
+        run_closed_loop(world, pipeline, duration=30.0)
+        assert not world.in_collision()
+        assert world.longitudinal_d_safe() > 2.0
+
+    def test_follows_at_headway(self):
+        scenario = highway_cruise(ego_speed=28.0, lead_gap=50.0,
+                                  lead_speed=24.0)
+        world = scenario.make_world()
+        pipeline = ADSPipeline(seed=2)
+        run_closed_loop(world, pipeline, duration=40.0)
+        gap = world.longitudinal_d_safe()
+        expected = (pipeline.config.planner.min_gap
+                    + 24.0 * pipeline.config.planner.time_headway)
+        assert gap == pytest.approx(expected, rel=0.45)
+
+    def test_cutin_handled_without_collision(self):
+        world = lead_vehicle_cutin().make_world()
+        pipeline = ADSPipeline(seed=3)
+        run_closed_loop(world, pipeline, duration=20.0)
+        assert not world.in_collision()
+
+    def test_stays_in_lane(self):
+        world = World.on_highway(ego_speed=25.0, ego_lane=1)
+        pipeline = ADSPipeline(seed=4)
+        run_closed_loop(world, pipeline, duration=20.0)
+        lane_center = world.road.lane_center(1)
+        assert abs(world.ego.state.y - lane_center) < 0.5
+
+    def test_planner_divisor_schedules_planning(self):
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(ADSConfig(planner_divisor=4), seed=5)
+        plans = []
+        for _ in range(8):
+            pipeline.tick(world)
+            plans.append(pipeline.last_plan)
+            world.step(0.0, 0.0, 0.0, pipeline.config.control_period)
+        # Planning happened on ticks 0 and 4 only: identical objects between.
+        assert plans[0] is plans[1] is plans[2] is plans[3]
+        assert plans[4] is plans[5]
+        assert plans[0] is not plans[4]
+
+
+class TestFaultHooks:
+    def test_actuation_fault_lands(self):
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(seed=0)
+        fault = pipeline.arm_fault("throttle", 1.0, start_tick=0,
+                                   duration_ticks=1)
+        command = pipeline.tick(world)
+        assert command.throttle == 1.0
+        assert fault.landed
+
+    def test_fault_window_expires(self):
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(seed=0)
+        pipeline.arm_fault("brake", 1.0, start_tick=0, duration_ticks=1)
+        first = pipeline.tick(world)
+        world.step(first.throttle, first.brake, first.steering,
+                   pipeline.config.control_period)
+        second = pipeline.tick(world)
+        assert first.brake == 1.0
+        assert second.brake < 1.0
+
+    def test_future_fault_waits(self):
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(seed=0)
+        pipeline.arm_fault("throttle", 1.0, start_tick=5, duration_ticks=1)
+        command = pipeline.tick(world)
+        assert command.throttle < 1.0
+
+    def test_world_model_fault_changes_plan(self):
+        scenario = highway_cruise(ego_speed=30.0, lead_gap=40.0,
+                                  lead_speed=25.0)
+        clean_world = scenario.make_world()
+        clean = ADSPipeline(seed=7)
+        for _ in range(10):
+            command = clean.tick(clean_world)
+            clean_world.step(command.throttle, command.brake,
+                             command.steering,
+                             clean.config.control_period)
+        faulty_world = scenario.make_world()
+        faulty = ADSPipeline(seed=7)
+        faulty.arm_fault("tracked_gap", 250.0, start_tick=8,
+                         duration_ticks=2)
+        for _ in range(10):
+            command = faulty.tick(faulty_world)
+            faulty_world.step(command.throttle, command.brake,
+                              command.steering,
+                              faulty.config.control_period)
+        # Believing the lead is 250 m away raises the planned speed.
+        assert (faulty.last_plan.target_speed
+                >= clean.last_plan.target_speed)
+
+    def test_masked_fault_on_empty_world_model(self):
+        world = World.on_highway(ego_speed=25.0)  # no traffic: no lead
+        pipeline = ADSPipeline(seed=0)
+        fault = pipeline.arm_fault("tracked_gap", 0.0, start_tick=0,
+                                   duration_ticks=4)
+        for _ in range(4):
+            command = pipeline.tick(world)
+            world.step(command.throttle, command.brake, command.steering,
+                       pipeline.config.control_period)
+        assert not fault.landed
+
+    def test_unknown_variable_rejected(self):
+        pipeline = ADSPipeline(seed=0)
+        with pytest.raises(KeyError):
+            pipeline.arm_fault("warp_drive", 1.0, start_tick=0)
+
+    def test_transient_sensing_fault_recovers(self):
+        """A one-frame IMU speed spike must not destabilize the loop."""
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(seed=8)
+        pipeline.arm_fault("imu_speed", 45.0, start_tick=40,
+                           duration_ticks=2)
+        speeds = run_closed_loop(world, pipeline, duration=20.0)
+        assert not world.in_collision()
+        assert speeds[-1] == pytest.approx(
+            pipeline.config.planner.cruise_speed, abs=2.0)
+
+
+class TestVariableRegistry:
+    def test_every_variable_stage_valid(self):
+        from repro.ads import REGISTRY, STAGES
+        for variable in REGISTRY:
+            assert variable.stage in STAGES
+
+    def test_min_below_max(self):
+        from repro.ads import REGISTRY
+        for variable in REGISTRY:
+            assert variable.min_value < variable.max_value
+
+    def test_lookup(self):
+        assert variable_by_name("throttle").stage == "actuation"
+        with pytest.raises(KeyError):
+            variable_by_name("nope")
+
+    def test_steering_fault_steers_vehicle(self):
+        world = World.on_highway(ego_speed=25.0)
+        pipeline = ADSPipeline(seed=9)
+        pipeline.arm_fault("steering", 0.55, start_tick=0, duration_ticks=20)
+        for _ in range(20):
+            command = pipeline.tick(world)
+            world.step(command.throttle, command.brake, command.steering,
+                       pipeline.config.control_period)
+        assert world.ego.state.y > world.road.lane_center(1)

@@ -1,0 +1,138 @@
+"""Tests for the kinematic safety model (d_stop, d_safe, delta)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (SafetyConfig, SafetyPotential, longitudinal_envelope,
+                        safety_potential, stopping_displacement,
+                        world_safety_potential)
+from repro.sim import SENSOR_RANGE, NPCVehicle, World
+
+
+class TestStoppingDisplacement:
+    def test_straight_line_matches_analytic(self):
+        # Straight emergency stop: d = v^2 / (2 a).
+        config = SafetyConfig(a_max=6.0)
+        for v in (10.0, 20.0, 33.5):
+            stop = stopping_displacement(v, theta=0.0, phi=0.0,
+                                         config=config)
+            assert stop.longitudinal == pytest.approx(v ** 2 / 12.0,
+                                                      rel=0.01)
+            assert stop.lateral == pytest.approx(0.0, abs=1e-9)
+
+    def test_stop_time_matches_analytic(self):
+        config = SafetyConfig(a_max=6.0)
+        stop = stopping_displacement(30.0, 0.0, 0.0, config)
+        assert stop.stop_time == pytest.approx(5.0, abs=0.1)
+
+    def test_zero_speed_zero_displacement(self):
+        stop = stopping_displacement(0.0, 0.0, 0.0)
+        assert stop.longitudinal == 0.0
+        assert stop.stop_time == 0.0
+
+    def test_steering_produces_lateral_drift(self):
+        straight = stopping_displacement(30.0, 0.0, 0.0)
+        steered = stopping_displacement(30.0, 0.0, 0.1)
+        assert abs(steered.lateral) > 1.0
+        assert abs(straight.lateral) < 1e-6
+        # Curved paths cover less longitudinal ground.
+        assert steered.longitudinal < straight.longitudinal + 1e-6
+
+    def test_lateral_sign_follows_steering(self):
+        left = stopping_displacement(20.0, 0.0, 0.1)
+        right = stopping_displacement(20.0, 0.0, -0.1)
+        assert left.lateral > 0.0 > right.lateral
+
+    def test_heading_rotates_displacement(self):
+        config = SafetyConfig(a_max=6.0)
+        angled = stopping_displacement(20.0, theta=0.1, phi=0.0,
+                                       config=config)
+        straight = stopping_displacement(20.0, theta=0.0, phi=0.0,
+                                         config=config)
+        assert angled.lateral > 0.0
+        assert angled.longitudinal < straight.longitudinal
+
+    def test_monotone_in_speed(self):
+        distances = [stopping_displacement(v, 0.0, 0.0).longitudinal
+                     for v in (5.0, 15.0, 25.0, 35.0)]
+        assert distances == sorted(distances)
+
+    def test_quantization_is_fine_grained(self):
+        a = stopping_displacement(20.0, 0.0, 0.0).longitudinal
+        b = stopping_displacement(20.049, 0.0, 0.0).longitudinal
+        assert abs(a - b) < 0.5
+
+
+class TestLongitudinalEnvelope:
+    def test_clear_road_is_sensor_range(self):
+        assert longitudinal_envelope(SENSOR_RANGE, None) == SENSOR_RANGE
+        assert longitudinal_envelope(300.0, 20.0) == SENSOR_RANGE
+
+    def test_stopped_lead_is_raw_gap(self):
+        assert longitudinal_envelope(40.0, 0.0) == pytest.approx(40.0)
+
+    def test_moving_lead_adds_its_stopping_distance(self):
+        config = SafetyConfig(a_max=6.0)
+        envelope = longitudinal_envelope(40.0, 24.0, config)
+        assert envelope == pytest.approx(40.0 + 24.0 ** 2 / 12.0)
+
+    def test_reversing_lead_contributes_nothing(self):
+        assert longitudinal_envelope(40.0, -5.0) == pytest.approx(40.0)
+
+
+class TestSafetyPotential:
+    def test_same_speed_following_delta_is_gap(self):
+        # The paper's Example 1 calibration: delta ~= gap when following
+        # a same-speed lead (both charge the same stopping distance).
+        potential = safety_potential(v=30.0, theta=0.0, phi=0.0, gap=20.0,
+                                     lead_speed=30.0, lateral_free=4.0)
+        assert potential.longitudinal == pytest.approx(20.0, abs=0.5)
+
+    def test_stopped_lead_requires_full_stopping_distance(self):
+        potential = safety_potential(v=30.0, theta=0.0, phi=0.0, gap=60.0,
+                                     lead_speed=0.0, lateral_free=4.0)
+        assert potential.longitudinal == pytest.approx(60.0 - 75.0, abs=0.5)
+        assert not potential.safe
+
+    def test_faster_lead_increases_delta(self):
+        slow = safety_potential(30.0, 0.0, 0.0, 30.0, 25.0, 4.0)
+        fast = safety_potential(30.0, 0.0, 0.0, 30.0, 35.0, 4.0)
+        assert fast.longitudinal > slow.longitudinal
+
+    def test_lateral_potential(self):
+        potential = safety_potential(v=30.0, theta=0.0, phi=0.0, gap=250.0,
+                                     lead_speed=None, lateral_free=2.0)
+        assert potential.lateral == pytest.approx(2.0, abs=0.01)
+
+    def test_steering_erodes_lateral_potential(self):
+        straight = safety_potential(30.0, 0.0, 0.0, 250.0, None, 2.0)
+        steered = safety_potential(30.0, 0.0, 0.15, 250.0, None, 2.0)
+        assert steered.lateral < 0.0 < straight.lateral
+
+    def test_minimum_and_safe(self):
+        potential = SafetyPotential(longitudinal=5.0, lateral=-1.0)
+        assert potential.minimum == -1.0
+        assert not potential.safe
+        assert SafetyPotential(1.0, 1.0).safe
+
+
+class TestWorldSafetyPotential:
+    def test_empty_world_is_safe(self):
+        world = World.on_highway(ego_speed=30.0)
+        potential = world_safety_potential(world)
+        assert potential.safe
+        assert potential.longitudinal > 100.0
+
+    def test_stopped_lead_close_is_unsafe(self):
+        world = World.on_highway(ego_speed=30.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=40.0,
+                                 y=world.road.lane_center(1), v=0.0))
+        potential = world_safety_potential(world)
+        assert potential.longitudinal < 0.0
+
+    def test_same_speed_lead_is_safe(self):
+        world = World.on_highway(ego_speed=30.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=40.0,
+                                 y=world.road.lane_center(1), v=30.0))
+        potential = world_safety_potential(world)
+        assert potential.longitudinal == pytest.approx(40.0 - 4.8, abs=0.5)

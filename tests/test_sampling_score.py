@@ -1,0 +1,128 @@
+"""Tests for likelihood weighting and model scoring."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet import (DAG, DiscreteBayesianNetwork, GaussianInference,
+                            LinearGaussianBayesianNetwork, LinearGaussianCPD,
+                            TabularCPD, VariableElimination, bic_score,
+                            empty_dag, fit_and_score,
+                            gaussian_likelihood_weighting,
+                            gaussian_log_likelihood, likelihood_weighting,
+                            n_parameters)
+
+
+def sprinkler():
+    net = DiscreteBayesianNetwork(edges=[("rain", "sprinkler"),
+                                         ("rain", "grass"),
+                                         ("sprinkler", "grass")])
+    net.add_cpd(TabularCPD("rain", 2, [[0.8], [0.2]]))
+    net.add_cpd(TabularCPD("sprinkler", 2, [[0.6, 0.99], [0.4, 0.01]],
+                           parents=["rain"], parent_cards=[2]))
+    net.add_cpd(TabularCPD("grass", 2,
+                           [[1.0, 0.1, 0.2, 0.01],
+                            [0.0, 0.9, 0.8, 0.99]],
+                           parents=["rain", "sprinkler"],
+                           parent_cards=[2, 2]))
+    return net
+
+
+def chain_lg():
+    net = LinearGaussianBayesianNetwork(edges=[("x", "y")])
+    net.add_cpd(LinearGaussianCPD("x", 1.0, 1.0))
+    net.add_cpd(LinearGaussianCPD("y", 0.0, 0.5, parents=["x"],
+                                  weights=[2.0]))
+    return net
+
+
+class TestLikelihoodWeighting:
+    def test_matches_exact_inference(self):
+        net = sprinkler()
+        exact = VariableElimination(net).marginal(
+            "rain", evidence={"grass": 1}).values
+        rng = np.random.default_rng(0)
+        approx = likelihood_weighting(net, "rain", {"grass": 1},
+                                      n_samples=20_000, rng=rng)
+        assert np.allclose(approx, exact, atol=0.02)
+
+    def test_no_evidence_recovers_prior(self):
+        net = sprinkler()
+        rng = np.random.default_rng(1)
+        approx = likelihood_weighting(net, "rain", {}, 10_000, rng)
+        assert approx[1] == pytest.approx(0.2, abs=0.02)
+
+    def test_impossible_evidence_raises(self):
+        net = DiscreteBayesianNetwork()
+        net.add_cpd(TabularCPD("a", 2, [[1.0], [0.0]]))
+        rng = np.random.default_rng(2)
+        with pytest.raises(ZeroDivisionError):
+            likelihood_weighting(net, "a", {"a": 1}, 100, rng)
+
+    def test_gaussian_matches_exact(self):
+        net = chain_lg()
+        engine = GaussianInference(net)
+        exact = engine.posterior(["x"], {"y": 4.0})
+        rng = np.random.default_rng(3)
+        mean, variance = gaussian_likelihood_weighting(
+            net, "x", {"y": 4.0}, n_samples=30_000, rng=rng)
+        assert mean == pytest.approx(exact.mean_of("x"), abs=0.05)
+        assert variance == pytest.approx(exact.variance_of("x"), rel=0.2)
+
+
+class TestScoring:
+    def generate_data(self, n=2000, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, n)
+        y = 2.0 * x + rng.normal(0, 0.5, n)
+        z = rng.normal(5, 2, n)   # independent
+        return {"x": x, "y": y, "z": z}
+
+    def test_log_likelihood_prefers_true_model(self):
+        data = self.generate_data()
+        true_bic = fit_and_score(DAG(edges=[("x", "y")],
+                                     nodes=["x", "y", "z"]), data)
+        empty_bic = fit_and_score(empty_dag(["x", "y", "z"]), data)
+        assert true_bic > empty_bic
+
+    def test_bic_penalizes_spurious_edges(self):
+        data = self.generate_data()
+        true_bic = fit_and_score(DAG(edges=[("x", "y")],
+                                    nodes=["x", "y", "z"]), data)
+        dense = DAG(edges=[("x", "y"), ("x", "z"), ("y", "z")])
+        dense_bic = fit_and_score(dense, data)
+        assert true_bic >= dense_bic - 1.0  # spurious edges buy nothing
+
+    def test_parameter_count(self):
+        net = chain_lg()
+        # x: intercept+variance = 2 ; y: weight+intercept+variance = 3
+        assert n_parameters(net) == 5
+
+    def test_ll_decreases_with_wrong_parameters(self):
+        data = self.generate_data()
+        good = chain_lg()
+        bad = LinearGaussianBayesianNetwork(edges=[("x", "y")])
+        bad.add_cpd(LinearGaussianCPD("x", 1.0, 1.0))
+        bad.add_cpd(LinearGaussianCPD("y", 0.0, 0.5, parents=["x"],
+                                      weights=[-2.0]))  # wrong sign
+        subset = {"x": data["x"], "y": data["y"]}
+        assert (gaussian_log_likelihood(good, subset)
+                > gaussian_log_likelihood(bad, subset))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            bic_score(chain_lg(), {"x": np.array([]), "y": np.array([])})
+
+    def test_ads_template_beats_independence(self):
+        """The architecture-derived 3-TBN captures real structure."""
+        from repro.core import BN_VARIABLES, Campaign, ads_dbn_template
+        campaign = Campaign()
+        golden = campaign.golden_runs()
+        template = ads_dbn_template()
+        traces = []
+        for run in golden.values():
+            arrays = run.trace.as_arrays()
+            traces.append({v: arrays[v] for v in BN_VARIABLES})
+        data = template.window_dataset(traces, n_slices=3)
+        template_bic = fit_and_score(template.unrolled_dag(3), data)
+        empty_bic = fit_and_score(empty_dag(list(data)), data)
+        assert template_bic > empty_bic

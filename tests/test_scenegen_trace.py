@@ -1,0 +1,116 @@
+"""Tests for the scene generator and trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Scene, SceneGenerator, Trace
+
+
+class TestSceneGenerator:
+    def test_deterministic_for_seed(self):
+        a = SceneGenerator(seed=42).generate(50)
+        b = SceneGenerator(seed=42).generate(50)
+        assert [s.ego_speed for s in a] == [s.ego_speed for s in b]
+
+    def test_different_seeds_differ(self):
+        a = SceneGenerator(seed=1).generate(50)
+        b = SceneGenerator(seed=2).generate(50)
+        assert [s.ego_speed for s in a] != [s.ego_speed for s in b]
+
+    def test_scene_ids_sequential(self):
+        scenes = SceneGenerator(seed=0).generate(10)
+        assert [s.scene_id for s in scenes] == list(range(10))
+
+    def test_speed_band(self):
+        scenes = SceneGenerator(seed=0).generate(300)
+        speeds = np.array([s.ego_speed for s in scenes])
+        assert speeds.min() >= 22.0
+        assert speeds.max() <= 36.0
+
+    def test_vehicle_count_bounded(self):
+        scenes = SceneGenerator(seed=0, max_vehicles=3).generate(200)
+        assert max(len(s.obstacles) for s in scenes) <= 3
+
+    def test_ego_lane_vehicles_are_ahead(self):
+        generator = SceneGenerator(seed=0)
+        for scene in generator.generate(300):
+            ego_y = generator.road.lane_center(scene.ego_lane)
+            for obstacle in scene.obstacles:
+                if abs(obstacle.y - ego_y) < 0.1:
+                    assert obstacle.x > 0.0
+
+    def test_stopped_vehicles_appear(self):
+        scenes = SceneGenerator(seed=0).generate(1000)
+        stopped = [o for s in scenes for o in s.obstacles if o.v == 0.0]
+        assert stopped  # the critical tail exists
+
+    def test_to_world_round_trip(self):
+        generator = SceneGenerator(seed=0)
+        scene = generator.generate(5)[3]
+        world = scene.to_world(road=generator.road)
+        assert world.ego.state.v == pytest.approx(scene.ego_speed)
+        assert len(world.npcs) == len(scene.obstacles)
+
+    def test_scene_is_frozen(self):
+        scene = Scene(scene_id=0, ego_speed=30.0, ego_lane=1)
+        with pytest.raises(AttributeError):
+            scene.ego_speed = 10.0
+
+
+class TestTrace:
+    def test_record_and_read_back(self):
+        trace = Trace()
+        trace.record({"v": 1.0, "x": 2.0})
+        trace.record({"v": 3.0, "x": 4.0})
+        arrays = trace.as_arrays()
+        assert np.allclose(arrays["v"], [1.0, 3.0])
+        assert len(trace) == 2
+
+    def test_schema_enforced(self):
+        trace = Trace()
+        trace.record({"v": 1.0})
+        with pytest.raises(ValueError):
+            trace.record({"v": 1.0, "extra": 2.0})
+        with pytest.raises(ValueError):
+            trace.record({})
+
+    def test_column(self):
+        trace = Trace()
+        trace.record({"v": 5.0})
+        assert trace.column("v").tolist() == [5.0]
+
+    def test_last(self):
+        trace = Trace()
+        trace.record({"v": 5.0})
+        trace.record({"v": 7.0})
+        assert trace.last("v") == 7.0
+
+    def test_last_empty_raises(self):
+        trace = Trace()
+        trace.record({"v": 5.0})
+        with pytest.raises(KeyError):
+            trace.last("missing")
+
+    def test_window(self):
+        trace = Trace()
+        for i in range(5):
+            trace.record({"v": float(i)})
+        window = trace.window(1, 3)
+        assert window["v"].tolist() == [1.0, 2.0]
+
+    def test_to_csv(self):
+        trace = Trace()
+        trace.record({"t": 0.0, "v": 1.5})
+        trace.record({"t": 0.1, "v": 2.5})
+        csv = trace.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "t,v"
+        assert lines[1] == "0,1.5"
+        assert lines[2] == "0.1,2.5"
+
+    def test_save_csv(self, tmp_path):
+        trace = Trace()
+        trace.record({"v": 3.0})
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        assert path.read_text().startswith("v\n")

@@ -1,0 +1,122 @@
+"""Tests for sensor simulation and perception fusion."""
+
+import numpy as np
+import pytest
+
+from repro.ads import (Detection, Perception, PerceptionConfig, SensorSuite,
+                       SensorSuiteConfig)
+from repro.sim import NPCVehicle, World
+
+
+def world_with_lead(gap=50.0, lead_speed=20.0, ego_speed=25.0):
+    world = World.on_highway(ego_speed=ego_speed)
+    world.add_npc(NPCVehicle(npc_id=1, x=gap,
+                             y=world.road.lane_center(1), v=lead_speed))
+    return world
+
+
+class TestSensorSuite:
+    def test_camera_sees_lead(self):
+        suite = SensorSuite(rng=np.random.default_rng(0))
+        bundle = suite.measure(world_with_lead())
+        assert len(bundle.camera) == 1
+        assert bundle.camera[0].x == pytest.approx(50.0, abs=2.0)
+
+    def test_radar_measures_speed(self):
+        suite = SensorSuite(rng=np.random.default_rng(0))
+        bundle = suite.measure(world_with_lead(lead_speed=17.0))
+        assert bundle.radar[0].v == pytest.approx(17.0, abs=1.5)
+
+    def test_camera_range_limit(self):
+        suite = SensorSuite(rng=np.random.default_rng(0))
+        bundle = suite.measure(world_with_lead(gap=200.0))
+        assert bundle.camera == []       # beyond 150 m camera range
+        assert len(bundle.radar) == 1    # within 220 m radar range
+
+    def test_object_behind_invisible(self):
+        world = World.on_highway(ego_speed=25.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=-30.0,
+                                 y=world.road.lane_center(1), v=20.0))
+        suite = SensorSuite(rng=np.random.default_rng(0))
+        bundle = suite.measure(world)
+        assert bundle.camera == [] and bundle.radar == []
+
+    def test_camera_dropout(self):
+        config = SensorSuiteConfig(camera_dropout=0.5)
+        suite = SensorSuite(config, rng=np.random.default_rng(1))
+        world = world_with_lead()
+        seen = sum(bool(suite.measure(world).camera) for _ in range(400))
+        assert 130 < seen < 270  # roughly half dropped
+
+    def test_gps_noise_statistics(self):
+        suite = SensorSuite(rng=np.random.default_rng(2))
+        world = world_with_lead()
+        xs = np.array([suite.measure(world).gps.x for _ in range(500)])
+        assert xs.mean() == pytest.approx(0.0, abs=0.15)
+        assert xs.std() == pytest.approx(suite.config.gps_noise, rel=0.2)
+
+    def test_imu_speed_close_to_truth(self):
+        suite = SensorSuite(rng=np.random.default_rng(3))
+        bundle = suite.measure(world_with_lead(ego_speed=25.0))
+        assert bundle.imu.v == pytest.approx(25.0, abs=0.5)
+
+    def test_lane_offset_reflects_position(self):
+        world = World.on_highway(ego_speed=20.0, ego_lane=1)
+        world.ego.state = world.ego.state.__class__(
+            x=0.0, y=world.road.lane_center(1) + 0.5, v=20.0,
+            theta=0.0, phi=0.0)
+        suite = SensorSuite(rng=np.random.default_rng(4))
+        bundle = suite.measure(world)
+        assert bundle.lane_offset == pytest.approx(0.5, abs=0.2)
+
+    def test_acceleration_estimated_from_speed_deltas(self):
+        suite = SensorSuite(rng=np.random.default_rng(5))
+        world = world_with_lead(ego_speed=20.0)
+        suite.measure(world)
+        world.ego.state = world.ego.state.with_speed(22.0)
+        world.time += 1.0
+        bundle = suite.measure(world)
+        assert bundle.imu.a == pytest.approx(2.0, abs=0.5)
+
+
+class TestPerception:
+    def test_fuses_matched_pair(self):
+        perception = Perception()
+        bundle_like = [Detection(50.0, 5.5, 0.0, "camera")]
+        radar = [Detection(50.5, 5.6, 18.0, "radar")]
+        fused = perception.process(type("B", (), {
+            "camera": bundle_like, "radar": radar})())
+        assert len(fused) == 1
+        assert fused[0].sensor == "fused"
+        assert fused[0].v == pytest.approx(18.0)   # radar speed wins
+        w = perception.config.camera_weight
+        assert fused[0].x == pytest.approx(w * 50.0 + (1 - w) * 50.5)
+
+    def test_unmatched_pass_through(self):
+        perception = Perception()
+        fused = perception.process(type("B", (), {
+            "camera": [Detection(30.0, 5.5)],
+            "radar": [Detection(100.0, 5.5, 10.0)]})())
+        sensors = sorted(d.sensor for d in fused)
+        assert sensors == ["camera", "radar"]
+
+    def test_gate_prevents_bad_association(self):
+        config = PerceptionConfig(association_gate=1.0)
+        perception = Perception(config)
+        fused = perception.process(type("B", (), {
+            "camera": [Detection(30.0, 5.5)],
+            "radar": [Detection(32.0, 5.5, 10.0)]})())
+        assert len(fused) == 2
+
+    def test_each_radar_used_once(self):
+        perception = Perception()
+        fused = perception.process(type("B", (), {
+            "camera": [Detection(50.0, 5.5), Detection(50.2, 5.4)],
+            "radar": [Detection(50.1, 5.5, 20.0)]})())
+        # One camera fuses with the radar, the other stays camera-only.
+        assert sorted(d.sensor for d in fused) == ["camera", "fused"]
+
+    def test_empty_inputs(self):
+        perception = Perception()
+        assert perception.process(type("B", (), {
+            "camera": [], "radar": []})()) == []

@@ -1,0 +1,95 @@
+"""Tests for the closed-loop experiment engine."""
+
+import pytest
+
+from repro.core import FaultSpec, Hazard, run_scenario
+from repro.core.simulate import TRACE_COLUMNS
+from repro.sim import empty_road, highway_cruise, lead_vehicle_cutin
+
+
+class TestGoldenRuns:
+    def test_empty_road_is_safe(self):
+        result = run_scenario(empty_road(), seed=0)
+        assert result.hazard is Hazard.NONE
+        assert not result.collided
+        assert result.min_delta_long > 50.0
+
+    def test_trace_schema(self):
+        result = run_scenario(empty_road(), seed=0, duration=5.0)
+        assert set(result.trace.columns) == set(TRACE_COLUMNS)
+        assert len(result.trace) > 0
+
+    def test_trace_sampled_at_planner_rate(self):
+        result = run_scenario(empty_road(), seed=0, duration=5.0)
+        # 20 Hz control, divisor 2 -> 10 planner samples per second.
+        assert len(result.trace) == pytest.approx(50, abs=2)
+
+    def test_duration_override(self):
+        result = run_scenario(empty_road(), seed=0, duration=2.0)
+        assert result.sim_seconds == pytest.approx(2.0, abs=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = run_scenario(highway_cruise(), seed=3, duration=10.0)
+        b = run_scenario(highway_cruise(), seed=3, duration=10.0)
+        assert a.trace.column("v").tolist() == b.trace.column("v").tolist()
+
+    def test_seed_changes_noise(self):
+        a = run_scenario(highway_cruise(), seed=1, duration=10.0)
+        b = run_scenario(highway_cruise(), seed=2, duration=10.0)
+        assert a.trace.column("v").tolist() != b.trace.column("v").tolist()
+
+    def test_no_trace_mode(self):
+        result = run_scenario(empty_road(), seed=0, duration=5.0,
+                              record_trace=False)
+        assert len(result.trace) == 0
+        assert result.hazard is Hazard.NONE
+
+
+class TestFaultedRuns:
+    def test_fault_landed_flag(self):
+        fault = FaultSpec("throttle", 1.0, start_tick=20, duration_ticks=2)
+        result = run_scenario(empty_road(), seed=0, faults=[fault],
+                              duration=10.0)
+        assert result.landed
+
+    def test_fault_on_missing_target_not_landed(self):
+        fault = FaultSpec("tracked_gap", 0.0, start_tick=20,
+                          duration_ticks=2)
+        result = run_scenario(empty_road(), seed=0, faults=[fault],
+                              duration=10.0)
+        assert not result.landed   # no lead to corrupt on an empty road
+
+    def test_pre_delta_measured_at_fault(self):
+        fault = FaultSpec("throttle", 1.0, start_tick=100,
+                          duration_ticks=2)
+        result = run_scenario(highway_cruise(), seed=0, faults=[fault])
+        assert result.pre_delta_long < 200.0   # a lead exists
+        assert result.pre_delta_long > 0.0
+
+    def test_horizon_truncates_run(self):
+        fault = FaultSpec("throttle", 1.0, start_tick=40, duration_ticks=2)
+        result = run_scenario(highway_cruise(), seed=0, faults=[fault],
+                              horizon_after_fault=3.0)
+        # 40 ticks = 2 s, plus fault + 3 s horizon: well under 40 s.
+        assert result.sim_seconds < 7.0
+
+    def test_cruise_throttle_fault_masked(self):
+        """Plenty of margin: a throttle burst is absorbed (paper Sec II-C)."""
+        fault = FaultSpec("throttle", 1.0, start_tick=200,
+                          duration_ticks=2)
+        result = run_scenario(highway_cruise(), seed=0, faults=[fault])
+        assert result.hazard is Hazard.NONE
+
+    def test_cutin_throttle_fault_hazardous(self):
+        """Paper Example 1: max throttle at the cut-in instant."""
+        fault = FaultSpec("throttle", 1.0, start_tick=96,
+                          duration_ticks=10)
+        result = run_scenario(lead_vehicle_cutin(), seed=0, faults=[fault])
+        assert result.hazard is not Hazard.NONE
+        assert result.min_delta_long <= 0.0
+
+    def test_steering_fault_leaves_road(self):
+        fault = FaultSpec("steering", 0.55, start_tick=100,
+                          duration_ticks=20)
+        result = run_scenario(empty_road(), seed=0, faults=[fault])
+        assert result.hazard in (Hazard.OFF_ROAD, Hazard.SAFETY_VIOLATION)

@@ -1,0 +1,136 @@
+"""Tests for the multi-object tracker and the ego EKF."""
+
+import numpy as np
+import pytest
+
+from repro.ads import (Detection, EgoLocalizer, GpsFix, ImuSample,
+                       LocalizerConfig, MultiObjectTracker, TrackerConfig)
+
+
+def noisy_detections(rng, x, y, v, sigma=0.4):
+    return [Detection(x + rng.normal(0, sigma), y + rng.normal(0, sigma), v)]
+
+
+class TestTracker:
+    def test_track_confirmed_after_age(self):
+        tracker = MultiObjectTracker(TrackerConfig(confirm_age=2))
+        assert tracker.update([Detection(50.0, 5.5, 20.0)], dt=0.1) == []
+        assert tracker.update([Detection(52.0, 5.5, 20.0)], dt=0.1) != []
+
+    def test_track_position_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        tracker = MultiObjectTracker()
+        x = 50.0
+        estimates = []
+        for _ in range(40):
+            x += 20.0 * 0.1
+            tracks = tracker.update(noisy_detections(rng, x, 5.5, 20.0),
+                                    dt=0.1)
+            if tracks:
+                estimates.append(tracks[0].x - x)
+        errors = np.abs(np.array(estimates[10:]))
+        assert errors.mean() < 0.4  # better than raw sensor sigma
+
+    def test_velocity_estimated(self):
+        rng = np.random.default_rng(1)
+        tracker = MultiObjectTracker()
+        x = 50.0
+        tracks = []
+        for _ in range(50):
+            x += 15.0 * 0.1
+            tracks = tracker.update(noisy_detections(rng, x, 5.5, 15.0),
+                                    dt=0.1)
+        assert tracks[0].vx == pytest.approx(15.0, abs=1.0)
+
+    def test_track_dropped_after_misses(self):
+        tracker = MultiObjectTracker(TrackerConfig(max_misses=2,
+                                                   confirm_age=1))
+        tracker.update([Detection(50.0, 5.5, 0.0)], dt=0.1)
+        for _ in range(5):
+            tracks = tracker.update([], dt=0.1)
+        assert tracks == []
+
+    def test_coasting_through_single_miss(self):
+        tracker = MultiObjectTracker(TrackerConfig(confirm_age=1))
+        for i in range(5):
+            tracker.update([Detection(50.0 + i, 5.5, 10.0)], dt=0.1)
+        tracks = tracker.update([], dt=0.1)  # dropout frame
+        assert len(tracks) == 1              # still predicted forward
+
+    def test_two_objects_two_tracks(self):
+        tracker = MultiObjectTracker(TrackerConfig(confirm_age=1))
+        detections = [Detection(50.0, 5.5, 10.0), Detection(90.0, 9.2, 20.0)]
+        tracker.update(detections, dt=0.1)
+        tracks = tracker.update(detections, dt=0.1)
+        assert len(tracks) == 2
+        ids = {t.track_id for t in tracks}
+        assert len(ids) == 2
+
+    def test_disabled_mode_believes_detections(self):
+        tracker = MultiObjectTracker(TrackerConfig(enabled=False))
+        tracks = tracker.update([Detection(77.0, 5.5, 13.0)], dt=0.1)
+        assert tracks[0].x == pytest.approx(77.0)
+        assert tracks[0].vx == pytest.approx(13.0)
+
+    def test_reset(self):
+        tracker = MultiObjectTracker(TrackerConfig(confirm_age=1))
+        tracker.update([Detection(50.0, 5.5, 0.0)], dt=0.1)
+        tracker.reset()
+        assert tracker.update([], dt=0.1) == []
+
+
+class TestLocalizer:
+    def run_localizer(self, localizer, rng, n=100, v=20.0, gps_sigma=0.8):
+        estimates = []
+        x = 0.0
+        for _ in range(n):
+            x += v * 0.1
+            gps = GpsFix(x + rng.normal(0, gps_sigma),
+                         rng.normal(0, gps_sigma))
+            imu = ImuSample(v=v + rng.normal(0, 0.1))
+            estimates.append(localizer.update(gps, imu, 0.0, dt=0.1))
+        return x, estimates
+
+    def test_estimate_converges(self):
+        rng = np.random.default_rng(0)
+        localizer = EgoLocalizer()
+        truth_x, estimates = self.run_localizer(localizer, rng)
+        assert estimates[-1].x == pytest.approx(truth_x, abs=1.0)
+        assert estimates[-1].v == pytest.approx(20.0, abs=0.3)
+
+    def test_fusion_beats_raw_gps(self):
+        rng = np.random.default_rng(1)
+        localizer = EgoLocalizer()
+        errors_fused = []
+        errors_raw = []
+        x = 0.0
+        for _ in range(200):
+            x += 20.0 * 0.1
+            gps = GpsFix(x + rng.normal(0, 0.8), rng.normal(0, 0.8))
+            imu = ImuSample(v=20.0 + rng.normal(0, 0.1))
+            estimate = localizer.update(gps, imu, 0.0, dt=0.1)
+            errors_fused.append(abs(estimate.x - x))
+            errors_raw.append(abs(gps.x - x))
+        assert np.mean(errors_fused[50:]) < np.mean(errors_raw[50:])
+
+    def test_disabled_passthrough(self):
+        localizer = EgoLocalizer(LocalizerConfig(enabled=False))
+        estimate = localizer.update(GpsFix(12.0, 3.0), ImuSample(v=9.0),
+                                    0.0, dt=0.1)
+        assert estimate.x == 12.0 and estimate.v == 9.0
+
+    def test_speed_never_negative(self):
+        localizer = EgoLocalizer()
+        for _ in range(20):
+            estimate = localizer.update(GpsFix(0.0, 0.0),
+                                        ImuSample(v=-3.0), 0.0, dt=0.1)
+        assert estimate.v >= 0.0
+
+    def test_reset_forgets_state(self):
+        rng = np.random.default_rng(2)
+        localizer = EgoLocalizer()
+        self.run_localizer(localizer, rng, n=50)
+        localizer.reset()
+        estimate = localizer.update(GpsFix(1000.0, 0.0), ImuSample(v=5.0),
+                                    0.0, dt=0.1)
+        assert estimate.x == pytest.approx(1000.0)  # re-initialized

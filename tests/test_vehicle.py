@@ -1,0 +1,100 @@
+"""Tests for vehicle bodies and actuation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Vehicle, VehicleParameters, VehicleState
+
+
+def fresh_vehicle(v=20.0, **kwargs):
+    return Vehicle(state=VehicleState(v=v), params=VehicleParameters(**kwargs))
+
+
+class TestAcceleration:
+    def test_full_throttle(self):
+        vehicle = fresh_vehicle(v=0.0)
+        accel = vehicle.acceleration_for(throttle=1.0, brake=0.0)
+        assert accel == pytest.approx(vehicle.params.max_acceleration)
+
+    def test_full_brake(self):
+        vehicle = fresh_vehicle(v=0.0)
+        accel = vehicle.acceleration_for(throttle=0.0, brake=1.0)
+        assert accel == pytest.approx(-vehicle.params.max_deceleration)
+
+    def test_pedals_clipped(self):
+        vehicle = fresh_vehicle(v=0.0)
+        assert (vehicle.acceleration_for(5.0, 0.0)
+                == pytest.approx(vehicle.params.max_acceleration))
+        assert (vehicle.acceleration_for(-3.0, 0.0) == pytest.approx(0.0))
+
+    def test_drag_grows_with_speed(self):
+        vehicle = fresh_vehicle(v=40.0)
+        coasting = vehicle.acceleration_for(0.0, 0.0)
+        assert coasting < 0.0
+
+
+class TestApplyActuation:
+    def test_throttle_accelerates(self):
+        vehicle = fresh_vehicle(v=10.0)
+        vehicle.apply_actuation(1.0, 0.0, 0.0, dt=1.0)
+        assert vehicle.state.v > 10.0
+
+    def test_brake_decelerates(self):
+        vehicle = fresh_vehicle(v=10.0)
+        vehicle.apply_actuation(0.0, 1.0, 0.0, dt=1.0)
+        assert vehicle.state.v < 10.0
+
+    def test_speed_capped(self):
+        vehicle = fresh_vehicle(v=44.9, max_speed=45.0, drag=0.0)
+        for _ in range(50):
+            vehicle.apply_actuation(1.0, 0.0, 0.0, dt=0.5)
+        assert vehicle.state.v <= 45.0
+
+    def test_steering_slews_toward_command(self):
+        vehicle = fresh_vehicle(v=20.0)
+        vehicle.apply_actuation(0.0, 0.0, 0.3, dt=0.1)
+        # Rate limit: at most max_steering_rate * dt in one step.
+        assert vehicle.state.phi == pytest.approx(
+            vehicle.params.max_steering_rate * 0.1)
+
+    def test_steering_reaches_small_command(self):
+        vehicle = fresh_vehicle(v=20.0)
+        vehicle.apply_actuation(0.0, 0.0, 0.01, dt=0.1)
+        assert vehicle.state.phi == pytest.approx(0.01, abs=1e-6)
+
+    def test_steering_angle_clipped_to_mechanical_range(self):
+        vehicle = fresh_vehicle(v=5.0)
+        for _ in range(100):
+            vehicle.apply_actuation(0.0, 0.0, 2.0, dt=0.1)
+        assert vehicle.state.phi <= vehicle.params.max_steering_angle + 1e-9
+
+    def test_steering_turns_the_car(self):
+        vehicle = fresh_vehicle(v=20.0)
+        for _ in range(30):
+            vehicle.apply_actuation(0.3, 0.0, 0.2, dt=0.1)
+        assert vehicle.state.theta > 0.0
+        assert vehicle.state.y > 0.0
+
+
+class TestFootprint:
+    def test_axis_aligned_footprint(self):
+        vehicle = fresh_vehicle(v=0.0)
+        corners = vehicle.footprint()
+        assert corners.shape == (4, 2)
+        assert corners[:, 0].max() == pytest.approx(
+            vehicle.params.length / 2)
+        assert corners[:, 1].min() == pytest.approx(
+            -vehicle.params.width / 2)
+
+    def test_rotated_footprint(self):
+        vehicle = Vehicle(state=VehicleState(theta=np.pi / 2))
+        corners = vehicle.footprint()
+        # Rotated 90 degrees: the long dimension now spans y.
+        assert corners[:, 1].max() == pytest.approx(
+            vehicle.params.length / 2)
+
+    def test_translated_footprint(self):
+        vehicle = Vehicle(state=VehicleState(x=100.0, y=5.0))
+        corners = vehicle.footprint()
+        assert corners[:, 0].mean() == pytest.approx(100.0)
+        assert corners[:, 1].mean() == pytest.approx(5.0)

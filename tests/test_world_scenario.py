@@ -1,0 +1,146 @@
+"""Tests for the world container, NPC scripting, and the scenario library."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (LaneChangeCommand, NPCVehicle, SpeedCommand, World,
+                       default_scenarios, highway_cruise, lead_vehicle_cutin,
+                       scenario_by_name, two_lead_reveal)
+
+
+class TestNPC:
+    def test_constant_speed_motion(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=5.0, v=10.0)
+        npc.step(t=0.0, dt=1.0)
+        assert npc.x == pytest.approx(10.0)
+
+    def test_speed_command_with_accel_limit(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=5.0, v=10.0,
+                         acceleration_limit=2.0)
+        npc.speed_commands.append(SpeedCommand(t=0.0, target=20.0))
+        npc.step(t=0.0, dt=1.0)
+        assert npc.v == pytest.approx(12.0)
+
+    def test_speed_command_not_yet_active(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=5.0, v=10.0)
+        npc.speed_commands.append(SpeedCommand(t=5.0, target=0.0))
+        npc.step(t=0.0, dt=1.0)
+        assert npc.v == pytest.approx(10.0)
+
+    def test_speed_never_negative(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=5.0, v=1.0,
+                         acceleration_limit=10.0)
+        npc.speed_commands.append(SpeedCommand(t=0.0, target=0.0))
+        npc.step(t=0.0, dt=1.0)
+        assert npc.v == 0.0
+
+    def test_lane_change_completes(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=2.0, v=10.0)
+        npc.lane_commands.append(LaneChangeCommand(t=0.0, target_y=6.0,
+                                                   duration=2.0))
+        t = 0.0
+        for _ in range(25):
+            npc.step(t, dt=0.1)
+            t += 0.1
+        assert npc.y == pytest.approx(6.0, abs=1e-6)
+        assert not npc.lane_commands
+
+    def test_lane_change_is_smooth(self):
+        npc = NPCVehicle(npc_id=1, x=0.0, y=2.0, v=10.0)
+        npc.lane_commands.append(LaneChangeCommand(t=0.0, target_y=6.0,
+                                                   duration=2.0))
+        ys = []
+        t = 0.0
+        for _ in range(20):
+            npc.step(t, dt=0.1)
+            ys.append(npc.y)
+            t += 0.1
+        deltas = np.diff([2.0] + ys)
+        assert (deltas >= -1e-9).all()  # monotone toward target
+        assert deltas[0] < deltas[len(deltas) // 2]  # eased start
+
+
+class TestWorld:
+    def test_on_highway_places_ego(self):
+        world = World.on_highway(ego_speed=25.0, ego_lane=2)
+        assert world.ego.state.v == 25.0
+        assert world.ego.state.y == pytest.approx(
+            world.road.lane_center(2))
+
+    def test_step_advances_everything(self):
+        world = World.on_highway(ego_speed=20.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=50.0,
+                                 y=world.road.lane_center(1), v=10.0))
+        world.step(throttle=0.0, brake=0.0, steering=0.0, dt=0.5)
+        assert world.time == pytest.approx(0.5)
+        assert world.ego.state.x > 0.0
+        assert world.npcs[0].x > 50.0
+
+    def test_longitudinal_d_safe(self):
+        world = World.on_highway(ego_speed=20.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=60.0,
+                                 y=world.road.lane_center(1), v=10.0))
+        assert world.longitudinal_d_safe() == pytest.approx(60.0 - 4.8)
+
+    def test_collision_flag(self):
+        world = World.on_highway(ego_speed=20.0)
+        world.add_npc(NPCVehicle(npc_id=1, x=2.0,
+                                 y=world.road.lane_center(1), v=0.0))
+        assert world.in_collision()
+
+    def test_off_road_flag(self):
+        world = World.on_highway(ego_speed=20.0, ego_lane=0)
+        assert not world.off_road()
+        # Teleport the ego to the shoulder.
+        world.ego.state = world.ego.state.__class__(
+            x=0.0, y=-1.0, v=20.0, theta=0.0, phi=0.0)
+        assert world.off_road()
+
+
+class TestScenarioLibrary:
+    def test_default_scenarios_all_build(self):
+        for scenario in default_scenarios():
+            world = scenario.make_world()
+            assert world.ego.state.v >= 0.0
+
+    def test_scenario_names_unique(self):
+        names = [s.name for s in default_scenarios()]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert scenario_by_name("highway_cruise").name == "highway_cruise"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("nope")
+
+    def test_fresh_world_each_time(self):
+        scenario = highway_cruise()
+        first = scenario.make_world()
+        second = scenario.make_world()
+        first.step(1.0, 0.0, 0.0, dt=1.0)
+        assert second.ego.state.x == 0.0
+
+    def test_cutin_scenario_shrinks_gap(self):
+        scenario = lead_vehicle_cutin(cutin_time=1.0)
+        world = scenario.make_world()
+        # Before the cut-in the NPC is in another lane: corridor is clear.
+        initial = world.longitudinal_d_safe()
+        for _ in range(80):
+            world.step(0.0, 0.0, 0.0, dt=0.1)
+        final = world.longitudinal_d_safe()
+        assert initial > final  # cut-in brought a body into the corridor
+
+    def test_two_lead_reveal_exposes_stopped_vehicle(self):
+        scenario = two_lead_reveal(reveal_time=1.0, second_gap=150.0)
+        world = scenario.make_world()
+        gaps = []
+        for _ in range(45):
+            world.step(0.0, 0.0, 0.0, dt=0.1)
+            gaps.append(world.longitudinal_d_safe())
+        # After TV1 leaves the corridor (~t = 2.3 s) the nearest obstacle
+        # is the stopped TV2, so the gap collapses at roughly ego speed.
+        after_reveal = gaps[25]
+        later = gaps[44]
+        assert after_reveal < 150.0          # TV2 visible, not sensor range
+        assert later < after_reveal - 30.0   # closing fast on a stopped car
