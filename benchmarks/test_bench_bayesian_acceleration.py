@@ -18,12 +18,13 @@ def test_bench_bayesian_acceleration(benchmark, campaign, bayesian_result):
     grid = campaign.grid_size()
 
     # The benchmarked unit: one full mining pass over all scenes (the
-    # cheap step that replaces grid execution).
+    # cheap step that replaces grid execution), on the batched
+    # production path.
     scenes = campaign.scene_rows()
     injector = bayesian_result.injector
 
     def mine():
-        return injector.mine_critical_faults(scenes)
+        return injector.mine_critical_faults_batched(scenes)
 
     benchmark(mine)
 

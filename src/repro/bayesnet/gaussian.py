@@ -13,11 +13,31 @@ interventions — are handled with the Moore-Penrose pseudo-inverse.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from .network import LinearGaussianBayesianNetwork
+
+
+@dataclass(frozen=True)
+class ConditioningPlan:
+    """Evidence-value-independent pieces of one Gaussian conditioning.
+
+    For a fixed *set* of observed variables the posterior covariance and
+    the Kalman-style gain depend only on the joint covariance, so they
+    are computed once and reused for every evidence vector:
+
+        mean(free | e) = mean_free + gain @ (e - mean_observed)
+    """
+
+    free: tuple[str, ...]
+    observed: tuple[str, ...]
+    gain: np.ndarray            # (n_free, n_observed)
+    mean_free: np.ndarray
+    mean_observed: np.ndarray
+    posterior_cov: np.ndarray   # (n_free, n_free), symmetrized + clamped
 
 
 class GaussianDistribution:
@@ -31,9 +51,11 @@ class GaussianDistribution:
             (len(self.variables), len(self.variables)))
         if not np.allclose(self.covariance, self.covariance.T, atol=1e-8):
             raise ValueError("covariance must be symmetric")
+        self._positions = {v: i for i, v in enumerate(self.variables)}
+        self._plans: dict[tuple[str, ...], ConditioningPlan] = {}
 
     def _indices(self, variables: Iterable[str]) -> list[int]:
-        positions = {v: i for i, v in enumerate(self.variables)}
+        positions = self._positions
         try:
             return [positions[v] for v in variables]
         except KeyError as missing:
@@ -55,6 +77,42 @@ class GaussianDistribution:
         return GaussianDistribution(
             keep, self.mean[idx], self.covariance[np.ix_(idx, idx)])
 
+    def conditioning_plan(self, observed: Sequence[str]) -> ConditioningPlan:
+        """The cached gain/covariance for one *set* of observed variables.
+
+        ``observed`` is canonicalized to this distribution's variable
+        order, so every evidence set hits one cache entry regardless of
+        the order the caller names its variables in.
+        """
+        observed_set = set(observed)
+        key = tuple(v for v in self.variables if v in observed_set)
+        if len(key) != len(observed_set):
+            self._indices(observed_set)  # raise on the unknown variable
+        plan = self._plans.get(key)
+        if plan is None:
+            free = tuple(v for v in self.variables if v not in observed_set)
+            a = self._indices(free)
+            b = self._indices(key)
+            s_aa = self.covariance[np.ix_(a, a)]
+            s_ab = self.covariance[np.ix_(a, b)]
+            s_bb = self.covariance[np.ix_(b, b)]
+            # pinv handles singular evidence blocks from point
+            # interventions.
+            s_bb_inv = np.linalg.pinv(s_bb, hermitian=True)
+            gain = s_ab @ s_bb_inv
+            new_cov = s_aa - gain @ s_ab.T
+            # Clamp tiny negative diagonal noise from the pinv round-trip.
+            new_cov = (new_cov + new_cov.T) / 2.0
+            diagonal = np.diag(new_cov).copy()
+            diagonal[diagonal < 0] = 0.0
+            np.fill_diagonal(new_cov, diagonal)
+            plan = ConditioningPlan(
+                free=free, observed=key, gain=gain,
+                mean_free=self.mean[a], mean_observed=self.mean[b],
+                posterior_cov=new_cov)
+            self._plans[key] = plan
+        return plan
+
     def condition(self, evidence: Mapping[str, float]
                   ) -> "GaussianDistribution":
         """Condition on observed values, returning the posterior Gaussian."""
@@ -62,24 +120,36 @@ class GaussianDistribution:
         if not observed:
             return GaussianDistribution(self.variables, self.mean.copy(),
                                         self.covariance.copy())
-        free = [v for v in self.variables if v not in evidence]
-        a = self._indices(free)
-        b = self._indices(observed)
-        e = np.array([float(evidence[v]) for v in observed])
-        s_aa = self.covariance[np.ix_(a, a)]
-        s_ab = self.covariance[np.ix_(a, b)]
-        s_bb = self.covariance[np.ix_(b, b)]
-        # pinv handles singular evidence blocks from point interventions.
-        s_bb_inv = np.linalg.pinv(s_bb, hermitian=True)
-        gain = s_ab @ s_bb_inv
-        new_mean = self.mean[a] + gain @ (e - self.mean[b])
-        new_cov = s_aa - gain @ s_ab.T
-        # Clamp tiny negative diagonal noise from the pinv round-trip.
-        new_cov = (new_cov + new_cov.T) / 2.0
-        diagonal = np.diag(new_cov).copy()
-        diagonal[diagonal < 0] = 0.0
-        np.fill_diagonal(new_cov, diagonal)
-        return GaussianDistribution(free, new_mean, new_cov)
+        plan = self.conditioning_plan(observed)
+        e = np.array([float(evidence[v]) for v in plan.observed])
+        new_mean = plan.mean_free + plan.gain @ (e - plan.mean_observed)
+        return GaussianDistribution(plan.free, new_mean,
+                                    plan.posterior_cov.copy())
+
+    def conditional_mean_map(self, query: Sequence[str],
+                             observed: Sequence[str]
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """Affine map ``e -> E[query | observed = e]`` as ``(gain, offset)``.
+
+        ``gain`` has one row per query variable and one column per
+        observed variable *in the caller's order*, so a batch of evidence
+        vectors ``E`` (one per row) scores in a single matmul:
+        ``E @ gain.T + offset``.
+        """
+        plan = self.conditioning_plan(observed)
+        free_pos = {v: i for i, v in enumerate(plan.free)}
+        try:
+            rows = [free_pos[v] for v in query]
+        except KeyError as missing:
+            raise KeyError(
+                f"query variable {missing} is not free given the "
+                f"evidence set") from None
+        obs_pos = {v: i for i, v in enumerate(plan.observed)}
+        cols = [obs_pos[v] for v in observed]
+        gain = plan.gain[np.ix_(rows, cols)]
+        offset = (plan.mean_free[rows]
+                  - plan.gain[rows] @ plan.mean_observed)
+        return gain, offset
 
     def log_density(self, assignment: Mapping[str, float]) -> float:
         """Log density at a full assignment (pseudo-inverse for rank loss)."""
@@ -118,6 +188,19 @@ class GaussianInference:
         """P(variables | evidence) as a Gaussian."""
         conditioned = self.joint.condition(evidence or {})
         return conditioned.marginalize(list(variables))
+
+    def affine_map(self, query: Sequence[str], evidence_vars: Sequence[str]
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior-mean map for a fixed evidence *set*: ``(gain, offset)``.
+
+        The posterior mean of a Gaussian is affine in the evidence
+        vector, so ``E[query | evidence_vars = e] = gain @ e + offset``.
+        Computing the map once lets callers score arbitrarily many
+        evidence vectors with one matmul instead of one O(n^3)
+        conditioning each (the heart of batched counterfactual mining).
+        """
+        return self.joint.conditional_mean_map(list(query),
+                                               list(evidence_vars))
 
     def map_query(self, variables: Iterable[str],
                   evidence: Mapping[str, float] | None = None

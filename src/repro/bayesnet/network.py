@@ -162,7 +162,7 @@ class LinearGaussianBayesianNetwork:
             w = cpd.weights
             mean[i] = cpd.intercept + w @ mean[parent_idx]
             if parent_idx:
-                cross = w @ cov[np.ix_(parent_idx, range(n))]
+                cross = w @ cov[parent_idx, :]
                 cov[i, :] = cross
                 cov[:, i] = cross
                 cov[i, i] = cpd.variance + w @ cov[

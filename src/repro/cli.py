@@ -33,22 +33,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("golden", help="fault-free runs and safety margins")
 
+    workers_help = "processes for experiment validation (default serial)"
+
     random_cmd = sub.add_parser("random", help="random output corruption")
     random_cmd.add_argument("-n", type=int, default=100,
                             help="number of experiments")
     random_cmd.add_argument("--seed", type=int, default=0)
+    random_cmd.add_argument("--workers", type=int, default=None,
+                            help=workers_help)
     random_cmd.add_argument("--save", help="write records to a JSON file")
 
     arch_cmd = sub.add_parser("arch", help="random architectural faults")
     arch_cmd.add_argument("-n", type=int, default=200,
                           help="number of register flips")
     arch_cmd.add_argument("--seed", type=int, default=0)
+    arch_cmd.add_argument("--workers", type=int, default=None,
+                          help=workers_help)
 
     bayes_cmd = sub.add_parser("bayesian", help="mine + validate F_crit")
     bayes_cmd.add_argument("--top-k", type=int, default=None,
                            help="validate only the k most critical")
     bayes_cmd.add_argument("--threshold", type=float, default=0.0,
                            help="predicted-delta mining threshold (m)")
+    bayes_cmd.add_argument("--scalar-miner", action="store_true",
+                           help="use the scalar reference miner instead "
+                                "of the batched engine")
+    bayes_cmd.add_argument("--workers", type=int, default=None,
+                           help=workers_help)
     bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
 
     grid_cmd = sub.add_parser("exhaustive", help="min/max grid sample")
@@ -56,6 +67,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="planner ticks between injections")
     grid_cmd.add_argument("--max", type=int, default=None,
                           help="cap on experiments")
+    grid_cmd.add_argument("--workers", type=int, default=None,
+                          help=workers_help)
     grid_cmd.add_argument("--save", help="write records to a JSON file")
 
     inject_cmd = sub.add_parser("inject", help="one specific fault")
@@ -97,20 +110,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "golden":
         _print_golden(campaign)
     elif args.command == "random":
-        summary = campaign.random_campaign(args.n, seed=args.seed)
+        summary = campaign.random_campaign(args.n, seed=args.seed,
+                                           workers=args.workers)
         _print_summary(summary, "random campaign")
         if args.save:
             save_summary(summary, args.save)
             print(f"records written to {args.save}")
     elif args.command == "arch":
         summary, outcomes = campaign.architectural_campaign(
-            args.n, seed=args.seed)
+            args.n, seed=args.seed, workers=args.workers)
         print(ascii_table(["outcome", "count"],
                           sorted(outcomes.items())))
         _print_summary(summary, "driven SDC experiments")
     elif args.command == "bayesian":
-        result = campaign.bayesian_campaign(top_k=args.top_k,
-                                            threshold=args.threshold)
+        result = campaign.bayesian_campaign(
+            top_k=args.top_k, threshold=args.threshold,
+            use_batched=not args.scalar_miner, workers=args.workers)
         print(f"scored {result.mining.n_scored} candidate faults over "
               f"{result.mining.n_scenes} scenes in "
               f"{result.mining.wall_seconds:.1f}s")
@@ -122,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"candidates written to {args.save}")
     elif args.command == "exhaustive":
         summary = campaign.exhaustive_campaign(tick_stride=args.stride,
-                                               max_experiments=args.max)
+                                               max_experiments=args.max,
+                                               workers=args.workers)
         _print_summary(summary, "grid sample")
         print(f"full grid would be {campaign.grid_size()} experiments")
         if args.save:

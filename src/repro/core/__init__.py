@@ -7,6 +7,7 @@ from .bayesian_fi import (BN_VARIABLES, KINEMATIC_NODES, MINED_VARIABLES,
                           CandidateFault, MinedVariable, MiningReport,
                           SceneRow, ads_dbn_template, scene_rows_from_trace)
 from .campaign import (BayesianCampaignResult, Campaign, CampaignConfig)
+from .parallel import execute_experiment, run_experiments
 from .fault_models import (DEFAULT_VARIABLES, KERNEL_VARIABLE_MAP,
                            ArchFaultOutcome, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
@@ -57,4 +58,6 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "BayesianCampaignResult",
+    "execute_experiment",
+    "run_experiments",
 ]

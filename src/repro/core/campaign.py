@@ -21,6 +21,7 @@ from .bayesian_fi import (MINED_VARIABLES, BayesianFaultInjector,
                           scene_rows_from_trace)
 from .fault_models import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
+from .parallel import ExperimentJob, execute_experiment, run_experiments
 from .results import CampaignSummary, ExperimentRecord
 from .safety import SafetyConfig
 from .simulate import FaultSpec, RunResult, run_scenario
@@ -51,6 +52,7 @@ class Campaign:
         self.config = config or CampaignConfig()
         self._by_name = {s.name: s for s in self.scenarios}
         self._golden: dict[str, RunResult] | None = None
+        self._ticks: dict[tuple[str, int], list[int]] = {}
 
     # -- golden runs -----------------------------------------------------------
 
@@ -69,82 +71,98 @@ class Campaign:
         """Scene population for mining: all golden planner instants."""
         rows = []
         for name, run in self.golden_runs().items():
+            duration = self._by_name[name].duration
             for row in scene_rows_from_trace(name, run.trace):
-                if self._in_window(row.injection_tick):
+                if self._in_window(row.injection_tick, duration):
                     rows.append(row)
         return rows
 
     def injection_ticks(self, scenario: Scenario,
                         stride: int = 1) -> list[int]:
-        """Planner-tick indices eligible for injection in a scenario."""
-        golden = self.golden_runs()[scenario.name]
-        ticks = [int(t) for t in golden.trace.column("tick")]
-        eligible = [t for t in ticks if self._in_window(t)]
-        return eligible[::stride]
+        """Planner-tick indices eligible for injection in a scenario.
 
-    def _in_window(self, tick: int) -> bool:
+        Cached per (scenario, stride): random and architectural draws
+        consult this list once per experiment, and the golden trace it
+        derives from never changes within a campaign.
+        """
+        key = (scenario.name, scenario.duration, stride)
+        cached = self._ticks.get(key)
+        if cached is None:
+            golden = self.golden_runs()[scenario.name]
+            ticks = [int(t) for t in golden.trace.column("tick")]
+            eligible = [t for t in ticks
+                        if self._in_window(t, scenario.duration)]
+            cached = eligible[::stride]
+            self._ticks[key] = cached
+        return cached
+
+    def _in_window(self, tick: int, duration: float) -> bool:
+        """Is ``tick`` inside the injection window of a scenario?
+
+        The window starts after the startup transient and ends
+        ``injection_window_margin`` seconds before the scenario ends, so
+        every experiment keeps its full post-fault monitoring horizon.
+        """
         dt = self.config.ads.control_period
         start = self.config.injection_window_start / dt
-        return tick >= start
+        end = (duration - self.config.injection_window_margin) / dt
+        return start <= tick <= end
 
     # -- single experiment -------------------------------------------------------
 
     def run_fault(self, scenario_name: str,
                   fault: FaultSpec) -> ExperimentRecord:
         """Execute one injection experiment and record the outcome."""
-        scenario = self._by_name[scenario_name]
-        result = run_scenario(
-            scenario, ads_config=self.config.ads, seed=self.config.seed,
-            faults=[fault], safety_config=self.config.safety,
-            horizon_after_fault=self.config.horizon_after_fault,
-            record_trace=False)
-        return ExperimentRecord(
-            scenario=scenario_name, injection_tick=fault.start_tick,
-            variable=fault.variable, value=fault.value,
-            duration_ticks=fault.duration_ticks, seed=self.config.seed,
-            hazard=result.hazard, landed=result.landed,
-            pre_delta_long=result.pre_delta_long,
-            pre_delta_lat=result.pre_delta_lat,
-            min_delta_long=result.min_delta_long,
-            min_delta_lat=result.min_delta_lat,
-            sim_seconds=result.sim_seconds,
-            wall_seconds=result.wall_seconds)
+        return execute_experiment(self._by_name[scenario_name],
+                                  self.config, fault)
+
+    def _run_jobs(self, jobs: list[ExperimentJob],
+                  workers: int | None) -> list[ExperimentRecord]:
+        """Execute jobs serially or over the process pool, in job order."""
+        return run_experiments(self.scenarios, self.config, jobs,
+                               workers=workers)
 
     # -- campaigns -----------------------------------------------------------------
 
     def random_campaign(self, n_experiments: int,
-                        seed: int | None = None) -> CampaignSummary:
-        """Fault model (b), uniformly random (the paper's baseline)."""
+                        seed: int | None = None,
+                        workers: int | None = None) -> CampaignSummary:
+        """Fault model (b), uniformly random (the paper's baseline).
+
+        The fault draws are independent of the experiment outcomes, so
+        they are all made up front (in the exact order of the serial
+        loop, keeping seeded campaigns reproducible) and the resulting
+        jobs fanned over ``workers`` processes.
+        """
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
-        summary = CampaignSummary()
         names = [s.name for s in self.scenarios]
+        jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
             ticks = self.injection_ticks(self._by_name[scenario_name])
             fault = random_fault(
                 rng, ticks, duration_ticks=self.config.fault_duration_ticks)
-            summary.records.append(self.run_fault(scenario_name, fault))
-        return summary
+            jobs.append((scenario_name, fault))
+        return CampaignSummary(records=self._run_jobs(jobs, workers))
 
     def exhaustive_campaign(self, tick_stride: int = 10,
                             variable_names: list[str] | None = None,
-                            max_experiments: int | None = None
+                            max_experiments: int | None = None,
+                            workers: int | None = None
                             ) -> CampaignSummary:
         """Fault model (b) on the min/max grid (strided subsample)."""
-        summary = CampaignSummary()
-        count = 0
+        jobs: list[ExperimentJob] = []
         for scenario in self.scenarios:
             ticks = self.injection_ticks(scenario, stride=tick_stride)
             grid = minmax_fault_grid(
                 ticks, variable_names,
                 duration_ticks=self.config.fault_duration_ticks)
-            for fault in grid:
-                if max_experiments is not None and count >= max_experiments:
-                    return summary
-                summary.records.append(self.run_fault(scenario.name, fault))
-                count += 1
-        return summary
+            jobs.extend((scenario.name, fault) for fault in grid)
+            if max_experiments is not None and len(jobs) >= max_experiments:
+                jobs = jobs[:max_experiments]
+                break
+        return CampaignSummary(records=self._run_jobs(jobs, workers))
 
     def grid_size(self, variable_names: list[str] | None = None,
                   tick_stride: int = 1) -> int:
@@ -157,7 +175,8 @@ class Campaign:
 
     def architectural_campaign(self, n_experiments: int,
                                model: ArchitecturalFaultModel | None = None,
-                               seed: int | None = None
+                               seed: int | None = None,
+                               workers: int | None = None
                                ) -> tuple[CampaignSummary, dict[str, int]]:
         """Fault model (a): register flips propagated into the stack.
 
@@ -168,9 +187,9 @@ class Campaign:
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         model = model or ArchitecturalFaultModel()
-        summary = CampaignSummary()
         outcome_counts = {outcome.value: 0 for outcome in Outcome}
         names = [s.name for s in self.scenarios]
+        jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
             ticks = self.injection_ticks(self._by_name[scenario_name])
@@ -178,20 +197,25 @@ class Campaign:
                 rng, ticks, duration_ticks=self.config.fault_duration_ticks)
             outcome_counts[arch.outcome.value] += 1
             if arch.fault is not None:
-                summary.records.append(
-                    self.run_fault(scenario_name, arch.fault))
+                jobs.append((scenario_name, arch.fault))
+        summary = CampaignSummary(records=self._run_jobs(jobs, workers))
         return summary, outcome_counts
 
     def bayesian_campaign(self, injector: BayesianFaultInjector | None = None,
                           variables: tuple[str, ...] = MINED_VARIABLES,
                           threshold: float = 0.0,
-                          top_k: int | None = None) -> "BayesianCampaignResult":
+                          top_k: int | None = None,
+                          use_batched: bool = True,
+                          workers: int | None = None
+                          ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
 
         Mined faults have a *predicted* non-positive potential
         (``threshold`` relaxes that); validation separates real hazards
         from borderline predictions, which is why the paper's precision
-        is 82% rather than 100%.
+        is 82% rather than 100%.  Mining uses the batched affine engine
+        by default (``use_batched=False`` falls back to the scalar
+        reference path); validation fans over ``workers`` processes.
         """
         train_start = time.perf_counter()
         if injector is None:
@@ -199,15 +223,17 @@ class Campaign:
                 list(self.golden_runs().values()),
                 safety_config=self.config.safety)
         train_seconds = time.perf_counter() - train_start
-        candidates, mining = injector.mine_critical_faults(
+        mine = (injector.mine_critical_faults_batched if use_batched
+                else injector.mine_critical_faults)
+        candidates, mining = mine(
             self.scene_rows(), variables=variables, threshold=threshold,
             top_k=top_k)
-        summary = CampaignSummary()
-        for candidate in candidates:
-            fault = candidate.to_fault_spec(
-                duration_ticks=self.config.fault_duration_ticks)
-            summary.records.append(
-                self.run_fault(candidate.scenario, fault))
+        jobs: list[ExperimentJob] = [
+            (candidate.scenario,
+             candidate.to_fault_spec(
+                 duration_ticks=self.config.fault_duration_ticks))
+            for candidate in candidates]
+        summary = CampaignSummary(records=self._run_jobs(jobs, workers))
         return BayesianCampaignResult(
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)

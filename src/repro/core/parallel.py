@@ -1,0 +1,103 @@
+"""Process-parallel execution of fault-injection experiments.
+
+Each experiment is an independent closed-loop simulation, so campaign
+validation parallelizes embarrassingly.  ``run_experiments`` fans a list
+of (scenario name, fault) jobs over a ``ProcessPoolExecutor`` while
+preserving the submission order of the returned records, so a parallel
+campaign is record-for-record identical to a serial one (wall-clock
+fields aside).
+
+Scenario builders are closures, which do not pickle; workers therefore
+require the ``fork`` start method (they inherit the scenario objects
+through the forked address space).  On platforms without ``fork`` the
+executor silently falls back to serial in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from ..sim.scenario import Scenario
+from .results import ExperimentRecord
+from .simulate import FaultSpec, run_scenario
+
+if TYPE_CHECKING:  # avoid a circular import with .campaign
+    from .campaign import CampaignConfig
+
+#: Job description: (scenario name, fault to inject).
+ExperimentJob = tuple[str, FaultSpec]
+
+#: Worker-process state installed by the pool initializer.
+_WORKER_STATE: tuple[dict[str, Scenario], "CampaignConfig"] | None = None
+
+
+def execute_experiment(scenario: Scenario, config: "CampaignConfig",
+                       fault: FaultSpec) -> ExperimentRecord:
+    """Run one injection experiment and record the outcome.
+
+    The single source of truth for experiment execution: both the serial
+    path (:meth:`repro.core.campaign.Campaign.run_fault`) and the pool
+    workers call this, which is what makes parallel and serial campaigns
+    produce identical records.
+    """
+    result = run_scenario(
+        scenario, ads_config=config.ads, seed=config.seed,
+        faults=[fault], safety_config=config.safety,
+        horizon_after_fault=config.horizon_after_fault,
+        record_trace=False)
+    return ExperimentRecord(
+        scenario=scenario.name, injection_tick=fault.start_tick,
+        variable=fault.variable, value=fault.value,
+        duration_ticks=fault.duration_ticks, seed=config.seed,
+        hazard=result.hazard, landed=result.landed,
+        pre_delta_long=result.pre_delta_long,
+        pre_delta_lat=result.pre_delta_lat,
+        min_delta_long=result.min_delta_long,
+        min_delta_lat=result.min_delta_lat,
+        sim_seconds=result.sim_seconds,
+        wall_seconds=result.wall_seconds)
+
+
+def _init_worker(scenarios: list[Scenario],
+                 config: "CampaignConfig") -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = ({s.name: s for s in scenarios}, config)
+
+
+def _run_job(job: ExperimentJob) -> ExperimentRecord:
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    by_name, config = _WORKER_STATE
+    scenario_name, fault = job
+    return execute_experiment(by_name[scenario_name], config, fault)
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
+                    jobs: list[ExperimentJob],
+                    workers: int | None = None) -> list[ExperimentRecord]:
+    """Execute ``jobs``, optionally across ``workers`` processes.
+
+    Results come back in job order regardless of completion order.
+    ``workers`` of ``None``, 0, or 1 runs serially in-process; larger
+    values fan out over a process pool (capped at the job count).
+    """
+    if not jobs:
+        return []
+    context = _fork_context() if workers and workers > 1 else None
+    if context is None:
+        by_name = {s.name: s for s in scenarios}
+        return [execute_experiment(by_name[name], config, fault)
+                for name, fault in jobs]
+    workers = min(workers, len(jobs))
+    chunksize = max(1, len(jobs) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                             initializer=_init_worker,
+                             initargs=(scenarios, config)) as pool:
+        return list(pool.map(_run_job, jobs, chunksize=chunksize))

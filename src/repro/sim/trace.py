@@ -2,6 +2,12 @@
 
 Traces feed two consumers: Bayesian-network training (golden runs) and
 experiment reporting (time series for the case-study figures).
+
+Appends go to plain Python lists (cheap per tick); the numpy views are
+materialized lazily and cached, so golden-trace consumers that read the
+same columns thousands of times (scene mining, BN training) stop paying
+a list->array conversion per access.  Cached arrays are marked
+read-only because they are shared between callers.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ class Trace:
     def __init__(self):
         self._columns: dict[str, list[float]] = {}
         self._length = 0
+        self._arrays: dict[str, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return self._length
@@ -40,15 +47,24 @@ class Trace:
         for name, value in sample.items():
             self._columns[name].append(float(value))
         self._length += 1
+        self._arrays = None  # invalidate the cached numpy views
 
     def as_arrays(self) -> dict[str, np.ndarray]:
-        """Columns as numpy arrays."""
-        return {name: np.asarray(values)
-                for name, values in self._columns.items()}
+        """Columns as numpy arrays (cached, read-only, shared)."""
+        if self._arrays is None:
+            arrays = {}
+            for name, values in self._columns.items():
+                array = np.asarray(values)
+                array.flags.writeable = False
+                arrays[name] = array
+            self._arrays = arrays
+        return dict(self._arrays)
 
     def column(self, name: str) -> np.ndarray:
-        """One column as a numpy array."""
-        return np.asarray(self._columns[name])
+        """One column as a numpy array (cached, read-only, shared)."""
+        if self._arrays is not None:
+            return self._arrays[name]
+        return self.as_arrays()[name]
 
     def last(self, name: str) -> float:
         """Most recent value of a signal."""
@@ -59,8 +75,8 @@ class Trace:
 
     def window(self, start: int, stop: int) -> dict[str, np.ndarray]:
         """Slice every column to ``[start:stop]``."""
-        return {name: np.asarray(values[start:stop])
-                for name, values in self._columns.items()}
+        return {name: array[start:stop]
+                for name, array in self.as_arrays().items()}
 
     def to_csv(self) -> str:
         """Render the whole trace as CSV text (header + one row per tick)."""

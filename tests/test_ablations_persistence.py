@@ -28,19 +28,25 @@ def golden(campaign):
 
 class TestConditioningAblation:
     def test_do_and_conditioning_differ(self, campaign, golden):
-        """Conditioning leaks belief backward; do() must not."""
+        """Conditioning leaks belief backward; do() must not.
+
+        Scanned over a scene sample rather than one arbitrary scene:
+        on clear-road scenes the kinematic early-out can make the two
+        engines coincide, which says nothing about the ablation.
+        """
         do_engine = BayesianFaultInjector.train(golden)
         cond_engine = ConditioningFaultInjector.train(golden)
-        scenes = campaign.scene_rows()
-        scene = scenes[len(scenes) // 2]
         disagreements = 0
-        for variable, value in [("throttle", 1.0), ("brake", 1.0),
-                                ("tracked_gap", 0.0)]:
-            do_pred = do_engine.predicted_potential(scene, variable, value)
-            cond_pred = cond_engine.predicted_potential(scene, variable,
+        for scene in campaign.scene_rows()[::10]:
+            for variable, value in [("throttle", 1.0), ("brake", 1.0),
+                                    ("tracked_gap", 0.0)]:
+                do_pred = do_engine.predicted_potential(scene, variable,
                                                         value)
-            if abs(do_pred.longitudinal - cond_pred.longitudinal) > 1e-6:
-                disagreements += 1
+                cond_pred = cond_engine.predicted_potential(scene, variable,
+                                                            value)
+                if abs(do_pred.longitudinal
+                       - cond_pred.longitudinal) > 1e-6:
+                    disagreements += 1
         assert disagreements > 0
 
     def test_conditioning_engine_still_mines(self, campaign, golden):

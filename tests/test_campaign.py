@@ -35,6 +35,33 @@ class TestGolden:
         assert all(t >= start for t in ticks)
         assert ticks
 
+    def test_injection_ticks_respect_end_margin(self, campaign):
+        # Regression: the documented end margin used to be ignored, so
+        # faults landed in the last seconds of a scenario and lost their
+        # post-fault monitoring horizon.
+        dt = campaign.config.ads.control_period
+        margin = campaign.config.injection_window_margin
+        for scenario in campaign.scenarios:
+            end = (scenario.duration - margin) / dt
+            ticks = campaign.injection_ticks(scenario)
+            assert ticks, scenario.name
+            assert all(t <= end for t in ticks), scenario.name
+
+    def test_scene_rows_respect_end_margin(self, campaign):
+        dt = campaign.config.ads.control_period
+        margin = campaign.config.injection_window_margin
+        durations = {s.name: s.duration for s in campaign.scenarios}
+        for row in campaign.scene_rows():
+            end = (durations[row.scenario] - margin) / dt
+            assert row.injection_tick <= end
+
+    def test_injection_ticks_cached(self, campaign):
+        scenario = campaign.scenarios[0]
+        assert campaign.injection_ticks(scenario) is \
+            campaign.injection_ticks(scenario)
+        assert campaign.injection_ticks(scenario, stride=3) is \
+            campaign.injection_ticks(scenario, stride=3)
+
     def test_injection_tick_stride(self, campaign):
         scenario = campaign.scenarios[0]
         dense = campaign.injection_ticks(scenario, stride=1)
