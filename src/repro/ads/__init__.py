@@ -9,7 +9,7 @@ from .perception import Perception, PerceptionConfig
 from .planning import Planner, PlannerConfig
 from .prediction import (NO_COLLISION, minimum_predicted_gap,
                          predict_positions, time_to_collision)
-from .runtime import ADSConfig, ADSPipeline, ArmedFault
+from .runtime import ADSConfig, ADSPipeline, ArmedFault, PipelineSnapshot
 from .sensors import SensorSuite, SensorSuiteConfig
 from .tracking import MultiObjectTracker, TrackerConfig
 from .variables import (REGISTRY, STAGES, InjectableVariable,
@@ -45,6 +45,7 @@ __all__ = [
     "ADSConfig",
     "ADSPipeline",
     "ArmedFault",
+    "PipelineSnapshot",
     "REGISTRY",
     "STAGES",
     "InjectableVariable",

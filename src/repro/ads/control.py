@@ -51,6 +51,15 @@ class PIDController:
 
 
 @dataclass(frozen=True)
+class ControllerSnapshot:
+    """PID memory plus the slew limiter's last command."""
+
+    integral: float
+    last_error: float | None
+    last_command: tuple[float, float, float]   # throttle, brake, steering
+
+
+@dataclass(frozen=True)
 class ControllerConfig:
     """Smoothing and speed-tracking parameters."""
 
@@ -78,6 +87,20 @@ class VehicleController:
         """Forget controller state (new scenario)."""
         self._speed_pid.reset()
         self._last = ActuationCommand(0.0, 0.0, 0.0)
+
+    def snapshot(self) -> ControllerSnapshot:
+        """Capture PID and slew-limiter memory."""
+        return ControllerSnapshot(
+            integral=self._speed_pid._integral,
+            last_error=self._speed_pid._last_error,
+            last_command=(self._last.throttle, self._last.brake,
+                          self._last.steering))
+
+    def restore(self, snapshot: ControllerSnapshot) -> None:
+        """Rewind PID and slew-limiter memory."""
+        self._speed_pid._integral = snapshot.integral
+        self._speed_pid._last_error = snapshot.last_error
+        self._last = ActuationCommand(*snapshot.last_command)
 
     def actuate(self, plan: PlannerOutput, measured_speed: float,
                 dt: float) -> ActuationCommand:

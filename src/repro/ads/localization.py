@@ -17,6 +17,14 @@ from .messages import EgoEstimate, GpsFix, ImuSample
 
 
 @dataclass(frozen=True)
+class LocalizerSnapshot:
+    """Frozen copy of the EKF belief (``None`` before the first fix)."""
+
+    mean: np.ndarray | None
+    covariance: np.ndarray | None
+
+
+@dataclass(frozen=True)
 class LocalizerConfig:
     """EKF noise parameters."""
 
@@ -40,6 +48,18 @@ class EgoLocalizer:
         """Forget the state (new scenario)."""
         self._mean = None
         self._cov = None
+
+    def snapshot(self) -> LocalizerSnapshot:
+        """Capture the belief (arrays copied, not aliased)."""
+        return LocalizerSnapshot(
+            mean=None if self._mean is None else self._mean.copy(),
+            covariance=None if self._cov is None else self._cov.copy())
+
+    def restore(self, snapshot: LocalizerSnapshot) -> None:
+        """Rewind the belief to a snapshot."""
+        self._mean = None if snapshot.mean is None else snapshot.mean.copy()
+        self._cov = (None if snapshot.covariance is None
+                     else snapshot.covariance.copy())
 
     def update(self, gps: GpsFix, imu: ImuSample, yaw_rate: float,
                dt: float) -> EgoEstimate:

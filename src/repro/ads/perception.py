@@ -29,6 +29,13 @@ class Perception:
     def __init__(self, config: PerceptionConfig | None = None):
         self.config = config or PerceptionConfig()
 
+    def snapshot(self) -> None:
+        """Perception is stateless; kept for checkpoint API uniformity."""
+        return None
+
+    def restore(self, snapshot: None) -> None:
+        """Nothing to rewind (stateless)."""
+
     def process(self, bundle: SensorBundle) -> list[Detection]:
         """Fused detections from one sensor snapshot."""
         camera = list(bundle.camera)

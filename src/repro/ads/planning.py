@@ -48,6 +48,13 @@ class Planner:
     def __init__(self, config: PlannerConfig | None = None):
         self.config = config or PlannerConfig()
 
+    def snapshot(self) -> None:
+        """Planning is stateless; kept for checkpoint API uniformity."""
+        return None
+
+    def restore(self, snapshot: None) -> None:
+        """Nothing to rewind (stateless)."""
+
     def plan(self, model: WorldModel, dt: float) -> PlannerOutput:
         """Raw actuation for the current world model.
 

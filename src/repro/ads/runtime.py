@@ -14,18 +14,19 @@ precisely "modifying the software state of the ADS" as DriveFI does.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..sim.world import World
-from .control import ControllerConfig, VehicleController
-from .localization import EgoLocalizer, LocalizerConfig
+from .control import ControllerConfig, ControllerSnapshot, VehicleController
+from .localization import EgoLocalizer, LocalizerConfig, LocalizerSnapshot
 from .messages import ActuationCommand, PlannerOutput, WorldModel
 from .perception import Perception, PerceptionConfig
 from .planning import Planner, PlannerConfig
-from .sensors import SensorSuite, SensorSuiteConfig
-from .tracking import MultiObjectTracker, TrackerConfig
+from .sensors import SensorSnapshot, SensorSuite, SensorSuiteConfig
+from .tracking import MultiObjectTracker, TrackerConfig, TrackerSnapshot
 from .variables import InjectableVariable, variable_by_name
 
 
@@ -78,6 +79,27 @@ class ArmedFault:
         return self.start_tick <= tick < self.start_tick + self.duration_ticks
 
 
+@dataclass(frozen=True)
+class PipelineSnapshot:
+    """Picklable capture of every mutable cell in the ADS stack.
+
+    Faults are stored by variable *name* (the registry objects carry
+    setter functions, which pickle by module reference but are cheaper
+    and safer to re-resolve on restore).  Latched planner/model payloads
+    are deep-copied because fault setters corrupt them in place.
+    """
+
+    tick_index: int
+    sensors: SensorSnapshot
+    tracker: TrackerSnapshot
+    localizer: LocalizerSnapshot
+    controller: ControllerSnapshot
+    plan: PlannerOutput | None
+    model: WorldModel | None
+    command: tuple[float, float, float]
+    faults: tuple[tuple[str, float, int, int, bool], ...]
+
+
 class ADSPipeline:
     """The complete software stack of the ego vehicle."""
 
@@ -113,6 +135,44 @@ class ADSPipeline:
                     self.tick_index):
                 if fault.variable.setter(payload, fault.value):
                     fault.landed = True
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def snapshot(self) -> PipelineSnapshot:
+        """Capture the full stack state as a picklable snapshot."""
+        return PipelineSnapshot(
+            tick_index=self.tick_index,
+            sensors=self.sensors.snapshot(),
+            tracker=self.tracker.snapshot(),
+            localizer=self.localizer.snapshot(),
+            controller=self.controller.snapshot(),
+            plan=copy.deepcopy(self._plan),
+            model=copy.deepcopy(self._model),
+            command=(self._command.throttle, self._command.brake,
+                     self._command.steering),
+            faults=tuple((f.variable.name, f.value, f.start_tick,
+                          f.duration_ticks, f.landed) for f in self.faults))
+
+    def restore(self, snapshot: PipelineSnapshot) -> None:
+        """Rewind the stack to a snapshot taken from an identically
+        configured pipeline.  The perception and planning stages are
+        stateless; their ``restore`` is called anyway so a future
+        stateful implementation cannot be silently skipped."""
+        self.tick_index = snapshot.tick_index
+        self.sensors.restore(snapshot.sensors)
+        self.perception.restore(None)
+        self.tracker.restore(snapshot.tracker)
+        self.localizer.restore(snapshot.localizer)
+        self.planner.restore(None)
+        self.controller.restore(snapshot.controller)
+        self._plan = copy.deepcopy(snapshot.plan)
+        self._model = copy.deepcopy(snapshot.model)
+        self._command = ActuationCommand(*snapshot.command)
+        self.faults = []
+        for name, value, start_tick, duration_ticks, landed in \
+                snapshot.faults:
+            fault = self.arm_fault(name, value, start_tick, duration_ticks)
+            fault.landed = landed
 
     # -- execution ------------------------------------------------------------
 

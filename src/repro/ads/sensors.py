@@ -17,6 +17,20 @@ from .messages import Detection, GpsFix, ImuSample, SensorBundle
 
 
 @dataclass(frozen=True)
+class SensorSnapshot:
+    """Mutable sensor-suite state: RNG stream position + accel memory.
+
+    ``rng_state`` is the bit generator's state dict; restoring it makes
+    every subsequent noise draw bit-identical to the run the snapshot
+    was taken from.
+    """
+
+    rng_state: dict
+    last_speed: float | None
+    last_time: float | None
+
+
+@dataclass(frozen=True)
 class SensorSuiteConfig:
     """Noise and coverage parameters of the ego sensor set."""
 
@@ -47,6 +61,18 @@ class SensorSuite:
         self.rng = rng or np.random.default_rng(0)
         self._last_speed: float | None = None
         self._last_time: float | None = None
+
+    def snapshot(self) -> SensorSnapshot:
+        """Capture the RNG position and the acceleration estimator."""
+        return SensorSnapshot(rng_state=self.rng.bit_generator.state,
+                              last_speed=self._last_speed,
+                              last_time=self._last_time)
+
+    def restore(self, snapshot: SensorSnapshot) -> None:
+        """Rewind the noise stream and estimator memory."""
+        self.rng.bit_generator.state = snapshot.rng_state
+        self._last_speed = snapshot.last_speed
+        self._last_time = snapshot.last_time
 
     def measure(self, world: World) -> SensorBundle:
         """One synchronized snapshot of every sensor."""

@@ -28,6 +28,14 @@ class TrackerConfig:
     enabled: bool = True             # ablation switch: raw detections if off
 
 
+@dataclass(frozen=True)
+class TrackerSnapshot:
+    """Frozen copy of every live Kalman track plus the id counter."""
+
+    tracks: tuple[tuple[int, np.ndarray, np.ndarray, int, int], ...]
+    next_id: int
+
+
 @dataclass
 class _KalmanTrack:
     """Internal filter state for one object: [x, y, vx, vy]."""
@@ -111,6 +119,21 @@ class MultiObjectTracker:
                               vx=float(t.mean[2]), vy=float(t.mean[3]),
                               age=t.age, misses=t.misses)
                 for t in self._tracks if t.age >= self.config.confirm_age]
+
+    def snapshot(self) -> TrackerSnapshot:
+        """Capture all filter states (arrays copied, not aliased)."""
+        return TrackerSnapshot(
+            tracks=tuple((t.track_id, t.mean.copy(), t.covariance.copy(),
+                          t.age, t.misses) for t in self._tracks),
+            next_id=self._next_id)
+
+    def restore(self, snapshot: TrackerSnapshot) -> None:
+        """Rewind to a snapshot (tracks rebuilt from copies)."""
+        self._tracks = [
+            _KalmanTrack(track_id=track_id, mean=mean.copy(),
+                         covariance=covariance.copy(), age=age, misses=misses)
+            for track_id, mean, covariance, age, misses in snapshot.tracks]
+        self._next_id = snapshot.next_id
 
     def reset(self) -> None:
         """Drop all tracks (new scenario)."""

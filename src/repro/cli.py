@@ -31,11 +31,22 @@ def _build_parser() -> argparse.ArgumentParser:
         description="DriveFI reproduction: Bayesian fault injection")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("golden", help="fault-free runs and safety margins")
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument("--cache-dir", default=None,
+                       help="directory for incremental-campaign caches "
+                            "(golden traces, mined candidates)")
+    cache.add_argument("--no-checkpoints", action="store_true",
+                       help="validate by full replay from tick 0 "
+                            "(the reference oracle) instead of "
+                            "checkpoint resume")
+
+    sub.add_parser("golden", parents=[cache],
+                   help="fault-free runs and safety margins")
 
     workers_help = "processes for experiment validation (default serial)"
 
-    random_cmd = sub.add_parser("random", help="random output corruption")
+    random_cmd = sub.add_parser("random", parents=[cache],
+                                help="random output corruption")
     random_cmd.add_argument("-n", type=int, default=100,
                             help="number of experiments")
     random_cmd.add_argument("--seed", type=int, default=0)
@@ -43,14 +54,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             help=workers_help)
     random_cmd.add_argument("--save", help="write records to a JSON file")
 
-    arch_cmd = sub.add_parser("arch", help="random architectural faults")
+    arch_cmd = sub.add_parser("arch", parents=[cache],
+                              help="random architectural faults")
     arch_cmd.add_argument("-n", type=int, default=200,
                           help="number of register flips")
     arch_cmd.add_argument("--seed", type=int, default=0)
     arch_cmd.add_argument("--workers", type=int, default=None,
                           help=workers_help)
 
-    bayes_cmd = sub.add_parser("bayesian", help="mine + validate F_crit")
+    bayes_cmd = sub.add_parser("bayesian", parents=[cache],
+                               help="mine + validate F_crit")
     bayes_cmd.add_argument("--top-k", type=int, default=None,
                            help="validate only the k most critical")
     bayes_cmd.add_argument("--threshold", type=float, default=0.0,
@@ -62,7 +75,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            help=workers_help)
     bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
 
-    grid_cmd = sub.add_parser("exhaustive", help="min/max grid sample")
+    grid_cmd = sub.add_parser("exhaustive", parents=[cache],
+                              help="min/max grid sample")
     grid_cmd.add_argument("--stride", type=int, default=25,
                           help="planner ticks between injections")
     grid_cmd.add_argument("--max", type=int, default=None,
@@ -71,7 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=workers_help)
     grid_cmd.add_argument("--save", help="write records to a JSON file")
 
-    inject_cmd = sub.add_parser("inject", help="one specific fault")
+    inject_cmd = sub.add_parser("inject", parents=[cache],
+                                help="one specific fault")
     inject_cmd.add_argument("scenario")
     inject_cmd.add_argument("variable")
     inject_cmd.add_argument("value", type=float)
@@ -105,7 +120,10 @@ def _print_summary(summary, label: str) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    campaign = Campaign(config=CampaignConfig())
+    config = CampaignConfig(
+        use_checkpoints=not getattr(args, "no_checkpoints", False))
+    campaign = Campaign(config=config,
+                        cache_dir=getattr(args, "cache_dir", None))
 
     if args.command == "golden":
         _print_golden(campaign)

@@ -7,6 +7,7 @@ from .bayesian_fi import (BN_VARIABLES, KINEMATIC_NODES, MINED_VARIABLES,
                           CandidateFault, MinedVariable, MiningReport,
                           SceneRow, ads_dbn_template, scene_rows_from_trace)
 from .campaign import (BayesianCampaignResult, Campaign, CampaignConfig)
+from .checkpoint import Checkpoint, CheckpointStore
 from .parallel import execute_experiment, run_experiments
 from .fault_models import (DEFAULT_VARIABLES, KERNEL_VARIABLE_MAP,
                            ArchFaultOutcome, ArchitecturalFaultModel,
@@ -17,7 +18,8 @@ from .safety import (SafetyConfig, SafetyPotential, StoppingDisplacement,
                      longitudinal_envelope, safety_potential,
                      steering_excursion, stopping_displacement,
                      world_safety_potential)
-from .simulate import TRACE_COLUMNS, FaultSpec, RunResult, run_scenario
+from .simulate import (TRACE_COLUMNS, FaultSpec, RunResult, run_scenario,
+                       run_scenario_from_checkpoint)
 
 __all__ = [
     "SafetyConfig",
@@ -35,6 +37,9 @@ __all__ = [
     "FaultSpec",
     "RunResult",
     "run_scenario",
+    "run_scenario_from_checkpoint",
+    "Checkpoint",
+    "CheckpointStore",
     "TRACE_COLUMNS",
     "minmax_fault_grid",
     "random_fault",

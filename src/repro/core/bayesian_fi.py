@@ -268,6 +268,8 @@ class BayesianFaultInjector:
         #: node -> (query order, gain, offset) of the actuation posterior.
         self._affines: dict[str, tuple[list[str], np.ndarray,
                                        np.ndarray]] = {}
+        #: node set -> stacked scene-gain matrix + per-node splits.
+        self._stacked: dict[tuple[str, ...], tuple] = {}
 
     # -- training -----------------------------------------------------------
 
@@ -510,6 +512,38 @@ class BayesianFaultInjector:
             self._affines[node] = cached
         return cached
 
+    def _stacked_affine(self, nodes: tuple[str, ...]) -> tuple:
+        """Fused affine maps: every node's scene-gain block in one matrix.
+
+        The evidence of each node's affine map splits into the shared
+        slice-0 scene vector and the node's own intervention value (fed
+        to both ``node@1`` and ``node@2``); stacking the scene-gain
+        blocks of all nodes lets a single ``scene_matrix @ stack.T``
+        matmul compute every node's scene-dependent posterior term at
+        once (the ROADMAP "batch multiple nodes' matmuls" item).
+        Returns ``(stacked_gain, per_node)`` where ``per_node`` maps node
+        -> (query order, column slice into the stack, value gain,
+        offset).
+        """
+        key = tuple(nodes)
+        cached = self._stacked.get(key)
+        if cached is None:
+            blocks = []
+            per_node: dict[str, tuple] = {}
+            start = 0
+            for node in key:
+                query, gain, offset = self._affine_for(node)
+                scene_gain = gain[:, :len(BN_VARIABLES)]
+                value_gain = gain[:, -2] + gain[:, -1]
+                blocks.append(scene_gain)
+                per_node[node] = (query,
+                                  slice(start, start + len(query)),
+                                  value_gain, offset)
+                start += len(query)
+            cached = (np.vstack(blocks), per_node)
+            self._stacked[key] = cached
+        return cached
+
     def _step_batch(self, cpd, columns: Mapping[str, np.ndarray]
                     ) -> np.ndarray:
         """Vectorized :meth:`_step`: a slice-1 CPD mean over column arrays."""
@@ -558,22 +592,30 @@ class BayesianFaultInjector:
 
     def _score_candidates(self, cols: Mapping[str, np.ndarray],
                           node: str, node_values: np.ndarray,
-                          recovery: float
-                          ) -> tuple[np.ndarray, np.ndarray]:
+                          recovery: float,
+                          posterior: tuple[list[str], np.ndarray] | None
+                          = None) -> tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`predicted_potential` over aligned candidate arrays.
 
         ``cols`` holds the scene columns (one row per candidate) and
         ``node_values`` the already-transformed BN intervention values.
-        Returns ``(delta_long, delta_lat)`` arrays.
+        ``posterior`` optionally supplies the actuation-posterior means
+        as ``(query order, estimate matrix)`` — the fused miner computes
+        those for every node with one stacked matmul; when absent the
+        per-node affine map is applied here.  Returns ``(delta_long,
+        delta_lat)`` arrays.
         """
         n = len(node_values)
-        query, gain, offset = self._affine_for(node)
-        evidence = np.empty((n, len(BN_VARIABLES) + 2))
-        for j, name in enumerate(BN_VARIABLES):
-            evidence[:, j] = cols[name]
-        evidence[:, -2] = node_values
-        evidence[:, -1] = node_values
-        estimate = evidence @ gain.T + offset
+        if posterior is None:
+            query, gain, offset = self._affine_for(node)
+            evidence = np.empty((n, len(BN_VARIABLES) + 2))
+            for j, name in enumerate(BN_VARIABLES):
+                evidence[:, j] = cols[name]
+            evidence[:, -2] = node_values
+            evidence[:, -1] = node_values
+            estimate = evidence @ gain.T + offset
+        else:
+            query, estimate = posterior
         column_of = {name: i for i, name in enumerate(query)}
 
         actuation: dict[int, dict[str, np.ndarray]] = {1: {}, 2: {}}
@@ -662,15 +704,20 @@ class BayesianFaultInjector:
     def mine_critical_faults_batched(
             self, scenes: list[SceneRow],
             variables: tuple[str, ...] = MINED_VARIABLES,
-            threshold: float = 0.0, top_k: int | None = None
+            threshold: float = 0.0, top_k: int | None = None,
+            fuse_nodes: bool = True
             ) -> tuple[list[CandidateFault], MiningReport]:
         """Vectorized :meth:`mine_critical_faults` (the production path).
 
         Scores all scenes x corruption values of each BN node with one
         affine matmul plus a vectorized kinematic rollout, instead of one
-        full Gaussian conditioning per candidate.  Reproduces the scalar
-        oracle's ``F_crit`` and predicted potentials to float round-off
-        (see the equivalence suite), candidate order included.
+        full Gaussian conditioning per candidate.  With ``fuse_nodes``
+        (the default) the per-node matmuls collapse further into a single
+        stacked matmul over every node's scene-gain block (see
+        :meth:`_stacked_affine`); ``False`` keeps one matmul per node.
+        Both reproduce the scalar oracle's ``F_crit`` and predicted
+        potentials to float round-off (see the equivalence suite),
+        candidate order included.
         """
         report = MiningReport(n_scenes=len(scenes))
         start = time.perf_counter()
@@ -678,6 +725,18 @@ class BayesianFaultInjector:
         safe = [scene for scene in scenes if scene.observed_safe]
         if safe:
             batch = _SceneBatch(safe)
+            per_node = None
+            scene_base = None
+            if fuse_nodes:
+                nodes = tuple(dict.fromkeys(
+                    NODE_MAPPING[v].node for v in variables))
+                stacked_gain, per_node = self._stacked_affine(nodes)
+                scene_matrix = np.column_stack(
+                    [batch.cols[name] for name in BN_VARIABLES])
+                # One matmul covers the scene-dependent posterior term of
+                # every mined node; per-variable scoring below only adds
+                # the rank-1 intervention-value term.
+                scene_base = scene_matrix @ stacked_gain.T
             combos: list[tuple[str, float, np.ndarray, np.ndarray]] = []
             for variable in variables:
                 mapping = NODE_MAPPING[variable]
@@ -688,9 +747,18 @@ class BayesianFaultInjector:
                     transform(batch.cols,
                               np.full(batch.n, value, dtype=float))
                     for value in values])
+                posterior = None
+                if per_node is not None:
+                    query, columns, value_gain, offset = \
+                        per_node[mapping.node]
+                    estimate = (np.tile(scene_base[:, columns],
+                                        (len(values), 1))
+                                + node_values[:, None] * value_gain
+                                + offset)
+                    posterior = (query, estimate)
                 delta_long, delta_lat = self._score_candidates(
                     batch.tiled(len(values)), mapping.node, node_values,
-                    mapping.recovery)
+                    mapping.recovery, posterior=posterior)
                 for k, value in enumerate(values):
                     block = slice(k * batch.n, (k + 1) * batch.n)
                     combos.append((variable, value, delta_long[block],

@@ -8,8 +8,10 @@ that comparison *is* the paper's headline result.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -19,6 +21,7 @@ from ..sim.scenario import Scenario, default_scenarios
 from .bayesian_fi import (MINED_VARIABLES, BayesianFaultInjector,
                           CandidateFault, MiningReport, SceneRow,
                           scene_rows_from_trace)
+from .checkpoint import CheckpointStore
 from .fault_models import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
 from .parallel import ExperimentJob, execute_experiment, run_experiments
@@ -41,31 +44,155 @@ class CampaignConfig:
     injection_window_start: float = 2.0    # s: skip the startup transient
     injection_window_margin: float = 9.0   # s kept free at scenario end
     seed: int = 0
+    #: Validation forks every experiment from a golden-prefix checkpoint
+    #: (False keeps full replay from tick 0 as the reference oracle).
+    use_checkpoints: bool = True
+    #: Capture a snapshot every Nth eligible injection tick.  Faults at
+    #: uncaptured ticks resume from the nearest earlier snapshot and
+    #: replay the short fault-free gap.
+    checkpoint_stride: int = 1
 
 
 class Campaign:
-    """Runs fault-injection campaigns over a scenario set."""
+    """Runs fault-injection campaigns over a scenario set.
+
+    ``cache_dir`` enables incremental campaigns: golden traces and mined
+    candidates are persisted there, keyed by a fingerprint of the
+    configuration and scenario set, and re-used on the next run instead
+    of being recomputed.
+    """
 
     def __init__(self, scenarios: list[Scenario] | None = None,
-                 config: CampaignConfig | None = None):
+                 config: CampaignConfig | None = None,
+                 cache_dir: str | Path | None = None):
         self.scenarios = scenarios or default_scenarios()
         self.config = config or CampaignConfig()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.checkpoints = CheckpointStore()
         self._by_name = {s.name: s for s in self.scenarios}
         self._golden: dict[str, RunResult] | None = None
-        self._ticks: dict[tuple[str, int], list[int]] = {}
+        self._ticks: dict[tuple[str, float, int], list[int]] = {}
 
     # -- golden runs -----------------------------------------------------------
 
     def golden_runs(self) -> dict[str, RunResult]:
-        """Fault-free reference runs (cached)."""
+        """Fault-free reference runs (cached, warm-started from disk).
+
+        When the campaign simulates them itself it also captures the
+        per-scenario checkpoint ladders validation resumes from; traces
+        loaded from ``cache_dir`` skip that, and checkpoints are then
+        rebuilt lazily per scenario the first time jobs need them.
+        """
         if self._golden is None:
-            self._golden = {
-                scenario.name: run_scenario(
-                    scenario, ads_config=self.config.ads,
-                    seed=self.config.seed,
-                    safety_config=self.config.safety, record_trace=True)
-                for scenario in self.scenarios}
+            loaded = self._load_golden_cache()
+            if loaded is not None:
+                self._golden = loaded
+            else:
+                self._golden = {}
+                for scenario in self.scenarios:
+                    run = run_scenario(
+                        scenario, ads_config=self.config.ads,
+                        seed=self.config.seed,
+                        safety_config=self.config.safety, record_trace=True,
+                        checkpoint_ticks=(
+                            self._capture_ticks(scenario)
+                            if self.config.use_checkpoints
+                            and not self.checkpoints.has_scenario(
+                                scenario.name) else None))
+                    if run.checkpoints:
+                        self.checkpoints.add_all(run.checkpoints)
+                    self._golden[scenario.name] = run
+                self._save_golden_cache()
         return self._golden
+
+    # -- checkpoint ladders ----------------------------------------------------
+
+    def _capture_ticks(self, scenario: Scenario) -> list[int]:
+        """Planner ticks to snapshot: the eligible injection ticks, strided.
+
+        Derived from the schedule (not the golden trace, which may not
+        exist yet): planner ticks inside the injection window.  A tick
+        the run never reaches is simply not captured.
+        """
+        dt = self.config.ads.control_period
+        divisor = self.config.ads.planner_divisor
+        n_ticks = int(round(scenario.duration / dt))
+        eligible = [t for t in range(0, n_ticks, divisor)
+                    if self._in_window(t, scenario.duration)]
+        return eligible[::max(1, self.config.checkpoint_stride)]
+
+    def _ensure_checkpoints(self, scenario_names) -> None:
+        """Re-capture checkpoint ladders missing from the store.
+
+        Needed when golden traces were warm-started from disk (snapshots
+        are never persisted — they are cheap to regenerate): one extra
+        fault-free run per scenario actually being validated.  Capture
+        ticks derive from the schedule, not the golden trace, so this
+        deliberately does not force ``golden_runs()`` — a single
+        ``run_fault`` costs one prefix run, not a full golden sweep.
+        """
+        for name in sorted(set(scenario_names)):
+            if self.checkpoints.has_scenario(name):
+                continue
+            scenario = self._by_name[name]
+            run = run_scenario(
+                scenario, ads_config=self.config.ads, seed=self.config.seed,
+                safety_config=self.config.safety, record_trace=False,
+                checkpoint_ticks=self._capture_ticks(scenario))
+            if run.checkpoints:
+                self.checkpoints.add_all(run.checkpoints)
+
+    # -- incremental-campaign cache --------------------------------------------
+
+    @staticmethod
+    def _scenario_key(scenario: Scenario) -> tuple:
+        """Cache identity of one scenario: name, duration, and build.
+
+        The builder is a closure, so its parametrization (ego speed,
+        gaps, script timings) lives in the code object and the closure
+        cells; both are digested.  A cell whose ``repr`` is not
+        deterministic across processes (e.g. it embeds an object
+        address) makes the fingerprint never match — a cache miss, the
+        safe failure direction.
+        """
+        build = scenario.build
+        code = getattr(build, "__code__", None)
+        cells = getattr(build, "__closure__", None) or ()
+        return (scenario.name, scenario.duration,
+                hashlib.sha256(code.co_code).hexdigest()[:12]
+                if code is not None else "",
+                tuple(repr(cell.cell_contents) for cell in cells))
+
+    def _fingerprint(self) -> str:
+        from .persistence import config_fingerprint
+        return config_fingerprint(
+            self.config.ads, self.config.safety, self.config.seed,
+            (self._scenario_key(s) for s in self.scenarios))
+
+    def _golden_cache_path(self) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"golden-{self._fingerprint()}.json"
+
+    def _load_golden_cache(self) -> dict[str, RunResult] | None:
+        path = self._golden_cache_path()
+        if path is None:
+            return None
+        from .persistence import load_golden_traces
+        runs = load_golden_traces(path, self._fingerprint())
+        if runs is None or any(s.name not in runs for s in self.scenarios):
+            return None
+        return {s.name: runs[s.name] for s in self.scenarios}
+
+    def _save_golden_cache(self) -> None:
+        # Reached only when the cache missed (or was corrupt/stale), so
+        # writing unconditionally also self-heals a bad file.
+        path = self._golden_cache_path()
+        if path is None:
+            return
+        from .persistence import save_golden_traces
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_golden_traces(self._golden, path, self._fingerprint())
 
     def scene_rows(self) -> list[SceneRow]:
         """Scene population for mining: all golden planner instants."""
@@ -113,14 +240,27 @@ class Campaign:
     def run_fault(self, scenario_name: str,
                   fault: FaultSpec) -> ExperimentRecord:
         """Execute one injection experiment and record the outcome."""
+        checkpoints = None
+        if self.config.use_checkpoints:
+            self._ensure_checkpoints([scenario_name])
+            checkpoints = self.checkpoints
         return execute_experiment(self._by_name[scenario_name],
-                                  self.config, fault)
+                                  self.config, fault, checkpoints)
 
     def _run_jobs(self, jobs: list[ExperimentJob],
                   workers: int | None) -> list[ExperimentRecord]:
-        """Execute jobs serially or over the process pool, in job order."""
+        """Execute jobs serially or over the process pool, in job order.
+
+        With checkpoints enabled, the store is materialized first so
+        pool workers inherit it through ``fork`` and every job resumes
+        from its scenario's golden prefix.
+        """
+        checkpoints = None
+        if self.config.use_checkpoints and jobs:
+            self._ensure_checkpoints(name for name, _ in jobs)
+            checkpoints = self.checkpoints
         return run_experiments(self.scenarios, self.config, jobs,
-                               workers=workers)
+                               workers=workers, checkpoints=checkpoints)
 
     # -- campaigns -----------------------------------------------------------------
 
@@ -140,11 +280,23 @@ class Campaign:
         jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
-            ticks = self.injection_ticks(self._by_name[scenario_name])
+            ticks = self._require_injection_ticks(scenario_name)
             fault = random_fault(
                 rng, ticks, duration_ticks=self.config.fault_duration_ticks)
             jobs.append((scenario_name, fault))
         return CampaignSummary(records=self._run_jobs(jobs, workers))
+
+    def _require_injection_ticks(self, scenario_name: str) -> list[int]:
+        """Eligible ticks of a scenario, with a clear error when empty."""
+        ticks = self.injection_ticks(self._by_name[scenario_name])
+        if not ticks:
+            config = self.config
+            raise ValueError(
+                f"scenario {scenario_name!r} has no eligible injection "
+                f"ticks: its duration leaves no planner tick between the "
+                f"{config.injection_window_start} s startup transient and "
+                f"the {config.injection_window_margin} s end margin")
+        return ticks
 
     def exhaustive_campaign(self, tick_stride: int = 10,
                             variable_names: list[str] | None = None,
@@ -192,7 +344,7 @@ class Campaign:
         jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
-            ticks = self.injection_ticks(self._by_name[scenario_name])
+            ticks = self._require_injection_ticks(scenario_name)
             arch = model.sample(
                 rng, ticks, duration_ticks=self.config.fault_duration_ticks)
             outcome_counts[arch.outcome.value] += 1
@@ -216,18 +368,46 @@ class Campaign:
         is 82% rather than 100%.  Mining uses the batched affine engine
         by default (``use_batched=False`` falls back to the scalar
         reference path); validation fans over ``workers`` processes.
+        With a ``cache_dir``, mined candidates are warm-started from
+        disk when the same mining parameters were run before (only when
+        no explicit ``injector`` is passed — a caller-supplied model
+        invalidates the cache key).
         """
         train_start = time.perf_counter()
+        caching = injector is None and self.cache_dir is not None
         if injector is None:
             injector = BayesianFaultInjector.train(
                 list(self.golden_runs().values()),
                 safety_config=self.config.safety)
         train_seconds = time.perf_counter() - train_start
-        mine = (injector.mine_critical_faults_batched if use_batched
-                else injector.mine_critical_faults)
-        candidates, mining = mine(
-            self.scene_rows(), variables=variables, threshold=threshold,
-            top_k=top_k)
+        candidates = mining = None
+        cache_path = (self._candidate_cache_path(variables, threshold,
+                                                 top_k) if caching else None)
+        if cache_path is not None and cache_path.exists():
+            from ..ads.variables import variable_by_name
+            from .persistence import load_candidates
+            candidates = load_candidates(cache_path)
+            # Reconstruct the cost accounting a fresh mining pass would
+            # report: every safe scene is scored once per corruption
+            # value of every variable.  Only wall_seconds stays 0 — the
+            # honest cost of a cache hit.
+            scenes = self.scene_rows()
+            safe = sum(1 for scene in scenes if scene.observed_safe)
+            per_scene = sum(len(variable_by_name(v).corruption_values())
+                            for v in variables)
+            mining = MiningReport(n_scenes=len(scenes),
+                                  n_scored=safe * per_scene,
+                                  n_critical=len(candidates))
+        if candidates is None:
+            mine = (injector.mine_critical_faults_batched if use_batched
+                    else injector.mine_critical_faults)
+            candidates, mining = mine(
+                self.scene_rows(), variables=variables, threshold=threshold,
+                top_k=top_k)
+            if cache_path is not None:
+                from .persistence import save_candidates
+                cache_path.parent.mkdir(parents=True, exist_ok=True)
+                save_candidates(candidates, cache_path)
         jobs: list[ExperimentJob] = [
             (candidate.scenario,
              candidate.to_fault_spec(
@@ -237,6 +417,17 @@ class Campaign:
         return BayesianCampaignResult(
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)
+
+    def _candidate_cache_path(self, variables, threshold,
+                              top_k) -> Path | None:
+        """Cache file for mined candidates under these mining parameters."""
+        if self.cache_dir is None:
+            return None
+        key = hashlib.sha256(repr(
+            (tuple(variables), float(threshold), top_k)
+        ).encode("utf-8")).hexdigest()[:12]
+        return (self.cache_dir
+                / f"candidates-{self._fingerprint()}-{key}.json")
 
 
 @dataclass

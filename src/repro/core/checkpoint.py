@@ -1,0 +1,90 @@
+"""Checkpoint-resume support for the experiment engine.
+
+Every injection experiment shares a bit-identical fault-free prefix with
+the golden run of its scenario (the stack is deterministic given the
+seed, and armed faults are inert before their start tick).  Capturing
+the joint (world, pipeline) state at the eligible injection ticks of the
+golden run lets validation fork each experiment from its prefix instead
+of re-simulating from tick 0 — the snapshot-and-fork trick DriveFI/AVFI
+use to inject into a *running* stack.
+
+A :class:`Checkpoint` is picklable, so stores survive process-pool fan
+out (workers inherit them through ``fork``) and could be shipped across
+hosts.  :class:`CheckpointStore` resolves an injection tick to the
+nearest checkpoint at or before it, which is what makes sparse capture
+strides safe: the resumed run simply replays the short gap fault-free
+before the fault window opens.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..ads.runtime import PipelineSnapshot
+from ..sim.world import WorldSnapshot
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Joint world + ADS state immediately *before* executing ``tick``.
+
+    Resuming means restoring both snapshots into freshly built objects
+    and running the loop from ``tick`` onward; the result is bit-for-bit
+    the suffix of a full replay with the same seed.
+    """
+
+    scenario: str
+    seed: int
+    tick: int
+    world: WorldSnapshot
+    pipeline: PipelineSnapshot
+
+
+class CheckpointStore:
+    """Checkpoints of one campaign's golden runs, indexed for resume."""
+
+    def __init__(self):
+        self._by_scenario: dict[str, dict[int, Checkpoint]] = {}
+        self._sorted_ticks: dict[str, list[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(ticks) for ticks in self._by_scenario.values())
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        """Register one checkpoint (replaces any previous one at its tick)."""
+        per_scenario = self._by_scenario.setdefault(checkpoint.scenario, {})
+        per_scenario[checkpoint.tick] = checkpoint
+        self._sorted_ticks.pop(checkpoint.scenario, None)
+
+    def add_all(self, checkpoints) -> None:
+        """Register an iterable (or tick-keyed mapping) of checkpoints."""
+        values = (checkpoints.values() if isinstance(checkpoints, dict)
+                  else checkpoints)
+        for checkpoint in values:
+            self.add(checkpoint)
+
+    def ticks(self, scenario: str) -> list[int]:
+        """Captured ticks of a scenario, ascending."""
+        cached = self._sorted_ticks.get(scenario)
+        if cached is None:
+            cached = sorted(self._by_scenario.get(scenario, ()))
+            self._sorted_ticks[scenario] = cached
+        return cached
+
+    def has_scenario(self, scenario: str) -> bool:
+        """True when at least one checkpoint of the scenario is stored."""
+        return bool(self._by_scenario.get(scenario))
+
+    def nearest(self, scenario: str, tick: int) -> Checkpoint | None:
+        """The latest checkpoint at or before ``tick`` (None if absent).
+
+        This is the stride fallback: a fault at an uncaptured tick
+        resumes from the nearest earlier snapshot and replays the short
+        fault-free gap.
+        """
+        ticks = self.ticks(scenario)
+        index = bisect_right(ticks, tick)
+        if index == 0:
+            return None
+        return self._by_scenario[scenario][ticks[index - 1]]

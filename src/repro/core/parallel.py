@@ -7,10 +7,16 @@ preserving the submission order of the returned records, so a parallel
 campaign is record-for-record identical to a serial one (wall-clock
 fields aside).
 
+Jobs are executed grouped by scenario (records still return in job
+order): grouping keeps a worker's chunk on one scenario's checkpoints,
+which is cache-friendly, and it is free because experiments are
+independent.
+
 Scenario builders are closures, which do not pickle; workers therefore
-require the ``fork`` start method (they inherit the scenario objects
-through the forked address space).  On platforms without ``fork`` the
-executor silently falls back to serial in-process execution.
+require the ``fork`` start method (they inherit the scenario objects —
+and the checkpoint store — through the forked address space).  On
+platforms without ``fork`` the executor silently falls back to serial
+in-process execution.
 """
 
 from __future__ import annotations
@@ -20,8 +26,10 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from ..sim.scenario import Scenario
+from .checkpoint import CheckpointStore
 from .results import ExperimentRecord
-from .simulate import FaultSpec, run_scenario
+from .simulate import (FaultSpec, RunResult, run_scenario,
+                       run_scenario_from_checkpoint)
 
 if TYPE_CHECKING:  # avoid a circular import with .campaign
     from .campaign import CampaignConfig
@@ -30,25 +38,14 @@ if TYPE_CHECKING:  # avoid a circular import with .campaign
 ExperimentJob = tuple[str, FaultSpec]
 
 #: Worker-process state installed by the pool initializer.
-_WORKER_STATE: tuple[dict[str, Scenario], "CampaignConfig"] | None = None
+_WORKER_STATE: tuple[dict[str, Scenario], "CampaignConfig",
+                     CheckpointStore | None] | None = None
 
 
-def execute_experiment(scenario: Scenario, config: "CampaignConfig",
-                       fault: FaultSpec) -> ExperimentRecord:
-    """Run one injection experiment and record the outcome.
-
-    The single source of truth for experiment execution: both the serial
-    path (:meth:`repro.core.campaign.Campaign.run_fault`) and the pool
-    workers call this, which is what makes parallel and serial campaigns
-    produce identical records.
-    """
-    result = run_scenario(
-        scenario, ads_config=config.ads, seed=config.seed,
-        faults=[fault], safety_config=config.safety,
-        horizon_after_fault=config.horizon_after_fault,
-        record_trace=False)
+def _to_record(result: RunResult, scenario_name: str, fault: FaultSpec,
+               config: "CampaignConfig") -> ExperimentRecord:
     return ExperimentRecord(
-        scenario=scenario.name, injection_tick=fault.start_tick,
+        scenario=scenario_name, injection_tick=fault.start_tick,
         variable=fault.variable, value=fault.value,
         duration_ticks=fault.duration_ticks, seed=config.seed,
         hazard=result.hazard, landed=result.landed,
@@ -60,17 +57,52 @@ def execute_experiment(scenario: Scenario, config: "CampaignConfig",
         wall_seconds=result.wall_seconds)
 
 
-def _init_worker(scenarios: list[Scenario],
-                 config: "CampaignConfig") -> None:
+def execute_experiment(scenario: Scenario, config: "CampaignConfig",
+                       fault: FaultSpec,
+                       checkpoints: CheckpointStore | None = None
+                       ) -> ExperimentRecord:
+    """Run one injection experiment and record the outcome.
+
+    The single source of truth for experiment execution: both the serial
+    path (:meth:`repro.core.campaign.Campaign.run_fault`) and the pool
+    workers call this, which is what makes parallel and serial campaigns
+    produce identical records.
+
+    With a ``checkpoints`` store the run forks from the nearest golden
+    snapshot at or before the fault tick, simulating only the fault
+    window plus the post-fault horizon; without one (or when the store
+    has no usable snapshot) it falls back to full replay from tick 0 —
+    the reference oracle.
+    """
+    checkpoint = (checkpoints.nearest(scenario.name, fault.start_tick)
+                  if checkpoints is not None else None)
+    if checkpoint is not None and checkpoint.seed == config.seed:
+        result = run_scenario_from_checkpoint(
+            scenario, checkpoint, ads_config=config.ads, faults=[fault],
+            safety_config=config.safety,
+            horizon_after_fault=config.horizon_after_fault,
+            record_trace=False)
+    else:
+        result = run_scenario(
+            scenario, ads_config=config.ads, seed=config.seed,
+            faults=[fault], safety_config=config.safety,
+            horizon_after_fault=config.horizon_after_fault,
+            record_trace=False)
+    return _to_record(result, scenario.name, fault, config)
+
+
+def _init_worker(scenarios: list[Scenario], config: "CampaignConfig",
+                 checkpoints: CheckpointStore | None = None) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = ({s.name: s for s in scenarios}, config)
+    _WORKER_STATE = ({s.name: s for s in scenarios}, config, checkpoints)
 
 
 def _run_job(job: ExperimentJob) -> ExperimentRecord:
     assert _WORKER_STATE is not None, "worker pool not initialized"
-    by_name, config = _WORKER_STATE
+    by_name, config, checkpoints = _WORKER_STATE
     scenario_name, fault = job
-    return execute_experiment(by_name[scenario_name], config, fault)
+    return execute_experiment(by_name[scenario_name], config, fault,
+                              checkpoints)
 
 
 def _fork_context() -> multiprocessing.context.BaseContext | None:
@@ -81,23 +113,39 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
 
 def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
                     jobs: list[ExperimentJob],
-                    workers: int | None = None) -> list[ExperimentRecord]:
+                    workers: int | None = None,
+                    checkpoints: CheckpointStore | None = None
+                    ) -> list[ExperimentRecord]:
     """Execute ``jobs``, optionally across ``workers`` processes.
 
     Results come back in job order regardless of completion order.
     ``workers`` of ``None``, 0, or 1 runs serially in-process; larger
-    values fan out over a process pool (capped at the job count).
+    values fan out over a process pool (capped at the job count).  A
+    ``checkpoints`` store switches every job to checkpoint resume (see
+    :func:`execute_experiment`); workers inherit the store through the
+    forked address space, so nothing is pickled per job.
     """
     if not jobs:
         return []
+    # Group same-scenario jobs into contiguous runs (stable, so records
+    # can be scattered back into submission order afterwards).
+    order = sorted(range(len(jobs)), key=lambda i: jobs[i][0])
+    grouped = [jobs[i] for i in order]
     context = _fork_context() if workers and workers > 1 else None
     if context is None:
         by_name = {s.name: s for s in scenarios}
-        return [execute_experiment(by_name[name], config, fault)
-                for name, fault in jobs]
-    workers = min(workers, len(jobs))
-    chunksize = max(1, len(jobs) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                             initializer=_init_worker,
-                             initargs=(scenarios, config)) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=chunksize))
+        outputs = [execute_experiment(by_name[name], config, fault,
+                                      checkpoints)
+                   for name, fault in grouped]
+    else:
+        workers = min(workers, len(jobs))
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                                 initializer=_init_worker,
+                                 initargs=(scenarios, config,
+                                           checkpoints)) as pool:
+            outputs = list(pool.map(_run_job, grouped, chunksize=chunksize))
+    records: list[ExperimentRecord | None] = [None] * len(jobs)
+    for slot, record in zip(order, outputs):
+        records[slot] = record
+    return records

@@ -3,15 +3,23 @@
 Campaigns can take minutes; records are cheap to store and replay.
 Everything needed to reproduce an experiment (scenario, tick, variable,
 value, duration, seed) plus its outcome round-trips through JSON.
+
+Golden traces persist too (:func:`save_golden_traces`), keyed by a
+fingerprint of everything that determines them — ADS and safety
+configuration, seed, and the scenario set — so incremental campaigns can
+warm-start training and mining from disk instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
+from ..sim.trace import Trace
 from .bayesian_fi import CandidateFault
 from .results import CampaignSummary, ExperimentRecord, Hazard
+from .simulate import RunResult
 
 
 def record_to_dict(record: ExperimentRecord) -> dict:
@@ -71,6 +79,81 @@ def candidate_to_dict(candidate: CandidateFault) -> dict:
 def candidate_from_dict(data: dict) -> CandidateFault:
     """Inverse of :func:`candidate_to_dict`."""
     return CandidateFault(**data)
+
+
+def config_fingerprint(ads_config, safety_config, seed: int,
+                       scenario_key) -> str:
+    """Deterministic digest of everything that shapes a golden trace.
+
+    ``scenario_key`` is an iterable of per-scenario identity tuples
+    (name, duration, and — as supplied by the caller — a digest of the
+    build parametrization; see ``Campaign._scenario_key``).  The configs
+    are frozen dataclasses whose ``repr`` is canonical, so the digest is
+    stable across processes; any parameter change invalidates cached
+    traces, which is exactly the safe failure mode.
+    """
+    payload = repr((ads_config, safety_config, int(seed),
+                    tuple(scenario_key)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def run_result_to_dict(run: RunResult) -> dict:
+    """Flatten one golden run (trace included) to JSON-safe types.
+
+    Checkpoints are deliberately not persisted: they embed live RNG and
+    filter state that is cheap to regenerate and expensive to store.
+    """
+    arrays = run.trace.as_arrays()
+    return {
+        "scenario": run.scenario,
+        "seed": run.seed,
+        "hazard": run.hazard.value,
+        "collided": run.collided,
+        "went_off_road": run.went_off_road,
+        "min_delta_long": run.min_delta_long,
+        "min_delta_lat": run.min_delta_lat,
+        "pre_delta_long": run.pre_delta_long,
+        "pre_delta_lat": run.pre_delta_lat,
+        "landed": run.landed,
+        "sim_seconds": run.sim_seconds,
+        "wall_seconds": run.wall_seconds,
+        "trace": {name: array.tolist() for name, array in arrays.items()},
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    fields = dict(data)
+    fields["hazard"] = Hazard(fields["hazard"])
+    fields["trace"] = Trace.from_columns(fields["trace"])
+    return RunResult(**fields)
+
+
+def save_golden_traces(golden: dict[str, RunResult], path: str | Path,
+                       fingerprint: str) -> None:
+    """Write a campaign's golden runs (with traces) to a JSON file."""
+    payload = {
+        "fingerprint": fingerprint,
+        "runs": {name: run_result_to_dict(run)
+                 for name, run in golden.items()},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_golden_traces(path: str | Path,
+                       fingerprint: str) -> dict[str, RunResult] | None:
+    """Read golden runs back; ``None`` on a missing file or stale key."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("fingerprint") != fingerprint:
+        return None
+    return {name: run_result_from_dict(data)
+            for name, data in payload["runs"].items()}
 
 
 def save_candidates(candidates: list[CandidateFault],

@@ -1,7 +1,17 @@
 """Closed-loop execution: world + ADS + optional faults + safety monitor.
 
 This is the experiment engine shared by golden-trace collection, random
-and exhaustive campaigns, and the validation step of Bayesian FI.
+and exhaustive campaigns, and the validation step of Bayesian FI.  Two
+entry points share one tick loop:
+
+* :func:`run_scenario` — cold start from tick 0 (golden runs, and the
+  full-replay reference oracle for injection experiments).  It can
+  capture :class:`~repro.core.checkpoint.Checkpoint` snapshots at
+  requested ticks as it goes.
+* :func:`run_scenario_from_checkpoint` — restore a golden checkpoint,
+  arm the fault, and simulate only the fault window plus the post-fault
+  horizon.  Because the fault-free prefix is bit-identical to the golden
+  run, the resumed suffix reproduces full replay exactly.
 """
 
 from __future__ import annotations
@@ -13,6 +23,8 @@ from ..ads.runtime import ADSConfig, ADSPipeline
 from ..sim.collision import SENSOR_RANGE
 from ..sim.scenario import Scenario
 from ..sim.trace import Trace
+from ..sim.world import World
+from .checkpoint import Checkpoint
 from .results import Hazard
 from .safety import SafetyConfig, world_safety_potential
 
@@ -57,39 +69,36 @@ class RunResult:
     sim_seconds: float
     wall_seconds: float
     faults: list[FaultSpec] = field(default_factory=list)
+    #: Snapshots captured during the run (``checkpoint_ticks`` requests),
+    #: keyed by tick.  ``None`` when capture was not requested.
+    checkpoints: dict[int, Checkpoint] | None = None
 
 
-def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
-                 seed: int = 0, faults: list[FaultSpec] | None = None,
-                 safety_config: SafetyConfig | None = None,
-                 duration: float | None = None,
-                 horizon_after_fault: float | None = 8.0,
-                 record_trace: bool = True) -> RunResult:
-    """Run one scenario under ADS control, with optional fault injection.
-
-    Safety is monitored from the first fault tick onward (or the whole
-    run when fault-free).  The run ends early at a collision, at
-    ``horizon_after_fault`` seconds past the last fault window, or at the
-    scenario duration.
-    """
-    ads_config = ads_config or ADSConfig()
-    safety_config = safety_config or SafetyConfig()
-    faults = list(faults or [])
-    world = scenario.make_world()
-    pipeline = ADSPipeline(ads_config, seed=seed)
-    for fault in faults:
-        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
-                           fault.duration_ticks)
-
-    dt = ads_config.control_period
-    total_seconds = duration if duration is not None else scenario.duration
-    n_ticks = int(round(total_seconds / dt))
+def _fault_schedule(faults: list[FaultSpec],
+                    horizon_after_fault: float | None,
+                    dt: float) -> tuple[int, int | None]:
+    """(monitor_from, stop_after) for a fault list (shared by both paths)."""
     monitor_from = min((f.start_tick for f in faults), default=0)
     stop_after: int | None = None
     if faults and horizon_after_fault is not None:
         last_end = max(f.start_tick + f.duration_ticks for f in faults)
         stop_after = last_end + int(round(horizon_after_fault / dt))
+    return monitor_from, stop_after
 
+
+def _simulate(scenario: Scenario, world: World, pipeline: ADSPipeline,
+              seed: int, faults: list[FaultSpec],
+              safety_config: SafetyConfig, n_ticks: int, start_tick: int,
+              monitor_from: int, stop_after: int | None, record_trace: bool,
+              checkpoint_ticks=None) -> RunResult:
+    """The tick loop shared by cold-start and checkpoint-resumed runs.
+
+    ``start_tick`` is 0 for a cold start, or the checkpoint's tick for a
+    resumed run (state must already be restored by the caller).  Safety
+    is monitored from ``monitor_from`` onward; the ground-truth potential
+    is skipped entirely on earlier ticks unless the trace recorder needs
+    it, which is what makes the fault-free prefix cheap.
+    """
     trace = Trace()
     collided = False
     went_off_road = False
@@ -97,14 +106,30 @@ def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
     min_delta_lat = float("inf")
     pre_delta_long = float("inf")
     pre_delta_lat = float("inf")
+    capture = set(checkpoint_ticks or ())
+    checkpoints: dict[int, Checkpoint] | None = (
+        {} if checkpoint_ticks is not None else None)
     wall_start = time.perf_counter()
 
-    for tick in range(n_ticks):
+    for tick in range(start_tick, n_ticks):
+        if tick in capture:
+            checkpoints[tick] = Checkpoint(
+                scenario=scenario.name, seed=seed, tick=tick,
+                world=world.snapshot(), pipeline=pipeline.snapshot())
         is_planning_tick = pipeline.is_planning_tick
         command = pipeline.tick(world)
-        world.step(command.throttle, command.brake, command.steering, dt)
+        world.step(command.throttle, command.brake, command.steering,
+                   pipeline.config.control_period)
 
-        potential = world_safety_potential(world, safety_config)
+        # The potential is consumed from the first fault tick onward
+        # (plus the trace recorder on planning ticks); before that the
+        # run is provably fault-free, so the RK4 stop integration and
+        # clearance scans are skipped.
+        recording = record_trace and is_planning_tick
+        if tick >= monitor_from or recording:
+            potential = world_safety_potential(world, safety_config)
+        else:
+            potential = None
         if tick == monitor_from:
             pre_delta_long = potential.longitudinal
             pre_delta_lat = potential.lateral
@@ -116,7 +141,7 @@ def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
             if world.off_road():
                 went_off_road = True
 
-        if record_trace and is_planning_tick:
+        if recording:
             plan = pipeline.last_plan
             model = pipeline.last_model
             gap = plan.gap if plan is not None else SENSOR_RANGE
@@ -177,4 +202,90 @@ def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
         min_delta_long=min_delta_long, min_delta_lat=min_delta_lat,
         pre_delta_long=pre_delta_long, pre_delta_lat=pre_delta_lat,
         landed=any(f.landed for f in pipeline.faults),
-        sim_seconds=world.time, wall_seconds=wall_seconds, faults=faults)
+        sim_seconds=world.time, wall_seconds=wall_seconds, faults=faults,
+        checkpoints=checkpoints)
+
+
+def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
+                 seed: int = 0, faults: list[FaultSpec] | None = None,
+                 safety_config: SafetyConfig | None = None,
+                 duration: float | None = None,
+                 horizon_after_fault: float | None = 8.0,
+                 record_trace: bool = True,
+                 checkpoint_ticks=None) -> RunResult:
+    """Run one scenario under ADS control, with optional fault injection.
+
+    Safety is monitored from the first fault tick onward (or the whole
+    run when fault-free).  The run ends early at a collision, at
+    ``horizon_after_fault`` seconds past the last fault window, or at the
+    scenario duration.  ``checkpoint_ticks`` requests state snapshots at
+    those ticks (taken just before the tick executes), returned on
+    ``RunResult.checkpoints``.
+    """
+    ads_config = ads_config or ADSConfig()
+    safety_config = safety_config or SafetyConfig()
+    faults = list(faults or [])
+    world = scenario.make_world()
+    pipeline = ADSPipeline(ads_config, seed=seed)
+    for fault in faults:
+        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
+                           fault.duration_ticks)
+
+    dt = ads_config.control_period
+    total_seconds = duration if duration is not None else scenario.duration
+    n_ticks = int(round(total_seconds / dt))
+    monitor_from, stop_after = _fault_schedule(faults, horizon_after_fault,
+                                               dt)
+    return _simulate(scenario, world, pipeline, seed, faults, safety_config,
+                     n_ticks, 0, monitor_from, stop_after, record_trace,
+                     checkpoint_ticks)
+
+
+def run_scenario_from_checkpoint(
+        scenario: Scenario, checkpoint: Checkpoint,
+        ads_config: ADSConfig | None = None,
+        faults: list[FaultSpec] | None = None,
+        safety_config: SafetyConfig | None = None,
+        duration: float | None = None,
+        horizon_after_fault: float | None = 8.0,
+        record_trace: bool = False) -> RunResult:
+    """Fork an injection run from its golden prefix.
+
+    Restores the checkpointed world + ADS state, arms the faults, and
+    simulates only from ``checkpoint.tick`` to the end of the post-fault
+    horizon.  Every fault must start at or after the checkpoint tick —
+    earlier ticks are already history in the restored state.  The
+    returned :class:`RunResult` is field-for-field identical to
+    :func:`run_scenario` with the same faults (wall clock aside).
+    """
+    faults = list(faults or [])
+    if not faults:
+        raise ValueError("checkpoint resume needs at least one fault; "
+                         "use run_scenario for fault-free runs")
+    if checkpoint.scenario != scenario.name:
+        raise ValueError(f"checkpoint is for {checkpoint.scenario!r}, "
+                         f"not {scenario.name!r}")
+    earliest = min(f.start_tick for f in faults)
+    if earliest < checkpoint.tick:
+        raise ValueError(
+            f"fault at tick {earliest} precedes checkpoint tick "
+            f"{checkpoint.tick}; resume cannot rewind")
+
+    ads_config = ads_config or ADSConfig()
+    safety_config = safety_config or SafetyConfig()
+    world = scenario.make_world()
+    pipeline = ADSPipeline(ads_config, seed=checkpoint.seed)
+    world.restore(checkpoint.world)
+    pipeline.restore(checkpoint.pipeline)
+    for fault in faults:
+        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
+                           fault.duration_ticks)
+
+    dt = ads_config.control_period
+    total_seconds = duration if duration is not None else scenario.duration
+    n_ticks = int(round(total_seconds / dt))
+    monitor_from, stop_after = _fault_schedule(faults, horizon_after_fault,
+                                               dt)
+    return _simulate(scenario, world, pipeline, checkpoint.seed, faults,
+                     safety_config, n_ticks, checkpoint.tick, monitor_from,
+                     stop_after, record_trace)

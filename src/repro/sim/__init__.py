@@ -6,7 +6,7 @@ from .collision import (SENSOR_RANGE, Obstacle, ego_collides,
                         nearest_lead, obb_overlap)
 from .kinematics import (VehicleState, bicycle_derivatives, rk4_step,
                          simulate_constant_controls)
-from .npc import LaneChangeCommand, NPCVehicle, SpeedCommand
+from .npc import LaneChangeCommand, NPCSnapshot, NPCVehicle, SpeedCommand
 from .road import Road
 from .scenario import (Scenario, adjacent_traffic, braking_lead,
                        crossing_pedestrian, default_scenarios, empty_road,
@@ -16,7 +16,7 @@ from .scenario import (Scenario, adjacent_traffic, braking_lead,
 from .scenegen import Scene, SceneGenerator
 from .trace import Trace
 from .vehicle import Vehicle, VehicleParameters
-from .world import World
+from .world import World, WorldSnapshot
 
 __all__ = [
     "VehicleState",
@@ -36,9 +36,11 @@ __all__ = [
     "nearest_lead",
     "ego_collides",
     "NPCVehicle",
+    "NPCSnapshot",
     "SpeedCommand",
     "LaneChangeCommand",
     "World",
+    "WorldSnapshot",
     "Scenario",
     "default_scenarios",
     "scenario_by_name",

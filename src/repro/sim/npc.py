@@ -31,6 +31,23 @@ class LaneChangeCommand:
     duration: float = 3.0
 
 
+@dataclass(frozen=True)
+class NPCSnapshot:
+    """Frozen mutable state of one NPC (checkpoint-resume support).
+
+    Scripts are part of the snapshot because completed lane changes are
+    consumed from ``lane_commands``; static parameters (dimensions,
+    acceleration limit, speed script) never change mid-run and stay on
+    the live vehicle.
+    """
+
+    x: float
+    y: float
+    v: float
+    lane_start_y: float | None
+    lane_commands: tuple[LaneChangeCommand, ...]
+
+
 @dataclass
 class NPCVehicle:
     """One scripted target vehicle."""
@@ -82,6 +99,20 @@ class NPCVehicle:
                 self._lane_start_y = None
                 self.lane_commands = [c for c in self.lane_commands
                                       if c is not change]
+
+    def snapshot(self) -> NPCSnapshot:
+        """Capture the mutable script state (commands are immutable)."""
+        return NPCSnapshot(x=self.x, y=self.y, v=self.v,
+                           lane_start_y=self._lane_start_y,
+                           lane_commands=tuple(self.lane_commands))
+
+    def restore(self, snapshot: NPCSnapshot) -> None:
+        """Rewind to a previously captured snapshot."""
+        self.x = snapshot.x
+        self.y = snapshot.y
+        self.v = snapshot.v
+        self._lane_start_y = snapshot.lane_start_y
+        self.lane_commands = list(snapshot.lane_commands)
 
     def as_obstacle(self) -> Obstacle:
         """Snapshot for sensors and the safety envelope."""

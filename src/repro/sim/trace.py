@@ -33,6 +33,18 @@ class Trace:
         """Recorded signal names (insertion order)."""
         return list(self._columns)
 
+    @classmethod
+    def from_columns(cls, columns: Mapping[str, list[float]]) -> "Trace":
+        """Rebuild a trace from columnar data (persistence round-trip)."""
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        trace = cls()
+        trace._columns = {name: [float(v) for v in values]
+                          for name, values in columns.items()}
+        trace._length = lengths.pop() if lengths else 0
+        return trace
+
     def record(self, sample: Mapping[str, float]) -> None:
         """Append one row; every row must carry the same signal set."""
         if self._length == 0 and not self._columns:

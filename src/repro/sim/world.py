@@ -8,9 +8,22 @@ from .collision import (Obstacle, ego_collides, lateral_clearance,
                         lateral_clearance_directional, lateral_safe_distance,
                         longitudinal_safe_distance, nearest_lead)
 from .kinematics import VehicleState
-from .npc import NPCVehicle
+from .npc import NPCSnapshot, NPCVehicle
 from .road import Road
 from .vehicle import Vehicle, VehicleParameters
+
+
+@dataclass(frozen=True)
+class WorldSnapshot:
+    """Picklable capture of everything a :class:`World` mutates while
+    stepping: the clock, the ego kinematic state, and each NPC's script
+    progress.  Static structure (road geometry, vehicle parameters, the
+    NPC roster) is not captured — ``restore`` targets a world freshly
+    built by the same scenario."""
+
+    time: float
+    ego: VehicleState
+    npcs: tuple[NPCSnapshot, ...] = ()
 
 
 @dataclass
@@ -52,6 +65,25 @@ class World:
             npc.step(self.time, dt)
         self.ego.apply_actuation(throttle, brake, steering, dt)
         self.time += dt
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def snapshot(self) -> WorldSnapshot:
+        """Capture clock, ego state, and NPC script progress."""
+        return WorldSnapshot(
+            time=self.time, ego=self.ego.state,
+            npcs=tuple(npc.snapshot() for npc in self.npcs))
+
+    def restore(self, snapshot: WorldSnapshot) -> None:
+        """Rewind to a snapshot taken from an identically-built world."""
+        if len(snapshot.npcs) != len(self.npcs):
+            raise ValueError(
+                f"snapshot has {len(snapshot.npcs)} NPCs, world has "
+                f"{len(self.npcs)}; restore needs the same scenario build")
+        self.time = snapshot.time
+        self.ego.state = snapshot.ego
+        for npc, npc_snapshot in zip(self.npcs, snapshot.npcs):
+            npc.restore(npc_snapshot)
 
     # -- ground-truth safety signals ----------------------------------------
 

@@ -1,0 +1,236 @@
+"""Checkpoint-resume fidelity: forked runs must equal full replay.
+
+The checkpoint engine is a pure performance feature — every experiment
+resumed from a golden-prefix snapshot must produce an
+``ExperimentRecord`` field-for-field identical (wall clock aside) to the
+full-replay reference oracle, across all four campaign styles, serial
+and process-pooled, including faults at the first and last eligible
+injection ticks and sparse capture strides with nearest-earlier
+fallback.
+"""
+
+import pickle
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core import (Campaign, CampaignConfig, CheckpointStore,
+                        FaultSpec, run_scenario,
+                        run_scenario_from_checkpoint)
+from repro.core.persistence import (config_fingerprint, load_golden_traces,
+                                    save_golden_traces)
+from repro.sim import highway_cruise, lead_vehicle_cutin
+
+
+def small_scenarios():
+    return [replace(highway_cruise(), duration=24.0),
+            replace(lead_vehicle_cutin(), duration=16.0)]
+
+
+def make_campaign(use_checkpoints: bool, stride: int = 1,
+                  cache_dir=None) -> Campaign:
+    config = CampaignConfig(use_checkpoints=use_checkpoints,
+                            checkpoint_stride=stride)
+    return Campaign(small_scenarios(), config, cache_dir=cache_dir)
+
+
+def strip_wall(records):
+    rows = []
+    for record in records:
+        row = asdict(record)
+        row.pop("wall_seconds")   # host timing necessarily differs
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """Full-replay reference campaign (checkpoints disabled)."""
+    return make_campaign(use_checkpoints=False)
+
+
+@pytest.fixture(scope="module")
+def forked():
+    """Checkpoint-resume campaign over the same scenario set."""
+    return make_campaign(use_checkpoints=True)
+
+
+class TestSnapshotRoundtrip:
+    def test_resume_reproduces_suffix_bitwise(self):
+        """Mid-run snapshot -> restore -> identical continuation."""
+        scenario = small_scenarios()[0]
+        run = run_scenario(scenario, record_trace=True,
+                           checkpoint_ticks=[100])
+        checkpoint = run.checkpoints[100]
+        fault = FaultSpec("brake", 0.0, 200, 4)
+        full = run_scenario(scenario, faults=[fault], record_trace=True)
+        resumed = run_scenario_from_checkpoint(scenario, checkpoint,
+                                               faults=[fault],
+                                               record_trace=True)
+        assert resumed.sim_seconds == full.sim_seconds
+        assert resumed.min_delta_long == full.min_delta_long
+        # The resumed trace is the suffix of the full trace, bit for bit.
+        full_arrays = full.trace.as_arrays()
+        resumed_arrays = resumed.trace.as_arrays()
+        offset = len(full.trace) - len(resumed.trace)
+        assert offset > 0
+        for name, column in resumed_arrays.items():
+            assert column.tolist() == full_arrays[name][offset:].tolist()
+
+    def test_checkpoint_is_picklable(self):
+        scenario = small_scenarios()[0]
+        run = run_scenario(scenario, record_trace=False,
+                           checkpoint_ticks=[120])
+        checkpoint = pickle.loads(pickle.dumps(run.checkpoints[120]))
+        fault = FaultSpec("throttle", 1.0, 140, 4)
+        direct = run_scenario_from_checkpoint(scenario,
+                                              run.checkpoints[120],
+                                              faults=[fault])
+        via_pickle = run_scenario_from_checkpoint(scenario, checkpoint,
+                                                  faults=[fault])
+        assert via_pickle.min_delta_long == direct.min_delta_long
+        assert via_pickle.sim_seconds == direct.sim_seconds
+
+    def test_resume_rejects_faults_before_checkpoint(self):
+        scenario = small_scenarios()[0]
+        run = run_scenario(scenario, record_trace=False,
+                           checkpoint_ticks=[200])
+        with pytest.raises(ValueError):
+            run_scenario_from_checkpoint(
+                scenario, run.checkpoints[200],
+                faults=[FaultSpec("brake", 0.0, 100, 4)])
+
+    def test_resume_requires_faults(self):
+        scenario = small_scenarios()[0]
+        run = run_scenario(scenario, record_trace=False,
+                           checkpoint_ticks=[100])
+        with pytest.raises(ValueError):
+            run_scenario_from_checkpoint(scenario, run.checkpoints[100])
+
+
+class TestSingleFaultFidelity:
+    @pytest.mark.parametrize("position", ["first", "last"])
+    @pytest.mark.parametrize("variable,value", [("brake", 0.0),
+                                                ("throttle", 1.0)])
+    def test_edge_tick_records_identical(self, oracle, forked, position,
+                                         variable, value):
+        """Faults at the first and last eligible injection ticks."""
+        for scenario in oracle.scenarios:
+            ticks = oracle.injection_ticks(scenario)
+            tick = ticks[0] if position == "first" else ticks[-1]
+            fault = FaultSpec(variable, value, tick,
+                              oracle.config.fault_duration_ticks)
+            reference = oracle.run_fault(scenario.name, fault)
+            resumed = forked.run_fault(scenario.name, fault)
+            assert strip_wall([resumed]) == strip_wall([reference])
+
+
+class TestCampaignStyleFidelity:
+    """All four campaign styles, serial and workers=2."""
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_random_campaign(self, oracle, forked, workers):
+        reference = oracle.random_campaign(8, seed=11, workers=workers)
+        resumed = forked.random_campaign(8, seed=11, workers=workers)
+        assert strip_wall(resumed.records) == strip_wall(reference.records)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_exhaustive_campaign(self, oracle, forked, workers):
+        reference = oracle.exhaustive_campaign(
+            tick_stride=40, variable_names=["brake", "steering"],
+            workers=workers)
+        resumed = forked.exhaustive_campaign(
+            tick_stride=40, variable_names=["brake", "steering"],
+            workers=workers)
+        assert strip_wall(resumed.records) == strip_wall(reference.records)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_architectural_campaign(self, oracle, forked, workers):
+        reference, ref_outcomes = oracle.architectural_campaign(
+            30, seed=3, workers=workers)
+        resumed, res_outcomes = forked.architectural_campaign(
+            30, seed=3, workers=workers)
+        assert res_outcomes == ref_outcomes
+        assert strip_wall(resumed.records) == strip_wall(reference.records)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_bayesian_campaign(self, oracle, forked, workers):
+        reference = oracle.bayesian_campaign(top_k=6, workers=workers)
+        resumed = forked.bayesian_campaign(top_k=6, workers=workers)
+        assert [(c.scenario, c.injection_tick, c.variable, c.value)
+                for c in resumed.candidates] == \
+               [(c.scenario, c.injection_tick, c.variable, c.value)
+                for c in reference.candidates]
+        assert strip_wall(resumed.summary.records) == \
+            strip_wall(reference.summary.records)
+
+
+class TestStrideFallback:
+    def test_sparse_stride_resumes_from_nearest_earlier(self, oracle):
+        """With stride 7, most faults land between snapshots."""
+        sparse = make_campaign(use_checkpoints=True, stride=7)
+        scenario = sparse.scenarios[0]
+        captured = set(sparse._capture_ticks(scenario))
+        ticks = oracle.injection_ticks(scenario)
+        uncaptured = [t for t in ticks if t not in captured]
+        assert uncaptured, "stride must leave gaps for this test"
+        for tick in (uncaptured[0], uncaptured[-1]):
+            fault = FaultSpec("brake", 0.0, tick,
+                              oracle.config.fault_duration_ticks)
+            reference = oracle.run_fault(scenario.name, fault)
+            resumed = sparse.run_fault(scenario.name, fault)
+            nearest = sparse.checkpoints.nearest(scenario.name, tick)
+            assert nearest is not None and nearest.tick < tick
+            assert strip_wall([resumed]) == strip_wall([reference])
+
+    def test_empty_store_falls_back_to_full_replay(self, oracle):
+        scenario = oracle.scenarios[0]
+        tick = oracle.injection_ticks(scenario)[5]
+        fault = FaultSpec("brake", 0.0, tick, 4)
+        from repro.core.parallel import execute_experiment
+        reference = execute_experiment(scenario, oracle.config, fault)
+        via_empty = execute_experiment(scenario, oracle.config, fault,
+                                       CheckpointStore())
+        assert strip_wall([via_empty]) == strip_wall([reference])
+
+
+class TestGoldenTraceCache:
+    def test_roundtrip_preserves_runs_and_mining(self, tmp_path, oracle):
+        fingerprint = config_fingerprint(
+            oracle.config.ads, oracle.config.safety, oracle.config.seed,
+            ((s.name, s.duration) for s in oracle.scenarios))
+        path = tmp_path / "golden.json"
+        save_golden_traces(oracle.golden_runs(), path, fingerprint)
+        loaded = load_golden_traces(path, fingerprint)
+        assert loaded is not None
+        for name, run in oracle.golden_runs().items():
+            restored = loaded[name]
+            assert restored.hazard == run.hazard
+            assert restored.min_delta_long == run.min_delta_long
+            assert len(restored.trace) == len(run.trace)
+            for column in run.trace.columns:
+                assert restored.trace.column(column).tolist() == \
+                    run.trace.column(column).tolist()
+
+    def test_stale_fingerprint_is_rejected(self, tmp_path, oracle):
+        path = tmp_path / "golden.json"
+        save_golden_traces(oracle.golden_runs(), path, "fp-old")
+        assert load_golden_traces(path, "fp-new") is None
+        assert load_golden_traces(tmp_path / "missing.json", "x") is None
+
+    def test_campaign_warm_start_matches_fresh(self, tmp_path):
+        cold = make_campaign(use_checkpoints=True, cache_dir=tmp_path)
+        cold_result = cold.bayesian_campaign(top_k=4)
+        assert any(tmp_path.glob("golden-*.json"))
+        assert any(tmp_path.glob("candidates-*.json"))
+
+        warm = make_campaign(use_checkpoints=True, cache_dir=tmp_path)
+        warm_result = warm.bayesian_campaign(top_k=4)
+        # Warm start loads both golden traces and mined candidates.
+        assert warm_result.mining.wall_seconds == 0.0
+        assert [(c.scenario, c.injection_tick, c.variable, c.value)
+                for c in warm_result.candidates] == \
+               [(c.scenario, c.injection_tick, c.variable, c.value)
+                for c in cold_result.candidates]
+        assert strip_wall(warm_result.summary.records) == \
+            strip_wall(cold_result.summary.records)
