@@ -12,19 +12,29 @@ import pytest
 
 from repro.core import Campaign, CampaignConfig
 from repro.sim import (adjacent_traffic, braking_lead, empty_road,
-                       highway_cruise, lead_vehicle_cutin, stalled_vehicle,
-                       two_lead_reveal)
+                       highway_cruise, lead_vehicle_cutin,
+                       occluded_pedestrian, overtake_cutin, queued_traffic,
+                       stalled_vehicle, two_lead_reveal)
 
 
 def bench_scenarios():
-    """The scenario population used by campaign benches."""
+    """The scenario population used by campaign benches.
+
+    Includes the scripted scenegen templates (overtake cut-in,
+    stop-and-go queue, occluded pedestrian crossing) so benches exercise
+    multi-vehicle and small-object workloads, not just the paper's core
+    situations.
+    """
     return [replace(empty_road(), duration=15.0),
             replace(highway_cruise(), duration=20.0),
             replace(lead_vehicle_cutin(), duration=15.0),
             replace(two_lead_reveal(), duration=20.0),
             replace(braking_lead(), duration=20.0),
             replace(stalled_vehicle(), duration=20.0),
-            replace(adjacent_traffic(), duration=15.0)]
+            replace(adjacent_traffic(), duration=15.0),
+            replace(overtake_cutin(), duration=20.0),
+            replace(queued_traffic(), duration=20.0),
+            replace(occluded_pedestrian(), duration=20.0)]
 
 
 @pytest.fixture(scope="session")

@@ -14,7 +14,9 @@ from dataclasses import replace
 from repro.analysis import acceleration_report, ascii_table, hazard_table
 from repro.core import Campaign, CampaignConfig
 from repro.sim import (braking_lead, empty_road, highway_cruise,
-                       lead_vehicle_cutin, stalled_vehicle, two_lead_reveal)
+                       lead_vehicle_cutin, occluded_pedestrian,
+                       overtake_cutin, queued_traffic, stalled_vehicle,
+                       two_lead_reveal)
 
 
 def main() -> None:
@@ -23,7 +25,10 @@ def main() -> None:
                  replace(lead_vehicle_cutin(), duration=15.0),
                  replace(two_lead_reveal(), duration=20.0),
                  replace(braking_lead(), duration=20.0),
-                 replace(stalled_vehicle(), duration=20.0)]
+                 replace(stalled_vehicle(), duration=20.0),
+                 replace(overtake_cutin(), duration=20.0),
+                 replace(queued_traffic(), duration=20.0),
+                 replace(occluded_pedestrian(), duration=20.0)]
     campaign = Campaign(scenarios, CampaignConfig())
 
     print("== Random architectural campaign (fault model a) ==")

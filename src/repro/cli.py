@@ -19,7 +19,8 @@ import sys
 from .analysis.metrics import delta_distribution, hazard_table
 from .analysis.report import ascii_table
 from .core.campaign import Campaign, CampaignConfig
-from .core.persistence import save_candidates, save_summary
+from .core.persistence import (JsonlRecordSink, save_candidates,
+                               save_summary)
 from .core.safety import world_safety_potential
 from .core.simulate import FaultSpec
 from .sim.scenegen import SceneGenerator
@@ -34,16 +35,22 @@ def _build_parser() -> argparse.ArgumentParser:
     cache = argparse.ArgumentParser(add_help=False)
     cache.add_argument("--cache-dir", default=None,
                        help="directory for incremental-campaign caches "
-                            "(golden traces, mined candidates)")
+                            "(golden traces, checkpoint ladders, mined "
+                            "candidates)")
     cache.add_argument("--no-checkpoints", action="store_true",
                        help="validate by full replay from tick 0 "
                             "(the reference oracle) instead of "
                             "checkpoint resume")
 
-    sub.add_parser("golden", parents=[cache],
-                   help="fault-free runs and safety margins")
+    workers_help = ("processes for golden-run collection and experiment "
+                    "validation (default serial)")
+    record_out_help = ("stream experiment records to a JSONL file as they "
+                       "complete instead of holding them in memory")
 
-    workers_help = "processes for experiment validation (default serial)"
+    golden_cmd = sub.add_parser("golden", parents=[cache],
+                                help="fault-free runs and safety margins")
+    golden_cmd.add_argument("--workers", type=int, default=None,
+                            help="processes for golden-run collection")
 
     random_cmd = sub.add_parser("random", parents=[cache],
                                 help="random output corruption")
@@ -53,6 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
     random_cmd.add_argument("--workers", type=int, default=None,
                             help=workers_help)
     random_cmd.add_argument("--save", help="write records to a JSON file")
+    random_cmd.add_argument("--record-out", default=None,
+                            help=record_out_help)
 
     arch_cmd = sub.add_parser("arch", parents=[cache],
                               help="random architectural faults")
@@ -61,6 +70,8 @@ def _build_parser() -> argparse.ArgumentParser:
     arch_cmd.add_argument("--seed", type=int, default=0)
     arch_cmd.add_argument("--workers", type=int, default=None,
                           help=workers_help)
+    arch_cmd.add_argument("--record-out", default=None,
+                          help=record_out_help)
 
     bayes_cmd = sub.add_parser("bayesian", parents=[cache],
                                help="mine + validate F_crit")
@@ -74,6 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bayes_cmd.add_argument("--workers", type=int, default=None,
                            help=workers_help)
     bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
+    bayes_cmd.add_argument("--record-out", default=None,
+                           help=record_out_help)
 
     grid_cmd = sub.add_parser("exhaustive", parents=[cache],
                               help="min/max grid sample")
@@ -84,6 +97,8 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument("--workers", type=int, default=None,
                           help=workers_help)
     grid_cmd.add_argument("--save", help="write records to a JSON file")
+    grid_cmd.add_argument("--record-out", default=None,
+                          help=record_out_help)
 
     inject_cmd = sub.add_parser("inject", parents=[cache],
                                 help="one specific fault")
@@ -117,6 +132,23 @@ def _print_summary(summary, label: str) -> None:
                           rows))
 
 
+def _open_sink(args) -> "JsonlRecordSink | None":
+    """The streaming record sink requested by ``--record-out`` (or None)."""
+    record_out = getattr(args, "record_out", None)
+    if record_out is None:
+        return None
+    if getattr(args, "save", None):
+        raise SystemExit("--save holds records in memory and --record-out "
+                         "streams them; pick one")
+    return JsonlRecordSink(record_out)
+
+
+def _close_sink(sink: "JsonlRecordSink | None") -> None:
+    if sink is not None:
+        sink.close()
+        print(f"{sink.count} records streamed to {sink.path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -126,39 +158,51 @@ def main(argv: list[str] | None = None) -> int:
                         cache_dir=getattr(args, "cache_dir", None))
 
     if args.command == "golden":
+        campaign.golden_runs(workers=args.workers)
         _print_golden(campaign)
     elif args.command == "random":
+        sink = _open_sink(args)
         summary = campaign.random_campaign(args.n, seed=args.seed,
-                                           workers=args.workers)
+                                           workers=args.workers,
+                                           record_sink=sink)
         _print_summary(summary, "random campaign")
+        _close_sink(sink)
         if args.save:
             save_summary(summary, args.save)
             print(f"records written to {args.save}")
     elif args.command == "arch":
+        sink = _open_sink(args)
         summary, outcomes = campaign.architectural_campaign(
-            args.n, seed=args.seed, workers=args.workers)
+            args.n, seed=args.seed, workers=args.workers, record_sink=sink)
         print(ascii_table(["outcome", "count"],
                           sorted(outcomes.items())))
         _print_summary(summary, "driven SDC experiments")
+        _close_sink(sink)
     elif args.command == "bayesian":
+        sink = _open_sink(args)
         result = campaign.bayesian_campaign(
             top_k=args.top_k, threshold=args.threshold,
-            use_batched=not args.scalar_miner, workers=args.workers)
+            use_batched=not args.scalar_miner, workers=args.workers,
+            record_sink=sink)
         print(f"scored {result.mining.n_scored} candidate faults over "
               f"{result.mining.n_scenes} scenes in "
               f"{result.mining.wall_seconds:.1f}s")
         _print_summary(result.summary, "validated mined faults")
         print(f"precision: {result.precision:.1%}; total cost "
               f"{result.total_wall_seconds:.1f}s")
+        _close_sink(sink)
         if args.save:
             save_candidates(result.candidates, args.save)
             print(f"candidates written to {args.save}")
     elif args.command == "exhaustive":
+        sink = _open_sink(args)
         summary = campaign.exhaustive_campaign(tick_stride=args.stride,
                                                max_experiments=args.max,
-                                               workers=args.workers)
+                                               workers=args.workers,
+                                               record_sink=sink)
         _print_summary(summary, "grid sample")
         print(f"full grid would be {campaign.grid_size()} experiments")
+        _close_sink(sink)
         if args.save:
             save_summary(summary, args.save)
             print(f"records written to {args.save}")

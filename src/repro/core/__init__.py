@@ -8,11 +8,12 @@ from .bayesian_fi import (BN_VARIABLES, KINEMATIC_NODES, MINED_VARIABLES,
                           SceneRow, ads_dbn_template, scene_rows_from_trace)
 from .campaign import (BayesianCampaignResult, Campaign, CampaignConfig)
 from .checkpoint import Checkpoint, CheckpointStore
-from .parallel import execute_experiment, run_experiments
+from .parallel import (collect_golden_runs, execute_experiment,
+                       run_experiments)
 from .fault_models import (DEFAULT_VARIABLES, KERNEL_VARIABLE_MAP,
                            ArchFaultOutcome, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
-from .results import (CampaignSummary, ExperimentRecord, Hazard,
+from .results import (CampaignSummary, ExperimentRecord, Hazard, ListSink,
                       worst_hazard)
 from .safety import (SafetyConfig, SafetyPotential, StoppingDisplacement,
                      longitudinal_envelope, safety_potential,
@@ -65,4 +66,6 @@ __all__ = [
     "BayesianCampaignResult",
     "execute_experiment",
     "run_experiments",
+    "collect_golden_runs",
+    "ListSink",
 ]

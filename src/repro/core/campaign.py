@@ -8,6 +8,7 @@ that comparison *is* the paper's headline result.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import time
 from dataclasses import dataclass, field
@@ -24,7 +25,8 @@ from .bayesian_fi import (MINED_VARIABLES, BayesianFaultInjector,
 from .checkpoint import CheckpointStore
 from .fault_models import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
-from .parallel import ExperimentJob, execute_experiment, run_experiments
+from .parallel import (ExperimentJob, collect_golden_runs,
+                       execute_experiment, run_experiments)
 from .results import CampaignSummary, ExperimentRecord
 from .safety import SafetyConfig
 from .simulate import FaultSpec, RunResult, run_scenario
@@ -56,10 +58,13 @@ class CampaignConfig:
 class Campaign:
     """Runs fault-injection campaigns over a scenario set.
 
-    ``cache_dir`` enables incremental campaigns: golden traces and mined
-    candidates are persisted there, keyed by a fingerprint of the
-    configuration and scenario set, and re-used on the next run instead
-    of being recomputed.
+    ``cache_dir`` enables incremental campaigns: golden traces, mined
+    candidates, *and checkpoint ladders* are persisted there, keyed by a
+    fingerprint of the configuration and scenario set, and re-used on
+    the next run instead of being recomputed.  Every campaign style
+    takes ``workers=`` (sharding both golden collection and validation)
+    and ``record_sink=`` (streaming records out-of-core instead of
+    accumulating them in memory).
     """
 
     def __init__(self, scenarios: list[Scenario] | None = None,
@@ -75,34 +80,37 @@ class Campaign:
 
     # -- golden runs -----------------------------------------------------------
 
-    def golden_runs(self) -> dict[str, RunResult]:
+    def golden_runs(self, workers: int | None = None) -> dict[str, RunResult]:
         """Fault-free reference runs (cached, warm-started from disk).
 
         When the campaign simulates them itself it also captures the
-        per-scenario checkpoint ladders validation resumes from; traces
-        loaded from ``cache_dir`` skip that, and checkpoints are then
-        rebuilt lazily per scenario the first time jobs need them.
+        per-scenario checkpoint ladders validation resumes from, and
+        ``workers`` shards the collection over the process pool — each
+        worker simulates its scenario's golden trace *and* ladder, and
+        the result is scenario-for-scenario identical to the serial loop
+        (``workers=None``, the oracle).  Traces loaded from
+        ``cache_dir`` skip simulation entirely; their checkpoints are
+        then warm-started from the persisted store (or rebuilt lazily)
+        per scenario the first time jobs need them.
         """
         if self._golden is None:
             loaded = self._load_golden_cache()
             if loaded is not None:
                 self._golden = loaded
             else:
-                self._golden = {}
-                for scenario in self.scenarios:
-                    run = run_scenario(
-                        scenario, ads_config=self.config.ads,
-                        seed=self.config.seed,
-                        safety_config=self.config.safety, record_trace=True,
-                        checkpoint_ticks=(
-                            self._capture_ticks(scenario)
-                            if self.config.use_checkpoints
-                            and not self.checkpoints.has_scenario(
-                                scenario.name) else None))
+                capture: dict[str, list[int] | None] = {}
+                if self.config.use_checkpoints:
+                    capture = {
+                        s.name: self._capture_ticks(s)
+                        for s in self.scenarios
+                        if not self.checkpoints.has_scenario(s.name)}
+                self._golden = collect_golden_runs(
+                    self.scenarios, self.config, capture, workers=workers)
+                for run in self._golden.values():
                     if run.checkpoints:
                         self.checkpoints.add_all(run.checkpoints)
-                    self._golden[scenario.name] = run
                 self._save_golden_cache()
+                self._save_checkpoint_cache()
         return self._golden
 
     # -- checkpoint ladders ----------------------------------------------------
@@ -122,17 +130,27 @@ class Campaign:
         return eligible[::max(1, self.config.checkpoint_stride)]
 
     def _ensure_checkpoints(self, scenario_names) -> None:
-        """Re-capture checkpoint ladders missing from the store.
+        """Fill in checkpoint ladders missing from the store.
 
-        Needed when golden traces were warm-started from disk (snapshots
-        are never persisted — they are cheap to regenerate): one extra
-        fault-free run per scenario actually being validated.  Capture
+        Needed when golden traces were warm-started from disk: ladders
+        persisted under ``cache_dir`` by a previous run are loaded
+        directly (per scenario — a campaign validating two scenarios
+        never deserializes the rest); only scenarios absent from the
+        persisted store re-simulate one fault-free prefix run.  Capture
         ticks derive from the schedule, not the golden trace, so this
         deliberately does not force ``golden_runs()`` — a single
-        ``run_fault`` costs one prefix run, not a full golden sweep.
+        ``run_fault`` costs at most one prefix run, not a full golden
+        sweep.
         """
-        for name in sorted(set(scenario_names)):
-            if self.checkpoints.has_scenario(name):
+        missing = [name for name in sorted(set(scenario_names))
+                   if not self.checkpoints.has_scenario(name)]
+        if not missing:
+            return
+        cache = self._checkpoint_cache_dir()
+        recaptured = False
+        for name in missing:
+            if cache is not None \
+                    and self.checkpoints.load_scenario(cache, name):
                 continue
             scenario = self._by_name[name]
             run = run_scenario(
@@ -141,6 +159,9 @@ class Campaign:
                 checkpoint_ticks=self._capture_ticks(scenario))
             if run.checkpoints:
                 self.checkpoints.add_all(run.checkpoints)
+                recaptured = True
+        if recaptured:
+            self._save_checkpoint_cache()
 
     # -- incremental-campaign cache --------------------------------------------
 
@@ -148,20 +169,40 @@ class Campaign:
     def _scenario_key(scenario: Scenario) -> tuple:
         """Cache identity of one scenario: name, duration, and build.
 
-        The builder is a closure, so its parametrization (ego speed,
-        gaps, script timings) lives in the code object and the closure
-        cells; both are digested.  A cell whose ``repr`` is not
-        deterministic across processes (e.g. it embeds an object
-        address) makes the fingerprint never match — a cache miss, the
-        safe failure direction.
+        Library builders are ``functools.partial`` bindings of
+        module-level functions, so the parametrization (ego speed, gaps,
+        script timings) lives in the bound arguments and the behaviour
+        in the function's code object; both are digested.  Closure
+        builders (caller-supplied) digest their cells instead.  A bound
+        value whose ``repr`` is not deterministic across processes
+        (e.g. it embeds an object address) makes the fingerprint never
+        match — a cache miss, the safe failure direction.
         """
         build = scenario.build
-        code = getattr(build, "__code__", None)
+        if isinstance(build, functools.partial):
+            bound = build.args + tuple(sorted(build.keywords.items()))
+            return (scenario.name, scenario.duration,
+                    Campaign._code_digest(getattr(build.func, "__code__",
+                                                  None)),
+                    tuple(repr(value) for value in bound))
         cells = getattr(build, "__closure__", None) or ()
         return (scenario.name, scenario.duration,
-                hashlib.sha256(code.co_code).hexdigest()[:12]
-                if code is not None else "",
+                Campaign._code_digest(getattr(build, "__code__", None)),
                 tuple(repr(cell.cell_contents) for cell in cells))
+
+    @staticmethod
+    def _code_digest(code) -> str:
+        """Digest of a builder's behaviour: bytecode *and* constants.
+
+        Literals edited inside a build function land in ``co_consts``
+        (not ``co_code``), so both must rotate the fingerprint or a
+        warm-started campaign would reuse golden traces from the old
+        scenario definition.
+        """
+        if code is None:
+            return ""
+        payload = code.co_code + repr(code.co_consts).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:12]
 
     def _fingerprint(self) -> str:
         from .persistence import config_fingerprint
@@ -173,6 +214,24 @@ class Campaign:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"golden-{self._fingerprint()}.json"
+
+    def _checkpoint_cache_dir(self) -> Path | None:
+        """Directory of the persisted checkpoint store (None = no cache).
+
+        Keyed by the campaign fingerprint plus the capture stride, so a
+        stride change (a different ladder) rotates the directory the
+        same way any config change rotates the golden cache.
+        """
+        if self.cache_dir is None or not self.config.use_checkpoints:
+            return None
+        return (self.cache_dir / f"checkpoints-{self._fingerprint()}"
+                                 f"-s{max(1, self.config.checkpoint_stride)}")
+
+    def _save_checkpoint_cache(self) -> None:
+        directory = self._checkpoint_cache_dir()
+        if directory is None or not len(self.checkpoints):
+            return
+        self.checkpoints.save(directory)
 
     def _load_golden_cache(self) -> dict[str, RunResult] | None:
         path = self._golden_cache_path()
@@ -248,32 +307,54 @@ class Campaign:
                                   self.config, fault, checkpoints)
 
     def _run_jobs(self, jobs: list[ExperimentJob],
-                  workers: int | None) -> list[ExperimentRecord]:
-        """Execute jobs serially or over the process pool, in job order.
+                  workers: int | None,
+                  record_sink=None) -> CampaignSummary:
+        """Execute jobs (serially or pooled) into an incremental summary.
+
+        Records stream back in job order as futures complete; each is
+        folded into the returned :class:`CampaignSummary` and forwarded
+        to ``record_sink`` (any object with ``add(record)``, e.g. a
+        :class:`repro.core.persistence.JsonlRecordSink`).  With a sink
+        the summary does not retain the records themselves — aggregates
+        only — which is the memory bound out-of-core campaigns rely on.
 
         With checkpoints enabled, the store is materialized first so
-        pool workers inherit it through ``fork`` and every job resumes
-        from its scenario's golden prefix.
+        pool workers inherit it through ``fork`` (or pickle it under
+        ``spawn``) and every job resumes from its scenario's golden
+        prefix.
         """
         checkpoints = None
         if self.config.use_checkpoints and jobs:
             self._ensure_checkpoints(name for name, _ in jobs)
             checkpoints = self.checkpoints
-        return run_experiments(self.scenarios, self.config, jobs,
-                               workers=workers, checkpoints=checkpoints)
+        summary = CampaignSummary(keep_records=record_sink is None)
+
+        def consume(record: ExperimentRecord) -> None:
+            summary.add(record)
+            if record_sink is not None:
+                record_sink.add(record)
+
+        run_experiments(self.scenarios, self.config, jobs,
+                        workers=workers, checkpoints=checkpoints,
+                        on_record=consume)
+        return summary
 
     # -- campaigns -----------------------------------------------------------------
 
     def random_campaign(self, n_experiments: int,
                         seed: int | None = None,
-                        workers: int | None = None) -> CampaignSummary:
+                        workers: int | None = None,
+                        record_sink=None) -> CampaignSummary:
         """Fault model (b), uniformly random (the paper's baseline).
 
         The fault draws are independent of the experiment outcomes, so
         they are all made up front (in the exact order of the serial
         loop, keeping seeded campaigns reproducible) and the resulting
-        jobs fanned over ``workers`` processes.
+        jobs fanned over ``workers`` processes.  ``record_sink``
+        streams records out as they complete instead of retaining them
+        in the summary.
         """
+        self.golden_runs(workers=workers)
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         names = [s.name for s in self.scenarios]
@@ -284,7 +365,7 @@ class Campaign:
             fault = random_fault(
                 rng, ticks, duration_ticks=self.config.fault_duration_ticks)
             jobs.append((scenario_name, fault))
-        return CampaignSummary(records=self._run_jobs(jobs, workers))
+        return self._run_jobs(jobs, workers, record_sink)
 
     def _require_injection_ticks(self, scenario_name: str) -> list[int]:
         """Eligible ticks of a scenario, with a clear error when empty."""
@@ -301,9 +382,10 @@ class Campaign:
     def exhaustive_campaign(self, tick_stride: int = 10,
                             variable_names: list[str] | None = None,
                             max_experiments: int | None = None,
-                            workers: int | None = None
-                            ) -> CampaignSummary:
+                            workers: int | None = None,
+                            record_sink=None) -> CampaignSummary:
         """Fault model (b) on the min/max grid (strided subsample)."""
+        self.golden_runs(workers=workers)
         jobs: list[ExperimentJob] = []
         for scenario in self.scenarios:
             ticks = self.injection_ticks(scenario, stride=tick_stride)
@@ -314,7 +396,7 @@ class Campaign:
             if max_experiments is not None and len(jobs) >= max_experiments:
                 jobs = jobs[:max_experiments]
                 break
-        return CampaignSummary(records=self._run_jobs(jobs, workers))
+        return self._run_jobs(jobs, workers, record_sink)
 
     def grid_size(self, variable_names: list[str] | None = None,
                   tick_stride: int = 1) -> int:
@@ -328,7 +410,8 @@ class Campaign:
     def architectural_campaign(self, n_experiments: int,
                                model: ArchitecturalFaultModel | None = None,
                                seed: int | None = None,
-                               workers: int | None = None
+                               workers: int | None = None,
+                               record_sink=None
                                ) -> tuple[CampaignSummary, dict[str, int]]:
         """Fault model (a): register flips propagated into the stack.
 
@@ -336,6 +419,7 @@ class Campaign:
         architectural outcome counts (masked flips and detectable
         crashes/hangs never reach the vehicle, as in the paper).
         """
+        self.golden_runs(workers=workers)
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         model = model or ArchitecturalFaultModel()
@@ -350,7 +434,7 @@ class Campaign:
             outcome_counts[arch.outcome.value] += 1
             if arch.fault is not None:
                 jobs.append((scenario_name, arch.fault))
-        summary = CampaignSummary(records=self._run_jobs(jobs, workers))
+        summary = self._run_jobs(jobs, workers, record_sink)
         return summary, outcome_counts
 
     def bayesian_campaign(self, injector: BayesianFaultInjector | None = None,
@@ -358,7 +442,8 @@ class Campaign:
                           threshold: float = 0.0,
                           top_k: int | None = None,
                           use_batched: bool = True,
-                          workers: int | None = None
+                          workers: int | None = None,
+                          record_sink=None
                           ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
 
@@ -367,7 +452,9 @@ class Campaign:
         from borderline predictions, which is why the paper's precision
         is 82% rather than 100%.  Mining uses the batched affine engine
         by default (``use_batched=False`` falls back to the scalar
-        reference path); validation fans over ``workers`` processes.
+        reference path); golden collection and validation fan over
+        ``workers`` processes, and ``record_sink`` streams validation
+        records out as they complete.
         With a ``cache_dir``, mined candidates are warm-started from
         disk when the same mining parameters were run before (only when
         no explicit ``injector`` is passed — a caller-supplied model
@@ -377,7 +464,7 @@ class Campaign:
         caching = injector is None and self.cache_dir is not None
         if injector is None:
             injector = BayesianFaultInjector.train(
-                list(self.golden_runs().values()),
+                list(self.golden_runs(workers=workers).values()),
                 safety_config=self.config.safety)
         train_seconds = time.perf_counter() - train_start
         candidates = mining = None
@@ -413,7 +500,7 @@ class Campaign:
              candidate.to_fault_spec(
                  duration_ticks=self.config.fault_duration_ticks))
             for candidate in candidates]
-        summary = CampaignSummary(records=self._run_jobs(jobs, workers))
+        summary = self._run_jobs(jobs, workers, record_sink)
         return BayesianCampaignResult(
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)
@@ -445,9 +532,9 @@ class BayesianCampaignResult:
         """Fraction of mined faults that manifested as real hazards.
 
         The paper's analogue: 460 of 561 mined faults (82%) manifested.
+        Reads the incremental aggregates, so it is also correct for
+        streamed campaigns whose summaries retain no records.
         """
-        if not self.summary.records:
-            return 0.0
         return self.summary.hazard_rate
 
     @property

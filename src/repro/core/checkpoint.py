@@ -9,20 +9,35 @@ of re-simulating from tick 0 — the snapshot-and-fork trick DriveFI/AVFI
 use to inject into a *running* stack.
 
 A :class:`Checkpoint` is picklable, so stores survive process-pool fan
-out (workers inherit them through ``fork``) and could be shipped across
-hosts.  :class:`CheckpointStore` resolves an injection tick to the
-nearest checkpoint at or before it, which is what makes sparse capture
-strides safe: the resumed run simply replays the short gap fault-free
-before the fault window opens.
+out (workers inherit them through ``fork``) and ship across hosts.
+:class:`CheckpointStore` resolves an injection tick to the nearest
+checkpoint at or before it, which is what makes sparse capture strides
+safe: the resumed run simply replays the short gap fault-free before the
+fault window opens.
+
+Stores also persist to disk (:meth:`CheckpointStore.save` /
+:meth:`CheckpointStore.load`): one pickle file per scenario plus a JSON
+index.  That removes the dependence on ``fork`` inheritance — pool
+workers on spawn-only platforms load the store from the shared directory
+instead of receiving it through the forked address space — and lets
+warm-started campaigns reuse checkpoint ladders across processes instead
+of re-simulating them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import pickle
 from bisect import bisect_right
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..ads.runtime import PipelineSnapshot
 from ..sim.world import WorldSnapshot
+
+_INDEX_NAME = "index.json"
+_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -88,3 +103,97 @@ class CheckpointStore:
         if index == 0:
             return None
         return self._by_scenario[scenario][ticks[index - 1]]
+
+    def scenarios(self) -> list[str]:
+        """Scenario names with at least one stored checkpoint, sorted."""
+        return sorted(name for name, ladder in self._by_scenario.items()
+                      if ladder)
+
+    # -- disk persistence ------------------------------------------------------
+
+    @staticmethod
+    def _scenario_filename(scenario: str) -> str:
+        """Filesystem-safe per-scenario file name (names may be arbitrary)."""
+        digest = hashlib.sha256(scenario.encode("utf-8")).hexdigest()[:16]
+        return f"ckpt-{digest}.pkl"
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the store: one pickle per scenario plus a JSON index.
+
+        The per-scenario layout lets readers pull exactly the ladders
+        they need (:meth:`load_scenario`) — a validation worker touching
+        two scenarios never deserializes the other fifty.  Returns the
+        directory written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = {"version": _FORMAT_VERSION, "scenarios": {}}
+        for scenario in self.scenarios():
+            filename = self._scenario_filename(scenario)
+            ladder = self._by_scenario[scenario]
+            (directory / filename).write_bytes(
+                pickle.dumps(ladder, protocol=pickle.HIGHEST_PROTOCOL))
+            index["scenarios"][scenario] = {
+                "file": filename, "ticks": sorted(ladder)}
+        (directory / _INDEX_NAME).write_text(json.dumps(index, indent=1))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CheckpointStore | None":
+        """Rebuild a store from :meth:`save` output; ``None`` if unreadable."""
+        index = cls._read_index(directory)
+        if index is None:
+            return None
+        store = cls()
+        for scenario in index["scenarios"]:
+            if not store._load_indexed(directory, index, scenario):
+                return None
+        return store
+
+    def load_scenario(self, directory: str | Path, scenario: str) -> bool:
+        """Load one scenario's ladder from a saved store into this one.
+
+        Returns True when the ladder was found and merged; a missing or
+        corrupt file returns False and leaves the store unchanged — the
+        caller then falls back to re-capturing, the safe direction.
+        """
+        index = self._read_index(directory)
+        if index is None:
+            return False
+        return self._load_indexed(directory, index, scenario)
+
+    def _load_indexed(self, directory: str | Path, index: dict,
+                      scenario: str) -> bool:
+        """Merge one ladder using an already-parsed index."""
+        entry = index["scenarios"].get(scenario)
+        if entry is None:
+            return False
+        path = Path(directory) / entry["file"]
+        try:
+            ladder = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return False
+        if not isinstance(ladder, dict):
+            return False
+        self.add_all(ladder)
+        return True
+
+    @classmethod
+    def saved_scenarios(cls, directory: str | Path) -> set[str]:
+        """Scenario names a persisted store covers (empty if unreadable)."""
+        index = cls._read_index(directory)
+        return set() if index is None else set(index["scenarios"])
+
+    @staticmethod
+    def _read_index(directory: str | Path) -> dict | None:
+        path = Path(directory) / _INDEX_NAME
+        try:
+            index = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (not isinstance(index, dict)
+                or index.get("version") != _FORMAT_VERSION
+                or not isinstance(index.get("scenarios"), dict)):
+            return None
+        return index

@@ -1,29 +1,47 @@
 """Process-parallel execution of fault-injection experiments.
 
 Each experiment is an independent closed-loop simulation, so campaign
-validation parallelizes embarrassingly.  ``run_experiments`` fans a list
-of (scenario name, fault) jobs over a ``ProcessPoolExecutor`` while
-preserving the submission order of the returned records, so a parallel
-campaign is record-for-record identical to a serial one (wall-clock
-fields aside).
+validation parallelizes embarrassingly — and so does golden-trace
+collection, where each scenario's fault-free run (and its checkpoint
+ladder) is independent of every other's.  Two fan-out entry points:
 
-Jobs are executed grouped by scenario (records still return in job
+* :func:`run_experiments` fans (scenario name, fault) jobs over a
+  ``ProcessPoolExecutor`` while preserving the submission order of the
+  returned records, so a parallel campaign is record-for-record
+  identical to a serial one (wall-clock fields aside).  An ``on_record``
+  callback streams records back in submission order *as futures
+  complete*, which is what lets campaigns flush records to disk instead
+  of accumulating them.
+* :func:`collect_golden_runs` shards the golden runs of a scenario set
+  across workers, each worker simulating its scenario's fault-free trace
+  and capturing the requested checkpoint ladder; results return in
+  scenario order, identical to the serial loop.
+
+Jobs are executed grouped by scenario (records still stream in job
 order): grouping keeps a worker's chunk on one scenario's checkpoints,
 which is cache-friendly, and it is free because experiments are
 independent.
 
-Scenario builders are closures, which do not pickle; workers therefore
-require the ``fork`` start method (they inherit the scenario objects —
-and the checkpoint store — through the forked address space).  On
-platforms without ``fork`` the executor silently falls back to serial
-in-process execution.
+Scenario builders are ``functools.partial`` bindings of module-level
+functions, so scenarios pickle and pools work under any start method:
+``fork`` is preferred (workers inherit shared state for free), with
+``spawn`` as the fallback on platforms without ``fork``.  A checkpoint
+store may be passed either as a live :class:`CheckpointStore` or as the
+path of a store persisted by :meth:`CheckpointStore.save`; the path form
+is what spawn workers and cross-process warm starts use — each worker
+loads the ladders from disk instead of depending on fork inheritance.
+If the pool's initializer arguments cannot be pickled under a non-fork
+start method (e.g. caller-supplied closure scenarios), execution
+silently falls back to serial in-process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from ..sim.scenario import Scenario
 from .checkpoint import CheckpointStore
@@ -37,9 +55,21 @@ if TYPE_CHECKING:  # avoid a circular import with .campaign
 #: Job description: (scenario name, fault to inject).
 ExperimentJob = tuple[str, FaultSpec]
 
-#: Worker-process state installed by the pool initializer.
+#: A checkpoint store argument: a live store, the directory of a
+#: persisted one (``CheckpointStore.save``, loaded worker-side), or None.
+CheckpointSource = CheckpointStore | str | Path | None
+
+#: Worker-process state installed by the pool initializers.
 _WORKER_STATE: tuple[dict[str, Scenario], "CampaignConfig",
                      CheckpointStore | None] | None = None
+_GOLDEN_STATE: tuple[dict[str, Scenario], "CampaignConfig"] | None = None
+
+
+def _resolve_checkpoints(checkpoints) -> CheckpointStore | None:
+    """Materialize a checkpoint source (store, path, or None) to a store."""
+    if checkpoints is None or isinstance(checkpoints, CheckpointStore):
+        return checkpoints
+    return CheckpointStore.load(checkpoints)
 
 
 def _to_record(result: RunResult, scenario_name: str, fault: FaultSpec,
@@ -92,9 +122,10 @@ def execute_experiment(scenario: Scenario, config: "CampaignConfig",
 
 
 def _init_worker(scenarios: list[Scenario], config: "CampaignConfig",
-                 checkpoints: CheckpointStore | None = None) -> None:
+                 checkpoints: CheckpointSource = None) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = ({s.name: s for s in scenarios}, config, checkpoints)
+    _WORKER_STATE = ({s.name: s for s in scenarios}, config,
+                     _resolve_checkpoints(checkpoints))
 
 
 def _run_job(job: ExperimentJob) -> ExperimentRecord:
@@ -105,47 +136,193 @@ def _run_job(job: ExperimentJob) -> ExperimentRecord:
                               checkpoints)
 
 
-def _fork_context() -> multiprocessing.context.BaseContext | None:
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return None
-    return multiprocessing.get_context("fork")
+def _init_golden_worker(scenarios: list[Scenario],
+                        config: "CampaignConfig") -> None:
+    global _GOLDEN_STATE
+    _GOLDEN_STATE = ({s.name: s for s in scenarios}, config)
+
+
+def _golden_run(scenario: Scenario, config: "CampaignConfig",
+                capture_ticks: list[int] | None) -> RunResult:
+    """One scenario's fault-free reference run (+ checkpoint ladder)."""
+    return run_scenario(
+        scenario, ads_config=config.ads, seed=config.seed,
+        safety_config=config.safety, record_trace=True,
+        checkpoint_ticks=capture_ticks)
+
+
+def _run_golden_job(job: tuple[str, tuple[int, ...] | None]) -> RunResult:
+    assert _GOLDEN_STATE is not None, "golden pool not initialized"
+    by_name, config = _GOLDEN_STATE
+    scenario_name, capture_ticks = job
+    return _golden_run(by_name[scenario_name], config,
+                       list(capture_ticks) if capture_ticks is not None
+                       else None)
+
+
+def _pool_context(start_method: str | None = None
+                  ) -> multiprocessing.context.BaseContext | None:
+    """The multiprocessing context to fan out with (None -> run serial).
+
+    ``fork`` is preferred: workers inherit scenarios and checkpoint
+    stores through the copied address space, so nothing is pickled per
+    worker.  Platforms without ``fork`` use ``spawn``, which requires
+    every initializer argument to pickle (scenario builders are
+    ``functools.partial`` bindings, so the library's scenarios do).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            return None
+        return multiprocessing.get_context(start_method)
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None
+
+
+def _picklable(*values) -> bool:
+    try:
+        pickle.dumps(values)
+        return True
+    except Exception:
+        return False
+
+
+def _grouped_order(jobs: list[ExperimentJob]) -> list[int]:
+    """Submission indices reordered to group same-scenario jobs.
+
+    Groups are ordered by each scenario's first appearance (stable
+    within a group), so the earliest-submitted jobs complete early and
+    the streaming reorder buffer drains instead of ballooning.
+    """
+    first_seen: dict[str, int] = {}
+    for index, (name, _) in enumerate(jobs):
+        first_seen.setdefault(name, index)
+    return sorted(range(len(jobs)),
+                  key=lambda i: (first_seen[jobs[i][0]], i))
 
 
 def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
                     jobs: list[ExperimentJob],
                     workers: int | None = None,
-                    checkpoints: CheckpointStore | None = None
-                    ) -> list[ExperimentRecord]:
+                    checkpoints: CheckpointSource = None,
+                    on_record: Callable[[ExperimentRecord], None]
+                    | None = None,
+                    start_method: str | None = None
+                    ) -> list[ExperimentRecord] | None:
     """Execute ``jobs``, optionally across ``workers`` processes.
 
-    Results come back in job order regardless of completion order.
+    Records come back in job order regardless of completion order.
     ``workers`` of ``None``, 0, or 1 runs serially in-process; larger
-    values fan out over a process pool (capped at the job count).  A
-    ``checkpoints`` store switches every job to checkpoint resume (see
-    :func:`execute_experiment`); workers inherit the store through the
-    forked address space, so nothing is pickled per job.
+    values fan out over a process pool (capped at the job count).
+
+    ``checkpoints`` switches every job to checkpoint resume (see
+    :func:`execute_experiment`); it may be a live
+    :class:`CheckpointStore` (under ``fork``, workers inherit it for
+    free) or the directory of a persisted store, which each worker loads
+    from disk — the spawn-safe, cross-process form.
+
+    ``on_record`` streams each record back in job order as soon as it
+    (and every earlier job) has completed, and the function returns
+    ``None`` — no record list is retained, which is the memory bound
+    out-of-core campaigns rely on.  Without it, the full record list is
+    returned.  ``start_method`` forces a specific multiprocessing start
+    method (tests use ``"spawn"`` to exercise the no-fork path).
     """
     if not jobs:
-        return []
-    # Group same-scenario jobs into contiguous runs (stable, so records
-    # can be scattered back into submission order afterwards).
-    order = sorted(range(len(jobs)), key=lambda i: jobs[i][0])
-    grouped = [jobs[i] for i in order]
-    context = _fork_context() if workers and workers > 1 else None
+        return None if on_record is not None else []
+    context = _pool_context(start_method) if workers and workers > 1 \
+        else None
+    if context is not None and context.get_start_method() != "fork" \
+            and not _picklable(scenarios, config, checkpoints):
+        context = None
+
     if context is None:
+        local_store = _resolve_checkpoints(checkpoints)
         by_name = {s.name: s for s in scenarios}
-        outputs = [execute_experiment(by_name[name], config, fault,
-                                      checkpoints)
-                   for name, fault in grouped]
+        if on_record is not None:
+            # Serial streaming: execute in submission order, flush each
+            # record immediately — nothing is retained here.
+            for name, fault in jobs:
+                on_record(execute_experiment(by_name[name], config, fault,
+                                             local_store))
+            return None
+        order = _grouped_order(jobs)
+        outputs = [execute_experiment(by_name[jobs[i][0]], config,
+                                      jobs[i][1], local_store)
+                   for i in order]
+        records: list[ExperimentRecord | None] = [None] * len(jobs)
+        for slot, record in zip(order, outputs):
+            records[slot] = record
+        return records
+
+    order = _grouped_order(jobs)
+    grouped = [jobs[i] for i in order]
+    workers = min(workers, len(jobs))
+    chunksize = max(1, len(jobs) // (workers * 4))
+    records = None if on_record is not None else [None] * len(jobs)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                             initializer=_init_worker,
+                             initargs=(scenarios, config,
+                                       checkpoints)) as pool:
+        if on_record is None:
+            for slot, record in zip(order,
+                                    pool.map(_run_job, grouped,
+                                             chunksize=chunksize)):
+                records[slot] = record
+            return records
+        # Stream in submission order while results arrive in grouped
+        # order: park out-of-order records in a reorder buffer and
+        # flush every contiguous run as its head completes.  Group
+        # ordering above keeps the buffer small in the common case.
+        pending: dict[int, ExperimentRecord] = {}
+        emit_next = 0
+        for slot, record in zip(order, pool.map(_run_job, grouped,
+                                                chunksize=chunksize)):
+            pending[slot] = record
+            while emit_next in pending:
+                on_record(pending.pop(emit_next))
+                emit_next += 1
+        assert not pending, "reorder buffer must drain"
+    return None
+
+
+def collect_golden_runs(scenarios: list[Scenario],
+                        config: "CampaignConfig",
+                        capture_ticks: dict[str, list[int] | None]
+                        | None = None,
+                        workers: int | None = None,
+                        start_method: str | None = None
+                        ) -> dict[str, RunResult]:
+    """Fault-free reference runs of ``scenarios``, optionally sharded.
+
+    Each scenario's golden run is independent, so collection fans over
+    the process pool the same way validation does; results return keyed
+    by scenario name with the mapping's insertion order matching
+    ``scenarios`` — identical to the serial loop.  ``capture_ticks``
+    maps scenario names to the checkpoint ladders to capture during the
+    run (absent/None means capture nothing); the returned
+    :class:`RunResult` objects carry the captured checkpoints, which
+    pickle back to the parent across any start method.
+    """
+    capture_ticks = capture_ticks or {}
+    jobs = [(s.name, tuple(capture_ticks[s.name])
+             if capture_ticks.get(s.name) is not None else None)
+            for s in scenarios]
+    context = _pool_context(start_method) \
+        if workers and workers > 1 and len(scenarios) > 1 else None
+    if context is not None and context.get_start_method() != "fork" \
+            and not _picklable(scenarios, config):
+        context = None
+    if context is None:
+        runs = [_golden_run(s, config,
+                            list(ticks) if ticks is not None else None)
+                for s, (_, ticks) in zip(scenarios, jobs)]
     else:
-        workers = min(workers, len(jobs))
-        chunksize = max(1, len(jobs) // (workers * 4))
+        workers = min(workers, len(scenarios))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                                 initializer=_init_worker,
-                                 initargs=(scenarios, config,
-                                           checkpoints)) as pool:
-            outputs = list(pool.map(_run_job, grouped, chunksize=chunksize))
-    records: list[ExperimentRecord | None] = [None] * len(jobs)
-    for slot, record in zip(order, outputs):
-        records[slot] = record
-    return records
+                                 initializer=_init_golden_worker,
+                                 initargs=(scenarios, config)) as pool:
+            runs = list(pool.map(_run_golden_job, jobs, chunksize=1))
+    return {s.name: run for s, run in zip(scenarios, runs)}

@@ -8,12 +8,21 @@ Golden traces persist too (:func:`save_golden_traces`), keyed by a
 fingerprint of everything that determines them — ADS and safety
 configuration, seed, and the scenario set — so incremental campaigns can
 warm-start training and mining from disk instead of re-simulating.
+
+For out-of-core campaigns :class:`JsonlRecordSink` streams one record
+per line as futures complete; :func:`iter_records_jsonl` /
+:func:`load_summary_jsonl` read the stream back without ever holding
+every record at once.  All record serialization is strict-JSON safe:
+non-finite floats (the ``inf`` safety potentials of unobstructed runs,
+or NaNs from degenerate kinematics) are encoded as the strings
+``"Infinity"``/``"-Infinity"``/``"NaN"`` and decoded losslessly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 from pathlib import Path
 
 from ..sim.trace import Trace
@@ -21,32 +30,124 @@ from .bayesian_fi import CandidateFault
 from .results import CampaignSummary, ExperimentRecord, Hazard
 from .simulate import RunResult
 
+#: String spellings for the three non-finite doubles.  Plain ``repr``
+#: floats stay floats, so finite values round-trip bit-for-bit.
+_NONFINITE_TO_STR = {math.inf: "Infinity", -math.inf: "-Infinity"}
+_STR_TO_NONFINITE = {"Infinity": math.inf, "-Infinity": -math.inf,
+                     "NaN": math.nan}
+
+
+def encode_float(value: float) -> float | str:
+    """A strict-JSON-safe spelling of ``value`` (non-finite -> string)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return _NONFINITE_TO_STR[value]
+    return value
+
+
+def decode_float(value: float | str) -> float:
+    """Inverse of :func:`encode_float` (also accepts legacy raw floats)."""
+    if isinstance(value, str):
+        try:
+            return _STR_TO_NONFINITE[value]
+        except KeyError:
+            raise ValueError(f"not a float encoding: {value!r}") from None
+    return float(value)
+
 
 def record_to_dict(record: ExperimentRecord) -> dict:
-    """Flatten one experiment record to JSON-safe types."""
+    """Flatten one experiment record to strict-JSON-safe types."""
     return {
         "scenario": record.scenario,
         "injection_tick": record.injection_tick,
         "variable": record.variable,
-        "value": record.value,
+        "value": encode_float(record.value),
         "duration_ticks": record.duration_ticks,
         "seed": record.seed,
         "hazard": record.hazard.value,
         "landed": record.landed,
-        "pre_delta_long": record.pre_delta_long,
-        "pre_delta_lat": record.pre_delta_lat,
-        "min_delta_long": record.min_delta_long,
-        "min_delta_lat": record.min_delta_lat,
-        "sim_seconds": record.sim_seconds,
-        "wall_seconds": record.wall_seconds,
+        "pre_delta_long": encode_float(record.pre_delta_long),
+        "pre_delta_lat": encode_float(record.pre_delta_lat),
+        "min_delta_long": encode_float(record.min_delta_long),
+        "min_delta_lat": encode_float(record.min_delta_lat),
+        "sim_seconds": encode_float(record.sim_seconds),
+        "wall_seconds": encode_float(record.wall_seconds),
     }
+
+
+_RECORD_FLOAT_FIELDS = ("value", "pre_delta_long", "pre_delta_lat",
+                        "min_delta_long", "min_delta_lat", "sim_seconds",
+                        "wall_seconds")
 
 
 def record_from_dict(data: dict) -> ExperimentRecord:
     """Inverse of :func:`record_to_dict`."""
     fields = dict(data)
     fields["hazard"] = Hazard(fields["hazard"])
+    for name in _RECORD_FLOAT_FIELDS:
+        fields[name] = decode_float(fields[name])
     return ExperimentRecord(**fields)
+
+
+class JsonlRecordSink:
+    """Streams experiment records to a JSON-lines file, one per ``add``.
+
+    The out-of-core counterpart of :class:`repro.core.results.ListSink`:
+    records flush incrementally as campaign futures complete, so peak
+    memory is independent of campaign size.  Usable as a context
+    manager; :func:`iter_records_jsonl` reads the stream back.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        self.count = 0
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one record as a JSON line and flush it to the OS."""
+        if self._file is None:
+            raise ValueError(f"sink {self.path} is closed")
+        json.dump(record_to_dict(record), self._file, allow_nan=False,
+                  separators=(",", ":"))
+        self._file.write("\n")
+        self._file.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlRecordSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_records_jsonl(path: str | Path):
+    """Yield :class:`ExperimentRecord` from a JSONL stream, one at a time."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))
+
+
+def load_summary_jsonl(path: str | Path,
+                       keep_records: bool = True) -> CampaignSummary:
+    """Aggregate a JSONL record stream into a :class:`CampaignSummary`.
+
+    With ``keep_records=False`` the load itself is out-of-core: each
+    record is folded into the aggregates and dropped.
+    """
+    summary = CampaignSummary(keep_records=keep_records)
+    for record in iter_records_jsonl(path):
+        summary.add(record)
+    return summary
 
 
 def save_summary(summary: CampaignSummary, path: str | Path) -> None:
@@ -100,8 +201,10 @@ def config_fingerprint(ads_config, safety_config, seed: int,
 def run_result_to_dict(run: RunResult) -> dict:
     """Flatten one golden run (trace included) to JSON-safe types.
 
-    Checkpoints are deliberately not persisted: they embed live RNG and
-    filter state that is cheap to regenerate and expensive to store.
+    Checkpoints are not part of this payload: they embed live RNG and
+    filter state that JSON spells poorly.  They persist separately as
+    per-scenario pickles via
+    :meth:`repro.core.checkpoint.CheckpointStore.save`.
     """
     arrays = run.trace.as_arrays()
     return {

@@ -1,10 +1,21 @@
-"""Experiment records and campaign summaries."""
+"""Experiment records, record sinks, and campaign summaries.
+
+:class:`CampaignSummary` aggregates *incrementally*: every statistic it
+exposes (totals, hazard breakdowns, per-variable tables, hazardous
+scenes) is maintained by :meth:`CampaignSummary.add` as records arrive,
+so streamed out-of-core campaigns can drop each record after feeding it
+in and still report the same numbers as an in-memory run.  By default
+records are also retained on ``.records`` for compatibility with
+persistence and the analysis helpers; ``keep_records=False`` bounds the
+summary's memory at O(variables + hazardous scenes) regardless of
+campaign size.
+"""
 
 from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class Hazard(enum.Enum):
@@ -57,58 +68,121 @@ class ExperimentRecord:
         return self.pre_delta_long > 0.0 and self.pre_delta_lat > 0.0
 
 
-@dataclass
-class CampaignSummary:
-    """Aggregate statistics of a list of experiment records."""
+class ListSink:
+    """The default record sink: an in-memory list.
 
-    records: list[ExperimentRecord] = field(default_factory=list)
+    Any object with an ``add(record)`` method is a valid sink;
+    :class:`repro.core.persistence.JsonlRecordSink` streams to disk
+    instead for out-of-core campaigns.
+    """
+
+    def __init__(self):
+        self.records: list[ExperimentRecord] = []
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records.append(record)
+
+
+class CampaignSummary:
+    """Aggregate statistics of a stream (or list) of experiment records.
+
+    Statistics are maintained incrementally by :meth:`add`; constructing
+    with ``records=[...]`` simply feeds them through.  With
+    ``keep_records=False`` the records themselves are not retained —
+    the memory bound streamed campaigns rely on — and ``.records`` stays
+    empty while every aggregate still reflects the full stream.
+    """
+
+    def __init__(self, records: list[ExperimentRecord] | None = None,
+                 keep_records: bool = True):
+        self.keep_records = keep_records
+        self.records: list[ExperimentRecord] = []
+        self._total = 0
+        self._hazards = 0
+        self._landed = 0
+        self._wall_seconds = 0.0
+        self._hazard_counts: Counter = Counter()
+        self._hazards_by_variable: Counter = Counter()
+        self._experiments_by_variable: Counter = Counter()
+        self._hazardous_scenes: set[tuple[str, int]] = set()
+        for record in records or []:
+            self.add(record)
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Fold one record into every aggregate (and retain it if kept)."""
+        self._total += 1
+        self._wall_seconds += record.wall_seconds
+        self._experiments_by_variable[record.variable] += 1
+        self._hazard_counts[record.hazard.value] += 1
+        if record.landed:
+            self._landed += 1
+        if record.hazardous:
+            self._hazards += 1
+            self._hazards_by_variable[record.variable] += 1
+            self._hazardous_scenes.add((record.scenario,
+                                        record.injection_tick))
+        if self.keep_records:
+            self.records.append(record)
+
+    def __repr__(self) -> str:
+        return (f"CampaignSummary(total={self._total}, "
+                f"hazards={self._hazards}, "
+                f"keep_records={self.keep_records})")
 
     @property
     def total(self) -> int:
         """Number of experiments."""
-        return len(self.records)
+        return self._total
 
     @property
     def hazards(self) -> int:
         """Experiments ending in any hazard."""
-        return sum(1 for r in self.records if r.hazardous)
+        return self._hazards
 
     @property
     def hazard_rate(self) -> float:
         """Fraction of experiments ending in a hazard."""
-        return self.hazards / self.total if self.total else 0.0
+        return self._hazards / self._total if self._total else 0.0
 
     @property
     def landed(self) -> int:
         """Experiments whose corruption touched a payload."""
-        return sum(1 for r in self.records if r.landed)
+        return self._landed
 
     @property
     def wall_seconds(self) -> float:
         """Total host time across experiments."""
-        return sum(r.wall_seconds for r in self.records)
+        return self._wall_seconds
 
     def hazard_breakdown(self) -> dict[str, int]:
         """Counts per hazard class."""
-        counts = Counter(r.hazard.value for r in self.records)
-        return dict(counts)
+        return dict(self._hazard_counts)
 
     def hazards_by_variable(self) -> dict[str, int]:
         """Hazard counts grouped by injected variable (for E3)."""
-        counts: Counter = Counter()
-        for record in self.records:
-            if record.hazardous:
-                counts[record.variable] += 1
-        return dict(counts)
+        return dict(self._hazards_by_variable)
 
     def experiments_by_variable(self) -> dict[str, int]:
         """Experiment counts grouped by injected variable."""
-        counts: Counter = Counter()
-        for record in self.records:
-            counts[record.variable] += 1
-        return dict(counts)
+        return dict(self._experiments_by_variable)
 
     def hazardous_scenes(self) -> set[tuple[str, int]]:
         """Distinct (scenario, tick) scenes where hazards manifested."""
-        return {(r.scenario, r.injection_tick)
-                for r in self.records if r.hazardous}
+        return set(self._hazardous_scenes)
+
+    def same_aggregates(self, other: "CampaignSummary") -> bool:
+        """True when every aggregate statistic matches ``other``.
+
+        The equivalence streamed campaigns are held to: a summary that
+        dropped its records must still agree with the in-memory one on
+        everything it reports.
+        """
+        return (self.total == other.total
+                and self.hazards == other.hazards
+                and self.landed == other.landed
+                and self.hazard_breakdown() == other.hazard_breakdown()
+                and self.hazards_by_variable()
+                == other.hazards_by_variable()
+                and self.experiments_by_variable()
+                == other.experiments_by_variable()
+                and self.hazardous_scenes() == other.hazardous_scenes())

@@ -13,7 +13,8 @@ from .scenario import (Scenario, adjacent_traffic, braking_lead,
                        highway_cruise, lead_vehicle_cutin, merging_traffic,
                        scenario_by_name, stalled_vehicle, stop_and_go,
                        two_lead_reveal)
-from .scenegen import Scene, SceneGenerator
+from .scenegen import (Scene, SceneGenerator, occluded_pedestrian,
+                       overtake_cutin, queued_traffic, scripted_templates)
 from .trace import Trace
 from .vehicle import Vehicle, VehicleParameters
 from .world import World, WorldSnapshot
@@ -56,5 +57,9 @@ __all__ = [
     "crossing_pedestrian",
     "Scene",
     "SceneGenerator",
+    "overtake_cutin",
+    "queued_traffic",
+    "occluded_pedestrian",
+    "scripted_templates",
     "Trace",
 ]

@@ -5,15 +5,21 @@ traffic.  The library covers the situations the paper's examples and
 campaigns exercise: free cruise, car following, the Example-1 cut-in, the
 Example-2 Tesla-like two-lead reveal, a hard-braking lead, stop-and-go
 traffic, and a stalled vehicle.
+
+Builders are :func:`functools.partial` bindings of module-level build
+functions rather than closures, so ``Scenario`` objects pickle: process
+pools can receive them under any start method (``spawn`` included), and
+sharded golden-run collection can ship them to workers instead of relying
+on ``fork`` inheritance.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 from .npc import LaneChangeCommand, NPCVehicle, SpeedCommand
-from .road import Road
 from .world import World
 
 
@@ -30,11 +36,22 @@ class Scenario:
         return self.build()
 
 
+def _build_empty_road(ego_speed: float) -> World:
+    return World.on_highway(ego_speed=ego_speed)
+
+
 def empty_road(ego_speed: float = 30.0) -> Scenario:
     """Free cruise with no traffic."""
-    def build() -> World:
-        return World.on_highway(ego_speed=ego_speed)
-    return Scenario("empty_road", build, duration=30.0)
+    return Scenario("empty_road", partial(_build_empty_road, ego_speed),
+                    duration=30.0)
+
+
+def _build_highway_cruise(ego_speed: float, lead_gap: float,
+                          lead_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    world.add_npc(NPCVehicle(npc_id=1, x=lead_gap,
+                             y=world.road.lane_center(1), v=lead_speed))
+    return world
 
 
 def highway_cruise(ego_speed: float = 30.0, lead_gap: float = 60.0,
@@ -42,13 +59,20 @@ def highway_cruise(ego_speed: float = 30.0, lead_gap: float = 60.0,
                    name: str = "highway_cruise") -> Scenario:
     """Steady car-following behind one lead vehicle."""
     lead_speed = ego_speed if lead_speed is None else lead_speed
+    return Scenario(name, partial(_build_highway_cruise, ego_speed,
+                                  lead_gap, lead_speed), duration=40.0)
 
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        world.add_npc(NPCVehicle(npc_id=1, x=lead_gap,
-                                 y=world.road.lane_center(1), v=lead_speed))
-        return world
-    return Scenario(name, build, duration=40.0)
+
+def _build_lead_vehicle_cutin(ego_speed: float, cutin_time: float,
+                              cutin_gap: float, cutin_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    ego_lane_y = world.road.lane_center(1)
+    npc = NPCVehicle(npc_id=1, x=cutin_gap,
+                     y=world.road.lane_center(2), v=cutin_speed)
+    npc.lane_commands.append(
+        LaneChangeCommand(t=cutin_time, target_y=ego_lane_y, duration=2.5))
+    world.add_npc(npc)
+    return world
 
 
 def lead_vehicle_cutin(ego_speed: float = 31.0, cutin_time: float = 4.0,
@@ -60,17 +84,25 @@ def lead_vehicle_cutin(ego_speed: float = 31.0, cutin_time: float = 4.0,
     the cut-in collapses the safety potential to a few metres, and a
     throttle fault injected at that instant tips it negative.
     """
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        ego_lane_y = world.road.lane_center(1)
-        npc = NPCVehicle(npc_id=1, x=cutin_gap,
-                         y=world.road.lane_center(2), v=cutin_speed)
-        npc.lane_commands.append(
-            LaneChangeCommand(t=cutin_time, target_y=ego_lane_y,
-                              duration=2.5))
-        world.add_npc(npc)
-        return world
-    return Scenario("lead_vehicle_cutin", build, duration=25.0)
+    return Scenario("lead_vehicle_cutin",
+                    partial(_build_lead_vehicle_cutin, ego_speed, cutin_time,
+                            cutin_gap, cutin_speed), duration=25.0)
+
+
+def _build_two_lead_reveal(ego_speed: float, first_gap: float,
+                           second_gap: float, reveal_time: float,
+                           first_speed: float, second_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    ego_lane_y = world.road.lane_center(1)
+    tv1 = NPCVehicle(npc_id=1, x=first_gap, y=ego_lane_y, v=first_speed)
+    tv1.lane_commands.append(
+        LaneChangeCommand(t=reveal_time, target_y=world.road.lane_center(2),
+                          duration=2.0))
+    tv1.speed_commands.append(SpeedCommand(t=reveal_time, target=38.0))
+    tv2 = NPCVehicle(npc_id=2, x=second_gap, y=ego_lane_y, v=second_speed)
+    world.add_npc(tv1)
+    world.add_npc(tv2)
+    return world
 
 
 def two_lead_reveal(ego_speed: float = 33.5, first_gap: float = 45.0,
@@ -85,75 +117,92 @@ def two_lead_reveal(ego_speed: float = 33.5, first_gap: float = 45.0,
     clean maximum-braking stop.  A brake-suppression or world-model fault
     during that braking reproduces the fatal crash.
     """
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        ego_lane_y = world.road.lane_center(1)
-        tv1 = NPCVehicle(npc_id=1, x=first_gap, y=ego_lane_y, v=first_speed)
-        tv1.lane_commands.append(
-            LaneChangeCommand(t=reveal_time,
-                              target_y=world.road.lane_center(2),
-                              duration=2.0))
-        tv1.speed_commands.append(SpeedCommand(t=reveal_time, target=38.0))
-        tv2 = NPCVehicle(npc_id=2, x=second_gap, y=ego_lane_y,
-                         v=second_speed)
-        world.add_npc(tv1)
-        world.add_npc(tv2)
-        return world
-    return Scenario("two_lead_reveal", build, duration=25.0)
+    return Scenario("two_lead_reveal",
+                    partial(_build_two_lead_reveal, ego_speed, first_gap,
+                            second_gap, reveal_time, first_speed,
+                            second_speed), duration=25.0)
+
+
+def _build_braking_lead(ego_speed: float, lead_gap: float, brake_time: float,
+                        final_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    npc = NPCVehicle(npc_id=1, x=lead_gap,
+                     y=world.road.lane_center(1), v=ego_speed)
+    npc.speed_commands.append(SpeedCommand(t=brake_time, target=final_speed))
+    npc.acceleration_limit = 6.0
+    world.add_npc(npc)
+    return world
 
 
 def braking_lead(ego_speed: float = 30.0, lead_gap: float = 55.0,
                  brake_time: float = 5.0,
                  final_speed: float = 8.0) -> Scenario:
     """A lead vehicle brakes hard mid-scenario."""
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        npc = NPCVehicle(npc_id=1, x=lead_gap,
-                         y=world.road.lane_center(1), v=ego_speed)
-        npc.speed_commands.append(SpeedCommand(t=brake_time,
-                                               target=final_speed))
-        npc.acceleration_limit = 6.0
-        world.add_npc(npc)
-        return world
-    return Scenario("braking_lead", build, duration=30.0)
+    return Scenario("braking_lead",
+                    partial(_build_braking_lead, ego_speed, lead_gap,
+                            brake_time, final_speed), duration=30.0)
+
+
+def _build_stop_and_go(ego_speed: float, lead_gap: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    npc = NPCVehicle(npc_id=1, x=lead_gap,
+                     y=world.road.lane_center(1), v=ego_speed)
+    for i, target in enumerate([8.0, 20.0, 5.0, 18.0, 10.0]):
+        npc.speed_commands.append(SpeedCommand(t=4.0 + 6.0 * i,
+                                               target=target))
+    world.add_npc(npc)
+    return world
 
 
 def stop_and_go(ego_speed: float = 22.0, lead_gap: float = 35.0) -> Scenario:
     """Oscillating congested traffic ahead of the ego."""
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        npc = NPCVehicle(npc_id=1, x=lead_gap,
-                         y=world.road.lane_center(1), v=ego_speed)
-        for i, target in enumerate([8.0, 20.0, 5.0, 18.0, 10.0]):
-            npc.speed_commands.append(SpeedCommand(t=4.0 + 6.0 * i,
-                                                   target=target))
-        world.add_npc(npc)
-        return world
-    return Scenario("stop_and_go", build, duration=40.0)
+    return Scenario("stop_and_go",
+                    partial(_build_stop_and_go, ego_speed, lead_gap),
+                    duration=40.0)
+
+
+def _build_stalled_vehicle(ego_speed: float, gap: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    world.add_npc(NPCVehicle(npc_id=1, x=gap,
+                             y=world.road.lane_center(1), v=0.0))
+    return world
 
 
 def stalled_vehicle(ego_speed: float = 30.0, gap: float = 160.0) -> Scenario:
     """A stopped vehicle far ahead in the ego lane."""
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        world.add_npc(NPCVehicle(npc_id=1, x=gap,
-                                 y=world.road.lane_center(1), v=0.0))
-        return world
-    return Scenario("stalled_vehicle", build, duration=30.0)
+    return Scenario("stalled_vehicle",
+                    partial(_build_stalled_vehicle, ego_speed, gap),
+                    duration=30.0)
+
+
+def _build_adjacent_traffic(ego_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    world.add_npc(NPCVehicle(npc_id=1, x=2.0,
+                             y=world.road.lane_center(0), v=ego_speed))
+    world.add_npc(NPCVehicle(npc_id=2, x=-3.0,
+                             y=world.road.lane_center(2), v=ego_speed))
+    world.add_npc(NPCVehicle(npc_id=3, x=70.0,
+                             y=world.road.lane_center(1), v=ego_speed))
+    return world
 
 
 def adjacent_traffic(ego_speed: float = 30.0) -> Scenario:
     """Vehicles in both adjacent lanes; a steering fault is hazardous."""
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        world.add_npc(NPCVehicle(npc_id=1, x=2.0,
-                                 y=world.road.lane_center(0), v=ego_speed))
-        world.add_npc(NPCVehicle(npc_id=2, x=-3.0,
-                                 y=world.road.lane_center(2), v=ego_speed))
-        world.add_npc(NPCVehicle(npc_id=3, x=70.0,
-                                 y=world.road.lane_center(1), v=ego_speed))
-        return world
-    return Scenario("adjacent_traffic", build, duration=30.0)
+    return Scenario("adjacent_traffic",
+                    partial(_build_adjacent_traffic, ego_speed),
+                    duration=30.0)
+
+
+def _build_merging_traffic(ego_speed: float, merge_time: float,
+                           merge_gap: float, merge_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    npc = NPCVehicle(npc_id=1, x=merge_gap,
+                     y=world.road.lane_center(0), v=merge_speed)
+    npc.lane_commands.append(
+        LaneChangeCommand(t=merge_time, target_y=world.road.lane_center(1),
+                          duration=3.0))
+    world.add_npc(npc)
+    return world
 
 
 def merging_traffic(ego_speed: float = 28.0, merge_time: float = 5.0,
@@ -165,17 +214,21 @@ def merging_traffic(ego_speed: float = 28.0, merge_time: float = 5.0,
     visibly lower speed, so the ADS has more anticipation but a larger
     speed differential to absorb.
     """
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        npc = NPCVehicle(npc_id=1, x=merge_gap,
-                         y=world.road.lane_center(0), v=merge_speed)
-        npc.lane_commands.append(
-            LaneChangeCommand(t=merge_time,
-                              target_y=world.road.lane_center(1),
-                              duration=3.0))
-        world.add_npc(npc)
-        return world
-    return Scenario("merging_traffic", build, duration=30.0)
+    return Scenario("merging_traffic",
+                    partial(_build_merging_traffic, ego_speed, merge_time,
+                            merge_gap, merge_speed), duration=30.0)
+
+
+def _build_crossing_pedestrian(ego_speed: float, cross_x: float,
+                               cross_time: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    pedestrian = NPCVehicle(npc_id=1, x=cross_x, y=-1.0, v=0.0,
+                            length=0.6, width=0.6)
+    pedestrian.lane_commands.append(
+        LaneChangeCommand(t=cross_time, target_y=world.road.width + 1.0,
+                          duration=9.0))
+    world.add_npc(pedestrian)
+    return world
 
 
 def crossing_pedestrian(ego_speed: float = 20.0, cross_x: float = 120.0,
@@ -186,17 +239,9 @@ def crossing_pedestrian(ego_speed: float = 20.0, cross_x: float = 120.0,
     exercises the small-object detection and hard-braking paths at urban
     speed.
     """
-    def build() -> World:
-        world = World.on_highway(ego_speed=ego_speed)
-        pedestrian = NPCVehicle(npc_id=1, x=cross_x, y=-1.0, v=0.0,
-                                length=0.6, width=0.6)
-        pedestrian.lane_commands.append(
-            LaneChangeCommand(t=cross_time,
-                              target_y=world.road.width + 1.0,
-                              duration=9.0))
-        world.add_npc(pedestrian)
-        return world
-    return Scenario("crossing_pedestrian", build, duration=25.0)
+    return Scenario("crossing_pedestrian",
+                    partial(_build_crossing_pedestrian, ego_speed, cross_x,
+                            cross_time), duration=25.0)
 
 
 def default_scenarios() -> list[Scenario]:

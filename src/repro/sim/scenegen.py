@@ -1,4 +1,4 @@
-"""Seeded random scene generation.
+"""Seeded random scene generation and scripted scenario templates.
 
 A *scene* (paper footnote 1: "a scene is represented by one camera frame")
 is a static snapshot of the world: ego speed and lane plus a set of target
@@ -6,17 +6,27 @@ vehicles.  The generator reproduces the paper's scene population shape —
 the vast majority of scenes have a comfortably positive safety potential,
 and a small tail (stopped or much slower traffic at short range) is
 safety-critical.
+
+The scripted *generator templates* at the bottom extend the core library
+in :mod:`repro.sim.scenario` with denser multi-vehicle situations (cut-in
+during an overtake, a stop-and-go queue, an occluded pedestrian crossing)
+so campaigns and benchmarks exercise a wider workload.  Like the core
+library they bind module-level build functions with ``functools.partial``,
+so the resulting :class:`~repro.sim.scenario.Scenario` objects pickle and
+ship to process-pool workers under any start method.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from .collision import Obstacle
-from .npc import NPCVehicle
+from .npc import LaneChangeCommand, NPCVehicle, SpeedCommand
 from .road import Road
+from .scenario import Scenario
 from .world import World
 
 
@@ -119,3 +129,122 @@ class SceneGenerator:
             x = float(rng.uniform(-60.0, 230.0))
         return Obstacle(obstacle_id=obstacle_id, x=x,
                         y=self.road.lane_center(lane), v=speed)
+
+
+# -- scripted scenario templates ---------------------------------------------
+
+
+def _build_overtake_cutin(ego_speed: float, lead_gap: float,
+                          lead_speed: float, cutin_time: float,
+                          cutin_gap: float, cutin_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    ego_lane_y = world.road.lane_center(1)
+    # The slow vehicle the ego is gaining on in its own lane.
+    world.add_npc(NPCVehicle(npc_id=1, x=lead_gap, y=ego_lane_y,
+                             v=lead_speed))
+    # The overtaker: faster traffic in the passing lane that swings into
+    # the shrinking gap between ego and lead mid-manoeuvre.
+    overtaker = NPCVehicle(npc_id=2, x=cutin_gap,
+                           y=world.road.lane_center(2), v=cutin_speed)
+    overtaker.lane_commands.append(
+        LaneChangeCommand(t=cutin_time, target_y=ego_lane_y, duration=2.5))
+    overtaker.speed_commands.append(
+        SpeedCommand(t=cutin_time + 2.5, target=lead_speed))
+    world.add_npc(overtaker)
+    return world
+
+
+def overtake_cutin(ego_speed: float = 31.0, lead_gap: float = 70.0,
+                   lead_speed: float = 24.0, cutin_time: float = 4.0,
+                   cutin_gap: float = 12.0,
+                   cutin_speed: float = 31.0) -> Scenario:
+    """A passing-lane vehicle cuts in while the ego closes on a slow lead.
+
+    Two pressures stack: the ego is already decelerating toward the slow
+    lead when the overtaker drops into the gap and matches the lead's
+    speed, collapsing the headway twice in quick succession.  Fault-free
+    the ADS absorbs both; a throttle or perception fault in the squeeze
+    window is critical.
+    """
+    return Scenario("overtake_cutin",
+                    partial(_build_overtake_cutin, ego_speed, lead_gap,
+                            lead_speed, cutin_time, cutin_gap, cutin_speed),
+                    duration=30.0)
+
+
+def _build_queued_traffic(ego_speed: float, queue_gap: float,
+                          queue_spacing: float, queue_length: int,
+                          crawl_speed: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    ego_lane_y = world.road.lane_center(1)
+    for i in range(queue_length):
+        npc = NPCVehicle(npc_id=i + 1, x=queue_gap + i * queue_spacing,
+                         y=ego_lane_y, v=crawl_speed)
+        # The queue compresses and relaxes: each member oscillates
+        # between crawl and near-stop, rear members slightly out of
+        # phase with the front — the accordion shape of real congestion.
+        for j, target in enumerate([2.0, crawl_speed, 1.0, crawl_speed]):
+            npc.speed_commands.append(
+                SpeedCommand(t=5.0 + 7.0 * j + 1.5 * i, target=target))
+        world.add_npc(npc)
+    return world
+
+
+def queued_traffic(ego_speed: float = 20.0, queue_gap: float = 70.0,
+                   queue_spacing: float = 14.0, queue_length: int = 3,
+                   crawl_speed: float = 9.0) -> Scenario:
+    """A stop-and-go queue: several vehicles crawling in accordion waves.
+
+    Unlike :func:`repro.sim.scenario.stop_and_go` (one oscillating lead)
+    the ego faces a column of vehicles whose compression waves travel
+    backwards, so the effective lead alternates between moving and nearly
+    stopped at short range.
+    """
+    return Scenario("queued_traffic",
+                    partial(_build_queued_traffic, ego_speed, queue_gap,
+                            queue_spacing, queue_length, crawl_speed),
+                    duration=40.0)
+
+
+def _build_occluded_pedestrian(ego_speed: float, lead_gap: float,
+                               lead_speed: float, cross_x: float,
+                               cross_time: float,
+                               cross_duration: float) -> World:
+    world = World.on_highway(ego_speed=ego_speed)
+    ego_lane_y = world.road.lane_center(1)
+    # The occluder: a lead vehicle the ego follows at moderate gap.
+    world.add_npc(NPCVehicle(npc_id=1, x=lead_gap, y=ego_lane_y,
+                             v=lead_speed))
+    # The pedestrian starts off-road below lane 0 and crosses upward
+    # through the lanes; it emerges from behind the lead's corridor only
+    # when already on the roadway.
+    pedestrian = NPCVehicle(npc_id=2, x=cross_x, y=-1.2, v=0.0,
+                            length=0.6, width=0.6)
+    pedestrian.lane_commands.append(
+        LaneChangeCommand(t=cross_time, target_y=world.road.width + 1.0,
+                          duration=cross_duration))
+    world.add_npc(pedestrian)
+    return world
+
+
+def occluded_pedestrian(ego_speed: float = 18.0, lead_gap: float = 30.0,
+                        lead_speed: float = 18.0, cross_x: float = 110.0,
+                        cross_time: float = 3.0,
+                        cross_duration: float = 10.0) -> Scenario:
+    """A pedestrian crosses ahead while the ego follows an occluding lead.
+
+    The urban variant of the two-lead reveal: the lead vehicle limits
+    sensor sight lines, so the crossing body enters the ego lane with far
+    less anticipation time than :func:`repro.sim.scenario.
+    crossing_pedestrian` allows.  Exercises small-object tracking plus
+    car-following at once.
+    """
+    return Scenario("occluded_pedestrian",
+                    partial(_build_occluded_pedestrian, ego_speed, lead_gap,
+                            lead_speed, cross_x, cross_time, cross_duration),
+                    duration=30.0)
+
+
+def scripted_templates() -> list[Scenario]:
+    """The scripted generator templates, one instance each."""
+    return [overtake_cutin(), queued_traffic(), occluded_pedestrian()]

@@ -37,6 +37,21 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "masked" in out
 
+    def test_random_record_out_streams_jsonl(self, tmp_path, capsys):
+        from repro.core.persistence import load_summary_jsonl
+        path = tmp_path / "records.jsonl"
+        assert main(["random", "-n", "3", "--record-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 records streamed" in out
+        summary = load_summary_jsonl(path)
+        assert summary.total == 3
+
+    def test_record_out_excludes_save(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["random", "-n", "2",
+                  "--record-out", str(tmp_path / "r.jsonl"),
+                  "--save", str(tmp_path / "r.json")])
+
     def test_scenes(self, capsys):
         assert main(["scenes", "-n", "150"]) == 0
         out = capsys.readouterr().out

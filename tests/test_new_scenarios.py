@@ -1,4 +1,5 @@
-"""Tests for the extended scenario library (merging, pedestrian)."""
+"""Tests for the extended scenario library (merging, pedestrian) and the
+scripted scenegen templates (overtake cut-in, queue, occluded crossing)."""
 
 from dataclasses import replace
 
@@ -6,7 +7,9 @@ import pytest
 
 from repro.ads import ADSConfig, PlannerConfig
 from repro.core import Hazard, run_scenario
-from repro.sim import crossing_pedestrian, merging_traffic
+from repro.sim import (crossing_pedestrian, merging_traffic,
+                       occluded_pedestrian, overtake_cutin, queued_traffic,
+                       scripted_templates)
 
 
 class TestMergingTraffic:
@@ -42,3 +45,50 @@ class TestCrossingPedestrian:
                                        cross_time=1.0)
         result = run_scenario(scenario, ads_config=config, seed=0)
         assert not result.collided
+
+
+class TestScriptedTemplates:
+    """The scenegen templates campaigns and benches register."""
+
+    @pytest.mark.parametrize("factory", [overtake_cutin, queued_traffic,
+                                         occluded_pedestrian])
+    def test_golden_run_is_hazard_free(self, factory):
+        result = run_scenario(factory(), seed=0)
+        assert result.hazard is Hazard.NONE, factory.__name__
+
+    @pytest.mark.parametrize("factory", [overtake_cutin, queued_traffic,
+                                         occluded_pedestrian])
+    def test_truncated_bench_duration_stays_safe(self, factory):
+        """Benches run the templates truncated to 20 s."""
+        result = run_scenario(replace(factory(), duration=20.0), seed=0)
+        assert result.hazard is Hazard.NONE, factory.__name__
+
+    def test_template_names_unique_and_registered(self):
+        templates = scripted_templates()
+        names = [t.name for t in templates]
+        assert len(set(names)) == len(names) == 3
+
+    def test_overtaker_reaches_ego_lane(self):
+        world = overtake_cutin(cutin_time=1.0).make_world()
+        ego_lane_y = world.road.lane_center(1)
+        start_y = world.npcs[1].y
+        for _ in range(120):
+            world.step(0.0, 0.0, 0.0, 0.05)
+        assert abs(world.npcs[1].y - ego_lane_y) < abs(start_y - ego_lane_y)
+
+    def test_queue_compresses(self):
+        """Queue members near-stop during the scripted accordion wave."""
+        world = queued_traffic().make_world()
+        slowest = float("inf")
+        for _ in range(600):
+            world.step(0.0, 0.0, 0.0, 0.05)
+            slowest = min(slowest, min(npc.v for npc in world.npcs))
+        assert slowest < 3.0
+
+    def test_occluded_pedestrian_enters_roadway(self):
+        world = occluded_pedestrian(cross_time=0.5).make_world()
+        pedestrian = world.npcs[1]
+        assert pedestrian.y < 0.0   # starts off-road
+        for _ in range(250):
+            world.step(0.0, 0.0, 0.0, 0.05)
+        assert pedestrian.y > 0.0   # crossing the lanes
