@@ -9,6 +9,13 @@ Commands mirror the paper's campaigns:
 * ``exhaustive``— strided sample of the min/max grid
 * ``inject``    — one hand-specified fault
 * ``scenes``    — the E4 scene-population delta distribution
+* ``merge``     — fold sharded campaign record streams into one summary
+
+Campaign commands run on the streaming per-scenario pipeline by default
+(``--no-pipeline`` keeps the barrier reference path) and shard across
+hosts with ``--shard-index/--shard-count``: each shard validates its
+partition, streams records to its own ``--record-out`` file, and
+``repro merge`` folds the shard streams back together.
 """
 
 from __future__ import annotations
@@ -42,17 +49,33 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(the reference oracle) instead of "
                             "checkpoint resume")
 
+    campaign = argparse.ArgumentParser(add_help=False)
+    campaign.add_argument("--shard-index", type=int, default=0,
+                          help="this host's shard (0-based); shard i "
+                               "owns every scenario with index %% "
+                               "shard-count == i")
+    campaign.add_argument("--shard-count", type=int, default=1,
+                          help="total shards the campaign is split "
+                               "across (default 1: unsharded)")
+    campaign.add_argument("--progress", action="store_true",
+                          help="log per-stage progress (golden/mined/"
+                               "validated counts) to stderr")
+    campaign.add_argument("--no-pipeline", action="store_true",
+                          help="run the barrier reference path instead "
+                               "of the streaming per-scenario pipeline")
+
     workers_help = ("processes for golden-run collection and experiment "
                     "validation (default serial)")
-    record_out_help = ("stream experiment records to a JSONL file as they "
-                       "complete instead of holding them in memory")
+    record_out_help = ("stream experiment records to a JSONL file "
+                       "(gzip if it ends in .gz) as they complete "
+                       "instead of holding them in memory")
 
     golden_cmd = sub.add_parser("golden", parents=[cache],
                                 help="fault-free runs and safety margins")
     golden_cmd.add_argument("--workers", type=int, default=None,
                             help="processes for golden-run collection")
 
-    random_cmd = sub.add_parser("random", parents=[cache],
+    random_cmd = sub.add_parser("random", parents=[cache, campaign],
                                 help="random output corruption")
     random_cmd.add_argument("-n", type=int, default=100,
                             help="number of experiments")
@@ -63,7 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     random_cmd.add_argument("--record-out", default=None,
                             help=record_out_help)
 
-    arch_cmd = sub.add_parser("arch", parents=[cache],
+    arch_cmd = sub.add_parser("arch", parents=[cache, campaign],
                               help="random architectural faults")
     arch_cmd.add_argument("-n", type=int, default=200,
                           help="number of register flips")
@@ -73,7 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     arch_cmd.add_argument("--record-out", default=None,
                           help=record_out_help)
 
-    bayes_cmd = sub.add_parser("bayesian", parents=[cache],
+    bayes_cmd = sub.add_parser("bayesian", parents=[cache, campaign],
                                help="mine + validate F_crit")
     bayes_cmd.add_argument("--top-k", type=int, default=None,
                            help="validate only the k most critical")
@@ -88,7 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bayes_cmd.add_argument("--record-out", default=None,
                            help=record_out_help)
 
-    grid_cmd = sub.add_parser("exhaustive", parents=[cache],
+    grid_cmd = sub.add_parser("exhaustive", parents=[cache, campaign],
                               help="min/max grid sample")
     grid_cmd.add_argument("--stride", type=int, default=25,
                           help="planner ticks between injections")
@@ -112,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
     scenes_cmd = sub.add_parser("scenes", help="scene delta distribution")
     scenes_cmd.add_argument("-n", type=int, default=7200)
     scenes_cmd.add_argument("--seed", type=int, default=42)
+
+    merge_cmd = sub.add_parser(
+        "merge", help="fold sharded record streams into one summary")
+    merge_cmd.add_argument("shards", nargs="+",
+                           help="per-shard --record-out files "
+                                "(.jsonl or .jsonl.gz), in shard order")
+    merge_cmd.add_argument("--out", default=None,
+                           help="also write the merged record stream "
+                                "(gzip if it ends in .gz)")
     return parser
 
 
@@ -149,11 +181,47 @@ def _close_sink(sink: "JsonlRecordSink | None") -> None:
         print(f"{sink.count} records streamed to {sink.path}")
 
 
+def _progress_printer():
+    """A PipelineProgress consumer that logs stage counts to stderr.
+
+    Validated-stage events arrive once per record, so they are thinned
+    to roughly 20 lines per campaign (the final count always prints).
+    """
+    def log(event):
+        total = event.total
+        if event.stage == "validated" and total:
+            step = max(1, total // 20)
+            if event.done % step and event.done != total:
+                return
+        shown = "?" if total is None else total
+        scenario = f" ({event.scenario})" if event.scenario else ""
+        print(f"[{event.stage}] {event.done}/{shown}{scenario}",
+              file=sys.stderr)
+    return log
+
+
+def _campaign_kwargs(args) -> dict:
+    """Pipeline/progress keywords shared by the campaign commands."""
+    kwargs = {"pipeline": not getattr(args, "no_pipeline", False)}
+    if getattr(args, "progress", False):
+        kwargs["on_progress"] = _progress_printer()
+    return kwargs
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    config = CampaignConfig(
-        use_checkpoints=not getattr(args, "no_checkpoints", False))
+    if getattr(args, "shard_count", 1) > 1 \
+            and getattr(args, "no_pipeline", False):
+        raise SystemExit("--shard-index/--shard-count need the streaming "
+                         "driver; drop --no-pipeline")
+    try:
+        config = CampaignConfig(
+            use_checkpoints=not getattr(args, "no_checkpoints", False),
+            shard_index=getattr(args, "shard_index", 0),
+            shard_count=getattr(args, "shard_count", 1))
+    except ValueError as error:     # e.g. shard_index out of range
+        raise SystemExit(f"error: {error}")
     campaign = Campaign(config=config,
                         cache_dir=getattr(args, "cache_dir", None))
 
@@ -164,7 +232,8 @@ def main(argv: list[str] | None = None) -> int:
         sink = _open_sink(args)
         summary = campaign.random_campaign(args.n, seed=args.seed,
                                            workers=args.workers,
-                                           record_sink=sink)
+                                           record_sink=sink,
+                                           **_campaign_kwargs(args))
         _print_summary(summary, "random campaign")
         _close_sink(sink)
         if args.save:
@@ -173,7 +242,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "arch":
         sink = _open_sink(args)
         summary, outcomes = campaign.architectural_campaign(
-            args.n, seed=args.seed, workers=args.workers, record_sink=sink)
+            args.n, seed=args.seed, workers=args.workers, record_sink=sink,
+            **_campaign_kwargs(args))
         print(ascii_table(["outcome", "count"],
                           sorted(outcomes.items())))
         _print_summary(summary, "driven SDC experiments")
@@ -183,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         result = campaign.bayesian_campaign(
             top_k=args.top_k, threshold=args.threshold,
             use_batched=not args.scalar_miner, workers=args.workers,
-            record_sink=sink)
+            record_sink=sink, **_campaign_kwargs(args))
         print(f"scored {result.mining.n_scored} candidate faults over "
               f"{result.mining.n_scenes} scenes in "
               f"{result.mining.wall_seconds:.1f}s")
@@ -199,13 +269,24 @@ def main(argv: list[str] | None = None) -> int:
         summary = campaign.exhaustive_campaign(tick_stride=args.stride,
                                                max_experiments=args.max,
                                                workers=args.workers,
-                                               record_sink=sink)
+                                               record_sink=sink,
+                                               **_campaign_kwargs(args))
         _print_summary(summary, "grid sample")
-        print(f"full grid would be {campaign.grid_size()} experiments")
+        if config.shard_count == 1:
+            # grid_size needs every golden trace; a shard only has its
+            # own, so the global count is reported by unsharded runs.
+            print(f"full grid would be {campaign.grid_size()} experiments")
         _close_sink(sink)
         if args.save:
             save_summary(summary, args.save)
             print(f"records written to {args.save}")
+    elif args.command == "merge":
+        from .core.persistence import merge_record_shards
+        merged = merge_record_shards(args.shards, out_path=args.out)
+        print(f"merged {len(args.shards)} shard stream(s)")
+        _print_summary(merged, "merged campaign")
+        if args.out:
+            print(f"merged records written to {args.out}")
     elif args.command == "inject":
         fault = FaultSpec(args.variable, args.value, args.tick,
                           args.duration)

@@ -10,6 +10,8 @@ from .campaign import (BayesianCampaignResult, Campaign, CampaignConfig)
 from .checkpoint import Checkpoint, CheckpointStore
 from .parallel import (collect_golden_runs, execute_experiment,
                        run_experiments)
+from .pipeline import (CampaignPipeline, MiningPlan, PipelineProgress,
+                       PipelineResult, StagePlan)
 from .fault_models import (DEFAULT_VARIABLES, KERNEL_VARIABLE_MAP,
                            ArchFaultOutcome, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
@@ -68,4 +70,9 @@ __all__ = [
     "run_experiments",
     "collect_golden_runs",
     "ListSink",
+    "CampaignPipeline",
+    "StagePlan",
+    "MiningPlan",
+    "PipelineProgress",
+    "PipelineResult",
 ]

@@ -721,7 +721,28 @@ class BayesianFaultInjector:
         """
         report = MiningReport(n_scenes=len(scenes))
         start = time.perf_counter()
+        critical, report.n_scored = self._mine_batched(
+            scenes, variables, threshold, fuse_nodes)
+        critical.sort(key=lambda c: c.predicted_minimum)
+        if top_k is not None:
+            critical = critical[:top_k]
+        report.n_critical = len(critical)
+        report.wall_seconds = time.perf_counter() - start
+        return critical, report
+
+    def _mine_batched(self, scenes: list[SceneRow],
+                      variables: tuple[str, ...], threshold: float,
+                      fuse_nodes: bool
+                      ) -> tuple[list[CandidateFault], int]:
+        """Unsorted batched ``F_crit`` of ``scenes`` plus the scored count.
+
+        Candidates append scene-major, (variable, value)-minor — the
+        scalar loop's iteration order — so callers that concatenate
+        per-scenario results in scenario order and stable-sort by
+        ``predicted_minimum`` reproduce the global miner's output.
+        """
         critical: list[CandidateFault] = []
+        n_scored = 0
         safe = [scene for scene in scenes if scene.observed_safe]
         if safe:
             batch = _SceneBatch(safe)
@@ -763,7 +784,7 @@ class BayesianFaultInjector:
                     block = slice(k * batch.n, (k + 1) * batch.n)
                     combos.append((variable, value, delta_long[block],
                                    delta_lat[block]))
-                    report.n_scored += batch.n
+                    n_scored += batch.n
             minima = np.stack([np.minimum(d_long, d_lat)
                                for _, _, d_long, d_lat in combos])
             # nonzero on the transpose walks scene-major, combo-minor —
@@ -782,12 +803,7 @@ class BayesianFaultInjector:
                     predicted_delta_lat=float(d_lat[s_i]),
                     observed_delta_long=scene.observed_delta_long,
                     observed_delta_lat=scene.observed_delta_lat))
-        critical.sort(key=lambda c: c.predicted_minimum)
-        if top_k is not None:
-            critical = critical[:top_k]
-        report.n_critical = len(critical)
-        report.wall_seconds = time.perf_counter() - start
-        return critical, report
+        return critical, n_scored
 
     # -- mining ---------------------------------------------------------------
 
@@ -804,13 +820,27 @@ class BayesianFaultInjector:
         """
         report = MiningReport(n_scenes=len(scenes))
         start = time.perf_counter()
+        critical, report.n_scored = self._mine_scalar(scenes, variables,
+                                                      threshold)
+        critical.sort(key=lambda c: c.predicted_minimum)
+        if top_k is not None:
+            critical = critical[:top_k]
+        report.n_critical = len(critical)
+        report.wall_seconds = time.perf_counter() - start
+        return critical, report
+
+    def _mine_scalar(self, scenes: list[SceneRow],
+                     variables: tuple[str, ...], threshold: float
+                     ) -> tuple[list[CandidateFault], int]:
+        """Unsorted scalar-oracle ``F_crit`` plus the scored count."""
         critical: list[CandidateFault] = []
+        n_scored = 0
         for scene in scenes:
             if not scene.observed_safe:
                 continue
             for variable in variables:
                 for value in variable_by_name(variable).corruption_values():
-                    report.n_scored += 1
+                    n_scored += 1
                     potential = self.predicted_potential(scene, variable,
                                                          float(value))
                     if potential.minimum <= threshold:
@@ -823,9 +853,24 @@ class BayesianFaultInjector:
                             predicted_delta_lat=potential.lateral,
                             observed_delta_long=scene.observed_delta_long,
                             observed_delta_lat=scene.observed_delta_lat))
-        critical.sort(key=lambda c: c.predicted_minimum)
-        if top_k is not None:
-            critical = critical[:top_k]
-        report.n_critical = len(critical)
-        report.wall_seconds = time.perf_counter() - start
-        return critical, report
+        return critical, n_scored
+
+    def mine_scenario_candidates(
+            self, scenes: list[SceneRow],
+            variables: tuple[str, ...] = MINED_VARIABLES,
+            threshold: float = 0.0, use_batched: bool = True,
+            fuse_nodes: bool = True) -> tuple[list[CandidateFault], int]:
+        """Per-scenario mining entry point for the streaming pipeline.
+
+        Mines one scenario's scene rows in isolation — no global golden
+        dict required — returning the *unsorted* (scene-major append
+        order) critical candidates plus the number of (scene, variable,
+        value) combinations scored.  Concatenating per-scenario results
+        in campaign scenario order and stable-sorting the union by
+        ``predicted_minimum`` reproduces the global miner's candidate
+        list, which is the equivalence the pipeline driver relies on.
+        """
+        if use_batched:
+            return self._mine_batched(scenes, variables, threshold,
+                                      fuse_nodes)
+        return self._mine_scalar(scenes, variables, threshold)

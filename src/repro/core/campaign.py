@@ -53,6 +53,22 @@ class CampaignConfig:
     #: uncaptured ticks resume from the nearest earlier snapshot and
     #: replay the short fault-free gap.
     checkpoint_stride: int = 1
+    #: Cross-host sharding: this process owns every scenario whose index
+    #: satisfies ``index % shard_count == shard_index``.  The default
+    #: (0 of 1) is an unsharded campaign.  Sharded campaigns run on the
+    #: pipeline driver; see :mod:`repro.core.pipeline` for the exact
+    #: partition semantics per campaign style.
+    shard_index: int = 0
+    shard_count: int = 1
+
+    def __post_init__(self):
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, "
+                             f"got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}")
 
 
 class Campaign:
@@ -76,6 +92,10 @@ class Campaign:
         self.checkpoints = CheckpointStore()
         self._by_name = {s.name: s for s in self.scenarios}
         self._golden: dict[str, RunResult] | None = None
+        #: Shard-local golden subset memo (pipeline runs on a sharded
+        #: campaign collect only owned scenarios, so ``_golden`` — the
+        #: full set — stays unset).
+        self._golden_shard: dict[str, RunResult] | None = None
         self._ticks: dict[tuple[str, float, int], list[int]] = {}
 
     # -- golden runs -----------------------------------------------------------
@@ -113,23 +133,57 @@ class Campaign:
                 self._save_checkpoint_cache()
         return self._golden
 
+    # -- sharding --------------------------------------------------------------
+
+    def owns_scenario(self, index: int) -> bool:
+        """Does this shard own the scenario at ``index`` in the set?"""
+        return index % self.config.shard_count == self.config.shard_index
+
+    def owned_scenarios(self) -> list[Scenario]:
+        """The deterministic scenario partition of this shard.
+
+        Scenario ``i`` belongs to shard ``i % shard_count`` — a
+        round-robin split every shard can compute locally, so no
+        coordination is needed across hosts.  Unsharded campaigns own
+        everything.
+        """
+        return [s for i, s in enumerate(self.scenarios)
+                if self.owns_scenario(i)]
+
+    def _require_unsharded(self, style: str) -> None:
+        if self.config.shard_count > 1:
+            raise ValueError(
+                f"sharded campaigns run on the pipeline driver; call "
+                f"{style} with pipeline=True (or shard_count=1)")
+
     # -- checkpoint ladders ----------------------------------------------------
+
+    def schedule_injection_ticks(self, scenario: Scenario) -> list[int]:
+        """Eligible injection ticks derived from the *schedule*.
+
+        Planner ticks inside the injection window, computed without the
+        golden trace: a golden run that completes (no collision) records
+        exactly these ticks, which is what lets a shard reproduce the
+        global seeded fault draw without simulating foreign scenarios'
+        golden runs.  The pipeline driver asserts the equality for every
+        scenario a shard does simulate.
+        """
+        dt = self.config.ads.control_period
+        divisor = self.config.ads.planner_divisor
+        n_ticks = int(round(scenario.duration / dt))
+        return [t for t in range(0, n_ticks, divisor)
+                if self._in_window(t, scenario.duration)]
 
     def _capture_ticks(self, scenario: Scenario) -> list[int]:
         """Planner ticks to snapshot: the eligible injection ticks, strided.
 
         Derived from the schedule (not the golden trace, which may not
-        exist yet): planner ticks inside the injection window.  A tick
-        the run never reaches is simply not captured.
+        exist yet): a tick the run never reaches is simply not captured.
         """
-        dt = self.config.ads.control_period
-        divisor = self.config.ads.planner_divisor
-        n_ticks = int(round(scenario.duration / dt))
-        eligible = [t for t in range(0, n_ticks, divisor)
-                    if self._in_window(t, scenario.duration)]
+        eligible = self.schedule_injection_ticks(scenario)
         return eligible[::max(1, self.config.checkpoint_stride)]
 
-    def _ensure_checkpoints(self, scenario_names) -> None:
+    def _ensure_checkpoints(self, scenario_names, save: bool = True) -> None:
         """Fill in checkpoint ladders missing from the store.
 
         Needed when golden traces were warm-started from disk: ladders
@@ -160,7 +214,10 @@ class Campaign:
             if run.checkpoints:
                 self.checkpoints.add_all(run.checkpoints)
                 recaptured = True
-        if recaptured:
+        if recaptured and save:
+            # The batch path persists once for the whole job set; the
+            # pipeline passes save=False and persists per scenario
+            # (CheckpointStore.save_scenario) to keep ensure O(1).
             self._save_checkpoint_cache()
 
     # -- incremental-campaign cache --------------------------------------------
@@ -210,22 +267,42 @@ class Campaign:
             self.config.ads, self.config.safety, self.config.seed,
             (self._scenario_key(s) for s in self.scenarios))
 
-    def _golden_cache_path(self) -> Path | None:
+    def _shard_suffix(self) -> str:
+        """Cache-name qualifier isolating one shard's artifacts."""
+        if self.config.shard_count <= 1:
+            return ""
+        return (f"-shard{self.config.shard_index}"
+                f"of{self.config.shard_count}")
+
+    def _golden_cache_path(self, sharded: bool = False) -> Path | None:
+        """Golden-trace cache file (``sharded`` = this shard's subset only).
+
+        The full-set file is shared by unsharded campaigns and by plans
+        that collect every golden run (Bayesian training) — its writers
+        produce identical content and write atomically, so concurrent
+        shards are safe.  The sharded variant holds just the owned
+        scenarios, keyed per shard so the subsets never collide.
+        """
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"golden-{self._fingerprint()}.json"
+        suffix = self._shard_suffix() if sharded else ""
+        return self.cache_dir / f"golden-{self._fingerprint()}{suffix}.json"
 
     def _checkpoint_cache_dir(self) -> Path | None:
         """Directory of the persisted checkpoint store (None = no cache).
 
         Keyed by the campaign fingerprint plus the capture stride, so a
         stride change (a different ladder) rotates the directory the
-        same way any config change rotates the golden cache.
+        same way any config change rotates the golden cache.  Sharded
+        campaigns get a shard-qualified directory: each shard persists
+        only the ladders it validates with, and no two shard processes
+        write one index.
         """
         if self.cache_dir is None or not self.config.use_checkpoints:
             return None
         return (self.cache_dir / f"checkpoints-{self._fingerprint()}"
-                                 f"-s{max(1, self.config.checkpoint_stride)}")
+                                 f"-s{max(1, self.config.checkpoint_stride)}"
+                                 f"{self._shard_suffix()}")
 
     def _save_checkpoint_cache(self) -> None:
         directory = self._checkpoint_cache_dir()
@@ -257,11 +334,26 @@ class Campaign:
         """Scene population for mining: all golden planner instants."""
         rows = []
         for name, run in self.golden_runs().items():
-            duration = self._by_name[name].duration
-            for row in scene_rows_from_trace(name, run.trace):
-                if self._in_window(row.injection_tick, duration):
-                    rows.append(row)
+            rows.extend(self._scenario_scene_rows(self._by_name[name], run))
         return rows
+
+    def _scenario_scene_rows(self, scenario: Scenario,
+                             run: RunResult) -> list[SceneRow]:
+        """One scenario's mining scenes: its golden planner instants.
+
+        The per-scenario unit the streaming pipeline mines with — the
+        concatenation over scenarios in campaign order is exactly
+        :meth:`scene_rows`.
+        """
+        return [row for row in scene_rows_from_trace(scenario.name,
+                                                     run.trace)
+                if self._in_window(row.injection_tick, scenario.duration)]
+
+    def eligible_ticks_from_trace(self, run: RunResult,
+                                  duration: float) -> list[int]:
+        """Window-filtered planner ticks a golden run actually reached."""
+        ticks = [int(t) for t in run.trace.column("tick")]
+        return [t for t in ticks if self._in_window(t, duration)]
 
     def injection_ticks(self, scenario: Scenario,
                         stride: int = 1) -> list[int]:
@@ -275,9 +367,8 @@ class Campaign:
         cached = self._ticks.get(key)
         if cached is None:
             golden = self.golden_runs()[scenario.name]
-            ticks = [int(t) for t in golden.trace.column("tick")]
-            eligible = [t for t in ticks
-                        if self._in_window(t, scenario.duration)]
+            eligible = self.eligible_ticks_from_trace(golden,
+                                                      scenario.duration)
             cached = eligible[::stride]
             self._ticks[key] = cached
         return cached
@@ -308,7 +399,7 @@ class Campaign:
 
     def _run_jobs(self, jobs: list[ExperimentJob],
                   workers: int | None,
-                  record_sink=None) -> CampaignSummary:
+                  record_sink=None, on_progress=None) -> CampaignSummary:
         """Execute jobs (serially or pooled) into an incremental summary.
 
         Records stream back in job order as futures complete; each is
@@ -333,6 +424,8 @@ class Campaign:
             summary.add(record)
             if record_sink is not None:
                 record_sink.add(record)
+            self._progress(on_progress, "validated", record.scenario,
+                           summary.total, len(jobs))
 
         run_experiments(self.scenarios, self.config, jobs,
                         workers=workers, checkpoints=checkpoints,
@@ -341,10 +434,18 @@ class Campaign:
 
     # -- campaigns -----------------------------------------------------------------
 
+    def _run_pipeline(self, plan, workers, record_sink, on_progress):
+        from .pipeline import CampaignPipeline
+        return CampaignPipeline(self, workers=workers,
+                                record_sink=record_sink,
+                                on_progress=on_progress).run(plan)
+
     def random_campaign(self, n_experiments: int,
                         seed: int | None = None,
                         workers: int | None = None,
-                        record_sink=None) -> CampaignSummary:
+                        record_sink=None,
+                        pipeline: bool = True,
+                        on_progress=None) -> CampaignSummary:
         """Fault model (b), uniformly random (the paper's baseline).
 
         The fault draws are independent of the experiment outcomes, so
@@ -352,40 +453,94 @@ class Campaign:
         loop, keeping seeded campaigns reproducible) and the resulting
         jobs fanned over ``workers`` processes.  ``record_sink``
         streams records out as they complete instead of retaining them
-        in the summary.
+        in the summary.  ``pipeline`` (the default) runs on the
+        streaming per-scenario driver — record-for-record identical to
+        the barrier path, which ``pipeline=False`` preserves as the
+        reference oracle.
         """
+        if pipeline:
+            plan = self._random_plan(n_experiments, seed)
+            return self._run_pipeline(plan, workers, record_sink,
+                                      on_progress).summary
+        self._require_unsharded("random_campaign")
         self.golden_runs(workers=workers)
+        self._progress(on_progress, "golden", None, len(self.scenarios),
+                       len(self.scenarios))
+        jobs = self._random_jobs(n_experiments, seed,
+                                 self._require_injection_ticks)
+        return self._run_jobs(jobs, workers, record_sink, on_progress)
+
+    def _random_jobs(self, n_experiments: int, seed: int | None,
+                     ticks_of) -> list[ExperimentJob]:
+        """The seeded random draw, parametrized over the tick source.
+
+        ``ticks_of(name)`` supplies each scenario's eligible ticks; the
+        draw sequence itself (scenario choice, value, tick index) is
+        identical for any source that returns the same lists, which is
+        how a shard reproduces the global draw from schedule-derived
+        ticks without simulating foreign golden runs.
+        """
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         names = [s.name for s in self.scenarios]
         jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
-            ticks = self._require_injection_ticks(scenario_name)
             fault = random_fault(
-                rng, ticks, duration_ticks=self.config.fault_duration_ticks)
+                rng, ticks_of(scenario_name),
+                duration_ticks=self.config.fault_duration_ticks)
             jobs.append((scenario_name, fault))
-        return self._run_jobs(jobs, workers, record_sink)
+        return jobs
+
+    def _random_plan(self, n_experiments: int, seed: int | None):
+        from .pipeline import StagePlan
+
+        def global_jobs(ctx):
+            return self._random_jobs(
+                n_experiments, seed,
+                lambda name: ctx.injection_ticks(name, require=True))
+
+        return StagePlan(style="random", global_jobs=global_jobs)
+
+    @staticmethod
+    def _progress(on_progress, stage, scenario, done, total) -> None:
+        if on_progress is not None:
+            from .pipeline import PipelineProgress
+            on_progress(PipelineProgress(stage=stage, scenario=scenario,
+                                         done=done, total=total))
 
     def _require_injection_ticks(self, scenario_name: str) -> list[int]:
         """Eligible ticks of a scenario, with a clear error when empty."""
         ticks = self.injection_ticks(self._by_name[scenario_name])
         if not ticks:
-            config = self.config
-            raise ValueError(
-                f"scenario {scenario_name!r} has no eligible injection "
-                f"ticks: its duration leaves no planner tick between the "
-                f"{config.injection_window_start} s startup transient and "
-                f"the {config.injection_window_margin} s end margin")
+            raise self._no_ticks_error(scenario_name)
         return ticks
+
+    def _no_ticks_error(self, scenario_name: str) -> ValueError:
+        config = self.config
+        return ValueError(
+            f"scenario {scenario_name!r} has no eligible injection "
+            f"ticks: its duration leaves no planner tick between the "
+            f"{config.injection_window_start} s startup transient and "
+            f"the {config.injection_window_margin} s end margin")
 
     def exhaustive_campaign(self, tick_stride: int = 10,
                             variable_names: list[str] | None = None,
                             max_experiments: int | None = None,
                             workers: int | None = None,
-                            record_sink=None) -> CampaignSummary:
+                            record_sink=None,
+                            pipeline: bool = True,
+                            on_progress=None) -> CampaignSummary:
         """Fault model (b) on the min/max grid (strided subsample)."""
+        if pipeline:
+            plan = self._exhaustive_plan(tick_stride, variable_names,
+                                         max_experiments)
+            return self._run_pipeline(plan, workers, record_sink,
+                                      on_progress).summary
+        self._require_unsharded("exhaustive_campaign")
         self.golden_runs(workers=workers)
+        self._progress(on_progress, "golden", None, len(self.scenarios),
+                       len(self.scenarios))
         jobs: list[ExperimentJob] = []
         for scenario in self.scenarios:
             ticks = self.injection_ticks(scenario, stride=tick_stride)
@@ -396,7 +551,44 @@ class Campaign:
             if max_experiments is not None and len(jobs) >= max_experiments:
                 jobs = jobs[:max_experiments]
                 break
-        return self._run_jobs(jobs, workers, record_sink)
+        return self._run_jobs(jobs, workers, record_sink, on_progress)
+
+    def _exhaustive_plan(self, tick_stride: int,
+                         variable_names: list[str] | None,
+                         max_experiments: int | None):
+        from .pipeline import StagePlan
+        duration = self.config.fault_duration_ticks
+
+        if max_experiments is None:
+            # Truly per-scenario: a scenario's grid depends only on its
+            # own golden ticks, so validation of an early scenario
+            # overlaps golden collection of a late one.
+            def per_scenario(ctx, scenario):
+                ticks = ctx.injection_ticks(scenario.name,
+                                            stride=tick_stride)
+                grid = minmax_fault_grid(ticks, variable_names,
+                                         duration_ticks=duration)
+                return [(scenario.name, fault) for fault in grid]
+
+            return StagePlan(style="exhaustive",
+                             per_scenario_jobs=per_scenario)
+
+        # A global experiment cap consumes budget in scenario order, so
+        # job generation is a (documented) barrier on the tick lists.
+        def global_jobs(ctx):
+            jobs: list[ExperimentJob] = []
+            for scenario in self.scenarios:
+                ticks = ctx.injection_ticks(scenario.name,
+                                            stride=tick_stride)
+                grid = minmax_fault_grid(ticks, variable_names,
+                                         duration_ticks=duration)
+                jobs.extend((scenario.name, fault) for fault in grid)
+                if len(jobs) >= max_experiments:
+                    jobs = jobs[:max_experiments]
+                    break
+            return jobs
+
+        return StagePlan(style="exhaustive", global_jobs=global_jobs)
 
     def grid_size(self, variable_names: list[str] | None = None,
                   tick_stride: int = 1) -> int:
@@ -411,15 +603,38 @@ class Campaign:
                                model: ArchitecturalFaultModel | None = None,
                                seed: int | None = None,
                                workers: int | None = None,
-                               record_sink=None
+                               record_sink=None,
+                               pipeline: bool = True,
+                               on_progress=None
                                ) -> tuple[CampaignSummary, dict[str, int]]:
         """Fault model (a): register flips propagated into the stack.
 
         Returns the summary of *landed* (SDC) experiments plus the raw
         architectural outcome counts (masked flips and detectable
-        crashes/hangs never reach the vehicle, as in the paper).
+        crashes/hangs never reach the vehicle, as in the paper).  A
+        sharded campaign reproduces the *global* outcome counts on every
+        shard (the draw sequence is global); only the driven experiments
+        are partitioned.
         """
+        if pipeline:
+            plan = self._architectural_plan(n_experiments, model, seed)
+            outcome = self._run_pipeline(plan, workers, record_sink,
+                                         on_progress)
+            return outcome.summary, outcome.extras["outcome_counts"]
+        self._require_unsharded("architectural_campaign")
         self.golden_runs(workers=workers)
+        self._progress(on_progress, "golden", None, len(self.scenarios),
+                       len(self.scenarios))
+        jobs, outcome_counts = self._architectural_jobs(
+            n_experiments, model, seed, self._require_injection_ticks)
+        summary = self._run_jobs(jobs, workers, record_sink, on_progress)
+        return summary, outcome_counts
+
+    def _architectural_jobs(self, n_experiments: int,
+                            model: ArchitecturalFaultModel | None,
+                            seed: int | None, ticks_of
+                            ) -> tuple[list[ExperimentJob], dict[str, int]]:
+        """The seeded architectural draw, parametrized over tick source."""
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         model = model or ArchitecturalFaultModel()
@@ -428,14 +643,27 @@ class Campaign:
         jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
-            ticks = self._require_injection_ticks(scenario_name)
             arch = model.sample(
-                rng, ticks, duration_ticks=self.config.fault_duration_ticks)
+                rng, ticks_of(scenario_name),
+                duration_ticks=self.config.fault_duration_ticks)
             outcome_counts[arch.outcome.value] += 1
             if arch.fault is not None:
                 jobs.append((scenario_name, arch.fault))
-        summary = self._run_jobs(jobs, workers, record_sink)
-        return summary, outcome_counts
+        return jobs, outcome_counts
+
+    def _architectural_plan(self, n_experiments: int,
+                            model: ArchitecturalFaultModel | None,
+                            seed: int | None):
+        from .pipeline import StagePlan
+
+        def global_jobs(ctx):
+            jobs, outcome_counts = self._architectural_jobs(
+                n_experiments, model, seed,
+                lambda name: ctx.injection_ticks(name, require=True))
+            ctx.extras["outcome_counts"] = outcome_counts
+            return jobs
+
+        return StagePlan(style="architectural", global_jobs=global_jobs)
 
     def bayesian_campaign(self, injector: BayesianFaultInjector | None = None,
                           variables: tuple[str, ...] = MINED_VARIABLES,
@@ -443,7 +671,9 @@ class Campaign:
                           top_k: int | None = None,
                           use_batched: bool = True,
                           workers: int | None = None,
-                          record_sink=None
+                          record_sink=None,
+                          pipeline: bool = True,
+                          on_progress=None
                           ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
 
@@ -460,6 +690,18 @@ class Campaign:
         no explicit ``injector`` is passed — a caller-supplied model
         invalidates the cache key).
         """
+        if pipeline:
+            plan = self._bayesian_plan(injector, variables, threshold,
+                                       top_k, use_batched)
+            outcome = self._run_pipeline(plan, workers, record_sink,
+                                         on_progress)
+            return BayesianCampaignResult(
+                injector=outcome.extras["injector"],
+                candidates=outcome.extras["candidates"],
+                mining=outcome.extras["mining"],
+                summary=outcome.summary,
+                train_seconds=outcome.extras["train_seconds"])
+        self._require_unsharded("bayesian_campaign")
         train_start = time.perf_counter()
         caching = injector is None and self.cache_dir is not None
         if injector is None:
@@ -467,24 +709,16 @@ class Campaign:
                 list(self.golden_runs(workers=workers).values()),
                 safety_config=self.config.safety)
         train_seconds = time.perf_counter() - train_start
+        self._progress(on_progress, "golden", None, len(self.scenarios),
+                       len(self.scenarios))
         candidates = mining = None
         cache_path = (self._candidate_cache_path(variables, threshold,
                                                  top_k) if caching else None)
         if cache_path is not None and cache_path.exists():
-            from ..ads.variables import variable_by_name
-            from .persistence import load_candidates
-            candidates = load_candidates(cache_path)
-            # Reconstruct the cost accounting a fresh mining pass would
-            # report: every safe scene is scored once per corruption
-            # value of every variable.  Only wall_seconds stays 0 — the
-            # honest cost of a cache hit.
-            scenes = self.scene_rows()
-            safe = sum(1 for scene in scenes if scene.observed_safe)
-            per_scene = sum(len(variable_by_name(v).corruption_values())
-                            for v in variables)
-            mining = MiningReport(n_scenes=len(scenes),
-                                  n_scored=safe * per_scene,
-                                  n_critical=len(candidates))
+            from .persistence import try_load_candidates
+            candidates = try_load_candidates(cache_path)
+            if candidates is not None:
+                mining = self._cached_mining_report(candidates, variables)
         if candidates is None:
             mine = (injector.mine_critical_faults_batched if use_batched
                     else injector.mine_critical_faults)
@@ -495,15 +729,124 @@ class Campaign:
                 from .persistence import save_candidates
                 cache_path.parent.mkdir(parents=True, exist_ok=True)
                 save_candidates(candidates, cache_path)
+        self._progress(on_progress, "mined", None, len(self.scenarios),
+                       len(self.scenarios))
         jobs: list[ExperimentJob] = [
             (candidate.scenario,
              candidate.to_fault_spec(
                  duration_ticks=self.config.fault_duration_ticks))
             for candidate in candidates]
-        summary = self._run_jobs(jobs, workers, record_sink)
+        summary = self._run_jobs(jobs, workers, record_sink, on_progress)
         return BayesianCampaignResult(
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)
+
+    def _cached_mining_report(self, candidates, variables) -> MiningReport:
+        """Cost accounting a fresh mining pass over these scenes would
+        report: every safe scene is scored once per corruption value of
+        every variable.  Only ``wall_seconds`` stays 0 — the honest cost
+        of a candidate-cache hit.
+        """
+        from ..ads.variables import variable_by_name
+        scenes = self.scene_rows()
+        safe = sum(1 for scene in scenes if scene.observed_safe)
+        per_scene = sum(len(variable_by_name(v).corruption_values())
+                        for v in variables)
+        return MiningReport(n_scenes=len(scenes), n_scored=safe * per_scene,
+                            n_critical=len(candidates))
+
+    def _bayesian_plan(self, injector: BayesianFaultInjector | None,
+                       variables: tuple[str, ...], threshold: float,
+                       top_k: int | None, use_batched: bool):
+        from .pipeline import MiningPlan, StagePlan
+        caching = injector is None and self.cache_dir is not None
+        duration = self.config.fault_duration_ticks
+
+        def job_of(candidate: CandidateFault) -> ExperimentJob:
+            return (candidate.scenario,
+                    candidate.to_fault_spec(duration_ticks=duration))
+
+        def prepare(ctx):
+            """Train (all goldens are in), then try the candidate cache.
+
+            Returns the ready job entries on a cache hit, else ``None``
+            to request per-scenario mining.
+            """
+            train_start = time.perf_counter()
+            trained = injector
+            if trained is None:
+                trained = BayesianFaultInjector.train(
+                    list(ctx.golden.values()),
+                    safety_config=self.config.safety)
+            ctx.extras["injector"] = trained
+            ctx.extras["train_seconds"] = (time.perf_counter()
+                                           - train_start)
+            if not caching:
+                return None
+            cache_path = self._candidate_cache_path(variables, threshold,
+                                                    top_k)
+            if cache_path is None or not cache_path.exists():
+                return None
+            from .persistence import try_load_candidates
+            candidates = try_load_candidates(cache_path)
+            if candidates is None:
+                return None                       # unreadable -> re-mine
+            ctx.extras["candidates"] = candidates
+            ctx.extras["mining"] = self._cached_mining_report(candidates,
+                                                              variables)
+            return [(("cache", i), job_of(c))
+                    for i, c in enumerate(candidates)]
+
+        def mine_scenario(ctx, scenario):
+            start = time.perf_counter()
+            scenes = self._scenario_scene_rows(scenario,
+                                               ctx.golden[scenario.name])
+            mined, n_scored = ctx.extras["injector"].\
+                mine_scenario_candidates(
+                    scenes, variables=variables, threshold=threshold,
+                    use_batched=use_batched)
+            acc = ctx.extras.setdefault("mining_acc", MiningReport())
+            acc.n_scenes += len(scenes)
+            acc.n_scored += n_scored
+            acc.wall_seconds += time.perf_counter() - start
+            return mined
+
+        def finalize(ctx):
+            """Merge per-scenario mines into the global candidate list.
+
+            Stable-sorting the scenario-ordered concatenation by
+            ``predicted_minimum`` reproduces the barrier miner's order
+            (its append order is the same concatenation), and ``top_k``
+            truncates the global ranking exactly as the barrier does.
+            """
+            entries = [((s.name, j), candidate)
+                       for s in self.scenarios
+                       for j, candidate in enumerate(ctx.mined[s.name])]
+            entries.sort(key=lambda entry: entry[1].predicted_minimum)
+            if top_k is not None:
+                entries = entries[:top_k]
+            candidates = [candidate for _, candidate in entries]
+            ctx.extras["candidates"] = candidates
+            acc = ctx.extras.setdefault("mining_acc", MiningReport())
+            acc.n_critical = len(candidates)
+            ctx.extras["mining"] = acc
+            if caching:
+                cache_path = self._candidate_cache_path(variables,
+                                                        threshold, top_k)
+                if cache_path is not None:
+                    from .persistence import save_candidates
+                    cache_path.parent.mkdir(parents=True, exist_ok=True)
+                    save_candidates(candidates, cache_path)
+            return [(identity, job_of(candidate))
+                    for identity, candidate in entries]
+
+        # Validation of an already-mined scenario may only start before
+        # the global merge when nothing global gates the job set: a
+        # top_k cut keeps only the best candidates *across* scenarios.
+        miner = MiningPlan(prepare=prepare, mine_scenario=mine_scenario,
+                           finalize=finalize, job_of=job_of,
+                           eager_dispatch=top_k is None)
+        return StagePlan(style="bayesian", golden_scope="all", miner=miner)
 
     def _candidate_cache_path(self, variables, threshold,
                               top_k) -> Path | None:

@@ -35,6 +35,7 @@ from pathlib import Path
 
 from ..ads.runtime import PipelineSnapshot
 from ..sim.world import WorldSnapshot
+from .ioutil import write_bytes_atomic
 
 _INDEX_NAME = "index.json"
 _FORMAT_VERSION = 1
@@ -136,6 +137,35 @@ class CheckpointStore:
             index["scenarios"][scenario] = {
                 "file": filename, "ticks": sorted(ladder)}
         (directory / _INDEX_NAME).write_text(json.dumps(index, indent=1))
+        return directory
+
+    def save_scenario(self, directory: str | Path, scenario: str) -> Path:
+        """Persist one scenario's ladder into a saved-store layout.
+
+        The incremental counterpart of :meth:`save`: the streaming
+        campaign pipeline spools each scenario's ladder to disk as its
+        golden run completes, so pool workers (which existed before the
+        ladder did) can pull it with :meth:`load_scenario` instead of
+        depending on ``fork`` inheritance.  Both the pickle and the
+        index are written atomically (temp file + rename), so a reader
+        racing a writer sees either the old or the new state — a failed
+        read falls back to full replay, which is bit-identical anyway.
+        Returns the directory written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        ladder = self._by_scenario.get(scenario, {})
+        filename = self._scenario_filename(scenario)
+        write_bytes_atomic(directory / filename,
+                           pickle.dumps(ladder,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+        index = self._read_index(directory)
+        if index is None:
+            index = {"version": _FORMAT_VERSION, "scenarios": {}}
+        index["scenarios"][scenario] = {"file": filename,
+                                        "ticks": sorted(ladder)}
+        write_bytes_atomic(directory / _INDEX_NAME,
+                           json.dumps(index, indent=1).encode("utf-8"))
         return directory
 
     @classmethod

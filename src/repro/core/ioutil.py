@@ -1,0 +1,26 @@
+"""Small shared I/O helpers for the cache and spool writers.
+
+Campaign caches are written concurrently — shard processes sharing a
+``cache_dir``, a pipeline driver spooling ladders while pool workers
+read them — so every cache write goes through write-then-rename: a
+reader observes one complete version or another, never a torn file.
+A failed read is always treated as a cache miss by the callers, so the
+worst outcome of a race is recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def write_bytes_atomic(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a same-directory rename."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def write_text_atomic(path: Path, text: str) -> None:
+    """Text variant of :func:`write_bytes_atomic` (UTF-8)."""
+    write_bytes_atomic(path, text.encode("utf-8"))

@@ -17,6 +17,13 @@ ladder) is independent of every other's.  Two fan-out entry points:
   and capturing the requested checkpoint ladder; results return in
   scenario order, identical to the serial loop.
 
+Both entry points implement the *barrier* orchestration (one pool per
+phase).  The streaming per-scenario driver in :mod:`repro.core.pipeline`
+builds on the same primitives — :func:`execute_experiment` as the single
+source of experiment truth, :func:`_golden_run` for golden simulation,
+:func:`_pool_context`/:func:`_picklable` for start-method fallback — so
+the two orchestrations cannot drift apart experiment-wise.
+
 Jobs are executed grouped by scenario (records still stream in job
 order): grouping keeps a worker's chunk on one scenario's checkpoints,
 which is cache-friendly, and it is free because experiments are

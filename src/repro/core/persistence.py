@@ -20,6 +20,7 @@ or NaNs from degenerate kinematics) are encoded as the strings
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import json
 import math
@@ -27,6 +28,7 @@ from pathlib import Path
 
 from ..sim.trace import Trace
 from .bayesian_fi import CandidateFault
+from .ioutil import write_text_atomic
 from .results import CampaignSummary, ExperimentRecord, Hazard
 from .simulate import RunResult
 
@@ -91,29 +93,48 @@ def record_from_dict(data: dict) -> ExperimentRecord:
     return ExperimentRecord(**fields)
 
 
+def _open_record_stream(path: Path, mode: str):
+    """Open a record stream, transparently gzip for ``*.gz`` paths.
+
+    Shard outputs get large; a ``.jsonl.gz`` path compresses the stream
+    on the fly while keeping the line-per-record protocol identical.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
 class JsonlRecordSink:
     """Streams experiment records to a JSON-lines file, one per ``add``.
 
     The out-of-core counterpart of :class:`repro.core.results.ListSink`:
     records flush incrementally as campaign futures complete, so peak
-    memory is independent of campaign size.  Usable as a context
-    manager; :func:`iter_records_jsonl` reads the stream back.
+    memory is independent of campaign size.  A path ending in ``.gz``
+    is gzip-compressed transparently.  Usable as a context manager;
+    :func:`iter_records_jsonl` reads the stream back.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = self.path.open("w", encoding="utf-8")
+        self._file = _open_record_stream(self.path, "w")
+        # A flush on a gzip stream is a zlib sync flush: one deflate
+        # block per ~100-byte record bloats the output ~30x and defeats
+        # the compression .gz was chosen for.  Compressed streams
+        # therefore buffer until close and trade away the plain path's
+        # per-record crash durability.
+        self._flush_per_record = self.path.suffix != ".gz"
         self.count = 0
 
     def add(self, record: ExperimentRecord) -> None:
-        """Append one record as a JSON line and flush it to the OS."""
+        """Append one record as a JSON line (plain paths flush to OS)."""
         if self._file is None:
             raise ValueError(f"sink {self.path} is closed")
         json.dump(record_to_dict(record), self._file, allow_nan=False,
                   separators=(",", ":"))
         self._file.write("\n")
-        self._file.flush()
+        if self._flush_per_record:
+            self._file.flush()
         self.count += 1
 
     def close(self) -> None:
@@ -129,8 +150,11 @@ class JsonlRecordSink:
 
 
 def iter_records_jsonl(path: str | Path):
-    """Yield :class:`ExperimentRecord` from a JSONL stream, one at a time."""
-    with Path(path).open("r", encoding="utf-8") as stream:
+    """Yield :class:`ExperimentRecord` from a JSONL stream, one at a time.
+
+    Paths ending in ``.gz`` are decompressed transparently.
+    """
+    with _open_record_stream(Path(path), "r") as stream:
         for line in stream:
             line = line.strip()
             if line:
@@ -150,8 +174,47 @@ def load_summary_jsonl(path: str | Path,
     return summary
 
 
+def merge_record_shards(paths, out_path: str | Path | None = None,
+                        keep_records: bool = False) -> CampaignSummary:
+    """Fold shard record streams into one summary (the ``repro merge`` op).
+
+    Each path is one shard's JSONL (or ``.jsonl.gz``) record stream from
+    a sharded campaign.  Shards partition the experiment set, so folding
+    their streams in shard order reproduces the unsharded campaign's
+    summary exactly (see :meth:`CampaignSummary.merge`).  With
+    ``out_path`` the merged stream is also re-written as one file —
+    records concatenated in shard order, gzip-compressed when the path
+    ends in ``.gz``.  The merge is out-of-core unless ``keep_records``.
+    """
+    sink = JsonlRecordSink(out_path) if out_path is not None else None
+    try:
+        shard_summaries = []
+        for path in paths:
+            summary = CampaignSummary(keep_records=keep_records)
+            for record in iter_records_jsonl(path):
+                summary.add(record)
+                if sink is not None:
+                    sink.add(record)
+            shard_summaries.append(summary)
+    finally:
+        if sink is not None:
+            sink.close()
+    return CampaignSummary.merge(shard_summaries)
+
+
 def save_summary(summary: CampaignSummary, path: str | Path) -> None:
-    """Write a campaign summary to a JSON file."""
+    """Write a campaign summary to a JSON file.
+
+    Only meaningful for summaries that retained their records: a
+    streamed summary (``keep_records=False``) already wrote them
+    through its sink, and silently saving its empty list would look
+    like data loss — that is an error here.
+    """
+    if not summary.keep_records and summary.total:
+        raise ValueError(
+            f"summary streamed its {summary.total} records to a sink "
+            f"and retained none; save_summary would write an empty "
+            f"record list — use the sink's output instead")
     payload = {"records": [record_to_dict(r) for r in summary.records]}
     Path(path).write_text(json.dumps(payload, indent=1))
 
@@ -234,13 +297,17 @@ def run_result_from_dict(data: dict) -> RunResult:
 
 def save_golden_traces(golden: dict[str, RunResult], path: str | Path,
                        fingerprint: str) -> None:
-    """Write a campaign's golden runs (with traces) to a JSON file."""
+    """Write a campaign's golden runs (with traces) to a JSON file.
+
+    Atomic (write + rename): Bayesian shards sharing a ``cache_dir``
+    each write the full-set file concurrently.
+    """
     payload = {
         "fingerprint": fingerprint,
         "runs": {name: run_result_to_dict(run)
                  for name, run in golden.items()},
     }
-    Path(path).write_text(json.dumps(payload))
+    write_text_atomic(Path(path), json.dumps(payload))
 
 
 def load_golden_traces(path: str | Path,
@@ -261,12 +328,24 @@ def load_golden_traces(path: str | Path,
 
 def save_candidates(candidates: list[CandidateFault],
                     path: str | Path) -> None:
-    """Write mined candidates to a JSON file."""
+    """Write mined candidates to a JSON file (atomically — see above)."""
     payload = {"candidates": [candidate_to_dict(c) for c in candidates]}
-    Path(path).write_text(json.dumps(payload, indent=1))
+    write_text_atomic(Path(path), json.dumps(payload, indent=1))
 
 
 def load_candidates(path: str | Path) -> list[CandidateFault]:
     """Read mined candidates back."""
     payload = json.loads(Path(path).read_text())
     return [candidate_from_dict(d) for d in payload["candidates"]]
+
+
+def try_load_candidates(path: str | Path) -> list[CandidateFault] | None:
+    """Candidate-cache read: ``None`` on a missing or unreadable file.
+
+    The warm-start path treats any failure as a cache miss and re-mines
+    — the safe direction, mirroring :func:`load_golden_traces`.
+    """
+    try:
+        return load_candidates(path)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        return None

@@ -1,0 +1,662 @@
+"""Streaming per-scenario campaign pipeline with cross-host sharding.
+
+The paper's workflow is inherently per-scenario — collect a golden run,
+mine its scene rows, validate the mined faults — yet the barrier
+orchestration in :mod:`repro.core.campaign` runs it as three global
+phases (all golden runs, then all mining, then all validation), so one
+slow scenario stalls every other scenario's downstream work.  This
+module replaces the barriers with a dataflow driver:
+
+* :class:`CampaignPipeline` flows each scenario independently through
+  golden -> checkpoint-ladder -> mining -> validation stages over a
+  single shared process pool, emitting records to the sink as they
+  complete.  Validation of an early scenario overlaps golden collection
+  of a late one, and (for Bayesian campaigns) mining of scenario B
+  overlaps validation of scenario A.
+* All four campaign styles are expressed as declarative
+  :class:`StagePlan` values built by :class:`~repro.core.campaign
+  .Campaign` — the driver knows stages, not styles.
+
+Equivalence guarantee
+---------------------
+A pipelined campaign emits a record stream **bit-for-bit identical to
+the barrier path** (``pipeline=False``, the reference oracle), order
+included: every record is produced by the same
+:func:`~repro.core.parallel.execute_experiment` call with the same
+fault and checkpoint ladder, and an ordered emitter releases records in
+the barrier path's deterministic job order (scenario-major grid order
+for exhaustive campaigns, seeded draw order for random/architectural,
+sorted-candidate order for Bayesian) no matter when they complete.
+Execution order is opportunistic; emission order is not.
+
+Two documented barriers remain inside otherwise-streaming plans, both
+inherent to the semantics: seeded random/architectural draws interleave
+scenarios, so their *job generation* (not validation) waits for every
+tick list; and Bayesian training fits one model over every golden
+trace.  A ``top_k`` cut ranks candidates across scenarios, so dispatch
+then waits for the global merge; without it validation starts the
+moment a scenario is mined.
+
+Cross-host sharding
+-------------------
+``CampaignConfig.shard_index/shard_count`` partitions the campaign
+round-robin by scenario index; each shard is an independent process
+(host) that writes its own record stream and its own golden/checkpoint
+caches under ``cache_dir``, and ``repro merge`` (:func:`repro.core
+.persistence.merge_record_shards`) folds the shard streams into a
+summary equal to the unsharded run.  Per style:
+
+* random / exhaustive / architectural — a shard simulates golden runs
+  only for the scenarios it owns and validates only its own jobs.  The
+  global seeded draw is reproduced locally from *schedule-derived* tick
+  lists (:meth:`Campaign.schedule_injection_ticks`); for every scenario
+  a shard does simulate, the driver asserts the golden trace reached
+  exactly the scheduled ticks, so the shard union provably equals the
+  unsharded job set.
+* bayesian — training needs every golden trace, so each shard collects
+  the full golden set and mines globally (mining is the cheap stage);
+  only checkpoint ladders and validation — the expensive stage — are
+  partitioned.  Architectural outcome counts are likewise global (every
+  shard reproduces the same draw sequence).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.scenario import Scenario
+from .checkpoint import CheckpointStore
+from .parallel import (ExperimentJob, _golden_run, _pool_context, _picklable,
+                       execute_experiment)
+from .results import CampaignSummary, ExperimentRecord
+
+if TYPE_CHECKING:  # avoid a circular import with .campaign
+    from .bayesian_fi import CandidateFault
+    from .campaign import Campaign, CampaignConfig
+    from .simulate import RunResult
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Declarative description of one campaign style for the driver.
+
+    Exactly one of the three job sources is set:
+
+    * ``per_scenario_jobs(ctx, scenario)`` — jobs derived from one
+      scenario's golden run alone; called the moment that run is in,
+      so validation streams scenario by scenario.
+    * ``global_jobs(ctx)`` — jobs whose generation needs every tick
+      list (seeded draws, capped grids); called once the golden stage
+      completes.
+    * ``miner`` — the Bayesian train/mine/merge flow.
+
+    ``golden_scope`` is ``"owned"`` when a shard only needs its own
+    scenarios' golden runs, ``"all"`` when the plan reads every trace
+    (Bayesian training).
+    """
+
+    style: str
+    golden_scope: str = "owned"
+    per_scenario_jobs: Callable | None = None
+    global_jobs: Callable | None = None
+    miner: "MiningPlan | None" = None
+
+
+@dataclass(frozen=True)
+class MiningPlan:
+    """The Bayesian stages, expressed as driver hooks.
+
+    ``prepare(ctx)`` runs at the training barrier (all goldens in) and
+    returns ready job entries on a candidate-cache hit, else ``None``;
+    ``mine_scenario(ctx, scenario)`` returns one scenario's unsorted
+    candidates; ``finalize(ctx)`` merges, ranks, and returns the
+    ordered ``(identity, job)`` entries; ``job_of`` maps a candidate to
+    its validation job.  ``eager_dispatch`` allows validation of a
+    scenario's candidates before the global merge (sound only without a
+    cross-scenario ``top_k`` cut).
+    """
+
+    prepare: Callable
+    mine_scenario: Callable
+    finalize: Callable
+    job_of: Callable
+    eager_dispatch: bool = True
+
+
+@dataclass(frozen=True)
+class PipelineProgress:
+    """One progress event: ``stage`` is golden/mined/validated."""
+
+    stage: str
+    scenario: str | None
+    done: int
+    total: int | None
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run produced: the summary plus style extras."""
+
+    summary: CampaignSummary
+    extras: dict
+
+
+# -- worker-process side -------------------------------------------------------
+#
+# One pool serves golden collection and validation, so workers exist
+# before any checkpoint ladder does.  Ladders reach workers through a
+# spool directory (the persisted-store layout of CheckpointStore): the
+# driver saves each scenario's ladder before dispatching its first
+# validation chunk, and workers load lazily per scenario.  A load that
+# loses a race falls back to full replay — bit-identical, just slower.
+
+_PIPELINE_STATE: "_WorkerState | None" = None
+
+
+class _WorkerState:
+    def __init__(self, scenarios: list[Scenario], config: "CampaignConfig",
+                 spool: str | None):
+        self.by_name = {s.name: s for s in scenarios}
+        self.config = config
+        self.spool = Path(spool) if spool is not None else None
+        self.store = CheckpointStore()
+        self.loaded: set[str] = set()
+
+    def checkpoints_for(self, scenario: str) -> CheckpointStore | None:
+        if self.spool is None:
+            return None
+        if scenario not in self.loaded:
+            self.loaded.add(scenario)
+            self.store.load_scenario(self.spool, scenario)
+        return self.store if self.store.has_scenario(scenario) else None
+
+
+def _init_pipeline_worker(scenarios: list[Scenario],
+                          config: "CampaignConfig",
+                          spool: str | None) -> None:
+    global _PIPELINE_STATE
+    _PIPELINE_STATE = _WorkerState(scenarios, config, spool)
+
+
+def _pipeline_golden_job(job: tuple[str, tuple[int, ...] | None]
+                         ) -> "RunResult":
+    assert _PIPELINE_STATE is not None, "pipeline pool not initialized"
+    name, capture = job
+    return _golden_run(_PIPELINE_STATE.by_name[name],
+                       _PIPELINE_STATE.config,
+                       list(capture) if capture is not None else None)
+
+
+def _pipeline_validate_chunk(chunk) -> list:
+    """Run one scenario's chunk of experiments; returns (key, record)s."""
+    assert _PIPELINE_STATE is not None, "pipeline pool not initialized"
+    name, items = chunk
+    state = _PIPELINE_STATE
+    scenario = state.by_name[name]
+    checkpoints = state.checkpoints_for(name)
+    return [(key, execute_experiment(scenario, state.config, fault,
+                                     checkpoints))
+            for key, fault in items]
+
+
+# -- driver side ---------------------------------------------------------------
+
+class _OrderedEmitter:
+    """Releases records in the barrier path's deterministic order.
+
+    Execution completes in any order and some slots are only known
+    late (a scenario's slot base resolves when every earlier scenario's
+    job count is in; a mined candidate's slot resolves at the global
+    merge), so records are staged by an opaque key until their slot is
+    assigned, then drained in slot order.
+    """
+
+    def __init__(self, consume: Callable[[ExperimentRecord], None]):
+        self._consume = consume
+        self._slots: dict = {}
+        self._staged: dict = {}
+        self._ready: dict[int, ExperimentRecord] = {}
+        self._next = 0
+        self.total: int | None = None
+
+    def assign(self, key, slot: int) -> None:
+        self._slots[key] = slot
+        if key in self._staged:
+            self._ready[slot] = self._staged.pop(key)
+            self._drain()
+
+    def stage(self, key, record: ExperimentRecord) -> None:
+        slot = self._slots.get(key)
+        if slot is None:
+            self._staged[key] = record
+        else:
+            self._ready[slot] = record
+            self._drain()
+
+    def set_total(self, total: int) -> None:
+        self.total = total
+
+    @property
+    def complete(self) -> bool:
+        return self.total is not None and self._next == self.total
+
+    def _drain(self) -> None:
+        while self._next in self._ready:
+            self._consume(self._ready.pop(self._next))
+            self._next += 1
+
+
+@dataclass
+class PipelineContext:
+    """What plan hooks see: collected goldens, mined candidates, extras."""
+
+    campaign: "Campaign"
+    sharded: bool
+    golden: dict[str, "RunResult"] = field(default_factory=dict)
+    mined: dict[str, "list[CandidateFault]"] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    _ticks: dict = field(default_factory=dict)
+
+    def injection_ticks(self, name: str, stride: int = 1,
+                        require: bool = False) -> list[int]:
+        """Eligible ticks of a scenario, golden-derived when available.
+
+        Scenarios whose golden run this shard collected use the trace's
+        ticks — the barrier path's source.  Foreign scenarios (sharded
+        job generation only) use the schedule-derived list; for every
+        collected scenario under sharding the two are asserted equal,
+        so the shard union provably matches the unsharded draw.
+        """
+        campaign = self.campaign
+        cached = self._ticks.get(name)
+        if cached is None:
+            scenario = campaign._by_name[name]
+            run = self.golden.get(name)
+            if run is not None:
+                cached = campaign.eligible_ticks_from_trace(
+                    run, scenario.duration)
+                if self.sharded:
+                    schedule = campaign.schedule_injection_ticks(scenario)
+                    if cached != schedule:
+                        raise RuntimeError(
+                            f"golden run of {name!r} ended early: its "
+                            f"trace ticks differ from the schedule, so "
+                            f"shards cannot reproduce the global fault "
+                            f"draw; run this campaign unsharded")
+            else:
+                cached = campaign.schedule_injection_ticks(scenario)
+            self._ticks[name] = cached
+        if require and not cached:
+            raise campaign._no_ticks_error(name)
+        return cached[::stride] if stride != 1 else cached
+
+
+class CampaignPipeline:
+    """The streaming driver: one shared pool, per-scenario dataflow.
+
+    Not reentrant — build one per :meth:`run`.  ``workers`` of ``None``,
+    0, or 1 executes the same dataflow serially in-process (the
+    degenerate pipeline), which is also the fallback when no process
+    pool can be built (e.g. spawn-only platforms with unpicklable
+    caller-supplied scenarios).
+    """
+
+    def __init__(self, campaign: "Campaign", workers: int | None = None,
+                 record_sink=None, on_progress=None,
+                 start_method: str | None = None):
+        self.campaign = campaign
+        self.config = campaign.config
+        self.workers = workers
+        self.record_sink = record_sink
+        self.on_progress = on_progress
+        self.start_method = start_method
+
+    # -- public entry ----------------------------------------------------------
+
+    def run(self, plan: StagePlan) -> PipelineResult:
+        campaign = self.campaign
+        self.plan = plan
+        self.sharded = self.config.shard_count > 1
+        owned = campaign.owned_scenarios()
+        self._owned_names = {s.name for s in owned}
+        self._owned_order = [s.name for s in owned]
+        if plan.golden_scope == "all":
+            self._targets = list(campaign.scenarios)
+        else:
+            self._targets = owned
+        self._targets_all = len(self._targets) == len(campaign.scenarios)
+        self.ctx = PipelineContext(campaign=campaign, sharded=self.sharded)
+
+        self._summary = CampaignSummary(
+            keep_records=self.record_sink is None)
+        self._emitter = _OrderedEmitter(self._consume)
+        self._futures: dict = {}
+        self._golden_done = 0
+        self._checkpoints_ready: set[str] = set()
+        self._dispatched_keys: set = set()
+        self._fresh_ladders: set[str] = set()
+        # per-scenario block -> slot-base bookkeeping
+        self._blocks: dict[int, int] = {}
+        self._next_block = 0
+        self._base = 0
+
+        self._pool = None
+        self._spool_tmp = None
+        self._spool = None
+        try:
+            warm, to_simulate = self._prepare_golden()
+            self._start_pool()
+            if not self._targets:
+                self._on_goldens_complete()
+            for name in warm:                      # scenario order
+                self._handle_golden(name, self.ctx.golden[name])
+            for name, capture in to_simulate:
+                self._submit_golden(name, capture)
+            self._event_loop()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            if self._spool_tmp is not None:
+                self._spool_tmp.cleanup()
+        self._finish()
+        return PipelineResult(summary=self._summary, extras=self.ctx.extras)
+
+    # -- golden stage ----------------------------------------------------------
+
+    def _prepare_golden(self):
+        """Split golden targets into warm (already available) and to-run.
+
+        Warm sources, in order: golden runs already on the campaign
+        object, then the golden-trace cache under ``cache_dir`` (the
+        full-set file, or this shard's subset file when the plan only
+        needs owned scenarios).  The cache is all-or-nothing, matching
+        the barrier path.
+        """
+        campaign = self.campaign
+        self._fresh_golden = False
+        names = [s.name for s in self._targets]
+        if campaign._golden is not None:
+            self.ctx.golden.update(
+                {name: campaign._golden[name] for name in names})
+            return names, []
+        memo = campaign._golden_shard
+        if memo is not None and all(name in memo for name in names):
+            self.ctx.golden.update({name: memo[name] for name in names})
+            return names, []
+        loaded = self._load_golden_cache()
+        if loaded is not None:
+            self.ctx.golden.update(loaded)
+            return names, []
+        self._fresh_golden = True
+        to_simulate = []
+        for scenario in self._targets:
+            capture = None
+            if self.config.use_checkpoints \
+                    and scenario.name in self._owned_names \
+                    and not campaign.checkpoints.has_scenario(scenario.name):
+                capture = campaign._capture_ticks(scenario)
+            to_simulate.append((scenario.name, capture))
+        return [], to_simulate
+
+    def _load_golden_cache(self):
+        campaign = self.campaign
+        if self._targets_all:
+            return campaign._load_golden_cache()
+        path = campaign._golden_cache_path(sharded=True)
+        if path is None:
+            return None
+        from .persistence import load_golden_traces
+        runs = load_golden_traces(path, campaign._fingerprint())
+        if runs is None or any(s.name not in runs for s in self._targets):
+            return None
+        return {s.name: runs[s.name] for s in self._targets}
+
+    def _submit_golden(self, name: str, capture: list[int] | None) -> None:
+        if self._pool is None:
+            run = _golden_run(self.campaign._by_name[name], self.config,
+                              capture)
+            self._handle_golden(name, run)
+        else:
+            job = (name, tuple(capture) if capture is not None else None)
+            future = self._pool.submit(_pipeline_golden_job, job)
+            self._futures[future] = ("golden", name)
+
+    def _handle_golden(self, name: str, run: "RunResult") -> None:
+        campaign = self.campaign
+        self.ctx.golden[name] = run
+        if run.checkpoints:
+            campaign.checkpoints.add_all(run.checkpoints)
+            self._fresh_ladders.add(name)
+        self._golden_done += 1
+        self._progress("golden", name, self._golden_done,
+                       len(self._targets))
+        if self.plan.per_scenario_jobs is not None \
+                and name in self._owned_names:
+            jobs = self.plan.per_scenario_jobs(self.ctx,
+                                               campaign._by_name[name])
+            self._add_block(name, jobs)
+        if self._golden_done == len(self._targets):
+            self._on_goldens_complete()
+
+    def _on_goldens_complete(self) -> None:
+        # Reinstate campaign scenario order (completion order is not
+        # deterministic) before any hook that iterates the dict.
+        ordered = {s.name: self.ctx.golden[s.name] for s in self._targets}
+        self.ctx.golden = ordered
+        self._persist_golden()
+        plan = self.plan
+        if plan.global_jobs is not None:
+            jobs = plan.global_jobs(self.ctx)
+            owned_jobs = [(name, fault) for name, fault in jobs
+                          if name in self._owned_names]
+            self._emitter.set_total(len(owned_jobs))
+            groups: dict[str, list] = {}
+            for slot, (name, fault) in enumerate(owned_jobs):
+                self._emitter.assign(slot, slot)
+                groups.setdefault(name, []).append((slot, fault))
+            for name, items in groups.items():
+                self._dispatch(name, items)
+        elif plan.miner is not None:
+            self._run_mining()
+        elif not self._owned_order:
+            self._emitter.set_total(0)
+
+    def _persist_golden(self) -> None:
+        campaign = self.campaign
+        if self._targets_all:
+            if campaign._golden is None:
+                campaign._golden = dict(self.ctx.golden)
+                if self._fresh_golden:
+                    campaign._save_golden_cache()
+            return
+        campaign._golden_shard = dict(self.ctx.golden)
+        if not self._fresh_golden:
+            return
+        path = campaign._golden_cache_path(sharded=True)
+        if path is not None:
+            from .persistence import save_golden_traces
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_golden_traces(self.ctx.golden, path,
+                               campaign._fingerprint())
+
+    # -- per-scenario job streaming --------------------------------------------
+
+    def _add_block(self, name: str, jobs: list[ExperimentJob]) -> None:
+        """Register one scenario's job block; dispatch now, emit in order.
+
+        Blocks occupy consecutive slot ranges in owned-scenario order
+        (the barrier path's job order).  Execution starts immediately;
+        slots — and therefore emission — resolve as soon as every
+        earlier block's size is known.
+        """
+        index = self._owned_order.index(name)
+        self._blocks[index] = len(jobs)
+        self._dispatch(name, [((index, j), fault)
+                              for j, (_, fault) in enumerate(jobs)])
+        while self._next_block in self._blocks:
+            size = self._blocks[self._next_block]
+            for j in range(size):
+                self._emitter.assign((self._next_block, j), self._base + j)
+            self._base += size
+            self._next_block += 1
+        if self._next_block == len(self._owned_order):
+            self._emitter.set_total(self._base)
+
+    # -- mining stage ----------------------------------------------------------
+
+    def _run_mining(self) -> None:
+        plan = self.plan
+        campaign = self.campaign
+        entries = plan.miner.prepare(self.ctx)
+        if entries is None:
+            total = len(campaign.scenarios)
+            for done, scenario in enumerate(campaign.scenarios, start=1):
+                mined = plan.miner.mine_scenario(self.ctx, scenario)
+                self.ctx.mined[scenario.name] = mined
+                self._progress("mined", scenario.name, done, total)
+                if plan.miner.eager_dispatch:
+                    items = [((scenario.name, j), plan.miner.job_of(c)[1])
+                             for j, c in enumerate(mined)
+                             if c.scenario in self._owned_names]
+                    if items:
+                        self._dispatch(scenario.name, items)
+            entries = plan.miner.finalize(self.ctx)
+        owned = [(identity, job) for identity, job in entries
+                 if job[0] in self._owned_names]
+        self._emitter.set_total(len(owned))
+        for slot, (identity, _) in enumerate(owned):
+            self._emitter.assign(identity, slot)
+        groups: dict[str, list] = {}
+        for identity, (name, fault) in owned:
+            if identity not in self._dispatched_keys:
+                groups.setdefault(name, []).append((identity, fault))
+        for name, items in groups.items():
+            self._dispatch(name, items)
+
+    # -- validation stage ------------------------------------------------------
+
+    def _dispatch(self, name: str, items: list) -> None:
+        """Execute ``items`` (``(key, fault)`` pairs) of one scenario."""
+        if not items:
+            return
+        self._dispatched_keys.update(key for key, _ in items)
+        self._ready_checkpoints(name)
+        if self._pool is None:
+            campaign = self.campaign
+            scenario = campaign._by_name[name]
+            checkpoints = (campaign.checkpoints
+                           if self.config.use_checkpoints else None)
+            for key, fault in items:
+                self._emitter.stage(key, execute_experiment(
+                    scenario, self.config, fault, checkpoints))
+            return
+        chunk = max(1, len(items) // (self.workers * 4))
+        for start in range(0, len(items), chunk):
+            future = self._pool.submit(
+                _pipeline_validate_chunk,
+                (name, items[start:start + chunk]))
+            self._futures[future] = ("validate", name)
+
+    def _ready_checkpoints(self, name: str) -> None:
+        """Make a scenario's ladder available before its first dispatch.
+
+        Fills the in-memory store from the persisted cache (or one
+        prefix re-simulation) when the golden run was warm-started, and
+        spools the ladder to the worker-visible directory in pool mode.
+        All persistence here is per scenario
+        (:meth:`CheckpointStore.save_scenario`): incremental and
+        index-preserving, so a campaign touching k of n scenarios costs
+        O(k) ladder writes and never drops the other n-k persisted
+        entries — the barrier path's whole-store save stays confined to
+        the batch code.
+        """
+        if not self.config.use_checkpoints \
+                or name in self._checkpoints_ready:
+            return
+        self._checkpoints_ready.add(name)
+        campaign = self.campaign
+        if not campaign.checkpoints.has_scenario(name):
+            campaign._ensure_checkpoints([name], save=False)
+            cache = campaign._checkpoint_cache_dir()
+            if cache is not None and cache != self._spool:
+                campaign.checkpoints.save_scenario(cache, name)
+        if self._spool is not None:
+            campaign.checkpoints.save_scenario(self._spool, name)
+
+    # -- execution engine ------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        campaign = self.campaign
+        workers = self.workers
+        context = _pool_context(self.start_method) \
+            if workers and workers > 1 else None
+        if context is None:
+            return
+        spool = None
+        if self.config.use_checkpoints:
+            spool = campaign._checkpoint_cache_dir()
+            if spool is None:
+                self._spool_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-pipeline-")
+                spool = Path(self._spool_tmp.name)
+            else:
+                spool.mkdir(parents=True, exist_ok=True)
+        initargs = (campaign.scenarios, self.config,
+                    str(spool) if spool is not None else None)
+        if context.get_start_method() != "fork" \
+                and not _picklable(*initargs):
+            if self._spool_tmp is not None:
+                self._spool_tmp.cleanup()
+                self._spool_tmp = None
+            return
+        self._spool = spool
+        self._pool = ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context,
+                                         initializer=_init_pipeline_worker,
+                                         initargs=initargs)
+
+    def _event_loop(self) -> None:
+        while self._futures:
+            done, _ = wait(list(self._futures),
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                kind, name = self._futures.pop(future)
+                result = future.result()
+                if kind == "golden":
+                    self._handle_golden(name, result)
+                else:
+                    for key, record in result:
+                        self._emitter.stage(key, record)
+
+    def _consume(self, record: ExperimentRecord) -> None:
+        self._summary.add(record)
+        if self.record_sink is not None:
+            self.record_sink.add(record)
+        self._progress("validated", record.scenario, self._summary.total,
+                       self._emitter.total)
+
+    def _progress(self, stage, scenario, done, total) -> None:
+        if self.on_progress is not None:
+            self.on_progress(PipelineProgress(stage=stage,
+                                              scenario=scenario,
+                                              done=done, total=total))
+
+    def _finish(self) -> None:
+        if not self._emitter.complete:
+            raise RuntimeError(
+                f"pipeline emitted {self._summary.total} of "
+                f"{self._emitter.total} records — driver bug")
+        # Persist freshly captured ladders one scenario at a time:
+        # save_scenario preserves index entries of scenarios this run
+        # never loaded, which a whole-store save would drop.
+        cache = self.campaign._checkpoint_cache_dir()
+        if cache is None:
+            return
+        for name in sorted(self._fresh_ladders):
+            if self._spool == cache and name in self._checkpoints_ready:
+                continue                 # already spooled to the cache
+            self.campaign.checkpoints.save_scenario(cache, name)

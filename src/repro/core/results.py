@@ -170,6 +170,33 @@ class CampaignSummary:
         """Distinct (scenario, tick) scenes where hazards manifested."""
         return set(self._hazardous_scenes)
 
+    @classmethod
+    def merge(cls, summaries: "list[CampaignSummary]") -> "CampaignSummary":
+        """Fold several summaries into one, aggregate by aggregate.
+
+        The cross-host counterpart of :meth:`add`: each shard of a
+        sharded campaign aggregates its own record stream, and merging
+        the shard summaries reproduces the unsharded campaign's summary
+        (every statistic is a sum, count, or set union, so the fold is
+        exact).  Records are retained only when every input retained
+        them, concatenated in the given shard order.
+        """
+        merged = cls(keep_records=all(s.keep_records for s in summaries)
+                     if summaries else True)
+        for summary in summaries:
+            merged._total += summary._total
+            merged._hazards += summary._hazards
+            merged._landed += summary._landed
+            merged._wall_seconds += summary._wall_seconds
+            merged._hazard_counts.update(summary._hazard_counts)
+            merged._hazards_by_variable.update(summary._hazards_by_variable)
+            merged._experiments_by_variable.update(
+                summary._experiments_by_variable)
+            merged._hazardous_scenes |= summary._hazardous_scenes
+            if merged.keep_records:
+                merged.records.extend(summary.records)
+        return merged
+
     def same_aggregates(self, other: "CampaignSummary") -> bool:
         """True when every aggregate statistic matches ``other``.
 

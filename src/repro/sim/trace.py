@@ -90,16 +90,68 @@ class Trace:
         return {name: array[start:stop]
                 for name, array in self.as_arrays().items()}
 
+    #: Non-finite cell spellings, matching
+    #: :func:`repro.core.persistence.encode_float` (defined locally —
+    #: ``sim`` must not import ``core``).  ``%.6g`` used to render these
+    #: as ``inf``/``nan``, which no reader decoded.
+    _NONFINITE_TO_STR = {float("inf"): "Infinity",
+                         float("-inf"): "-Infinity"}
+    _STR_TO_NONFINITE = {"Infinity": float("inf"),
+                         "-Infinity": float("-inf"),
+                         "NaN": float("nan")}
+
+    @classmethod
+    def _encode_cell(cls, value: float) -> str:
+        if value != value:                       # NaN
+            return "NaN"
+        spelled = cls._NONFINITE_TO_STR.get(value)
+        return spelled if spelled is not None else f"{value:.6g}"
+
+    @classmethod
+    def _decode_cell(cls, cell: str) -> float:
+        return cls._STR_TO_NONFINITE.get(cell) or float(cell)
+
     def to_csv(self) -> str:
-        """Render the whole trace as CSV text (header + one row per tick)."""
+        """Render the whole trace as CSV text (header + one row per tick).
+
+        Finite values keep the compact ``%.6g`` rendering; non-finite
+        values (the ``inf`` safety potentials of unobstructed runs, NaNs
+        from degenerate kinematics) are spelled ``Infinity`` /
+        ``-Infinity`` / ``NaN`` exactly like the JSONL record streams,
+        and :meth:`from_csv` decodes them losslessly.
+        """
         names = self.columns
         lines = [",".join(names)]
         for i in range(self._length):
             lines.append(",".join(
-                f"{self._columns[name][i]:.6g}" for name in names))
+                self._encode_cell(self._columns[name][i])
+                for name in names))
         return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_csv` output."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls()
+        names = lines[0].split(",")
+        columns: dict[str, list[float]] = {name: [] for name in names}
+        for line in lines[1:]:
+            cells = line.split(",")
+            if len(cells) != len(names):
+                raise ValueError(f"CSV row has {len(cells)} cells, "
+                                 f"expected {len(names)}")
+            for name, cell in zip(names, cells):
+                columns[name].append(cls._decode_cell(cell))
+        return cls.from_columns(columns)
 
     def save_csv(self, path) -> None:
         """Write :meth:`to_csv` output to a file."""
         from pathlib import Path
         Path(path).write_text(self.to_csv())
+
+    @classmethod
+    def load_csv(cls, path) -> "Trace":
+        """Read a trace back from :meth:`save_csv` output."""
+        from pathlib import Path
+        return cls.from_csv(Path(path).read_text())

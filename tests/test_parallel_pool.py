@@ -1,0 +1,172 @@
+"""Pool-plumbing coverage: start-method fallback and degenerate pools.
+
+The pipeline driver leans on :mod:`repro.core.parallel`'s quiet
+degradation rules — unknown start methods return no context, spawn
+pools refuse unpicklable state, single-worker pools collapse to the
+serial loop — so each rule is pinned here rather than discovered by a
+hanging campaign.
+"""
+
+import multiprocessing
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core import (Campaign, CampaignConfig, FaultSpec,
+                        run_experiments)
+from repro.core.parallel import (_picklable, _pool_context,
+                                 collect_golden_runs)
+from repro.sim import Scenario, highway_cruise, lead_vehicle_cutin
+
+
+def small_scenarios():
+    return [replace(highway_cruise(), duration=16.0),
+            replace(lead_vehicle_cutin(), duration=14.0)]
+
+
+def strip_wall(records):
+    rows = []
+    for record in records:
+        row = asdict(record)
+        row.pop("wall_seconds")
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    campaign = Campaign(small_scenarios(), CampaignConfig())
+    campaign.golden_runs()
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def jobs(campaign):
+    scenario = campaign.scenarios[0]
+    ticks = campaign.injection_ticks(scenario)
+    return [(scenario.name, FaultSpec("brake", 0.0, ticks[1], 4)),
+            (campaign.scenarios[1].name,
+             FaultSpec("throttle", 1.0, ticks[2], 4)),
+            (scenario.name, FaultSpec("steering", 0.55, ticks[3], 4))]
+
+
+class TestPoolContext:
+    def test_prefers_fork_else_spawn(self):
+        context = _pool_context()
+        assert context is not None
+        methods = multiprocessing.get_all_start_methods()
+        expected = "fork" if "fork" in methods else "spawn"
+        assert context.get_start_method() == expected
+
+    def test_explicit_method_honored(self):
+        context = _pool_context("spawn")
+        assert context is not None
+        assert context.get_start_method() == "spawn"
+
+    def test_unknown_method_falls_back_to_serial(self):
+        assert _pool_context("no_such_start_method") is None
+
+    def test_unknown_method_still_runs_experiments(self, campaign, jobs):
+        reference = run_experiments(campaign.scenarios, campaign.config,
+                                    jobs,
+                                    checkpoints=campaign.checkpoints)
+        fallback = run_experiments(campaign.scenarios, campaign.config,
+                                   jobs, workers=2,
+                                   checkpoints=campaign.checkpoints,
+                                   start_method="no_such_start_method")
+        assert strip_wall(fallback) == strip_wall(reference)
+
+
+class TestPicklability:
+    def test_partial_scenarios_pickle(self):
+        assert _picklable(small_scenarios(), CampaignConfig())
+
+    def test_closure_scenarios_do_not(self):
+        closure = Scenario("closure", lambda: None, duration=10.0)
+        assert not _picklable([closure])
+
+    def test_spawn_with_closure_scenarios_falls_back_serial(self):
+        """Unpicklable pool state degrades to in-process execution."""
+        from repro.sim.world import World
+        scenarios = [Scenario("closure_cruise",
+                              lambda: World.on_highway(ego_speed=28.0),
+                              duration=14.0)]
+        campaign = Campaign(scenarios, CampaignConfig())
+        tick = campaign.injection_ticks(scenarios[0])[1]
+        closure_jobs = [("closure_cruise",
+                         FaultSpec("brake", 0.0, tick, 4))]
+        reference = run_experiments(scenarios, campaign.config,
+                                    closure_jobs)
+        spawned = run_experiments(scenarios, campaign.config,
+                                  closure_jobs, workers=2,
+                                  start_method="spawn")
+        assert strip_wall(spawned) == strip_wall(reference)
+
+    def test_spawn_golden_collection_with_closures_falls_back(self):
+        from repro.sim.world import World
+        scenarios = [Scenario("closure_a",
+                              lambda: World.on_highway(ego_speed=26.0),
+                              duration=12.0),
+                     Scenario("closure_b",
+                              lambda: World.on_highway(ego_speed=30.0),
+                              duration=12.0)]
+        config = CampaignConfig()
+        serial = collect_golden_runs(scenarios, config)
+        spawned = collect_golden_runs(scenarios, config, workers=2,
+                                      start_method="spawn")
+        assert list(spawned) == list(serial)
+        for name, run in spawned.items():
+            assert run.min_delta_long == serial[name].min_delta_long
+            assert len(run.trace) == len(serial[name].trace)
+
+
+class TestSingleWorkerPools:
+    """workers=1 (and workers=0) must collapse to the serial loop."""
+
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_run_experiments_degenerate(self, campaign, jobs, workers):
+        reference = run_experiments(campaign.scenarios, campaign.config,
+                                    jobs,
+                                    checkpoints=campaign.checkpoints)
+        degenerate = run_experiments(campaign.scenarios, campaign.config,
+                                     jobs, workers=workers,
+                                     checkpoints=campaign.checkpoints)
+        assert strip_wall(degenerate) == strip_wall(reference)
+
+    def test_run_experiments_streaming_degenerate(self, campaign, jobs):
+        reference = run_experiments(campaign.scenarios, campaign.config,
+                                    jobs,
+                                    checkpoints=campaign.checkpoints)
+        streamed = []
+        returned = run_experiments(campaign.scenarios, campaign.config,
+                                   jobs, workers=1,
+                                   checkpoints=campaign.checkpoints,
+                                   on_record=streamed.append)
+        assert returned is None
+        assert strip_wall(streamed) == strip_wall(reference)
+
+    def test_collect_golden_runs_single_worker(self, campaign):
+        serial = campaign.golden_runs()
+        collected = collect_golden_runs(campaign.scenarios,
+                                        campaign.config, workers=1)
+        assert list(collected) == list(serial)
+        for name, run in collected.items():
+            reference = serial[name].trace.as_arrays()
+            for column, array in run.trace.as_arrays().items():
+                assert array.tolist() == reference[column].tolist()
+
+    def test_single_scenario_pool_stays_serial(self, campaign):
+        """A one-scenario golden fan-out has nothing to shard."""
+        scenario = campaign.scenarios[0]
+        collected = collect_golden_runs([scenario], campaign.config,
+                                        workers=4)
+        reference = campaign.golden_runs()[scenario.name]
+        assert collected[scenario.name].min_delta_long == \
+            reference.min_delta_long
+
+    def test_pipeline_campaign_single_worker(self, campaign):
+        reference = campaign.random_campaign(5, seed=9, pipeline=False)
+        single = Campaign(small_scenarios(),
+                          CampaignConfig()).random_campaign(
+            5, seed=9, workers=1)
+        assert strip_wall(single.records) == strip_wall(reference.records)

@@ -114,3 +114,30 @@ class TestTrace:
         path = tmp_path / "trace.csv"
         trace.save_csv(path)
         assert path.read_text().startswith("v\n")
+
+    def test_csv_round_trips_non_finite_floats(self, tmp_path):
+        """Regression: ``%.6g`` spelled inf/nan as tokens no reader
+        decoded.  Non-finite cells now use the same spellings as
+        ``persistence.encode_float`` and round-trip losslessly."""
+        import math
+
+        from repro.core.persistence import encode_float
+        trace = Trace()
+        trace.record({"delta": math.inf, "lat": 1.25})
+        trace.record({"delta": -math.inf, "lat": math.nan})
+        csv = trace.to_csv()
+        for value in (math.inf, -math.inf, math.nan):
+            assert str(encode_float(value)) in csv
+        assert "inf," not in csv and ",inf" not in csv
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        restored = Trace.load_csv(path)
+        assert restored.columns == trace.columns
+        assert restored.column("delta").tolist() == [math.inf, -math.inf]
+        lat = restored.column("lat").tolist()
+        assert lat[0] == 1.25
+        assert math.isnan(lat[1])
+
+    def test_from_csv_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            Trace.from_csv("a,b\n1.0\n")
