@@ -14,7 +14,9 @@ from .gaussian import GaussianDistribution, GaussianInference
 from .graph import DAG, CycleError
 from .inference import VariableElimination
 from .intervention import intervene_discrete, intervene_gaussian
-from .learning import (fit_discrete_network, fit_linear_gaussian_cpd,
+from .learning import (LinearGaussianNetworkSuffStats,
+                       LinearGaussianSuffStats, TabularSuffStats,
+                       fit_discrete_network, fit_linear_gaussian_cpd,
                        fit_linear_gaussian_network, fit_tabular_cpd)
 from .network import DiscreteBayesianNetwork, LinearGaussianBayesianNetwork
 from .sampling import gaussian_likelihood_weighting, likelihood_weighting
@@ -40,6 +42,9 @@ __all__ = [
     "fit_discrete_network",
     "fit_linear_gaussian_cpd",
     "fit_linear_gaussian_network",
+    "TabularSuffStats",
+    "LinearGaussianSuffStats",
+    "LinearGaussianNetworkSuffStats",
     "DynamicBayesianNetwork",
     "slice_node",
     "split_slice_node",

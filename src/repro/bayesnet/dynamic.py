@@ -83,15 +83,11 @@ class DynamicBayesianNetwork:
             slice_node(v, t): []
             for t in range(n_slices) for v in self.variables}
         for trace in traces:
-            length = self._trace_length(trace)
-            n_windows = length - n_slices + 1
-            if n_windows <= 0:
+            chunk = self.trace_windows(trace, n_slices)
+            if chunk is None:
                 continue
-            for variable in self.variables:
-                series = np.asarray(trace[variable])
-                for t in range(n_slices):
-                    columns[slice_node(variable, t)].append(
-                        series[t:t + n_windows])
+            for node, series in chunk.items():
+                columns[node].append(series)
         dataset = {}
         for node, chunks in columns.items():
             if not chunks:
@@ -99,6 +95,28 @@ class DynamicBayesianNetwork:
                     "no training windows: traces shorter than n_slices")
             dataset[node] = np.concatenate(chunks)
         return dataset
+
+    def trace_windows(self, trace: Mapping[str, np.ndarray],
+                      n_slices: int) -> dict[str, np.ndarray] | None:
+        """One trace's window chunk (``None`` if shorter than ``n_slices``).
+
+        The per-trace unit of :meth:`window_dataset`: concatenating the
+        chunks of a trace sequence in order reproduces the batch
+        dataset, which is what lets streaming trainers fold one golden
+        trace at a time.  The returned arrays are views of the trace's
+        columns (no copies), so folding a memory-mapped trace stays
+        O(windows) in fresh allocations.
+        """
+        length = self._trace_length(trace)
+        n_windows = length - n_slices + 1
+        if n_windows <= 0:
+            return None
+        chunk: dict[str, np.ndarray] = {}
+        for variable in self.variables:
+            series = np.asarray(trace[variable])
+            for t in range(n_slices):
+                chunk[slice_node(variable, t)] = series[t:t + n_windows]
+        return chunk
 
     def _trace_length(self, trace: Mapping[str, np.ndarray]) -> int:
         lengths = {len(np.asarray(trace[v])) for v in self.variables}

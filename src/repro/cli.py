@@ -48,6 +48,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="validate by full replay from tick 0 "
                             "(the reference oracle) instead of "
                             "checkpoint resume")
+    cache.add_argument("--trace-store", action="store_true",
+                       help="spool golden traces out-of-core to "
+                            "memory-mapped columnar files (under "
+                            "--cache-dir when given, else a temporary "
+                            "directory); peak trace memory becomes "
+                            "O(largest trace) instead of O(all traces)")
 
     campaign = argparse.ArgumentParser(add_help=False)
     campaign.add_argument("--shard-index", type=int, default=0,
@@ -105,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bayes_cmd.add_argument("--scalar-miner", action="store_true",
                            help="use the scalar reference miner instead "
                                 "of the batched engine")
+    bayes_cmd.add_argument("--batch-training", action="store_true",
+                           help="fit the BN over the whole golden "
+                                "dataset at once (the reference oracle) "
+                                "instead of streaming per-trace "
+                                "sufficient statistics")
     bayes_cmd.add_argument("--workers", type=int, default=None,
                            help=workers_help)
     bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
@@ -140,7 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "merge", help="fold sharded record streams into one summary")
     merge_cmd.add_argument("shards", nargs="+",
                            help="per-shard --record-out files "
-                                "(.jsonl or .jsonl.gz), in shard order")
+                                "(.jsonl or .jsonl.gz) or shell-glob "
+                                "patterns (e.g. 'records-*.jsonl.gz'), "
+                                "in shard order")
     merge_cmd.add_argument("--out", default=None,
                            help="also write the merged record stream "
                                 "(gzip if it ends in .gz)")
@@ -165,14 +178,52 @@ def _print_summary(summary, label: str) -> None:
 
 
 def _open_sink(args) -> "JsonlRecordSink | None":
-    """The streaming record sink requested by ``--record-out`` (or None)."""
+    """The streaming record sink requested by ``--record-out`` (or None).
+
+    Sinks are tagged with the campaign style so ``repro merge`` can
+    refuse to fold shards of different campaigns into one summary.
+    """
     record_out = getattr(args, "record_out", None)
     if record_out is None:
         return None
     if getattr(args, "save", None):
         raise SystemExit("--save holds records in memory and --record-out "
                          "streams them; pick one")
-    return JsonlRecordSink(record_out)
+    return JsonlRecordSink(record_out, style=args.command)
+
+
+def _shard_order(path: str):
+    """Sort key keeping ``records-10`` after ``records-9``.
+
+    Digit runs compare numerically, so glob expansion preserves shard
+    index order past ten shards — the merge contract is "in shard
+    order", and record order of a merged ``--out`` stream depends on
+    it.
+    """
+    import re
+    return [int(token) if token.isdigit() else token
+            for token in re.split(r"(\d+)", path)]
+
+
+def _expand_shards(patterns: list[str]) -> list[str]:
+    """Shard arguments with shell-glob patterns expanded (shard order).
+
+    A pattern that matches nothing is a clean one-line error — silently
+    merging fewer shards than the user pointed at would fabricate a
+    smaller campaign.
+    """
+    import glob as globbing
+    paths: list[str] = []
+    for pattern in patterns:
+        if globbing.has_magic(pattern):
+            matches = sorted(globbing.glob(pattern), key=_shard_order)
+            if not matches:
+                raise SystemExit(
+                    f"error: shard pattern {pattern!r} matches no files")
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    return paths
 
 
 def _close_sink(sink: "JsonlRecordSink | None") -> None:
@@ -223,7 +274,9 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:     # e.g. shard_index out of range
         raise SystemExit(f"error: {error}")
     campaign = Campaign(config=config,
-                        cache_dir=getattr(args, "cache_dir", None))
+                        cache_dir=getattr(args, "cache_dir", None),
+                        trace_store=getattr(args, "trace_store", False)
+                        or None)
 
     if args.command == "golden":
         campaign.golden_runs(workers=args.workers)
@@ -253,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         result = campaign.bayesian_campaign(
             top_k=args.top_k, threshold=args.threshold,
             use_batched=not args.scalar_miner, workers=args.workers,
+            streaming_training=not args.batch_training,
             record_sink=sink, **_campaign_kwargs(args))
         print(f"scored {result.mining.n_scored} candidate faults over "
               f"{result.mining.n_scenes} scenes in "
@@ -282,8 +336,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"records written to {args.save}")
     elif args.command == "merge":
         from .core.persistence import merge_record_shards
-        merged = merge_record_shards(args.shards, out_path=args.out)
-        print(f"merged {len(args.shards)} shard stream(s)")
+        shards = _expand_shards(args.shards)
+        try:
+            merged = merge_record_shards(shards, out_path=args.out)
+        except (ValueError, OSError) as error:
+            raise SystemExit(f"error: {error}")
+        print(f"merged {len(shards)} shard stream(s)")
         _print_summary(merged, "merged campaign")
         if args.out:
             print(f"merged records written to {args.out}")

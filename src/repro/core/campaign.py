@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,14 +82,28 @@ class Campaign:
     takes ``workers=`` (sharding both golden collection and validation)
     and ``record_sink=`` (streaming records out-of-core instead of
     accumulating them in memory).
+
+    ``trace_store`` bounds golden-trace memory: ``True`` spools every
+    completed golden trace to memory-mappable columnar files (under
+    ``cache_dir`` when set, else a temporary directory) and the
+    campaign holds read-only :class:`repro.sim.StoredTrace` handles
+    instead of in-RAM traces — peak resident trace memory becomes
+    O(largest single trace) rather than O(total traces), with every
+    downstream number bit-for-bit unchanged.  A path spools under that
+    directory instead.  ``None``/``False`` (the default) keeps the
+    in-RAM :class:`repro.sim.Trace` path as the reference oracle.
     """
 
     def __init__(self, scenarios: list[Scenario] | None = None,
                  config: CampaignConfig | None = None,
-                 cache_dir: str | Path | None = None):
+                 cache_dir: str | Path | None = None,
+                 trace_store: bool | str | Path | None = None):
         self.scenarios = scenarios or default_scenarios()
         self.config = config or CampaignConfig()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._trace_store_arg = trace_store
+        self._trace_store = None
+        self._trace_tmp = None
         self.checkpoints = CheckpointStore()
         self._by_name = {s.name: s for s in self.scenarios}
         self._golden: dict[str, RunResult] | None = None
@@ -124,14 +139,62 @@ class Campaign:
                         s.name: self._capture_ticks(s)
                         for s in self.scenarios
                         if not self.checkpoints.has_scenario(s.name)}
+                store = self.golden_trace_store()
                 self._golden = collect_golden_runs(
-                    self.scenarios, self.config, capture, workers=workers)
+                    self.scenarios, self.config, capture, workers=workers,
+                    trace_spool=store.root if store is not None else None)
                 for run in self._golden.values():
                     if run.checkpoints:
                         self.checkpoints.add_all(run.checkpoints)
+                self._pin_spool(self._golden)
                 self._save_golden_cache()
                 self._save_checkpoint_cache()
         return self._golden
+
+    def golden_trace_store(self):
+        """The out-of-core golden-trace spool (``None`` = in-RAM oracle).
+
+        Resolved lazily from the ``trace_store`` constructor argument:
+        ``True`` keys a ``traces-<fingerprint>`` directory under
+        ``cache_dir`` (persistent — warm starts re-map the same files)
+        or a temporary directory without one; an explicit path keys the
+        same fingerprinted directory under it.  The fingerprint key
+        means a config or scenario change can never re-attach stale
+        spool files, and concurrent shards may share the directory —
+        writes are atomic and content-identical per scenario.
+        """
+        if not self._trace_store_arg:
+            return None
+        if self._trace_store is None:
+            from ..sim.trace import TraceStore
+            arg = self._trace_store_arg
+            if arg is True:
+                if self.cache_dir is not None:
+                    root = self.cache_dir / f"traces-{self._fingerprint()}"
+                else:
+                    self._trace_tmp = tempfile.TemporaryDirectory(
+                        prefix="repro-traces-")
+                    root = Path(self._trace_tmp.name)
+            else:
+                root = Path(arg) / f"traces-{self._fingerprint()}"
+            self._trace_store = TraceStore(root,
+                                           keepalive=self._trace_tmp)
+        return self._trace_store
+
+    def _pin_spool(self, runs: dict[str, RunResult]) -> None:
+        """Pin the temporary spool to handles that may outlive us.
+
+        Worker-spooled handles come back from the pool without a
+        keepalive (they pickle as bare paths), so golden results a
+        caller retains after dropping the campaign would otherwise
+        lose their files when the spool tempdir finalizes.
+        """
+        if self._trace_tmp is None:
+            return
+        from ..sim.trace import StoredTrace
+        for run in runs.values():
+            if isinstance(run.trace, StoredTrace):
+                run.trace._keepalive = self._trace_tmp
 
     # -- sharding --------------------------------------------------------------
 
@@ -279,14 +342,16 @@ class Campaign:
 
         The full-set file is shared by unsharded campaigns and by plans
         that collect every golden run (Bayesian training) — its writers
-        produce identical content and write atomically, so concurrent
-        shards are safe.  The sharded variant holds just the owned
-        scenarios, keyed per shard so the subsets never collide.
+        produce identical content (gzip with a pinned mtime) and write
+        atomically, so concurrent shards are safe.  The sharded variant
+        holds just the owned scenarios, keyed per shard so the subsets
+        never collide.
         """
         if self.cache_dir is None:
             return None
         suffix = self._shard_suffix() if sharded else ""
-        return self.cache_dir / f"golden-{self._fingerprint()}{suffix}.json"
+        return (self.cache_dir
+                / f"golden-{self._fingerprint()}{suffix}.json.gz")
 
     def _checkpoint_cache_dir(self) -> Path | None:
         """Directory of the persisted checkpoint store (None = no cache).
@@ -311,14 +376,115 @@ class Campaign:
         self.checkpoints.save(directory)
 
     def _load_golden_cache(self) -> dict[str, RunResult] | None:
-        path = self._golden_cache_path()
+        return self._load_golden_cache_for(
+            [s.name for s in self.scenarios])
+
+    def _load_golden_cache_for(self, names: list[str],
+                               sharded: bool = False
+                               ) -> dict[str, RunResult] | None:
+        """Warm-start ``names`` from the (full-set or sharded) cache.
+
+        The one cache-read protocol both drivers share: read
+        (current format, then legacy), require every requested
+        scenario, normalize traces to this campaign's trace mode, and
+        rewrite/clean up when anything was migrated.  All-or-nothing,
+        matching the barrier path.
+        """
+        path = self._golden_cache_path(sharded=sharded)
         if path is None:
             return None
-        from .persistence import load_golden_traces
-        runs = load_golden_traces(path, self._fingerprint())
-        if runs is None or any(s.name not in runs for s in self.scenarios):
+        runs, migrate = self._load_golden_cache_file(path)
+        if runs is None or any(name not in runs for name in names):
             return None
-        return {s.name: runs[s.name] for s in self.scenarios}
+        runs = {name: runs[name] for name in names}
+        try:
+            if self._normalize_loaded_traces(runs) or migrate:
+                from .persistence import save_golden_traces
+                save_golden_traces(runs, path, self._fingerprint(),
+                                   trace_store=self.golden_trace_store())
+            if migrate:
+                self._drop_legacy_cache(path)
+        except OSError:
+            # The rewrite/adoption is an optimization for the *next*
+            # warm start; a read-only shared cache dir must not fail a
+            # campaign whose data loaded completely.  (Traces that
+            # could not be spooled simply stay in RAM — both
+            # representations serve the same read API.)
+            pass
+        return runs
+
+    @staticmethod
+    def _drop_legacy_cache(path: Path) -> None:
+        """Remove a migrated pre-gzip cache file (inline columns can be
+        many MB; leaving it would double cache disk per fingerprint)."""
+        path.with_name(path.name.removesuffix(".gz")).unlink(
+            missing_ok=True)
+
+    def _load_golden_cache_file(self, path: Path
+                                ) -> tuple[dict[str, RunResult] | None,
+                                           bool]:
+        """Read one golden cache file, accepting the legacy name.
+
+        Caches written before the gzip switch live at the same path
+        without the ``.gz`` suffix; returns ``(runs, migrate)`` where
+        ``migrate`` asks the caller to rewrite the current-format file
+        (so the one-time legacy parse never repeats).
+        """
+        from .persistence import load_golden_traces
+        store = self._cache_read_store()
+        runs = load_golden_traces(path, self._fingerprint(),
+                                  trace_store=store)
+        if runs is not None:
+            return runs, False
+        legacy = path.with_name(path.name.removesuffix(".gz"))
+        if legacy == path:
+            return None, False
+        runs = load_golden_traces(legacy, self._fingerprint(),
+                                  trace_store=store)
+        return runs, runs is not None
+
+    def _cache_read_store(self):
+        """The store to resolve cache trace references against.
+
+        A campaign run *without* ``trace_store`` must still be able to
+        read a cache that a store-enabled run rewrote to references —
+        the spool lives at a fingerprint-derived path under
+        ``cache_dir``, so it can be found without the flag.  Falling
+        back to re-simulation just because the flag toggled would
+        discard hours of cached golden work.
+        """
+        store = self.golden_trace_store()
+        if store is not None or self.cache_dir is None:
+            return store
+        from ..sim.trace import TraceStore
+        root = self.cache_dir / f"traces-{self._fingerprint()}"
+        return TraceStore(root) if root.is_dir() else None
+
+    def _normalize_loaded_traces(self, runs: dict[str, RunResult]) -> bool:
+        """Align warm-started traces with this campaign's trace mode.
+
+        With a store configured, in-RAM traces from a pre-store cache
+        are adopted into the spool (one-time migration; the caller
+        rewrites the cache with references so the next warm start
+        re-maps files).  Without one, reference-resolved handles are
+        materialized back to in-RAM :class:`Trace` so the oracle path
+        keeps its representation — no rewrite, which also stops the
+        cache format ping-ponging as the flag toggles.  Returns
+        whether the cache should be rewritten.
+        """
+        from ..sim.trace import StoredTrace
+        store = self.golden_trace_store()
+        if store is None:
+            for run in runs.values():
+                if isinstance(run.trace, StoredTrace):
+                    run.trace = run.trace.to_trace()
+            return False
+        adopted = False
+        for name, run in runs.items():
+            if not isinstance(run.trace, StoredTrace):
+                run.trace = store.put(name, run.trace)
+                adopted = True
+        return adopted
 
     def _save_golden_cache(self) -> None:
         # Reached only when the cache missed (or was corrupt/stale), so
@@ -328,7 +494,8 @@ class Campaign:
             return
         from .persistence import save_golden_traces
         path.parent.mkdir(parents=True, exist_ok=True)
-        save_golden_traces(self._golden, path, self._fingerprint())
+        save_golden_traces(self._golden, path, self._fingerprint(),
+                           trace_store=self.golden_trace_store())
 
     def scene_rows(self) -> list[SceneRow]:
         """Scene population for mining: all golden planner instants."""
@@ -673,6 +840,7 @@ class Campaign:
                           workers: int | None = None,
                           record_sink=None,
                           pipeline: bool = True,
+                          streaming_training: bool = True,
                           on_progress=None
                           ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
@@ -689,10 +857,23 @@ class Campaign:
         disk when the same mining parameters were run before (only when
         no explicit ``injector`` is passed — a caller-supplied model
         invalidates the cache key).
+
+        ``streaming_training`` (the default) fits the 3-TBN through
+        sufficient-statistics accumulators, folding each golden trace
+        in campaign scenario order the moment it is available — on the
+        pipeline driver training *overlaps* golden collection and the
+        training barrier disappears; the folds emit per-trace
+        ``train`` progress events.  ``streaming_training=False`` keeps
+        the whole-dataset batch fit
+        (:meth:`BayesianFaultInjector.train`) as the reference oracle;
+        the streamed CPDs reproduce it exactly for tabular counts and
+        to well under 1e-9 relative for the linear-Gaussian
+        weights/variances (test-enforced).
         """
         if pipeline:
             plan = self._bayesian_plan(injector, variables, threshold,
-                                       top_k, use_batched)
+                                       top_k, use_batched,
+                                       streaming_training)
             outcome = self._run_pipeline(plan, workers, record_sink,
                                          on_progress)
             return BayesianCampaignResult(
@@ -705,9 +886,13 @@ class Campaign:
         train_start = time.perf_counter()
         caching = injector is None and self.cache_dir is not None
         if injector is None:
-            injector = BayesianFaultInjector.train(
-                list(self.golden_runs(workers=workers).values()),
-                safety_config=self.config.safety)
+            golden = self.golden_runs(workers=workers)
+            if streaming_training:
+                injector = self._train_streaming(golden, on_progress)
+            else:
+                injector = BayesianFaultInjector.train(
+                    list(golden.values()),
+                    safety_config=self.config.safety)
         train_seconds = time.perf_counter() - train_start
         self._progress(on_progress, "golden", None, len(self.scenarios),
                        len(self.scenarios))
@@ -741,6 +926,22 @@ class Campaign:
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)
 
+    def _train_streaming(self, golden: dict[str, RunResult],
+                         on_progress) -> BayesianFaultInjector:
+        """Fold golden traces into the streaming trainer, in order.
+
+        The barrier path's streaming fit: identical arithmetic (and
+        fold order — campaign scenario order) to the pipeline driver's
+        overlapped folds, so ``pipeline=True`` and ``pipeline=False``
+        stay record-for-record equivalent under streaming training.
+        """
+        trainer = BayesianFaultInjector.streaming_trainer(
+            safety_config=self.config.safety)
+        for done, (name, run) in enumerate(golden.items(), start=1):
+            trainer.add_run(run)
+            self._progress(on_progress, "train", name, done, len(golden))
+        return trainer.finish()
+
     def _cached_mining_report(self, candidates, variables) -> MiningReport:
         """Cost accounting a fresh mining pass over these scenes would
         report: every safe scene is scored once per corruption value of
@@ -757,7 +958,8 @@ class Campaign:
 
     def _bayesian_plan(self, injector: BayesianFaultInjector | None,
                        variables: tuple[str, ...], threshold: float,
-                       top_k: int | None, use_batched: bool):
+                       top_k: int | None, use_batched: bool,
+                       streaming_training: bool = True):
         from .pipeline import MiningPlan, StagePlan
         caching = injector is None and self.cache_dir is not None
         duration = self.config.fault_duration_ticks
@@ -766,21 +968,51 @@ class Campaign:
             return (candidate.scenario,
                     candidate.to_fault_spec(duration_ticks=duration))
 
-        def prepare(ctx):
-            """Train (all goldens are in), then try the candidate cache.
+        fold = None
+        if injector is None and streaming_training:
+            def fold(ctx, scenario, run):
+                """Fold one completed golden trace into the trainer.
 
-            Returns the ready job entries on a cache hit, else ``None``
-            to request per-scenario mining.
+                Called by the driver in campaign scenario order as
+                goldens complete, so training overlaps the rest of
+                golden collection; the accumulation order is the
+                barrier path's, keeping the fit deterministic.
+                """
+                trainer = ctx.extras.get("trainer")
+                if trainer is None:
+                    trainer = BayesianFaultInjector.streaming_trainer(
+                        safety_config=self.config.safety)
+                    ctx.extras["trainer"] = trainer
+                    ctx.extras["train_seconds"] = 0.0
+                start = time.perf_counter()
+                trainer.add_run(run)
+                ctx.extras["train_seconds"] += (time.perf_counter()
+                                                - start)
+
+        def prepare(ctx):
+            """Finish training, then try the candidate cache.
+
+            Under streaming training the per-trace folds already
+            happened as goldens completed and only the O(parameters)
+            finalization runs here; the batch oracle fits the whole
+            window dataset at this barrier instead.  Returns the ready
+            job entries on a candidate-cache hit, else ``None`` to
+            request per-scenario mining.
             """
             train_start = time.perf_counter()
             trained = injector
             if trained is None:
-                trained = BayesianFaultInjector.train(
-                    list(ctx.golden.values()),
-                    safety_config=self.config.safety)
+                trainer = ctx.extras.get("trainer")
+                if trainer is not None and trainer.n_folded:
+                    trained = trainer.finish()
+                else:
+                    trained = BayesianFaultInjector.train(
+                        list(ctx.golden.values()),
+                        safety_config=self.config.safety)
             ctx.extras["injector"] = trained
-            ctx.extras["train_seconds"] = (time.perf_counter()
-                                           - train_start)
+            ctx.extras["train_seconds"] = (
+                ctx.extras.get("train_seconds", 0.0)
+                + time.perf_counter() - train_start)
             if not caching:
                 return None
             cache_path = self._candidate_cache_path(variables, threshold,
@@ -845,7 +1077,7 @@ class Campaign:
         # top_k cut keeps only the best candidates *across* scenarios.
         miner = MiningPlan(prepare=prepare, mine_scenario=mine_scenario,
                            finalize=finalize, job_of=job_of,
-                           eager_dispatch=top_k is None)
+                           eager_dispatch=top_k is None, fold=fold)
         return StagePlan(style="bayesian", golden_scope="all", miner=miner)
 
     def _candidate_cache_path(self, variables, threshold,

@@ -69,7 +69,8 @@ CheckpointSource = CheckpointStore | str | Path | None
 #: Worker-process state installed by the pool initializers.
 _WORKER_STATE: tuple[dict[str, Scenario], "CampaignConfig",
                      CheckpointStore | None] | None = None
-_GOLDEN_STATE: tuple[dict[str, Scenario], "CampaignConfig"] | None = None
+_GOLDEN_STATE: tuple[dict[str, Scenario], "CampaignConfig",
+                     str | None] | None = None
 
 
 def _resolve_checkpoints(checkpoints) -> CheckpointStore | None:
@@ -144,27 +145,41 @@ def _run_job(job: ExperimentJob) -> ExperimentRecord:
 
 
 def _init_golden_worker(scenarios: list[Scenario],
-                        config: "CampaignConfig") -> None:
+                        config: "CampaignConfig",
+                        trace_spool: str | None = None) -> None:
     global _GOLDEN_STATE
-    _GOLDEN_STATE = ({s.name: s for s in scenarios}, config)
+    _GOLDEN_STATE = ({s.name: s for s in scenarios}, config, trace_spool)
 
 
 def _golden_run(scenario: Scenario, config: "CampaignConfig",
-                capture_ticks: list[int] | None) -> RunResult:
-    """One scenario's fault-free reference run (+ checkpoint ladder)."""
-    return run_scenario(
+                capture_ticks: list[int] | None,
+                trace_spool: str | Path | None = None) -> RunResult:
+    """One scenario's fault-free reference run (+ checkpoint ladder).
+
+    With a ``trace_spool`` directory the trace is written to the
+    columnar :class:`repro.sim.TraceStore` spool *worker-side* and the
+    returned result carries a memory-mapped handle instead of the
+    samples — what keeps the parent's golden set O(file handles) and
+    makes the pool result pickle tiny.
+    """
+    result = run_scenario(
         scenario, ads_config=config.ads, seed=config.seed,
         safety_config=config.safety, record_trace=True,
         checkpoint_ticks=capture_ticks)
+    if trace_spool is not None:
+        from ..sim.trace import TraceStore
+        result.trace = TraceStore(trace_spool).put(scenario.name,
+                                                   result.trace)
+    return result
 
 
 def _run_golden_job(job: tuple[str, tuple[int, ...] | None]) -> RunResult:
     assert _GOLDEN_STATE is not None, "golden pool not initialized"
-    by_name, config = _GOLDEN_STATE
+    by_name, config, trace_spool = _GOLDEN_STATE
     scenario_name, capture_ticks = job
     return _golden_run(by_name[scenario_name], config,
                        list(capture_ticks) if capture_ticks is not None
-                       else None)
+                       else None, trace_spool)
 
 
 def _pool_context(start_method: str | None = None
@@ -300,7 +315,8 @@ def collect_golden_runs(scenarios: list[Scenario],
                         capture_ticks: dict[str, list[int] | None]
                         | None = None,
                         workers: int | None = None,
-                        start_method: str | None = None
+                        start_method: str | None = None,
+                        trace_spool: str | Path | None = None
                         ) -> dict[str, RunResult]:
     """Fault-free reference runs of ``scenarios``, optionally sharded.
 
@@ -311,9 +327,14 @@ def collect_golden_runs(scenarios: list[Scenario],
     maps scenario names to the checkpoint ladders to capture during the
     run (absent/None means capture nothing); the returned
     :class:`RunResult` objects carry the captured checkpoints, which
-    pickle back to the parent across any start method.
+    pickle back to the parent across any start method.  ``trace_spool``
+    switches the results to out-of-core traces: each worker (or the
+    serial loop) spools its trace to the columnar store under that
+    directory and the results carry memory-mapped handles — values
+    bit-for-bit identical to the in-RAM traces.
     """
     capture_ticks = capture_ticks or {}
+    spool = str(trace_spool) if trace_spool is not None else None
     jobs = [(s.name, tuple(capture_ticks[s.name])
              if capture_ticks.get(s.name) is not None else None)
             for s in scenarios]
@@ -324,12 +345,14 @@ def collect_golden_runs(scenarios: list[Scenario],
         context = None
     if context is None:
         runs = [_golden_run(s, config,
-                            list(ticks) if ticks is not None else None)
+                            list(ticks) if ticks is not None else None,
+                            spool)
                 for s, (_, ticks) in zip(scenarios, jobs)]
     else:
         workers = min(workers, len(scenarios))
         with ProcessPoolExecutor(max_workers=workers, mp_context=context,
                                  initializer=_init_golden_worker,
-                                 initargs=(scenarios, config)) as pool:
+                                 initargs=(scenarios, config,
+                                           spool)) as pool:
             runs = list(pool.map(_run_golden_job, jobs, chunksize=1))
     return {s.name: run for s, run in zip(scenarios, runs)}

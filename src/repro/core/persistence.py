@@ -8,6 +8,12 @@ Golden traces persist too (:func:`save_golden_traces`), keyed by a
 fingerprint of everything that determines them — ADS and safety
 configuration, seed, and the scenario set — so incremental campaigns can
 warm-start training and mining from disk instead of re-simulating.
+Cache paths ending in ``.gz`` are gzip-compressed transparently
+(deterministic output, so concurrent shard writers stay byte-identical
+and atomic).  With a :class:`repro.sim.TraceStore` attached, the JSON
+carries per-scenario *references* into the store's memory-mapped
+``.npy`` spool instead of inline sample columns — the warm-start path
+of out-of-core campaigns, which never materializes a full trace set.
 
 For out-of-core campaigns :class:`JsonlRecordSink` streams one record
 per line as futures complete; :func:`iter_records_jsonl` /
@@ -24,11 +30,12 @@ import gzip
 import hashlib
 import json
 import math
+import zlib
 from pathlib import Path
 
-from ..sim.trace import Trace
+from ..sim.trace import StoredTrace, Trace, TraceStore
 from .bayesian_fi import CandidateFault
-from .ioutil import write_text_atomic
+from .ioutil import write_bytes_atomic, write_text_atomic
 from .results import CampaignSummary, ExperimentRecord, Hazard
 from .simulate import RunResult
 
@@ -114,7 +121,7 @@ class JsonlRecordSink:
     :func:`iter_records_jsonl` reads the stream back.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, style: str | None = None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = _open_record_stream(self.path, "w")
@@ -125,6 +132,13 @@ class JsonlRecordSink:
         # per-record crash durability.
         self._flush_per_record = self.path.suffix != ".gz"
         self.count = 0
+        if style is not None:
+            # A metadata header line, skipped by every reader; `repro
+            # merge` uses it to refuse folding shards of different
+            # campaign styles into one summary.
+            json.dump({"_meta": {"style": style}}, self._file,
+                      separators=(",", ":"))
+            self._file.write("\n")
 
     def add(self, record: ExperimentRecord) -> None:
         """Append one record as a JSON line (plain paths flush to OS)."""
@@ -152,13 +166,38 @@ class JsonlRecordSink:
 def iter_records_jsonl(path: str | Path):
     """Yield :class:`ExperimentRecord` from a JSONL stream, one at a time.
 
-    Paths ending in ``.gz`` are decompressed transparently.
+    Paths ending in ``.gz`` are decompressed transparently; ``_meta``
+    header lines (stream style tags) are skipped.
     """
     with _open_record_stream(Path(path), "r") as stream:
         for line in stream:
             line = line.strip()
-            if line:
-                yield record_from_dict(json.loads(line))
+            if not line:
+                continue
+            data = json.loads(line)
+            if isinstance(data, dict) and "_meta" in data:
+                continue
+            yield record_from_dict(data)
+
+
+def record_stream_style(path: str | Path) -> str | None:
+    """The campaign style a record stream was written by, if tagged.
+
+    Reads at most the first line: sinks write their ``_meta`` header
+    before any record.  Untagged streams (hand-built sinks, pre-tag
+    files) return ``None`` and are merge-compatible with anything.
+    """
+    with _open_record_stream(Path(path), "r") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if isinstance(data, dict) and "_meta" in data:
+                style = data["_meta"].get("style")
+                return str(style) if style is not None else None
+            return None
+    return None
 
 
 def load_summary_jsonl(path: str | Path,
@@ -185,17 +224,66 @@ def merge_record_shards(paths, out_path: str | Path | None = None,
     ``out_path`` the merged stream is also re-written as one file —
     records concatenated in shard order, gzip-compressed when the path
     ends in ``.gz``.  The merge is out-of-core unless ``keep_records``.
+
+    Streams tagged with different campaign styles (the sinks' ``_meta``
+    headers) raise a :class:`ValueError` — averaging a random campaign
+    into a Bayesian one produces a number that means nothing — as does
+    a file that is not a JSONL record stream at all.  Both surface as
+    one-line errors, never tracebacks, at the CLI.
     """
-    sink = JsonlRecordSink(out_path) if out_path is not None else None
+    paths = [Path(path) for path in paths]
+    styles: dict[str, str] = {}
+    for path in paths:
+        try:
+            style = record_stream_style(path)
+        except (json.JSONDecodeError, UnicodeDecodeError, EOFError,
+                zlib.error, OSError) as err:
+            raise ValueError(
+                f"{path}: not a JSONL record stream ({err})") from None
+        if style is not None:
+            styles[str(path)] = style
+    if len(set(styles.values())) > 1:
+        described = ", ".join(f"{path} is {style!r}"
+                              for path, style in styles.items())
+        raise ValueError(
+            f"shard streams mix campaign styles ({described}); "
+            f"merge only shards of one campaign")
+    style = next(iter(styles.values()), None)
+    sink = (JsonlRecordSink(out_path, style=style)
+            if out_path is not None else None)
     try:
         shard_summaries = []
         for path in paths:
             summary = CampaignSummary(keep_records=keep_records)
-            for record in iter_records_jsonl(path):
+            records = iter_records_jsonl(path)
+            while True:
+                try:
+                    record = next(records)
+                except StopIteration:
+                    break
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        KeyError, TypeError, ValueError, EOFError,
+                        zlib.error, OSError) as err:
+                    # EOFError covers gzip streams truncated mid-write,
+                    # zlib.error mid-stream bit corruption — both the
+                    # crashed-shard-writer cases merging exists for.
+                    # Sink writes live outside this clause so an
+                    # output-side failure (say, a full disk) is never
+                    # blamed on a healthy input shard.
+                    raise ValueError(
+                        f"{path}: not a JSONL record stream ({err})") \
+                        from None
                 summary.add(record)
                 if sink is not None:
                     sink.add(record)
             shard_summaries.append(summary)
+    except (ValueError, OSError):
+        # A failed merge must not leave a well-formed partial output
+        # behind — its existence would read as success downstream.
+        if sink is not None:
+            sink.close()
+            sink.path.unlink(missing_ok=True)
+        raise
     finally:
         if sink is not None:
             sink.close()
@@ -261,16 +349,21 @@ def config_fingerprint(ads_config, safety_config, seed: int,
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
-def run_result_to_dict(run: RunResult) -> dict:
+def run_result_to_dict(run: RunResult,
+                       trace_store: TraceStore | None = None) -> dict:
     """Flatten one golden run (trace included) to JSON-safe types.
 
     Checkpoints are not part of this payload: they embed live RNG and
     filter state that JSON spells poorly.  They persist separately as
     per-scenario pickles via
     :meth:`repro.core.checkpoint.CheckpointStore.save`.
+
+    With a ``trace_store`` the trace columns stay in the store's
+    columnar ``.npy`` spool (written here if not already spooled) and
+    the payload carries only a reference — the bounded-memory cache
+    format of out-of-core campaigns.
     """
-    arrays = run.trace.as_arrays()
-    return {
+    payload = {
         "scenario": run.scenario,
         "seed": run.seed,
         "hazard": run.hazard.value,
@@ -283,47 +376,99 @@ def run_result_to_dict(run: RunResult) -> dict:
         "landed": run.landed,
         "sim_seconds": run.sim_seconds,
         "wall_seconds": run.wall_seconds,
-        "trace": {name: array.tolist() for name, array in arrays.items()},
     }
+    if trace_store is not None:
+        if not (isinstance(run.trace, StoredTrace)
+                and trace_store.has(run.scenario)):
+            trace_store.put(run.scenario, run.trace)
+        payload["trace_ref"] = run.scenario
+    else:
+        arrays = run.trace.as_arrays()
+        payload["trace"] = {name: array.tolist()
+                            for name, array in arrays.items()}
+    return payload
 
 
-def run_result_from_dict(data: dict) -> RunResult:
+def run_result_from_dict(data: dict,
+                         trace_store: TraceStore | None = None
+                         ) -> RunResult:
     """Inverse of :func:`run_result_to_dict`."""
     fields = dict(data)
     fields["hazard"] = Hazard(fields["hazard"])
-    fields["trace"] = Trace.from_columns(fields["trace"])
+    ref = fields.pop("trace_ref", None)
+    if ref is not None:
+        stored = trace_store.get(ref) if trace_store is not None else None
+        if stored is None:
+            raise ValueError(
+                f"golden cache references stored trace {ref!r} but no "
+                f"trace store holds it")
+        fields["trace"] = stored
+    else:
+        fields["trace"] = Trace.from_columns(fields["trace"])
     return RunResult(**fields)
 
 
+def _write_json_maybe_gz(path: Path, text: str) -> None:
+    """Atomic JSON write, gzip-compressed for ``*.gz`` paths.
+
+    ``mtime=0`` keeps the compressed bytes deterministic, preserving
+    the concurrent-writer guarantee (identical content + atomic rename
+    means racing shards are safe) that the plain-text path already has.
+    """
+    if path.name.endswith(".gz"):
+        write_bytes_atomic(path, gzip.compress(text.encode("utf-8"),
+                                               mtime=0))
+    else:
+        write_text_atomic(path, text)
+
+
+def _read_json_maybe_gz(path: Path) -> str:
+    if path.name.endswith(".gz"):
+        return gzip.decompress(path.read_bytes()).decode("utf-8")
+    return path.read_text()
+
+
 def save_golden_traces(golden: dict[str, RunResult], path: str | Path,
-                       fingerprint: str) -> None:
+                       fingerprint: str,
+                       trace_store: TraceStore | None = None) -> None:
     """Write a campaign's golden runs (with traces) to a JSON file.
 
     Atomic (write + rename): Bayesian shards sharing a ``cache_dir``
-    each write the full-set file concurrently.
+    each write the full-set file concurrently.  A path ending in
+    ``.gz`` is gzip-compressed transparently; with a ``trace_store``
+    the traces live in the store's spool and the JSON holds references
+    (see :func:`run_result_to_dict`).
     """
     payload = {
         "fingerprint": fingerprint,
-        "runs": {name: run_result_to_dict(run)
+        "runs": {name: run_result_to_dict(run, trace_store)
                  for name, run in golden.items()},
     }
-    write_text_atomic(Path(path), json.dumps(payload))
+    _write_json_maybe_gz(Path(path), json.dumps(payload))
 
 
-def load_golden_traces(path: str | Path,
-                       fingerprint: str) -> dict[str, RunResult] | None:
-    """Read golden runs back; ``None`` on a missing file or stale key."""
+def load_golden_traces(path: str | Path, fingerprint: str,
+                       trace_store: TraceStore | None = None
+                       ) -> dict[str, RunResult] | None:
+    """Read golden runs back; ``None`` on a missing file or stale key.
+
+    Any unreadable payload — torn gzip, stale schema, a trace
+    reference whose spool files are gone or were written by a
+    different configuration — is a cache miss, never an error: the
+    caller re-simulates and self-heals the cache.
+    """
     path = Path(path)
     if not path.exists():
         return None
     try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+        payload = json.loads(_read_json_maybe_gz(path))
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        return {name: run_result_from_dict(data, trace_store)
+                for name, data in payload["runs"].items()}
+    except (OSError, json.JSONDecodeError, KeyError, TypeError,
+            ValueError, EOFError, zlib.error):
         return None
-    if payload.get("fingerprint") != fingerprint:
-        return None
-    return {name: run_result_from_dict(data)
-            for name, data in payload["runs"].items()}
 
 
 def save_candidates(candidates: list[CandidateFault],

@@ -110,14 +110,21 @@ class StagePlan:
 class MiningPlan:
     """The Bayesian stages, expressed as driver hooks.
 
-    ``prepare(ctx)`` runs at the training barrier (all goldens in) and
-    returns ready job entries on a candidate-cache hit, else ``None``;
+    ``prepare(ctx)`` runs once all goldens are in and returns ready job
+    entries on a candidate-cache hit, else ``None``;
     ``mine_scenario(ctx, scenario)`` returns one scenario's unsorted
     candidates; ``finalize(ctx)`` merges, ranks, and returns the
     ordered ``(identity, job)`` entries; ``job_of`` maps a candidate to
     its validation job.  ``eager_dispatch`` allows validation of a
     scenario's candidates before the global merge (sound only without a
     cross-scenario ``top_k`` cut).
+
+    ``fold(ctx, scenario, run)``, when set, streams *training* over
+    golden collection: the driver calls it in campaign scenario order
+    as each scenario's golden run lands (an out-of-order completion
+    waits for its predecessors, keeping the accumulation
+    deterministic), so by the time ``prepare`` runs, training is a
+    finalization instead of a whole-dataset barrier.
     """
 
     prepare: Callable
@@ -125,6 +132,7 @@ class MiningPlan:
     finalize: Callable
     job_of: Callable
     eager_dispatch: bool = True
+    fold: Callable | None = None
 
 
 @dataclass(frozen=True)
@@ -159,10 +167,11 @@ _PIPELINE_STATE: "_WorkerState | None" = None
 
 class _WorkerState:
     def __init__(self, scenarios: list[Scenario], config: "CampaignConfig",
-                 spool: str | None):
+                 spool: str | None, trace_spool: str | None = None):
         self.by_name = {s.name: s for s in scenarios}
         self.config = config
         self.spool = Path(spool) if spool is not None else None
+        self.trace_spool = trace_spool
         self.store = CheckpointStore()
         self.loaded: set[str] = set()
 
@@ -177,9 +186,10 @@ class _WorkerState:
 
 def _init_pipeline_worker(scenarios: list[Scenario],
                           config: "CampaignConfig",
-                          spool: str | None) -> None:
+                          spool: str | None,
+                          trace_spool: str | None = None) -> None:
     global _PIPELINE_STATE
-    _PIPELINE_STATE = _WorkerState(scenarios, config, spool)
+    _PIPELINE_STATE = _WorkerState(scenarios, config, spool, trace_spool)
 
 
 def _pipeline_golden_job(job: tuple[str, tuple[int, ...] | None]
@@ -188,7 +198,8 @@ def _pipeline_golden_job(job: tuple[str, tuple[int, ...] | None]
     name, capture = job
     return _golden_run(_PIPELINE_STATE.by_name[name],
                        _PIPELINE_STATE.config,
-                       list(capture) if capture is not None else None)
+                       list(capture) if capture is not None else None,
+                       _PIPELINE_STATE.trace_spool)
 
 
 def _pipeline_validate_chunk(chunk) -> list:
@@ -336,6 +347,9 @@ class CampaignPipeline:
         self._emitter = _OrderedEmitter(self._consume)
         self._futures: dict = {}
         self._golden_done = 0
+        self._fold_next = 0
+        store = campaign.golden_trace_store()
+        self._trace_spool = store.root if store is not None else None
         self._checkpoints_ready: set[str] = set()
         self._dispatched_keys: set = set()
         self._fresh_ladders: set[str] = set()
@@ -406,19 +420,13 @@ class CampaignPipeline:
         campaign = self.campaign
         if self._targets_all:
             return campaign._load_golden_cache()
-        path = campaign._golden_cache_path(sharded=True)
-        if path is None:
-            return None
-        from .persistence import load_golden_traces
-        runs = load_golden_traces(path, campaign._fingerprint())
-        if runs is None or any(s.name not in runs for s in self._targets):
-            return None
-        return {s.name: runs[s.name] for s in self._targets}
+        return campaign._load_golden_cache_for(
+            [s.name for s in self._targets], sharded=True)
 
     def _submit_golden(self, name: str, capture: list[int] | None) -> None:
         if self._pool is None:
             run = _golden_run(self.campaign._by_name[name], self.config,
-                              capture)
+                              capture, self._trace_spool)
             self._handle_golden(name, run)
         else:
             job = (name, tuple(capture) if capture is not None else None)
@@ -434,6 +442,7 @@ class CampaignPipeline:
         self._golden_done += 1
         self._progress("golden", name, self._golden_done,
                        len(self._targets))
+        self._fold_completed()
         if self.plan.per_scenario_jobs is not None \
                 and name in self._owned_names:
             jobs = self.plan.per_scenario_jobs(self.ctx,
@@ -441,6 +450,30 @@ class CampaignPipeline:
             self._add_block(name, jobs)
         if self._golden_done == len(self._targets):
             self._on_goldens_complete()
+
+    def _fold_completed(self) -> None:
+        """Stream completed goldens into the miner's training fold.
+
+        Folds advance through ``self._targets`` in campaign scenario
+        order, consuming the longest completed prefix — training work
+        happens while later goldens still simulate, yet the
+        accumulation order (and therefore the fitted model) is exactly
+        the barrier path's.  Emits one ``train`` progress event per
+        folded trace.
+        """
+        miner = self.plan.miner
+        if miner is None or miner.fold is None:
+            return
+        total = len(self._targets)
+        while self._fold_next < total:
+            scenario = self._targets[self._fold_next]
+            run = self.ctx.golden.get(scenario.name)
+            if run is None:
+                return
+            miner.fold(self.ctx, scenario, run)
+            self._fold_next += 1
+            self._progress("train", scenario.name, self._fold_next,
+                           total)
 
     def _on_goldens_complete(self) -> None:
         # Reinstate campaign scenario order (completion order is not
@@ -467,6 +500,7 @@ class CampaignPipeline:
 
     def _persist_golden(self) -> None:
         campaign = self.campaign
+        campaign._pin_spool(self.ctx.golden)
         if self._targets_all:
             if campaign._golden is None:
                 campaign._golden = dict(self.ctx.golden)
@@ -481,7 +515,8 @@ class CampaignPipeline:
             from .persistence import save_golden_traces
             path.parent.mkdir(parents=True, exist_ok=True)
             save_golden_traces(self.ctx.golden, path,
-                               campaign._fingerprint())
+                               campaign._fingerprint(),
+                               trace_store=campaign.golden_trace_store())
 
     # -- per-scenario job streaming --------------------------------------------
 
@@ -606,7 +641,9 @@ class CampaignPipeline:
             else:
                 spool.mkdir(parents=True, exist_ok=True)
         initargs = (campaign.scenarios, self.config,
-                    str(spool) if spool is not None else None)
+                    str(spool) if spool is not None else None,
+                    str(self._trace_spool)
+                    if self._trace_spool is not None else None)
         if context.get_start_method() != "fork" \
                 and not _picklable(*initargs):
             if self._spool_tmp is not None:

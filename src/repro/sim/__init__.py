@@ -15,7 +15,7 @@ from .scenario import (Scenario, adjacent_traffic, braking_lead,
                        two_lead_reveal)
 from .scenegen import (Scene, SceneGenerator, occluded_pedestrian,
                        overtake_cutin, queued_traffic, scripted_templates)
-from .trace import Trace
+from .trace import StoredTrace, Trace, TraceStore
 from .vehicle import Vehicle, VehicleParameters
 from .world import World, WorldSnapshot
 
@@ -62,4 +62,6 @@ __all__ = [
     "occluded_pedestrian",
     "scripted_templates",
     "Trace",
+    "StoredTrace",
+    "TraceStore",
 ]

@@ -1,18 +1,33 @@
-"""Columnar recording of simulation signals.
+"""Columnar recording of simulation signals, in RAM or out of core.
 
 Traces feed two consumers: Bayesian-network training (golden runs) and
-experiment reporting (time series for the case-study figures).
+experiment reporting (time series for the case-study figures).  Two
+representations share one read API:
 
-Appends go to plain Python lists (cheap per tick); the numpy views are
-materialized lazily and cached, so golden-trace consumers that read the
-same columns thousands of times (scene mining, BN training) stop paying
-a list->array conversion per access.  Cached arrays are marked
-read-only because they are shared between callers.
+* :class:`Trace` — the append-only in-RAM recorder the simulator writes
+  into (and the reference representation everywhere).  Appends go to
+  plain Python lists (cheap per tick); the numpy views are materialized
+  lazily and cached, so golden-trace consumers that read the same
+  columns thousands of times (scene mining, BN training) stop paying a
+  list->array conversion per access.  Cached arrays are marked
+  read-only because they are shared between callers.
+* :class:`StoredTrace` — a read-only handle onto a trace spooled to
+  disk by :class:`TraceStore`.  Columns are served as views of one
+  memory-mapped ``.npy`` matrix, so a campaign holding every golden
+  trace keeps O(file handles) resident, not O(total samples), and a
+  handle pickles as just its path (workers spool, the driver maps).
+
+``float64`` round-trips bit-for-bit through the ``.npy`` spool, so any
+consumer of the columnar read API (``as_arrays``/``column``/``window``/
+``last``) computes identical results from either representation.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Mapping
+from pathlib import Path
 
 import numpy as np
 
@@ -135,6 +150,11 @@ class Trace:
         if not lines:
             return cls()
         names = lines[0].split(",")
+        if len(set(names)) != len(names):
+            # A duplicate header would silently collapse into one dict
+            # key and mis-align every subsequent row.
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"CSV header repeats columns {duplicates}")
         columns: dict[str, list[float]] = {name: [] for name in names}
         for line in lines[1:]:
             cells = line.split(",")
@@ -153,5 +173,182 @@ class Trace:
     @classmethod
     def load_csv(cls, path) -> "Trace":
         """Read a trace back from :meth:`save_csv` output."""
-        from pathlib import Path
         return cls.from_csv(Path(path).read_text())
+
+
+class StoredTrace:
+    """Read-only view of a trace spooled to disk by :class:`TraceStore`.
+
+    Offers the columnar read API of :class:`Trace` (``as_arrays``,
+    ``column``, ``window``, ``last``, ``columns``, ``len``) over one
+    memory-mapped ``.npy`` matrix, opened lazily on first access — a
+    handle is just a path until someone reads through it, and it
+    pickles as just the path, which is how golden traces cross the
+    process pool without shipping their samples.
+    """
+
+    def __init__(self, data_path: str | Path):
+        self._data_path = Path(data_path)
+        self._names: list[str] | None = None
+        self._rows: int | None = None
+        self._data: np.ndarray | None = None
+        #: Opaque object pinned for this handle's lifetime — a
+        #: temporary-directory spool stays on disk while any handle
+        #: into it is alive, even after its owning store/campaign is
+        #: garbage-collected.  Not pickled (the path is the payload).
+        self._keepalive = None
+
+    # -- lazy open ---------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """The backing ``.npy`` matrix file."""
+        return self._data_path
+
+    def _manifest_path(self) -> Path:
+        return self._data_path.with_suffix(".json")
+
+    def _ensure(self) -> None:
+        if self._names is not None:
+            return
+        manifest = json.loads(self._manifest_path().read_text())
+        names = list(manifest["columns"])
+        rows = int(manifest["rows"])
+        if rows == 0:
+            # numpy cannot mmap a zero-byte payload; an empty trace
+            # needs no file access at all.
+            data = np.zeros((0, len(names)))
+        else:
+            data = np.load(self._data_path, mmap_mode="r")
+            if data.shape != (rows, len(names)):
+                raise ValueError(
+                    f"stored trace {self._data_path} is "
+                    f"{data.shape}, manifest says ({rows}, {len(names)})")
+        data.flags.writeable = False
+        self._names, self._rows, self._data = names, rows, data
+
+    def __getstate__(self) -> dict:
+        return {"data_path": str(self._data_path)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["data_path"])
+
+    # -- the Trace read API ------------------------------------------------
+
+    def __len__(self) -> int:
+        self._ensure()
+        return self._rows
+
+    @property
+    def columns(self) -> list[str]:
+        """Recorded signal names (insertion order)."""
+        self._ensure()
+        return list(self._names)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columns as read-only views of the memory-mapped matrix."""
+        self._ensure()
+        return {name: self._data[:, j]
+                for j, name in enumerate(self._names)}
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a read-only view of the mapped matrix."""
+        self._ensure()
+        return self._data[:, self._names.index(name)]
+
+    def last(self, name: str) -> float:
+        """Most recent value of a signal."""
+        self._ensure()
+        if not self._rows:
+            raise IndexError(f"no samples recorded for {name!r}")
+        return float(self._data[-1, self._names.index(name)])
+
+    def window(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        """Slice every column to ``[start:stop]``."""
+        return {name: array[start:stop]
+                for name, array in self.as_arrays().items()}
+
+    def to_trace(self) -> Trace:
+        """Materialize an in-RAM :class:`Trace` copy (same values)."""
+        return Trace.from_columns(self.as_arrays())
+
+    def __repr__(self) -> str:
+        return f"StoredTrace({str(self._data_path)!r})"
+
+
+class TraceStore:
+    """Spools completed traces to memory-mappable columnar files.
+
+    One file set per trace name under ``root``: ``<name>.npy`` (the
+    float64 sample matrix, rows x columns) plus ``<name>.json`` (column
+    names and row count).  Writes go through the shared atomic
+    write-then-rename helpers, data before manifest, so the manifest's
+    existence commits a complete file set — concurrent writers of the
+    same trace (shards sharing a ``cache_dir``) produce identical
+    content and readers never observe a torn spool.
+    """
+
+    _DATA_SUFFIX = ".npy"
+    _MANIFEST_SUFFIX = ".json"
+
+    def __init__(self, root: str | Path, keepalive=None):
+        self.root = Path(root)
+        #: Propagated onto every handle this store creates (see
+        #: :attr:`StoredTrace._keepalive`); owners spooling into a
+        #: temporary directory pass its guard object here.
+        self._keepalive = keepalive
+
+    def _data_path(self, name: str) -> Path:
+        if os.sep in name or name in (".", ".."):
+            raise ValueError(f"trace name {name!r} is not a file name")
+        return self.root / f"{name}{self._DATA_SUFFIX}"
+
+    def put(self, name: str, trace) -> StoredTrace:
+        """Spool ``trace`` (any columnar-read trace) and return a handle.
+
+        Re-spooling an existing name overwrites it (identical content
+        for identical traces, and a self-heal for corrupt spools).
+        """
+        # ``core`` is a layer above ``sim``, so the import is deferred
+        # to call time; ``core.ioutil`` itself is dependency-free, so
+        # this cannot cycle.
+        from ..core.ioutil import write_text_atomic
+        arrays = trace.as_arrays()
+        names = list(arrays)
+        rows = len(trace)
+        matrix = np.empty((rows, len(names)))
+        for j, column in enumerate(arrays.values()):
+            matrix[:, j] = column
+        self.root.mkdir(parents=True, exist_ok=True)
+        data_path = self._data_path(name)
+        # np.save straight into the tmp file (same write-then-rename
+        # discipline as core/ioutil): buffering the ``.npy`` payload
+        # in RAM first would hold a second full copy of the trace —
+        # the very per-trace peak this spool exists to bound.
+        tmp = data_path.with_name(f"{data_path.name}.tmp-{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            np.save(handle, matrix)
+        os.replace(tmp, data_path)
+        write_text_atomic(data_path.with_suffix(self._MANIFEST_SUFFIX),
+                          json.dumps({"columns": names, "rows": rows}))
+        return self._handle(data_path)
+
+    def get(self, name: str) -> StoredTrace | None:
+        """A handle onto a previously spooled trace, or ``None``."""
+        if not self.has(name):
+            return None
+        return self._handle(self._data_path(name))
+
+    def _handle(self, data_path: Path) -> StoredTrace:
+        handle = StoredTrace(data_path)
+        handle._keepalive = self._keepalive
+        return handle
+
+    def has(self, name: str) -> bool:
+        """Was a complete file set committed for ``name``?"""
+        data_path = self._data_path(name)
+        return (data_path.with_suffix(self._MANIFEST_SUFFIX).exists()
+                and data_path.exists())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has(name)

@@ -221,7 +221,7 @@ class TestGoldenTraceCache:
     def test_campaign_warm_start_matches_fresh(self, tmp_path):
         cold = make_campaign(use_checkpoints=True, cache_dir=tmp_path)
         cold_result = cold.bayesian_campaign(top_k=4)
-        assert any(tmp_path.glob("golden-*.json"))
+        assert any(tmp_path.glob("golden-*.json.gz"))
         assert any(tmp_path.glob("candidates-*.json"))
 
         warm = make_campaign(use_checkpoints=True, cache_dir=tmp_path)

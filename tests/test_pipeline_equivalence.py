@@ -333,7 +333,7 @@ class TestSharding:
         campaign = Campaign(small_scenarios(), shard_config(1, 2),
                             cache_dir=tmp_path)
         reference = campaign.random_campaign(4, seed=0)
-        shard_files = list(tmp_path.glob("golden-*shard1of2*.json"))
+        shard_files = list(tmp_path.glob("golden-*shard1of2*.json.gz"))
         assert len(shard_files) == 1
         # A second shard-1 campaign warm-starts goldens and checkpoint
         # ladders from its own cache files — no re-simulation at all.
