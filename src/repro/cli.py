@@ -16,6 +16,13 @@ Campaign commands run on the streaming per-scenario pipeline by default
 hosts with ``--shard-index/--shard-count``: each shard validates its
 partition, streams records to its own ``--record-out`` file, and
 ``repro merge`` folds the shard streams back together.
+
+Campaigns are supervised: a crashed or stuck worker is respawned and
+its job retried, persistent failures are quarantined as structured
+failure records (``--strict`` restores fail-fast), a durable completion
+journal under ``--cache-dir`` lets ``--resume`` continue a killed
+campaign without re-running finished experiments, and ``--lease``
+replaces static sharding with dynamic TTL-leased scenario claims.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from .analysis.report import ascii_table
 from .core.campaign import Campaign, CampaignConfig
 from .core.persistence import (JsonlRecordSink, save_candidates,
                                save_summary)
+from .core.resilience import ResilienceConfig
 from .core.safety import world_safety_potential
 from .core.simulate import FaultSpec
 from .sim.scenegen import SceneGenerator
@@ -69,6 +77,37 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-pipeline", action="store_true",
                           help="run the barrier reference path instead "
                                "of the streaming per-scenario pipeline")
+    campaign.add_argument("--strict", action="store_true",
+                          help="fail fast on the first experiment error "
+                               "instead of retrying and quarantining it "
+                               "as a structured failure record")
+    campaign.add_argument("--job-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget per experiment; a "
+                               "worker stuck past it is killed and the "
+                               "job retried")
+    campaign.add_argument("--max-attempts", type=int, default=3,
+                          metavar="N",
+                          help="attempts per experiment before it is "
+                               "quarantined (default 3)")
+    campaign.add_argument("--no-journal", action="store_true",
+                          help="skip the durable completion journal "
+                               "normally kept under --cache-dir")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip experiments the completion journal "
+                               "under --cache-dir already records "
+                               "(after a crash/SIGKILL, continues where "
+                               "the previous run stopped)")
+    campaign.add_argument("--lease", action="store_true",
+                          help="claim scenarios dynamically via TTL "
+                               "leases in the shared --cache-dir "
+                               "(multi-host mode without static "
+                               "--shard-index partitioning; dead hosts' "
+                               "claims expire and are re-run)")
+    campaign.add_argument("--lease-ttl", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="lease lifetime between heartbeats "
+                               "(default 30)")
 
     workers_help = ("processes for golden-run collection and experiment "
                     "validation (default serial)")
@@ -168,8 +207,11 @@ def _print_golden(campaign: Campaign) -> None:
 
 
 def _print_summary(summary, label: str) -> None:
+    failed = (f", {summary.failures} failed"
+              if getattr(summary, "failures", 0) else "")
     print(f"{label}: {summary.hazards}/{summary.total} hazards "
-          f"({summary.hazard_rate:.1%}) in {summary.wall_seconds:.1f}s")
+          f"({summary.hazard_rate:.1%}){failed} "
+          f"in {summary.wall_seconds:.1f}s")
     rows = [[v, n, h, f"{rate:.1%}"]
             for v, n, h, rate in hazard_table(summary)]
     if rows:
@@ -266,11 +308,37 @@ def main(argv: list[str] | None = None) -> int:
             and getattr(args, "no_pipeline", False):
         raise SystemExit("--shard-index/--shard-count need the streaming "
                          "driver; drop --no-pipeline")
+    if getattr(args, "lease", False):
+        if getattr(args, "cache_dir", None) is None:
+            raise SystemExit("--lease needs --cache-dir (the directory "
+                             "the cooperating hosts share)")
+        if getattr(args, "no_pipeline", False):
+            raise SystemExit("--lease needs the streaming driver; drop "
+                             "--no-pipeline")
+        if getattr(args, "shard_count", 1) > 1:
+            raise SystemExit("--lease replaces static --shard-count "
+                             "partitioning; pick one multi-host mode")
+    if getattr(args, "resume", False):
+        if getattr(args, "cache_dir", None) is None:
+            raise SystemExit("--resume needs --cache-dir (the completion "
+                             "journal lives there)")
+        if getattr(args, "no_journal", False):
+            raise SystemExit("--resume replays the journal that "
+                             "--no-journal disables; pick one")
     try:
+        resilience = ResilienceConfig(
+            job_timeout=getattr(args, "job_timeout", None),
+            max_attempts=getattr(args, "max_attempts", 3),
+            strict=getattr(args, "strict", False),
+            journal=not getattr(args, "no_journal", False),
+            resume=getattr(args, "resume", False),
+            lease_mode=getattr(args, "lease", False),
+            lease_ttl=getattr(args, "lease_ttl", 30.0))
         config = CampaignConfig(
             use_checkpoints=not getattr(args, "no_checkpoints", False),
             shard_index=getattr(args, "shard_index", 0),
-            shard_count=getattr(args, "shard_count", 1))
+            shard_count=getattr(args, "shard_count", 1),
+            resilience=resilience)
     except ValueError as error:     # e.g. shard_index out of range
         raise SystemExit(f"error: {error}")
     campaign = Campaign(config=config,

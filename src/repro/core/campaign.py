@@ -28,6 +28,7 @@ from .fault_models import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
 from .parallel import (ExperimentJob, collect_golden_runs,
                        execute_experiment, run_experiments)
+from .resilience import CampaignJournal, ResilienceConfig
 from .results import CampaignSummary, ExperimentRecord
 from .safety import SafetyConfig
 from .simulate import FaultSpec, RunResult, run_scenario
@@ -61,6 +62,11 @@ class CampaignConfig:
     #: partition semantics per campaign style.
     shard_index: int = 0
     shard_count: int = 1
+    #: Supervision, durable resume, and lease knobs
+    #: (:class:`repro.core.resilience.ResilienceConfig`).  Deliberately
+    #: outside the cache fingerprint: how a campaign survives
+    #: infrastructure faults does not change what it computes.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self):
         if self.shard_count < 1:
@@ -112,6 +118,10 @@ class Campaign:
         #: full set — stays unset).
         self._golden_shard: dict[str, RunResult] | None = None
         self._ticks: dict[tuple[str, float, int], list[int]] = {}
+        self._ladder_tmp = None
+        #: The completion journal of the most recent campaign run (the
+        #: resume tests assert zero re-execution through its counters).
+        self._last_journal: CampaignJournal | None = None
 
     # -- golden runs -----------------------------------------------------------
 
@@ -369,11 +379,79 @@ class Campaign:
                                  f"-s{max(1, self.config.checkpoint_stride)}"
                                  f"{self._shard_suffix()}")
 
+    def _ladder_spool_dir(self) -> Path | None:
+        """Disk spool the pipeline driver spills checkpoint ladders to.
+
+        The checkpoint cache directory when the campaign has one (spool
+        and cache are then the same files — spilling *is* persisting),
+        else a campaign-lifetime temporary directory, so repeated
+        pipeline runs on one campaign object reload spilled ladders
+        instead of re-simulating them.  ``None`` when checkpoints are
+        disabled.
+        """
+        if not self.config.use_checkpoints:
+            return None
+        cache = self._checkpoint_cache_dir()
+        if cache is not None:
+            return cache
+        if self._ladder_tmp is None:
+            self._ladder_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-ladders-")
+        return Path(self._ladder_tmp.name)
+
     def _save_checkpoint_cache(self) -> None:
         directory = self._checkpoint_cache_dir()
         if directory is None or not len(self.checkpoints):
             return
         self.checkpoints.save(directory)
+
+    # -- resilience: journal and work keys -------------------------------------
+
+    @staticmethod
+    def _work_key(*params) -> str:
+        """Digest identifying one campaign invocation's work.
+
+        Keys the journal (and lease board) directory so two different
+        campaigns sharing a ``cache_dir`` never read each other's
+        progress.  Precision is an efficiency concern only: the journal
+        itself matches entries by full experiment identity, and the
+        deterministic simulator means identical identities always carry
+        identical outcomes.
+        """
+        return hashlib.sha256(
+            repr(params).encode("utf-8")).hexdigest()[:12]
+
+    @staticmethod
+    def _jobs_work_key(jobs: list[ExperimentJob]) -> str:
+        """Work key of an explicit job list (the barrier driver's form)."""
+        return Campaign._work_key(*(
+            (name, fault.variable, fault.value, fault.start_tick,
+             fault.duration_ticks) for name, fault in jobs))
+
+    def _open_journal(self, work_key: str) -> CampaignJournal | None:
+        """The completion journal of this invocation, started (or None).
+
+        Journaling needs a ``cache_dir`` (the durable location shared
+        with every other incremental artifact) and is on by default;
+        lease mode replaces it with atomic per-scenario publication.
+        """
+        res = self.config.resilience
+        if self.cache_dir is None or not res.journal or res.lease_mode:
+            return None
+        directory = (self.cache_dir
+                     / f"journal-{self._fingerprint()}-{work_key}"
+                       f"{self._shard_suffix()}")
+        journal = CampaignJournal(
+            directory, campaign_key=f"{self._fingerprint()}:{work_key}",
+            batch=res.journal_batch)
+        journal.start(resume=res.resume)
+        self._last_journal = journal
+        return journal
+
+    def _lease_board_dir(self, work_key: str) -> Path:
+        assert self.cache_dir is not None
+        return (self.cache_dir
+                / f"leases-{self._fingerprint()}-{work_key}")
 
     def _load_golden_cache(self) -> dict[str, RunResult] | None:
         return self._load_golden_cache_for(
@@ -586,17 +664,62 @@ class Campaign:
             self._ensure_checkpoints(name for name, _ in jobs)
             checkpoints = self.checkpoints
         summary = CampaignSummary(keep_records=record_sink is None)
+        emitted = 0
 
-        def consume(record: ExperimentRecord) -> None:
+        def emit(record: ExperimentRecord) -> None:
+            nonlocal emitted
+            emitted += 1
             summary.add(record)
             if record_sink is not None:
                 record_sink.add(record)
             self._progress(on_progress, "validated", record.scenario,
-                           summary.total, len(jobs))
+                           emitted, len(jobs))
 
-        run_experiments(self.scenarios, self.config, jobs,
-                        workers=workers, checkpoints=checkpoints,
-                        on_record=consume)
+        journal = self._open_journal(self._jobs_work_key(jobs))
+        if journal is None:
+            run_experiments(self.scenarios, self.config, jobs,
+                            workers=workers, checkpoints=checkpoints,
+                            on_record=emit)
+            return summary
+
+        # Resume merge: slots claimed from the journal emit their
+        # original records verbatim; only the remainder executes.
+        # Fresh records arrive in fresh-submission order, so a single
+        # cursor interleaves both sources back into the deterministic
+        # job order — the merged stream is bit-for-bit the
+        # uninterrupted run's.
+        slots: list[ExperimentRecord | None] = []
+        fresh: list[ExperimentJob] = []
+        for name, fault in jobs:
+            hit = journal.claim(name, fault, self.config.seed)
+            slots.append(hit)
+            if hit is None:
+                fresh.append((name, fault))
+        cursor = 0
+
+        def release_journaled() -> None:
+            nonlocal cursor
+            while cursor < len(jobs) and slots[cursor] is not None:
+                emit(slots[cursor])
+                cursor += 1
+
+        def consume(record: ExperimentRecord) -> None:
+            nonlocal cursor
+            journal.append(record)
+            release_journaled()
+            emit(record)
+            cursor += 1
+            release_journaled()
+
+        try:
+            release_journaled()
+            if fresh:
+                run_experiments(self.scenarios, self.config, fresh,
+                                workers=workers, checkpoints=checkpoints,
+                                on_record=consume)
+                release_journaled()
+        finally:
+            journal.close()
         return summary
 
     # -- campaigns -----------------------------------------------------------------
@@ -667,7 +790,9 @@ class Campaign:
                 n_experiments, seed,
                 lambda name: ctx.injection_ticks(name, require=True))
 
-        return StagePlan(style="random", global_jobs=global_jobs)
+        return StagePlan(style="random", global_jobs=global_jobs,
+                         work_key=self._work_key("random", n_experiments,
+                                                 seed))
 
     @staticmethod
     def _progress(on_progress, stage, scenario, done, total) -> None:
@@ -725,6 +850,10 @@ class Campaign:
                          max_experiments: int | None):
         from .pipeline import StagePlan
         duration = self.config.fault_duration_ticks
+        work_key = self._work_key(
+            "exhaustive", tick_stride,
+            tuple(variable_names) if variable_names else None,
+            max_experiments)
 
         if max_experiments is None:
             # Truly per-scenario: a scenario's grid depends only on its
@@ -738,7 +867,8 @@ class Campaign:
                 return [(scenario.name, fault) for fault in grid]
 
             return StagePlan(style="exhaustive",
-                             per_scenario_jobs=per_scenario)
+                             per_scenario_jobs=per_scenario,
+                             work_key=work_key)
 
         # A global experiment cap consumes budget in scenario order, so
         # job generation is a (documented) barrier on the tick lists.
@@ -755,7 +885,8 @@ class Campaign:
                     break
             return jobs
 
-        return StagePlan(style="exhaustive", global_jobs=global_jobs)
+        return StagePlan(style="exhaustive", global_jobs=global_jobs,
+                         work_key=work_key)
 
     def grid_size(self, variable_names: list[str] | None = None,
                   tick_stride: int = 1) -> int:
@@ -830,7 +961,10 @@ class Campaign:
             ctx.extras["outcome_counts"] = outcome_counts
             return jobs
 
-        return StagePlan(style="architectural", global_jobs=global_jobs)
+        return StagePlan(style="architectural", global_jobs=global_jobs,
+                         work_key=self._work_key(
+                             "architectural", n_experiments, seed,
+                             model is None))
 
     def bayesian_campaign(self, injector: BayesianFaultInjector | None = None,
                           variables: tuple[str, ...] = MINED_VARIABLES,
@@ -1078,7 +1212,10 @@ class Campaign:
         miner = MiningPlan(prepare=prepare, mine_scenario=mine_scenario,
                            finalize=finalize, job_of=job_of,
                            eager_dispatch=top_k is None, fold=fold)
-        return StagePlan(style="bayesian", golden_scope="all", miner=miner)
+        return StagePlan(style="bayesian", golden_scope="all", miner=miner,
+                         work_key=self._work_key(
+                             "bayesian", tuple(variables), float(threshold),
+                             top_k, use_batched, injector is None))
 
     def _candidate_cache_path(self, variables, threshold,
                               top_k) -> Path | None:

@@ -105,6 +105,18 @@ class CheckpointStore:
             return None
         return self._by_scenario[scenario][ticks[index - 1]]
 
+    def drop_scenario(self, scenario: str) -> None:
+        """Evict one scenario's ladder from memory (persisted copies stay).
+
+        The spill half of the pipeline driver's out-of-core ladders: a
+        ladder is spooled to disk (:meth:`save_scenario`) the moment its
+        golden run lands and dropped here, so driver-resident ladder
+        memory stays O(one scenario) instead of O(campaign).  Dropping
+        a scenario that was never stored is a no-op.
+        """
+        self._by_scenario.pop(scenario, None)
+        self._sorted_ticks.pop(scenario, None)
+
     def scenarios(self) -> list[str]:
         """Scenario names with at least one stored checkpoint, sorted."""
         return sorted(name for name, ladder in self._by_scenario.items()

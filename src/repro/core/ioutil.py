@@ -1,4 +1,4 @@
-"""Small shared I/O helpers for the cache and spool writers.
+"""Small shared I/O helpers for the cache, spool, and journal writers.
 
 Campaign caches are written concurrently — shard processes sharing a
 ``cache_dir``, a pipeline driver spooling ladders while pool workers
@@ -6,21 +6,92 @@ read them — so every cache write goes through write-then-rename: a
 reader observes one complete version or another, never a torn file.
 A failed read is always treated as a cache miss by the callers, so the
 worst outcome of a race is recomputation.
+
+Two details matter for crash tolerance (and are regression-tested):
+
+* Temp names are unique per write (pid **and** a process-local
+  counter), and a failed write unlinks its temp file.  A bare
+  ``.tmp-<pid>`` would leak on failure and, worse, collide when a pid
+  is recycled across a crashed run — two writers of the *same* cache
+  path scribbling over one temp file.
+* ``fsync=True`` makes the write durable before the rename becomes
+  visible: the journal the resume machinery depends on must never
+  expose a segment whose bytes are still in the page cache when the
+  host loses power.  Caches skip the sync — they are recomputable.
+
+:func:`set_write_fault_hook` is the sanctioned fault-injection port:
+the chaos suite uses it to fail cache/journal writes with injected
+``OSError`` without monkeypatching every importer of these helpers.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from pathlib import Path
+from typing import Callable
+
+#: Process-local uniquifier: two concurrent writers in one process (or
+#: a recycled pid across runs, combined with the pid) never share a
+#: temp name.
+_TMP_COUNTER = itertools.count()
+
+#: Test hook: called as ``hook(path)`` before every atomic write; the
+#: chaos harness installs one that raises ``OSError`` (disk full, EIO)
+#: with a seeded probability.  ``None`` (production) costs one ``is
+#: not None`` check.
+_WRITE_FAULT_HOOK: Callable[[Path], None] | None = None
 
 
-def write_bytes_atomic(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` via a same-directory rename."""
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    tmp.write_bytes(payload)
-    os.replace(tmp, path)
+def set_write_fault_hook(hook: Callable[[Path], None] | None) -> None:
+    """Install (or clear, with ``None``) the write fault-injection hook."""
+    global _WRITE_FAULT_HOOK
+    _WRITE_FAULT_HOOK = hook
 
 
-def write_text_atomic(path: Path, text: str) -> None:
+def write_bytes_atomic(path: Path, payload: bytes,
+                       fsync: bool = False) -> None:
+    """Write ``payload`` to ``path`` via a same-directory rename.
+
+    The temp file is uniquely named per write and removed again if
+    anything fails before the rename, so a crashed or failed write
+    never leaves a ``.tmp-*`` for a later writer to collide with.
+    ``fsync`` additionally syncs the file (and its directory) before
+    and after the rename — the durability journal segments need.
+    """
+    path = Path(path)
+    if _WRITE_FAULT_HOOK is not None:
+        _WRITE_FAULT_HOOK(path)
+    tmp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    if fsync:
+        _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory sync so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return                        # platform without dir-open support
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_text_atomic(path: Path, text: str, fsync: bool = False) -> None:
     """Text variant of :func:`write_bytes_atomic` (UTF-8)."""
-    write_bytes_atomic(path, text.encode("utf-8"))
+    write_bytes_atomic(path, text.encode("utf-8"), fsync=fsync)

@@ -38,20 +38,35 @@ path of a store persisted by :meth:`CheckpointStore.save`; the path form
 is what spawn workers and cross-process warm starts use — each worker
 loads the ladders from disk instead of depending on fork inheritance.
 If the pool's initializer arguments cannot be pickled under a non-fork
-start method (e.g. caller-supplied closure scenarios), execution
-silently falls back to serial in-process.
+start method (e.g. caller-supplied closure scenarios), execution falls
+back to serial in-process with a one-line ``RuntimeWarning`` naming the
+unpicklable argument.
+
+Execution is *supervised* (:mod:`repro.core.resilience`): pooled jobs
+run under per-job wall-clock timeouts with bounded seeded-backoff
+retries, a crashed worker (SIGKILL, segfault, OOM) is respawned and its
+in-flight job resubmitted, and a job that keeps failing is quarantined
+as a structured failure record in its deterministic slot instead of
+killing the campaign.  ``CampaignConfig.resilience.strict`` restores
+the fail-fast oracle; serial execution applies the same
+retry/quarantine policy (timeouts aside — a hang cannot be interrupted
+in-process), so serial and pooled campaigns stay record-for-record
+equivalent even when a job fails deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..sim.scenario import Scenario
 from .checkpoint import CheckpointStore
+from .resilience import (CampaignExecutionError, ResilienceConfig,
+                         SupervisedExecutor, failure_record,
+                         run_supervised_serial)
 from .results import ExperimentRecord
 from .simulate import (FaultSpec, RunResult, run_scenario,
                        run_scenario_from_checkpoint)
@@ -211,6 +226,27 @@ def _picklable(*values) -> bool:
         return False
 
 
+def _policy(config: "CampaignConfig") -> ResilienceConfig:
+    """The campaign's supervision policy (tolerating configs without one)."""
+    return getattr(config, "resilience", None) or ResilienceConfig()
+
+
+def _warn_serial_fallback(method: str, **named) -> None:
+    """One-line warning for the spawn-unpicklable serial fallback.
+
+    Names the offending argument: a silent fallback reads as "the pool
+    is slow today" and hides that caller-supplied closures (scenarios,
+    configs) cannot cross a non-fork process boundary.
+    """
+    culprit = next((name for name, value in named.items()
+                    if not _picklable(value)), "arguments")
+    warnings.warn(
+        f"campaign pool disabled: {culprit} cannot be pickled under the "
+        f"{method!r} start method; falling back to serial in-process "
+        f"execution (results are identical, just not parallel)",
+        RuntimeWarning, stacklevel=3)
+
+
 def _grouped_order(jobs: list[ExperimentJob]) -> list[int]:
     """Submission indices reordered to group same-scenario jobs.
 
@@ -254,59 +290,74 @@ def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
     """
     if not jobs:
         return None if on_record is not None else []
+    policy = _policy(config)
     context = _pool_context(start_method) if workers and workers > 1 \
         else None
     if context is not None and context.get_start_method() != "fork" \
             and not _picklable(scenarios, config, checkpoints):
+        _warn_serial_fallback(context.get_start_method(),
+                              scenarios=scenarios, config=config,
+                              checkpoints=checkpoints)
         context = None
 
     if context is None:
         local_store = _resolve_checkpoints(checkpoints)
         by_name = {s.name: s for s in scenarios}
+
+        def run_one(name: str, fault: FaultSpec) -> ExperimentRecord:
+            record, failure = run_supervised_serial(
+                lambda: execute_experiment(by_name[name], config, fault,
+                                           local_store),
+                policy, config.seed,
+                (name, fault.start_tick, fault.variable, fault.value))
+            if failure is not None:
+                return failure_record(name, fault, config, failure)
+            return record
+
         if on_record is not None:
             # Serial streaming: execute in submission order, flush each
             # record immediately — nothing is retained here.
             for name, fault in jobs:
-                on_record(execute_experiment(by_name[name], config, fault,
-                                             local_store))
+                on_record(run_one(name, fault))
             return None
         order = _grouped_order(jobs)
-        outputs = [execute_experiment(by_name[jobs[i][0]], config,
-                                      jobs[i][1], local_store)
-                   for i in order]
+        outputs = [run_one(*jobs[i]) for i in order]
         records: list[ExperimentRecord | None] = [None] * len(jobs)
         for slot, record in zip(order, outputs):
             records[slot] = record
         return records
 
     order = _grouped_order(jobs)
-    grouped = [jobs[i] for i in order]
     workers = min(workers, len(jobs))
-    chunksize = max(1, len(jobs) // (workers * 4))
     records = None if on_record is not None else [None] * len(jobs)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                             initializer=_init_worker,
-                             initargs=(scenarios, config,
-                                       checkpoints)) as pool:
-        if on_record is None:
-            for slot, record in zip(order,
-                                    pool.map(_run_job, grouped,
-                                             chunksize=chunksize)):
+    # Stream in submission order while supervised completions arrive in
+    # any order: park out-of-order records in a reorder buffer and
+    # flush every contiguous run as its head completes.  Grouped
+    # submission keeps the buffer small in the common case.  A
+    # KeyboardInterrupt propagates through the context manager, which
+    # kills the pool outright — the contiguous prefix already reached
+    # ``on_record``, and journaled/cached state stays consistent for a
+    # later ``--resume``.
+    pending: dict[int, ExperimentRecord] = {}
+    emit_next = 0
+    with SupervisedExecutor(workers, context, initializer=_init_worker,
+                            initargs=(scenarios, config, checkpoints),
+                            policy=policy, seed=config.seed) as pool:
+        for slot in order:
+            pool.submit(_run_job, jobs[slot], tag=slot)
+        for slot, value, failure in pool.drain():
+            record = value if failure is None else failure_record(
+                jobs[slot][0], jobs[slot][1], config, failure)
+            if records is not None:
                 records[slot] = record
-            return records
-        # Stream in submission order while results arrive in grouped
-        # order: park out-of-order records in a reorder buffer and
-        # flush every contiguous run as its head completes.  Group
-        # ordering above keeps the buffer small in the common case.
-        pending: dict[int, ExperimentRecord] = {}
-        emit_next = 0
-        for slot, record in zip(order, pool.map(_run_job, grouped,
-                                                chunksize=chunksize)):
+                continue
             pending[slot] = record
             while emit_next in pending:
                 on_record(pending.pop(emit_next))
                 emit_next += 1
-        assert not pending, "reorder buffer must drain"
+    if records is not None:
+        return records
+    assert not pending, "reorder buffer must drain"
     return None
 
 
@@ -342,17 +393,34 @@ def collect_golden_runs(scenarios: list[Scenario],
         if workers and workers > 1 and len(scenarios) > 1 else None
     if context is not None and context.get_start_method() != "fork" \
             and not _picklable(scenarios, config):
+        _warn_serial_fallback(context.get_start_method(),
+                              scenarios=scenarios, config=config)
         context = None
     if context is None:
         runs = [_golden_run(s, config,
                             list(ticks) if ticks is not None else None,
                             spool)
                 for s, (_, ticks) in zip(scenarios, jobs)]
-    else:
-        workers = min(workers, len(scenarios))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context,
-                                 initializer=_init_golden_worker,
-                                 initargs=(scenarios, config,
-                                           spool)) as pool:
-            runs = list(pool.map(_run_golden_job, jobs, chunksize=1))
-    return {s.name: run for s, run in zip(scenarios, runs)}
+        return {s.name: run for s, run in zip(scenarios, runs)}
+    # Pooled collection is supervised like validation — a worker killed
+    # mid-simulation respawns and its scenario re-runs — but a golden
+    # run that keeps failing raises even in non-strict campaigns: every
+    # downstream stage (ticks, mining, checkpoints) needs the trace, so
+    # there is no slot a failure record could meaningfully occupy.
+    workers = min(workers, len(scenarios))
+    policy = _policy(config)
+    by_name: dict[str, RunResult] = {}
+    with SupervisedExecutor(workers, context,
+                            initializer=_init_golden_worker,
+                            initargs=(scenarios, config, spool),
+                            policy=policy, seed=config.seed) as pool:
+        for job in jobs:
+            pool.submit(_run_golden_job, job, tag=job[0])
+        for name, run, failure in pool.drain():
+            if failure is not None:
+                raise CampaignExecutionError(
+                    f"golden run of {name!r} failed after "
+                    f"{failure.attempts} attempt(s) "
+                    f"({failure.error}: {failure.message})")
+            by_name[name] = run
+    return {s.name: by_name[s.name] for s in scenarios}

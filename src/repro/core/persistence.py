@@ -67,8 +67,15 @@ def decode_float(value: float | str) -> float:
 
 
 def record_to_dict(record: ExperimentRecord) -> dict:
-    """Flatten one experiment record to strict-JSON-safe types."""
-    return {
+    """Flatten one experiment record to strict-JSON-safe types.
+
+    Failure diagnoses (``error``/``attempts``) serialize only when the
+    record actually is a quarantined failure: success records keep the
+    exact byte layout streams had before supervision existed, so
+    supervised and unsupervised runs of a healthy campaign stay
+    bit-for-bit identical on disk.
+    """
+    payload = {
         "scenario": record.scenario,
         "injection_tick": record.injection_tick,
         "variable": record.variable,
@@ -84,6 +91,10 @@ def record_to_dict(record: ExperimentRecord) -> dict:
         "sim_seconds": encode_float(record.sim_seconds),
         "wall_seconds": encode_float(record.wall_seconds),
     }
+    if record.error is not None:
+        payload["error"] = record.error
+        payload["attempts"] = record.attempts
+    return payload
 
 
 _RECORD_FLOAT_FIELDS = ("value", "pre_delta_long", "pre_delta_lat",

@@ -62,16 +62,18 @@ summary equal to the unsharded run.  Per style:
 
 from __future__ import annotations
 
-import tempfile
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
 from ..sim.scenario import Scenario
 from .checkpoint import CheckpointStore
-from .parallel import (ExperimentJob, _golden_run, _pool_context, _picklable,
-                       execute_experiment)
+from .parallel import (ExperimentJob, _golden_run, _policy, _pool_context,
+                       _picklable, _warn_serial_fallback, execute_experiment)
+from .resilience import (CampaignExecutionError, LeaseBoard,
+                         SupervisedExecutor, failure_record,
+                         run_supervised_serial)
 from .results import CampaignSummary, ExperimentRecord
 
 if TYPE_CHECKING:  # avoid a circular import with .campaign
@@ -97,6 +99,11 @@ class StagePlan:
     ``golden_scope`` is ``"owned"`` when a shard only needs its own
     scenarios' golden runs, ``"all"`` when the plan reads every trace
     (Bayesian training).
+
+    ``work_key`` digests the plan parameters that shape the job set;
+    together with the config fingerprint it names the resume journal
+    and the lease board, so two differently-parameterized campaigns
+    sharing a ``cache_dir`` never cross-talk.
     """
 
     style: str
@@ -104,6 +111,7 @@ class StagePlan:
     per_scenario_jobs: Callable | None = None
     global_jobs: Callable | None = None
     miner: "MiningPlan | None" = None
+    work_key: str = ""
 
 
 @dataclass(frozen=True)
@@ -329,10 +337,81 @@ class CampaignPipeline:
     # -- public entry ----------------------------------------------------------
 
     def run(self, plan: StagePlan) -> PipelineResult:
+        if self.config.resilience.lease_mode:
+            return self._run_leased(plan)
+        return self._run_once(plan)
+
+    def _run_leased(self, plan: StagePlan) -> PipelineResult:
+        """Dynamic multi-host mode: claim scenarios via TTL leases.
+
+        Every cooperating host runs the same campaign against a shared
+        ``cache_dir``; a :class:`~repro.core.resilience.LeaseBoard`
+        hands each host an exclusive, heartbeat-renewed claim on a
+        subset of scenarios per round.  A host that dies stops renewing
+        its leases, so its scenarios are re-claimed by survivors — the
+        dynamic replacement for static ``shard_index`` partitioning.
+        Each round publishes its per-scenario record files atomically
+        (publication doubles as the done marker); the returned summary
+        is folded from the full published set, so every surviving host
+        reports the global aggregates and ``repro merge`` over the
+        board's record files reproduces the single-host stream.
+        """
+        from .persistence import iter_records_jsonl
+        campaign = self.campaign
+        res = self.config.resilience
+        if campaign.cache_dir is None:
+            raise ValueError(
+                "lease mode needs a cache_dir shared by the "
+                "cooperating hosts")
+        if self.config.shard_count > 1:
+            raise ValueError(
+                "lease mode replaces static sharding; run with "
+                "shard_count=1")
+        board = LeaseBoard(campaign._lease_board_dir(plan.work_key),
+                           style=plan.style, ttl=res.lease_ttl)
+        names = [s.name for s in campaign.scenarios]
+        extras: dict = {}
+        rounds = 0
+        while True:
+            claimable = [name for name in names if board.try_claim(name)]
+            if claimable:
+                owned = [campaign._by_name[name] for name in claimable]
+                try:
+                    result = self._run_once(plan, owned=owned, board=board)
+                except BaseException:
+                    board.release_all()
+                    raise
+                rounds += 1
+                extras = result.extras
+                for name in claimable:
+                    board.publish(name, self._lease_records.get(name, []))
+                    board.release(name)
+            elif all(board.is_done(name) for name in names):
+                break
+            else:
+                time.sleep(res.lease_poll)
+        if rounds == 0 and (plan.miner is not None
+                            or plan.global_jobs is not None):
+            # This host claimed nothing, but style extras (fitted
+            # injector, outcome counts) are derived from the golden
+            # set, not from owned validation work — run an empty-owned
+            # round to reproduce them.
+            extras = self._run_once(plan, owned=[], board=board).extras
+        summary = CampaignSummary(keep_records=False)
+        for path in board.record_paths(names):
+            for record in iter_records_jsonl(path):
+                summary.add(record)
+        return PipelineResult(summary=summary, extras=extras)
+
+    def _run_once(self, plan: StagePlan,
+                  owned: "list[Scenario] | None" = None,
+                  board: LeaseBoard | None = None) -> PipelineResult:
         campaign = self.campaign
         self.plan = plan
-        self.sharded = self.config.shard_count > 1
-        owned = campaign.owned_scenarios()
+        self.board = board
+        self.sharded = self.config.shard_count > 1 or board is not None
+        if owned is None:
+            owned = campaign.owned_scenarios()
         self._owned_names = {s.name for s in owned}
         self._owned_order = [s.name for s in owned]
         if plan.golden_scope == "all":
@@ -345,7 +424,7 @@ class CampaignPipeline:
         self._summary = CampaignSummary(
             keep_records=self.record_sink is None)
         self._emitter = _OrderedEmitter(self._consume)
-        self._futures: dict = {}
+        self._emitted = 0
         self._golden_done = 0
         self._fold_next = 0
         store = campaign.golden_trace_store()
@@ -353,14 +432,18 @@ class CampaignPipeline:
         self._checkpoints_ready: set[str] = set()
         self._dispatched_keys: set = set()
         self._fresh_ladders: set[str] = set()
+        self._lease_records: dict[str, list[ExperimentRecord]] = {}
         # per-scenario block -> slot-base bookkeeping
         self._blocks: dict[int, int] = {}
         self._next_block = 0
         self._base = 0
 
         self._pool = None
-        self._spool_tmp = None
-        self._spool = None
+        self._spool = (campaign._ladder_spool_dir()
+                       if self.config.use_checkpoints else None)
+        self._journal = (None if board is not None
+                         else campaign._open_journal(plan.work_key))
+        interrupted = False
         try:
             warm, to_simulate = self._prepare_golden()
             self._start_pool()
@@ -371,11 +454,17 @@ class CampaignPipeline:
             for name, capture in to_simulate:
                 self._submit_golden(name, capture)
             self._event_loop()
+        except BaseException:
+            # On interrupt or failure, kill workers rather than wait
+            # for in-flight chunks; the journal keeps the completed
+            # prefix, so --resume continues where the stream stopped.
+            interrupted = True
+            raise
         finally:
             if self._pool is not None:
-                self._pool.shutdown(wait=True, cancel_futures=True)
-            if self._spool_tmp is not None:
-                self._spool_tmp.cleanup()
+                self._pool.shutdown(kill=interrupted)
+            if self._journal is not None:
+                self._journal.close()
         self._finish()
         return PipelineResult(summary=self._summary, extras=self.ctx.extras)
 
@@ -425,20 +514,47 @@ class CampaignPipeline:
 
     def _submit_golden(self, name: str, capture: list[int] | None) -> None:
         if self._pool is None:
-            run = _golden_run(self.campaign._by_name[name], self.config,
-                              capture, self._trace_spool)
+            run, failure = run_supervised_serial(
+                lambda: _golden_run(self.campaign._by_name[name],
+                                    self.config, capture,
+                                    self._trace_spool),
+                _policy(self.config), self.config.seed, ("golden", name))
+            if failure is not None:
+                raise CampaignExecutionError(
+                    f"golden run of scenario {name!r} failed after "
+                    f"{failure.attempts} attempt(s): {failure.error}: "
+                    f"{failure.message}")
             self._handle_golden(name, run)
         else:
             job = (name, tuple(capture) if capture is not None else None)
-            future = self._pool.submit(_pipeline_golden_job, job)
-            self._futures[future] = ("golden", name)
+            self._pool.submit(_pipeline_golden_job, job,
+                              tag=("golden", name))
 
     def _handle_golden(self, name: str, run: "RunResult") -> None:
         campaign = self.campaign
         self.ctx.golden[name] = run
         if run.checkpoints:
-            campaign.checkpoints.add_all(run.checkpoints)
+            store = campaign.checkpoints
+            resident = store.has_scenario(name)
+            store.add_all(run.checkpoints)
             self._fresh_ladders.add(name)
+            if self._spool is not None:
+                # Spill the fresh ladder the moment it lands and drop
+                # it (plus the RunResult's reference) from memory:
+                # driver-resident ladder state stays O(one scenario)
+                # instead of O(campaign).  Dispatch reloads from the
+                # spool; when cache_dir is set the spool *is* the
+                # persistent checkpoint cache, so this eager save also
+                # replaces the batch persistence pass.  Ladders the
+                # campaign already held in memory (barrier-collected)
+                # stay resident — they belong to the caller, not us.
+                store.save_scenario(self._spool, name)
+                self._checkpoints_ready.add(name)
+                if not resident:
+                    store.drop_scenario(name)
+                    run.checkpoints = []
+        if self.board is not None:
+            self.board.heartbeat()
         self._golden_done += 1
         self._progress("golden", name, self._golden_done,
                        len(self._targets))
@@ -507,8 +623,14 @@ class CampaignPipeline:
                 if self._fresh_golden:
                     campaign._save_golden_cache()
             return
-        campaign._golden_shard = dict(self.ctx.golden)
-        if not self._fresh_golden:
+        merged = dict(campaign._golden_shard or {})
+        merged.update(self.ctx.golden)
+        campaign._golden_shard = merged
+        if not self._fresh_golden or self.board is not None:
+            # Lease rounds own a different subset each time, so the
+            # statically-partitioned per-shard cache file would go
+            # stale; leased runs rely on the in-memory memo and the
+            # full-set cache instead.
             return
         path = campaign._golden_cache_path(sharded=True)
         if path is not None:
@@ -579,29 +701,72 @@ class CampaignPipeline:
         if not items:
             return
         self._dispatched_keys.update(key for key, _ in items)
+        if self._journal is not None:
+            fresh = []
+            for key, fault in items:
+                hit = self._journal.claim(name, fault, self.config.seed)
+                if hit is not None:
+                    self._emitter.stage(key, hit)
+                else:
+                    fresh.append((key, fault))
+            items = fresh
+            if not items:
+                return
         self._ready_checkpoints(name)
         if self._pool is None:
-            campaign = self.campaign
-            scenario = campaign._by_name[name]
-            checkpoints = (campaign.checkpoints
-                           if self.config.use_checkpoints else None)
-            for key, fault in items:
-                self._emitter.stage(key, execute_experiment(
-                    scenario, self.config, fault, checkpoints))
+            self._dispatch_serial(name, items)
             return
+        policy = _policy(self.config)
         chunk = max(1, len(items) // (self.workers * 4))
         for start in range(0, len(items), chunk):
-            future = self._pool.submit(
-                _pipeline_validate_chunk,
-                (name, items[start:start + chunk]))
-            self._futures[future] = ("validate", name)
+            part = tuple(items[start:start + chunk])
+            timeout = (policy.job_timeout * len(part)
+                       if policy.job_timeout is not None else None)
+            self._pool.submit(_pipeline_validate_chunk, (name, list(part)),
+                              tag=("validate", name, part),
+                              timeout=timeout)
+
+    def _dispatch_serial(self, name: str, items: list) -> None:
+        campaign = self.campaign
+        scenario = campaign._by_name[name]
+        store = campaign.checkpoints
+        checkpoints = None
+        loaded_here = False
+        if self.config.use_checkpoints:
+            if not store.has_scenario(name) and self._spool is not None:
+                loaded_here = store.load_scenario(self._spool, name)
+            if store.has_scenario(name):
+                checkpoints = store
+        policy = _policy(self.config)
+        try:
+            for key, fault in items:
+                record, failure = run_supervised_serial(
+                    lambda: execute_experiment(scenario, self.config,
+                                               fault, checkpoints),
+                    policy, self.config.seed,
+                    (name, fault.start_tick, fault.variable, fault.value))
+                if failure is not None:
+                    record = failure_record(name, fault, self.config,
+                                            failure)
+                self._record_done(key, record)
+        finally:
+            if loaded_here:
+                # Serial twin of the worker-side spool protocol: the
+                # ladder was reloaded for this dispatch; evict it again
+                # so memory stays O(one scenario).
+                store.drop_scenario(name)
+
+    def _record_done(self, key, record: ExperimentRecord) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+        self._emitter.stage(key, record)
 
     def _ready_checkpoints(self, name: str) -> None:
-        """Make a scenario's ladder available before its first dispatch.
+        """Make a scenario's ladder available in the spool before dispatch.
 
-        Fills the in-memory store from the persisted cache (or one
-        prefix re-simulation) when the golden run was warm-started, and
-        spools the ladder to the worker-visible directory in pool mode.
+        Freshly captured ladders are spilled by :meth:`_handle_golden`;
+        this covers warm-started scenarios, filling the spool from one
+        prefix re-simulation when the persisted cache lacks the ladder.
         All persistence here is per scenario
         (:meth:`CheckpointStore.save_scenario`): incremental and
         index-preserving, so a campaign touching k of n scenarios costs
@@ -609,18 +774,20 @@ class CampaignPipeline:
         entries — the barrier path's whole-store save stays confined to
         the batch code.
         """
-        if not self.config.use_checkpoints \
+        if not self.config.use_checkpoints or self._spool is None \
                 or name in self._checkpoints_ready:
             return
         self._checkpoints_ready.add(name)
         campaign = self.campaign
-        if not campaign.checkpoints.has_scenario(name):
+        store = campaign.checkpoints
+        resident = store.has_scenario(name)
+        if not resident:
+            if name in store.saved_scenarios(self._spool):
+                return              # spilled earlier; workers load lazily
             campaign._ensure_checkpoints([name], save=False)
-            cache = campaign._checkpoint_cache_dir()
-            if cache is not None and cache != self._spool:
-                campaign.checkpoints.save_scenario(cache, name)
-        if self._spool is not None:
-            campaign.checkpoints.save_scenario(self._spool, name)
+        store.save_scenario(self._spool, name)
+        if not resident:
+            store.drop_scenario(name)
 
     # -- execution engine ------------------------------------------------------
 
@@ -631,49 +798,63 @@ class CampaignPipeline:
             if workers and workers > 1 else None
         if context is None:
             return
-        spool = None
-        if self.config.use_checkpoints:
-            spool = campaign._checkpoint_cache_dir()
-            if spool is None:
-                self._spool_tmp = tempfile.TemporaryDirectory(
-                    prefix="repro-pipeline-")
-                spool = Path(self._spool_tmp.name)
-            else:
-                spool.mkdir(parents=True, exist_ok=True)
+        if self._spool is not None:
+            self._spool.mkdir(parents=True, exist_ok=True)
         initargs = (campaign.scenarios, self.config,
-                    str(spool) if spool is not None else None,
+                    str(self._spool) if self._spool is not None else None,
                     str(self._trace_spool)
                     if self._trace_spool is not None else None)
         if context.get_start_method() != "fork" \
                 and not _picklable(*initargs):
-            if self._spool_tmp is not None:
-                self._spool_tmp.cleanup()
-                self._spool_tmp = None
+            _warn_serial_fallback(context.get_start_method(),
+                                  scenarios=campaign.scenarios,
+                                  config=self.config)
             return
-        self._spool = spool
-        self._pool = ProcessPoolExecutor(max_workers=workers,
-                                         mp_context=context,
-                                         initializer=_init_pipeline_worker,
-                                         initargs=initargs)
+        self._pool = SupervisedExecutor(workers, context,
+                                        initializer=_init_pipeline_worker,
+                                        initargs=initargs,
+                                        policy=_policy(self.config),
+                                        seed=self.config.seed)
 
     def _event_loop(self) -> None:
-        while self._futures:
-            done, _ = wait(list(self._futures),
-                           return_when=FIRST_COMPLETED)
-            for future in done:
-                kind, name = self._futures.pop(future)
-                result = future.result()
-                if kind == "golden":
-                    self._handle_golden(name, result)
+        while self._pool is not None and self._pool.outstanding:
+            events = self._pool.next_events(
+                max_wait=0.5 if self.board is not None else None)
+            if self.board is not None:
+                self.board.heartbeat()
+            for tag, value, failure in events:
+                if tag[0] == "golden":
+                    name = tag[1]
+                    if failure is not None:
+                        # Golden runs are the oracle every downstream
+                        # stage reads; quarantining one would corrupt
+                        # the campaign, so a persistent golden failure
+                        # is fatal regardless of --strict.
+                        raise CampaignExecutionError(
+                            f"golden run of scenario {name!r} failed "
+                            f"after {failure.attempts} attempt(s): "
+                            f"{failure.error}: {failure.message}")
+                    self._handle_golden(name, value)
                 else:
-                    for key, record in result:
-                        self._emitter.stage(key, record)
+                    _, name, part = tag
+                    if failure is not None:
+                        for key, fault in part:
+                            self._record_done(
+                                key, failure_record(name, fault,
+                                                    self.config, failure))
+                    else:
+                        for key, record in value:
+                            self._record_done(key, record)
 
     def _consume(self, record: ExperimentRecord) -> None:
+        self._emitted += 1
         self._summary.add(record)
+        if self.board is not None:
+            self._lease_records.setdefault(record.scenario,
+                                           []).append(record)
         if self.record_sink is not None:
             self.record_sink.add(record)
-        self._progress("validated", record.scenario, self._summary.total,
+        self._progress("validated", record.scenario, self._emitted,
                        self._emitter.total)
 
     def _progress(self, stage, scenario, done, total) -> None:
@@ -683,17 +864,11 @@ class CampaignPipeline:
                                               done=done, total=total))
 
     def _finish(self) -> None:
+        # Freshly captured ladders were already persisted scenario by
+        # scenario (the eager spill in _handle_golden writes straight
+        # into the checkpoint cache when cache_dir is set), so the only
+        # job left is the completeness invariant.
         if not self._emitter.complete:
             raise RuntimeError(
-                f"pipeline emitted {self._summary.total} of "
+                f"pipeline emitted {self._emitted} of "
                 f"{self._emitter.total} records — driver bug")
-        # Persist freshly captured ladders one scenario at a time:
-        # save_scenario preserves index entries of scenarios this run
-        # never loaded, which a whole-store save would drop.
-        cache = self.campaign._checkpoint_cache_dir()
-        if cache is None:
-            return
-        for name in sorted(self._fresh_ladders):
-            if self._spool == cache and name in self._checkpoints_ready:
-                continue                 # already spooled to the cache
-            self.campaign.checkpoints.save_scenario(cache, name)

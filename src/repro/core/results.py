@@ -56,6 +56,21 @@ class ExperimentRecord:
     min_delta_lat: float
     sim_seconds: float           # simulated time covered
     wall_seconds: float          # host time spent
+    #: Quarantine diagnosis when the experiment could not be executed
+    #: ("ErrorClass: detail"); ``None`` for every real outcome.  A
+    #: failure record keeps its full fault identity — scenario, tick,
+    #: variable, value, duration, seed — so the experiment is exactly
+    #: re-runnable, while the outcome fields above are zeroed.
+    error: str | None = None
+    #: Executions attempted before quarantine (1 on success — retries
+    #: that eventually succeed report like first-try successes, keeping
+    #: streams bit-for-bit comparable across supervision settings).
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        """True when the experiment was quarantined, not executed."""
+        return self.error is not None
 
     @property
     def hazardous(self) -> bool:
@@ -100,6 +115,7 @@ class CampaignSummary:
         self._total = 0
         self._hazards = 0
         self._landed = 0
+        self._failures = 0
         self._wall_seconds = 0.0
         self._hazard_counts: Counter = Counter()
         self._hazards_by_variable: Counter = Counter()
@@ -109,7 +125,19 @@ class CampaignSummary:
             self.add(record)
 
     def add(self, record: ExperimentRecord) -> None:
-        """Fold one record into every aggregate (and retain it if kept)."""
+        """Fold one record into every aggregate (and retain it if kept).
+
+        Failure records (quarantined jobs) are counted apart from
+        executed experiments: they contribute to ``failures`` only,
+        never to totals, hazard rates, or per-variable tables — a
+        campaign that suffered infrastructure faults reports the same
+        science as one that did not, plus a failure count.
+        """
+        if record.failed:
+            self._failures += 1
+            if self.keep_records:
+                self.records.append(record)
+            return
         self._total += 1
         self._wall_seconds += record.wall_seconds
         self._experiments_by_variable[record.variable] += 1
@@ -125,9 +153,15 @@ class CampaignSummary:
             self.records.append(record)
 
     def __repr__(self) -> str:
+        failed = f", failures={self._failures}" if self._failures else ""
         return (f"CampaignSummary(total={self._total}, "
-                f"hazards={self._hazards}, "
+                f"hazards={self._hazards}{failed}, "
                 f"keep_records={self.keep_records})")
+
+    @property
+    def failures(self) -> int:
+        """Experiments quarantined by supervision instead of executed."""
+        return self._failures
 
     @property
     def total(self) -> int:
@@ -187,6 +221,7 @@ class CampaignSummary:
             merged._total += summary._total
             merged._hazards += summary._hazards
             merged._landed += summary._landed
+            merged._failures += summary._failures
             merged._wall_seconds += summary._wall_seconds
             merged._hazard_counts.update(summary._hazard_counts)
             merged._hazards_by_variable.update(summary._hazards_by_variable)
@@ -207,6 +242,7 @@ class CampaignSummary:
         return (self.total == other.total
                 and self.hazards == other.hazards
                 and self.landed == other.landed
+                and self.failures == other.failures
                 and self.hazard_breakdown() == other.hazard_breakdown()
                 and self.hazards_by_variable()
                 == other.hazards_by_variable()

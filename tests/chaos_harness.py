@@ -1,0 +1,154 @@
+"""Chaos harness: inject faults into the fault injector itself.
+
+The resilience layer (:mod:`repro.core.resilience`) claims a campaign
+survives worker SIGKILLs, failing cache/journal writes, corrupted
+journal segments, and whole-driver kills.  This module is the fault
+injector *for those claims*: context managers that arm each disturbance
+through the sanctioned chaos ports —
+
+* :func:`chaos_worker_kills` — the ``REPRO_CHAOS_KILL`` environment
+  variable, read once per (re)spawned pool worker, makes workers
+  SIGKILL themselves around job execution with a seeded probability;
+* :func:`failing_writes` — installs an :func:`repro.core.ioutil
+  .set_write_fault_hook` that raises ``OSError`` for matching atomic
+  writes (journal segments, lease files, cache artifacts);
+* :func:`corrupt_journal` — truncates and scribbles over journal
+  segments on disk, the bit-rot / torn-write case;
+* :func:`run_driver_killed` — runs a campaign in a subprocess that
+  SIGKILLs *itself* (the whole driver, not a worker) after a given
+  number of emitted records: no cleanup handlers run, so whatever
+  resume finds on disk is exactly what durability guaranteed.
+
+The equivalence-under-chaos suite (``tests/test_chaos_equivalence.py``)
+runs every campaign style under these disturbances and asserts the
+record stream is identical to the undisturbed serial oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.core.ioutil import set_write_fault_hook
+from repro.core.resilience import CHAOS_KILL_ENV
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@contextmanager
+def chaos_worker_kills(probability: float, seed: int = 0):
+    """Arm worker self-SIGKILL for pool workers spawned inside.
+
+    Workers read ``REPRO_CHAOS_KILL`` once at start; each respawn
+    draws a fresh pid-seeded sequence, so a retried job is not doomed
+    to die forever and bounded retries converge.
+    """
+    previous = os.environ.get(CHAOS_KILL_ENV)
+    os.environ[CHAOS_KILL_ENV] = f"{probability}:{seed}"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_KILL_ENV, None)
+        else:
+            os.environ[CHAOS_KILL_ENV] = previous
+
+
+@contextmanager
+def failing_writes(substring: str, fail_first: int | None = None):
+    """Fail atomic writes whose target path contains ``substring``.
+
+    ``fail_first`` bounds the number of injected failures (``None``
+    fails every matching write).  Only the installing process is
+    affected — pool workers have their own (unset) hook, mirroring a
+    driver-host disk fault.
+    """
+    state = {"failed": 0}
+
+    def hook(path: Path) -> None:
+        if substring not in str(path):
+            return
+        if fail_first is not None and state["failed"] >= fail_first:
+            return
+        state["failed"] += 1
+        raise OSError(28, f"chaos: no space left writing {path.name}")
+
+    set_write_fault_hook(hook)
+    try:
+        yield state
+    finally:
+        set_write_fault_hook(None)
+
+
+def corrupt_journal(directory: str | Path, truncate_last: bool = True,
+                    scribble_first: bool = True) -> int:
+    """Damage journal segments in place; returns segments touched.
+
+    Truncation models a torn write (half a JSON line survives);
+    scribbling models bit rot.  Resume must skip the damaged entries
+    and re-execute those experiments — never crash, never fabricate.
+    """
+    segments = sorted(Path(directory).glob("seg-*.jsonl"))
+    touched = 0
+    if truncate_last and segments:
+        data = segments[-1].read_bytes()
+        segments[-1].write_bytes(data[:max(1, len(data) // 2)])
+        touched += 1
+    if scribble_first and segments:
+        segments[0].write_bytes(b"\x00\xffnot json{{{\n")
+        touched += 1
+    return touched
+
+
+_DRIVER_TEMPLATE = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from dataclasses import replace
+from repro.core import Campaign, CampaignConfig, ResilienceConfig
+from repro.sim import highway_cruise, lead_vehicle_cutin, queued_traffic
+
+def scenarios():
+    return [replace(highway_cruise(), duration=24.0),
+            replace(lead_vehicle_cutin(), duration=16.0),
+            replace(queued_traffic(), duration=18.0)]
+
+count = 0
+def kill_after(event):
+    global count
+    if event.stage != "validated":
+        return
+    count += 1
+    if count >= {kill_after}:
+        os.kill(os.getpid(), signal.SIGKILL)   # no cleanup, no atexit
+
+config = CampaignConfig(resilience=ResilienceConfig({resilience_kwargs}))
+campaign = Campaign(scenarios(), config, cache_dir={cache_dir!r})
+campaign.{invoke}
+print("UNEXPECTED: campaign survived its own SIGKILL", file=sys.stderr)
+sys.exit(3)
+"""
+
+
+def run_driver_killed(cache_dir: str | Path, invoke: str,
+                      kill_after: int,
+                      resilience_kwargs: str = "") -> int:
+    """Run a campaign subprocess that SIGKILLs itself mid-stream.
+
+    ``invoke`` is the campaign call, e.g.
+    ``"random_campaign(12, seed=3, on_progress=kill_after)"`` — it must
+    thread the provided ``kill_after`` progress hook.  Returns the
+    subprocess return code (``-SIGKILL`` on the expected death).  The
+    scenario population is the chaos suite's standard small set, so the
+    in-test resume run reuses the same cache keys.
+    """
+    script = _DRIVER_TEMPLATE.format(
+        src=SRC_DIR, cache_dir=str(cache_dir), kill_after=kill_after,
+        invoke=invoke, resilience_kwargs=resilience_kwargs)
+    result = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(script)],
+        capture_output=True, text=True, timeout=600)
+    return result.returncode

@@ -1,0 +1,205 @@
+"""Equivalence under chaos: disturbed campaigns equal the serial oracle.
+
+The resilience contract is not "the campaign usually survives" — it is
+that a campaign suffering infrastructure faults emits **the same record
+stream** as an undisturbed run.  Determinism of the simulator makes
+that testable: every experiment re-executed after a worker SIGKILL, a
+failed journal write, or a driver kill must reproduce its record
+bit-for-bit (wall-clock timing aside), so each test here drives a full
+campaign style through :mod:`tests.chaos_harness` disturbances and
+compares against the undisturbed serial reference.
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from chaos_harness import (chaos_worker_kills, corrupt_journal,
+                           failing_writes, run_driver_killed)
+from repro.core import Campaign, CampaignConfig, ResilienceConfig
+from repro.core.persistence import merge_record_shards
+from repro.sim import highway_cruise, lead_vehicle_cutin, queued_traffic
+
+STYLES = ["random", "exhaustive", "architectural", "bayesian"]
+
+
+def small_scenarios():
+    # Mirrors chaos_harness._DRIVER_TEMPLATE: the subprocess driver and
+    # the in-test resume run must agree on cache keys.
+    return [replace(highway_cruise(), duration=24.0),
+            replace(lead_vehicle_cutin(), duration=16.0),
+            replace(queued_traffic(), duration=18.0)]
+
+
+def strip_wall(records):
+    rows = []
+    for record in records:
+        row = asdict(record)
+        row.pop("wall_seconds")   # host timing necessarily differs
+        rows.append(row)
+    return rows
+
+
+def run_style(campaign: Campaign, style: str, **kwargs):
+    """One scaled-down campaign of the given style; returns its summary."""
+    if style == "random":
+        return campaign.random_campaign(10, seed=11, **kwargs)
+    if style == "exhaustive":
+        return campaign.exhaustive_campaign(
+            tick_stride=40, variable_names=["brake", "steering"],
+            **kwargs)
+    if style == "architectural":
+        summary, _ = campaign.architectural_campaign(18, seed=3, **kwargs)
+        return summary
+    return campaign.bayesian_campaign(top_k=6, **kwargs).summary
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """Undisturbed serial references, one per campaign style."""
+    campaign = Campaign(small_scenarios(), CampaignConfig())
+    campaign.golden_runs()
+    return {style: run_style(campaign, style) for style in STYLES}
+
+
+class TestWorkerKillEquivalence:
+    """Workers SIGKILLing themselves mid-job must not change one bit."""
+
+    @pytest.mark.parametrize("style", STYLES)
+    def test_style_survives_worker_kills(self, oracle, style):
+        config = CampaignConfig(
+            resilience=ResilienceConfig(max_attempts=8))
+        campaign = Campaign(small_scenarios(), config)
+        with chaos_worker_kills(0.15, seed=STYLES.index(style)):
+            disturbed = run_style(campaign, style, workers=2)
+        assert strip_wall(disturbed.records) == \
+            strip_wall(oracle[style].records)
+        assert disturbed.same_aggregates(oracle[style])
+        assert disturbed.failures == 0
+
+
+class TestJournalWriteFaults:
+    """A dying disk under the journal degrades durability, not results."""
+
+    def test_failed_journal_writes_keep_stream_intact(self, tmp_path,
+                                                      oracle):
+        config = CampaignConfig(resilience=ResilienceConfig())
+        campaign = Campaign(small_scenarios(), config,
+                            cache_dir=tmp_path / "cache")
+        with failing_writes("journal-") as state:
+            summary = run_style(campaign, "random")
+        assert state["failed"] > 0          # the fault actually fired
+        assert strip_wall(summary.records) == \
+            strip_wall(oracle["random"].records)
+        journal_dirs = list((tmp_path / "cache").glob("journal-*"))
+        assert all(not list(d.glob("seg-*.jsonl")) for d in journal_dirs)
+
+        # Nothing became durable, so resume re-executes everything —
+        # the safe direction — and still equals the oracle.
+        resumed = Campaign(
+            small_scenarios(),
+            CampaignConfig(resilience=ResilienceConfig(resume=True)),
+            cache_dir=tmp_path / "cache")
+        again = run_style(resumed, "random")
+        assert resumed._last_journal.hits == 0
+        assert resumed._last_journal.appended == len(summary.records)
+        assert strip_wall(again.records) == \
+            strip_wall(oracle["random"].records)
+
+    def test_corrupt_journal_segments_reexecute(self, tmp_path, oracle):
+        cache = tmp_path / "cache"
+        first = Campaign(small_scenarios(),
+                         CampaignConfig(resilience=ResilienceConfig()),
+                         cache_dir=cache)
+        run_style(first, "random")
+        journal_dir = next(cache.glob("journal-*"))
+        assert corrupt_journal(journal_dir) == 2
+
+        resumed = Campaign(
+            small_scenarios(),
+            CampaignConfig(resilience=ResilienceConfig(resume=True)),
+            cache_dir=cache)
+        summary = run_style(resumed, "random")
+        journal = resumed._last_journal
+        total = len(oracle["random"].records)
+        assert journal.hits < total          # damaged entries re-ran
+        assert journal.hits + journal.appended == total
+        assert strip_wall(summary.records) == \
+            strip_wall(oracle["random"].records)
+
+
+class TestDriverKillResume:
+    """SIGKILL the whole driver; --resume must re-execute nothing done."""
+
+    def test_sigkill_resume_skips_journaled_experiments(self, tmp_path,
+                                                        oracle):
+        cache = tmp_path / "cache"
+        code = run_driver_killed(
+            cache, "random_campaign(10, seed=11, on_progress=kill_after)",
+            kill_after=4)
+        assert code == -9                   # died by its own SIGKILL
+
+        resumed = Campaign(
+            small_scenarios(),
+            CampaignConfig(resilience=ResilienceConfig(resume=True)),
+            cache_dir=cache)
+        summary = resumed.random_campaign(10, seed=11)
+        journal = resumed._last_journal
+        # Zero re-execution of completed experiments: every journaled
+        # record was claimed, the rest were executed exactly once.
+        assert journal.hits == journal.loaded_count
+        assert journal.hits >= 4
+        assert journal.hits + journal.appended == 10
+        # The merged stream (journal-replayed prefix + fresh suffix) is
+        # bit-for-bit the uninterrupted run, original timings included
+        # for the replayed records.
+        assert strip_wall(summary.records) == \
+            strip_wall(oracle["random"].records)
+
+
+class TestLeaseEquivalence:
+    """Lease-claimed multi-host campaigns equal the single-host run."""
+
+    def lease_config(self, ttl: float = 30.0) -> CampaignConfig:
+        return CampaignConfig(resilience=ResilienceConfig(
+            lease_mode=True, lease_ttl=ttl, lease_poll=0.05))
+
+    def test_single_host_lease_run_matches_oracle(self, tmp_path,
+                                                  oracle):
+        cache = tmp_path / "cache"
+        campaign = Campaign(small_scenarios(), self.lease_config(),
+                            cache_dir=cache)
+        summary = campaign.random_campaign(10, seed=11)
+        assert summary.same_aggregates(oracle["random"])
+
+        board_files = sorted(cache.glob("leases-*/records-*.jsonl"))
+        assert len(board_files) == len(small_scenarios())
+        merged = merge_record_shards(board_files, keep_records=True)
+        assert merged.same_aggregates(oracle["random"])
+        assert sorted(map(repr, strip_wall(merged.records))) == \
+            sorted(map(repr, strip_wall(oracle["random"].records)))
+
+    def test_lease_requires_cache_dir(self):
+        campaign = Campaign(small_scenarios(), self.lease_config())
+        with pytest.raises(ValueError, match="cache_dir"):
+            campaign.random_campaign(4, seed=1)
+
+    def test_second_host_finishes_after_first_is_killed(self, tmp_path,
+                                                        oracle):
+        cache = tmp_path / "cache"
+        code = run_driver_killed(
+            cache, "random_campaign(10, seed=11, on_progress=kill_after)",
+            kill_after=2,
+            resilience_kwargs="lease_mode=True, lease_ttl=1.5, "
+                              "lease_poll=0.05")
+        assert code == -9
+        # Host A died holding its leases; host B waits out the TTL,
+        # steals the stale claims, and completes the full scenario set.
+        survivor = Campaign(small_scenarios(), self.lease_config(ttl=30.0),
+                            cache_dir=cache)
+        summary = survivor.random_campaign(10, seed=11)
+        assert summary.same_aggregates(oracle["random"])
+        board_files = sorted(cache.glob("leases-*/records-*.jsonl"))
+        assert len(board_files) == len(small_scenarios())
+        merged = merge_record_shards(board_files, keep_records=True)
+        assert merged.same_aggregates(oracle["random"])
