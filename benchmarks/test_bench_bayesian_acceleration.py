@@ -20,7 +20,7 @@ def test_bench_bayesian_acceleration(benchmark, campaign, bayesian_result):
     # The benchmarked unit: one full mining pass over all scenes (the
     # cheap step that replaces grid execution), on the batched
     # production path.
-    scenes = campaign.scene_rows()
+    scenes = list(campaign.scene_rows())
     injector = bayesian_result.injector
 
     def mine():

@@ -24,7 +24,7 @@ def test_bench_bn_fidelity(benchmark, campaign, bayesian_result):
     sample_scene = None
     for name, run in golden.items():
         arrays = run.trace.as_arrays()
-        rows = scene_rows_from_trace(name, run.trace)
+        rows = list(scene_rows_from_trace(name, run.trace))
         for i in range(10, len(rows) - 1, 7):
             scene = rows[i]
             if sample_scene is None:

@@ -16,7 +16,7 @@ from repro.analysis import ascii_table
 
 
 def test_bench_mining_throughput(benchmark, campaign, bayesian_result):
-    scenes = campaign.scene_rows()
+    scenes = list(campaign.scene_rows())
     injector = bayesian_result.injector
 
     # Warm every cache all paths share (affine maps, stacked gain

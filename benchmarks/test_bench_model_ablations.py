@@ -20,7 +20,7 @@ from repro.core import (BayesianFaultInjector, ConditioningFaultInjector,
 
 def test_bench_model_ablations(benchmark, campaign):
     golden = list(campaign.golden_runs().values())
-    scenes = campaign.scene_rows()
+    scenes = list(campaign.scene_rows())
 
     do_engine = BayesianFaultInjector.train(golden)
     cond_engine = ConditioningFaultInjector.train(golden)

@@ -10,6 +10,8 @@ Commands mirror the paper's campaigns:
 * ``inject``    — one hand-specified fault
 * ``scenes``    — the E4 scene-population delta distribution
 * ``merge``     — fold sharded campaign record streams into one summary
+* ``serve``     — always-on campaign service: HTTP/JSON job submission,
+  durable job lifecycle, crash-safe restart, graceful drain
 
 Campaign commands run on the streaming per-scenario pipeline by default
 (``--no-pipeline`` keeps the barrier reference path) and shard across
@@ -186,6 +188,41 @@ def _build_parser() -> argparse.ArgumentParser:
     scenes_cmd.add_argument("-n", type=int, default=7200)
     scenes_cmd.add_argument("--seed", type=int, default=42)
 
+    serve_cmd = sub.add_parser(
+        "serve", help="always-on campaign service (HTTP/JSON)")
+    serve_cmd.add_argument("--cache-dir", required=True,
+                           help="spool root: job journal, completion "
+                                "journals, golden caches, record streams "
+                                "(the durable state a restarted server "
+                                "recovers from)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8732,
+                           help="TCP port (0 picks a free one and prints "
+                                "it)")
+    serve_cmd.add_argument("--max-running", type=int, default=1,
+                           help="concurrent campaign runner subprocesses "
+                                "(default 1)")
+    serve_cmd.add_argument("--max-queue-depth", type=int, default=64,
+                           help="global queued-job cap; submissions past "
+                                "it get 429 + Retry-After")
+    serve_cmd.add_argument("--max-tenant-depth", type=int, default=16,
+                           help="per-tenant queued-job cap")
+    serve_cmd.add_argument("--min-disk-free-mb", type=int, default=256,
+                           help="disk headroom floor under --cache-dir; "
+                                "below it the service degrades (running "
+                                "jobs finish, new ones get 429, /readyz "
+                                "reports 503)")
+    serve_cmd.add_argument("--stall-timeout", type=float, default=120.0,
+                           metavar="SECONDS",
+                           help="seconds without runner progress before "
+                                "the watchdog kills and requeues a job")
+    serve_cmd.add_argument("--job-max-attempts", type=int, default=3,
+                           help="tries per job (crashes and stalls "
+                                "included) before it fails")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="default per-job validation workers for "
+                                "specs that leave workers unset")
+
     merge_cmd = sub.add_parser(
         "merge", help="fold sharded record streams into one summary")
     merge_cmd.add_argument("shards", nargs="+",
@@ -250,11 +287,14 @@ def _shard_order(path: str):
 def _expand_shards(patterns: list[str]) -> list[str]:
     """Shard arguments with shell-glob patterns expanded (shard order).
 
-    A pattern that matches nothing is a clean one-line error — silently
+    A pattern that matches nothing — or a literal shard path that does
+    not exist — is a clean one-line error naming the argument: silently
     merging fewer shards than the user pointed at would fabricate a
-    smaller campaign.
+    smaller campaign, and a missing literal path deserves better than a
+    stray errno out of the stream parser.
     """
     import glob as globbing
+    import os
     paths: list[str] = []
     for pattern in patterns:
         if globbing.has_magic(pattern):
@@ -264,6 +304,9 @@ def _expand_shards(patterns: list[str]) -> list[str]:
                     f"error: shard pattern {pattern!r} matches no files")
             paths.extend(matches)
         else:
+            if not os.path.exists(pattern):
+                raise SystemExit(
+                    f"error: shard file {pattern!r} does not exist")
             paths.append(pattern)
     return paths
 
@@ -304,6 +347,20 @@ def _campaign_kwargs(args) -> dict:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        from .service import ServiceConfig
+        from .service.server import serve as run_service
+        return run_service(ServiceConfig(
+            cache_dir=args.cache_dir,
+            host=args.host,
+            port=args.port,
+            max_running=args.max_running,
+            max_queue_depth=args.max_queue_depth,
+            max_tenant_depth=args.max_tenant_depth,
+            min_disk_free_bytes=args.min_disk_free_mb * 1024 * 1024,
+            stall_timeout=args.stall_timeout,
+            max_attempts=args.job_max_attempts,
+            default_workers=args.workers))
     if getattr(args, "shard_count", 1) > 1 \
             and getattr(args, "no_pipeline", False):
         raise SystemExit("--shard-index/--shard-count need the streaming "

@@ -20,7 +20,7 @@ injection but the predicted post-injection potential is non-positive.
 from __future__ import annotations
 
 import time
-from collections.abc import Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 from typing import Callable
 
@@ -180,21 +180,25 @@ class SceneRow:
                 and self.observed_delta_lat > 0.0)
 
 
-def scene_rows_from_trace(scenario: str, trace: Trace) -> list[SceneRow]:
-    """Consecutive-row pairs of a golden trace -> scene rows."""
+def scene_rows_from_trace(scenario: str,
+                          trace: Trace) -> Iterator[SceneRow]:
+    """Consecutive-row pairs of a golden trace -> scene rows, lazily.
+
+    A generator: rows stream one at a time into the miners, so a
+    scenario's scene population is never materialized as a list —
+    wrap in ``list`` to hold one.
+    """
     arrays = trace.as_arrays()
     n = len(trace)
-    rows = []
     for i in range(n - 1):
         values = {name: float(column[i]) for name, column in arrays.items()}
-        rows.append(SceneRow(
+        yield SceneRow(
             scenario=scenario,
             evidence_tick=int(arrays["tick"][i]),
             injection_tick=int(arrays["tick"][i + 1]),
             values=values,
             observed_delta_long=float(arrays["delta_long"][i + 1]),
-            observed_delta_lat=float(arrays["delta_lat"][i + 1])))
-    return rows
+            observed_delta_lat=float(arrays["delta_lat"][i + 1]))
 
 
 #: Scene columns the batched scorer needs beyond the BN variables.
@@ -203,14 +207,28 @@ _BATCH_EXTRA_COLUMNS = ("x", "gt_gap", "gt_lead_v", "lat", "lat_free_up",
 
 
 class _SceneBatch:
-    """Columnar (structure-of-arrays) view of a list of scene rows."""
+    """Columnar (structure-of-arrays) view of streamed scene rows.
 
-    def __init__(self, scenes: list["SceneRow"]):
-        self.scenes = scenes
-        self.n = len(scenes)
+    Built in one pass over any iterable: each row's columns land in
+    per-column buffers and only a light identity tuple (scenario,
+    injection tick, observed deltas) is retained per scene — the row
+    objects and their ``values`` dicts are released as the stream
+    advances, so batched mining never holds a scene-row list.
+    """
+
+    def __init__(self, scenes: Iterable["SceneRow"]):
         names = set(BN_VARIABLES) | set(_BATCH_EXTRA_COLUMNS)
-        self.cols = {name: np.array([s.values[name] for s in scenes])
-                     for name in names}
+        buffers: dict[str, list[float]] = {name: [] for name in names}
+        self.identities: list[tuple[str, int, float, float]] = []
+        for scene in scenes:
+            for name in names:
+                buffers[name].append(scene.values[name])
+            self.identities.append(
+                (scene.scenario, scene.injection_tick,
+                 scene.observed_delta_long, scene.observed_delta_lat))
+        self.n = len(self.identities)
+        self.cols = {name: np.array(buffer)
+                     for name, buffer in buffers.items()}
 
     def tiled(self, k: int) -> dict[str, np.ndarray]:
         """Columns repeated ``k`` times (one block per corruption value)."""
@@ -769,7 +787,7 @@ class BayesianFaultInjector:
         return delta_long, delta_lat
 
     def mine_critical_faults_batched(
-            self, scenes: list[SceneRow],
+            self, scenes: Iterable[SceneRow],
             variables: tuple[str, ...] = MINED_VARIABLES,
             threshold: float = 0.0, top_k: int | None = None,
             fuse_nodes: bool = True
@@ -778,17 +796,19 @@ class BayesianFaultInjector:
 
         Scores all scenes x corruption values of each BN node with one
         affine matmul plus a vectorized kinematic rollout, instead of one
-        full Gaussian conditioning per candidate.  With ``fuse_nodes``
-        (the default) the per-node matmuls collapse further into a single
-        stacked matmul over every node's scene-gain block (see
-        :meth:`_stacked_affine`); ``False`` keeps one matmul per node.
-        Both reproduce the scalar oracle's ``F_crit`` and predicted
-        potentials to float round-off (see the equivalence suite),
-        candidate order included.
+        full Gaussian conditioning per candidate.  ``scenes`` may be any
+        iterable (e.g. the lazy :meth:`Campaign.scene_rows` stream); it
+        is consumed in one pass straight into the columnar batch.  With
+        ``fuse_nodes`` (the default) the per-node matmuls collapse
+        further into a single stacked matmul over every node's
+        scene-gain block (see :meth:`_stacked_affine`); ``False`` keeps
+        one matmul per node.  Both reproduce the scalar oracle's
+        ``F_crit`` and predicted potentials to float round-off (see the
+        equivalence suite), candidate order included.
         """
-        report = MiningReport(n_scenes=len(scenes))
+        report = MiningReport()
         start = time.perf_counter()
-        critical, report.n_scored = self._mine_batched(
+        critical, report.n_scored, report.n_scenes = self._mine_batched(
             scenes, variables, threshold, fuse_nodes)
         critical.sort(key=lambda c: c.predicted_minimum)
         if top_k is not None:
@@ -797,22 +817,33 @@ class BayesianFaultInjector:
         report.wall_seconds = time.perf_counter() - start
         return critical, report
 
-    def _mine_batched(self, scenes: list[SceneRow],
+    def _mine_batched(self, scenes: Iterable[SceneRow],
                       variables: tuple[str, ...], threshold: float,
                       fuse_nodes: bool
-                      ) -> tuple[list[CandidateFault], int]:
-        """Unsorted batched ``F_crit`` of ``scenes`` plus the scored count.
+                      ) -> tuple[list[CandidateFault], int, int]:
+        """Unsorted batched ``F_crit``, the scored count, the scene count.
 
         Candidates append scene-major, (variable, value)-minor — the
         scalar loop's iteration order — so callers that concatenate
         per-scenario results in scenario order and stable-sort by
         ``predicted_minimum`` reproduce the global miner's output.
+        The scene stream is consumed exactly once: safe scenes flow
+        straight into the columnar batch, unsafe ones are counted and
+        dropped.
         """
         critical: list[CandidateFault] = []
         n_scored = 0
-        safe = [scene for scene in scenes if scene.observed_safe]
-        if safe:
-            batch = _SceneBatch(safe)
+        n_scenes = 0
+
+        def safe_stream() -> Iterator[SceneRow]:
+            nonlocal n_scenes
+            for scene in scenes:
+                n_scenes += 1
+                if scene.observed_safe:
+                    yield scene
+
+        batch = _SceneBatch(safe_stream())
+        if batch.n:
             per_node = None
             scene_base = None
             if fuse_nodes:
@@ -860,21 +891,22 @@ class BayesianFaultInjector:
             scene_hits, combo_hits = np.nonzero(minima.T <= threshold)
             for s_i, c_i in zip(scene_hits.tolist(), combo_hits.tolist()):
                 variable, value, d_long, d_lat = combos[c_i]
-                scene = safe[s_i]
+                scenario, injection_tick, obs_long, obs_lat = \
+                    batch.identities[s_i]
                 critical.append(CandidateFault(
-                    scenario=scene.scenario,
-                    injection_tick=scene.injection_tick,
+                    scenario=scenario,
+                    injection_tick=injection_tick,
                     variable=variable,
                     value=value,
                     predicted_delta_long=float(d_long[s_i]),
                     predicted_delta_lat=float(d_lat[s_i]),
-                    observed_delta_long=scene.observed_delta_long,
-                    observed_delta_lat=scene.observed_delta_lat))
-        return critical, n_scored
+                    observed_delta_long=obs_long,
+                    observed_delta_lat=obs_lat))
+        return critical, n_scored, n_scenes
 
     # -- mining ---------------------------------------------------------------
 
-    def mine_critical_faults(self, scenes: list[SceneRow],
+    def mine_critical_faults(self, scenes: Iterable[SceneRow],
                              variables: tuple[str, ...] = MINED_VARIABLES,
                              threshold: float = 0.0,
                              top_k: int | None = None
@@ -883,12 +915,14 @@ class BayesianFaultInjector:
 
         A candidate is critical when the scene was safe
         (``delta > 0``) and the predicted potential after ``do(f)`` is at
-        or below ``threshold``.  Results are sorted most-critical first.
+        or below ``threshold``.  ``scenes`` may be any iterable; it is
+        consumed once, one row at a time.  Results are sorted
+        most-critical first.
         """
-        report = MiningReport(n_scenes=len(scenes))
+        report = MiningReport()
         start = time.perf_counter()
-        critical, report.n_scored = self._mine_scalar(scenes, variables,
-                                                      threshold)
+        critical, report.n_scored, report.n_scenes = self._mine_scalar(
+            scenes, variables, threshold)
         critical.sort(key=lambda c: c.predicted_minimum)
         if top_k is not None:
             critical = critical[:top_k]
@@ -896,13 +930,15 @@ class BayesianFaultInjector:
         report.wall_seconds = time.perf_counter() - start
         return critical, report
 
-    def _mine_scalar(self, scenes: list[SceneRow],
+    def _mine_scalar(self, scenes: Iterable[SceneRow],
                      variables: tuple[str, ...], threshold: float
-                     ) -> tuple[list[CandidateFault], int]:
-        """Unsorted scalar-oracle ``F_crit`` plus the scored count."""
+                     ) -> tuple[list[CandidateFault], int, int]:
+        """Unsorted scalar-oracle ``F_crit``, scored count, scene count."""
         critical: list[CandidateFault] = []
         n_scored = 0
+        n_scenes = 0
         for scene in scenes:
+            n_scenes += 1
             if not scene.observed_safe:
                 continue
             for variable in variables:
@@ -920,22 +956,25 @@ class BayesianFaultInjector:
                             predicted_delta_lat=potential.lateral,
                             observed_delta_long=scene.observed_delta_long,
                             observed_delta_lat=scene.observed_delta_lat))
-        return critical, n_scored
+        return critical, n_scored, n_scenes
 
     def mine_scenario_candidates(
-            self, scenes: list[SceneRow],
+            self, scenes: Iterable[SceneRow],
             variables: tuple[str, ...] = MINED_VARIABLES,
             threshold: float = 0.0, use_batched: bool = True,
-            fuse_nodes: bool = True) -> tuple[list[CandidateFault], int]:
+            fuse_nodes: bool = True
+            ) -> tuple[list[CandidateFault], int, int]:
         """Per-scenario mining entry point for the streaming pipeline.
 
-        Mines one scenario's scene rows in isolation — no global golden
-        dict required — returning the *unsorted* (scene-major append
-        order) critical candidates plus the number of (scene, variable,
-        value) combinations scored.  Concatenating per-scenario results
-        in campaign scenario order and stable-sorting the union by
-        ``predicted_minimum`` reproduces the global miner's candidate
-        list, which is the equivalence the pipeline driver relies on.
+        Mines one scenario's scene-row *stream* in isolation — no global
+        golden dict required, no per-scenario row list materialized —
+        returning the *unsorted* (scene-major append order) critical
+        candidates plus the number of (scene, variable, value)
+        combinations scored and the number of scenes consumed.
+        Concatenating per-scenario results in campaign scenario order
+        and stable-sorting the union by ``predicted_minimum`` reproduces
+        the global miner's candidate list, which is the equivalence the
+        pipeline driver relies on.
         """
         if use_batched:
             return self._mine_batched(scenes, variables, threshold,

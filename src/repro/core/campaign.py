@@ -12,6 +12,7 @@ import functools
 import hashlib
 import tempfile
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -575,24 +576,29 @@ class Campaign:
         save_golden_traces(self._golden, path, self._fingerprint(),
                            trace_store=self.golden_trace_store())
 
-    def scene_rows(self) -> list[SceneRow]:
-        """Scene population for mining: all golden planner instants."""
-        rows = []
+    def scene_rows(self) -> "Iterator[SceneRow]":
+        """Scene population for mining: all golden planner instants.
+
+        A lazy stream, one golden trace at a time: the miners consume
+        rows as they are generated, so the population is never resident
+        as a list — peak scene memory is one row plus the miner's
+        columnar batch.  Wrap in ``list`` to hold a population.
+        """
         for name, run in self.golden_runs().items():
-            rows.extend(self._scenario_scene_rows(self._by_name[name], run))
-        return rows
+            yield from self._scenario_scene_rows(self._by_name[name], run)
 
     def _scenario_scene_rows(self, scenario: Scenario,
-                             run: RunResult) -> list[SceneRow]:
+                             run: RunResult) -> "Iterator[SceneRow]":
         """One scenario's mining scenes: its golden planner instants.
 
-        The per-scenario unit the streaming pipeline mines with — the
-        concatenation over scenarios in campaign order is exactly
+        The per-scenario unit the streaming pipeline mines with — a
+        generator, so no per-scenario row list exists; chaining the
+        streams over scenarios in campaign order is exactly
         :meth:`scene_rows`.
         """
-        return [row for row in scene_rows_from_trace(scenario.name,
-                                                     run.trace)
-                if self._in_window(row.injection_tick, scenario.duration)]
+        for row in scene_rows_from_trace(scenario.name, run.trace):
+            if self._in_window(row.injection_tick, scenario.duration):
+                yield row
 
     def eligible_ticks_from_trace(self, run: RunResult,
                                   duration: float) -> list[int]:
@@ -1083,11 +1089,13 @@ class Campaign:
         of a candidate-cache hit.
         """
         from ..ads.variables import variable_by_name
-        scenes = self.scene_rows()
-        safe = sum(1 for scene in scenes if scene.observed_safe)
+        n_scenes = safe = 0
+        for scene in self.scene_rows():   # streamed: count, don't hold
+            n_scenes += 1
+            safe += scene.observed_safe
         per_scene = sum(len(variable_by_name(v).corruption_values())
                         for v in variables)
-        return MiningReport(n_scenes=len(scenes), n_scored=safe * per_scene,
+        return MiningReport(n_scenes=n_scenes, n_scored=safe * per_scene,
                             n_critical=len(candidates))
 
     def _bayesian_plan(self, injector: BayesianFaultInjector | None,
@@ -1167,12 +1175,12 @@ class Campaign:
             start = time.perf_counter()
             scenes = self._scenario_scene_rows(scenario,
                                                ctx.golden[scenario.name])
-            mined, n_scored = ctx.extras["injector"].\
+            mined, n_scored, n_scenes = ctx.extras["injector"].\
                 mine_scenario_candidates(
                     scenes, variables=variables, threshold=threshold,
                     use_batched=use_batched)
             acc = ctx.extras.setdefault("mining_acc", MiningReport())
-            acc.n_scenes += len(scenes)
+            acc.n_scenes += n_scenes
             acc.n_scored += n_scored
             acc.wall_seconds += time.perf_counter() - start
             return mined

@@ -49,6 +49,7 @@ import os
 import random
 import signal
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection
@@ -864,13 +865,20 @@ class LeaseBoard:
         Called opportunistically from the driver's event loop; the
         default rate limit (a third of the TTL) keeps the cost at a
         few tiny writes per TTL regardless of event frequency.
+
+        A shared-filesystem flake (``OSError`` on the atomic refresh
+        write) must not kill the owning worker: the failure degrades
+        to a :class:`RuntimeWarning` and the beat timer is left
+        un-armed, so the very next :meth:`heartbeat` call retries the
+        failed refresh immediately instead of waiting out the rate
+        limit while the lease drifts toward expiry.
         """
         now = time.time()
         interval = (self.ttl / 3.0 if min_interval is None
                     else min_interval)
         if now - self._last_heartbeat < interval:
             return
-        self._last_heartbeat = now
+        failures: list[tuple[str, OSError]] = []
         for name in self._held:
             try:
                 write_bytes_atomic(
@@ -878,8 +886,17 @@ class LeaseBoard:
                     json.dumps({"scenario": name, "owner": self.owner,
                                 "expires": now + self.ttl}
                                ).encode("utf-8"))
-            except OSError:
-                pass                     # the lease just expires sooner
+            except OSError as error:
+                failures.append((name, error))
+        if failures:
+            name, error = failures[0]
+            warnings.warn(
+                f"lease heartbeat failed for {len(failures)} held "
+                f"scenario(s) (e.g. {name!r}: {error}); leases expire "
+                f"in <= {self.ttl:.0f}s unless the next beat succeeds",
+                RuntimeWarning, stacklevel=2)
+            return          # timer stays un-armed: next call retries
+        self._last_heartbeat = now
 
     def release(self, name: str) -> None:
         self._held.discard(name)

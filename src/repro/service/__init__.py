@@ -1,0 +1,36 @@
+"""Always-on campaign service: ``repro serve``.
+
+A long-lived asyncio HTTP/JSON surface over the campaign engine:
+durable job lifecycle (:mod:`repro.service.jobs`), per-tenant FIFO
+queueing with admission control (:mod:`repro.service.queue`), stuck-job
+detection (:mod:`repro.service.watchdog`), the server itself
+(:mod:`repro.service.server`), the campaign worker subprocess
+(:mod:`repro.service.runner`), and a stdlib client
+(:mod:`repro.service.client`).
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import (ACTIVE_STATES, TERMINAL_STATES, Job, JobJournal,
+                   JobSpec, JobStore)
+from .queue import AdmissionControl, AdmissionDecision, TenantQueues
+from .server import CampaignService, ServiceConfig, ServiceThread, serve
+from .watchdog import Watchdog
+
+__all__ = [
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobJournal",
+    "JobSpec",
+    "JobStore",
+    "AdmissionControl",
+    "AdmissionDecision",
+    "TenantQueues",
+    "CampaignService",
+    "ServiceConfig",
+    "ServiceThread",
+    "serve",
+    "Watchdog",
+    "ServiceClient",
+    "ServiceError",
+]

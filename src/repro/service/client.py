@@ -1,0 +1,145 @@
+"""Stdlib client for the campaign service.
+
+A thin synchronous wrapper over :mod:`http.client` — enough for the
+CLI, the tests, and scripting against a ``repro serve`` host without
+pulling in any HTTP dependency.  Every request uses
+``Connection: close`` (matching the server's framing), so each call is
+one short-lived TCP connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from collections.abc import Iterator
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries ``status``, ``payload``, and (for
+    429 backpressure) ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload: dict,
+                 retry_after: float | None = None):
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+        detail = payload.get("error") or payload.get("status") or payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` host."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8732,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 headers: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            send_headers = {"Connection": "close"}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            send_headers.update(headers or {})
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                parsed = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    response.status, parsed,
+                    retry_after=float(retry_after) if retry_after else None)
+            return parsed
+        finally:
+            conn.close()
+
+    # -- probes and stats ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    # -- jobs ------------------------------------------------------------------
+
+    def submit(self, spec: dict,
+               idempotency_key: str | None = None) -> dict:
+        headers = {}
+        if idempotency_key:
+            headers["Idempotency-Key"] = idempotency_key
+        return self._request("POST", "/jobs", body=spec, headers=headers)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's NDJSON events until it reaches a terminal
+        state (or the server goes away — the generator just ends)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   {"error": response.read().decode()})
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def records(self, job_id: str) -> bytes:
+        """The finished job's merged record stream, verbatim."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/records",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   {"error": raw.decode("utf-8", "replace")})
+            return raw
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns its final state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("completed", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll)

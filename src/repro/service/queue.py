@@ -1,0 +1,116 @@
+"""Per-tenant FIFO queues and admission control.
+
+Jobs queue FIFO *within* a tenant and the scheduler round-robins
+*across* tenants, so one tenant flooding the service cannot starve
+another.  :class:`AdmissionControl` decides whether a submission is
+accepted at all: queue-depth caps (per tenant and global) and a disk
+headroom floor produce explicit 429 backpressure instead of letting the
+spool fill and every running campaign die on ``ENOSPC``.  When disk
+headroom is gone the service enters *degraded mode* — running jobs
+finish (their journals keep appending), but new work is refused and
+``/readyz`` reports 503 so load balancers stop routing here.
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+
+
+class TenantQueues:
+    """FIFO within a tenant, round-robin across tenants."""
+
+    def __init__(self):
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+
+    def push(self, tenant: str, job_id: str) -> None:
+        if tenant not in self._queues:
+            self._queues[tenant] = deque()
+        self._queues[tenant].append(job_id)
+
+    def pop(self) -> str | None:
+        """Next job id, rotating tenants so each gets a fair turn."""
+        while self._queues:
+            tenant, queue = next(iter(self._queues.items()))
+            self._queues.move_to_end(tenant)
+            if queue:
+                job_id = queue.popleft()
+                if not queue:
+                    del self._queues[tenant]
+                return job_id
+            del self._queues[tenant]
+        return None
+
+    def remove(self, tenant: str, job_id: str) -> bool:
+        queue = self._queues.get(tenant)
+        if not queue or job_id not in queue:
+            return False
+        queue.remove(job_id)
+        if not queue:
+            del self._queues[tenant]
+        return True
+
+    def depth(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def __len__(self) -> int:
+        return self.depth()
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    accepted: bool
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+class AdmissionControl:
+    """Bounded backpressure: queue depth caps and a disk headroom floor.
+
+    ``retry_after`` scales with how loaded the refusal is: queue-full
+    refusals suggest a short retry, disk refusals a longer one (freeing
+    spool space is an operator action, not a transient).
+    """
+
+    def __init__(self, root: str | Path, *,
+                 max_queue_depth: int = 64,
+                 max_tenant_depth: int = 16,
+                 min_disk_free_bytes: int = 256 * 1024 * 1024):
+        self.root = Path(root)
+        self.max_queue_depth = max_queue_depth
+        self.max_tenant_depth = max_tenant_depth
+        self.min_disk_free_bytes = min_disk_free_bytes
+
+    def disk_free(self) -> int:
+        try:
+            return shutil.disk_usage(self.root).free
+        except OSError:
+            return 0
+
+    def degraded(self) -> bool:
+        """True when the spool is too full to accept new campaigns."""
+        return self.disk_free() < self.min_disk_free_bytes
+
+    def admit(self, queues: TenantQueues, tenant: str) -> AdmissionDecision:
+        if self.degraded():
+            free_mb = self.disk_free() // (1024 * 1024)
+            return AdmissionDecision(
+                False,
+                f"degraded: {free_mb} MiB free under spool root, "
+                f"need {self.min_disk_free_bytes // (1024 * 1024)} MiB",
+                retry_after=30.0)
+        if queues.depth() >= self.max_queue_depth:
+            return AdmissionDecision(
+                False, f"queue full ({queues.depth()} jobs queued)",
+                retry_after=5.0)
+        if queues.depth(tenant) >= self.max_tenant_depth:
+            return AdmissionDecision(
+                False,
+                f"tenant {tenant!r} queue full "
+                f"({queues.depth(tenant)} jobs queued)",
+                retry_after=5.0)
+        return AdmissionDecision(True)

@@ -1,0 +1,184 @@
+"""Campaign worker subprocess: ``python -m repro.service.runner``.
+
+The server never executes campaigns in-process — each running job is a
+subprocess driving the existing campaign pipeline, reporting NDJSON
+events on stdout:
+
+* ``{"type": "progress", "stage", "scenario", "done", "total"}`` — one
+  per pipeline progress callback (golden / train / mined / validated).
+* ``{"type": "alive"}`` — a periodic beat from a background thread, so
+  legitimately slow stages (golden collection of a long scenario) keep
+  feeding the server watchdog between progress events.
+* ``{"type": "done", "summary": ..., "journal": ...}`` or
+  ``{"type": "error", "message": ...}`` — terminal.
+
+A write to stdout failing with ``BrokenPipeError`` means the parent
+server is gone (SIGKILLed, typically); the runner hard-exits rather
+than finishing as an orphan — the restarted server requeues the job
+with ``resume=True`` and the completion journal guarantees zero
+re-executed experiments.
+
+The argument is a JSON file: the :class:`~repro.service.jobs.JobSpec`
+payload plus the runtime fields the server injects (``cache_dir``,
+``record_path``, ``resume``, ``default_workers``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import threading
+import time
+
+#: Seconds between ``alive`` beats (overridable for watchdog tests).
+ALIVE_INTERVAL_ENV = "REPRO_SERVICE_ALIVE_INTERVAL"
+#: Test hook (the sanctioned stuck-campaign chaos port): after N
+#: emitted events the runner hangs inside its next beat — no further
+#: events, no exit — exactly what a wedged simulation looks like to
+#: the server watchdog.
+STALL_AFTER_ENV = "REPRO_SERVICE_STALL_AFTER"
+
+_emit_lock = threading.Lock()
+_emitted = 0
+
+
+def _emit(event: dict) -> None:
+    global _emitted
+    stall_after = os.environ.get(STALL_AFTER_ENV)
+    with _emit_lock:
+        if stall_after is not None and _emitted >= int(stall_after) \
+                and event.get("type") in ("alive", "progress"):
+            while True:                   # wedge (watchdog's problem now)
+                time.sleep(60.0)
+        _emitted += 1
+        try:
+            sys.stdout.write(json.dumps(event, separators=(",", ":")) + "\n")
+            sys.stdout.flush()
+        except BrokenPipeError:
+            os._exit(1)                   # parent is dead; do not orphan
+
+
+def resolve_scenarios(entries) -> list:
+    """Name → scenario, searching defaults then scripted templates."""
+    from ..sim.scenario import default_scenarios
+    from ..sim.scenegen import scripted_templates
+    library = {s.name: s for s in scripted_templates()}
+    library.update({s.name: s for s in default_scenarios()})
+    scenarios = []
+    for name, duration in entries:
+        if name not in library:
+            raise KeyError(f"unknown scenario {name!r}")
+        scenario = library[name]
+        if duration is not None:
+            scenario = dataclasses.replace(scenario, duration=duration)
+        scenarios.append(scenario)
+    return scenarios
+
+
+def run_job(payload: dict) -> dict:
+    """Execute the campaign described by ``payload``; returns the done
+    event (progress/alive events are emitted as side effects)."""
+    from ..core.campaign import Campaign, CampaignConfig
+    from ..core.persistence import JsonlRecordSink
+    from ..core.resilience import ResilienceConfig
+
+    spec = payload["spec"]
+    style = spec["style"]
+    params = dict(spec.get("params") or {})
+    scenarios = None
+    if spec.get("scenarios"):
+        scenarios = resolve_scenarios(
+            [(entry["name"], entry.get("duration"))
+             for entry in spec["scenarios"]])
+
+    resilience = ResilienceConfig(
+        resume=bool(payload.get("resume")),
+        lease_mode=bool(spec.get("lease")),
+    )
+    # params carry campaign-call keywords (seed included) verbatim, so
+    # a service job equals the same CLI invocation record-for-record.
+    config = CampaignConfig(resilience=resilience)
+    campaign = Campaign(scenarios=scenarios, config=config,
+                        cache_dir=payload["cache_dir"])
+
+    workers = spec.get("workers") or payload.get("default_workers")
+
+    def on_progress(event) -> None:
+        _emit({"type": "progress", "stage": event.stage,
+               "scenario": event.scenario, "done": event.done,
+               "total": event.total})
+
+    style_tag = {"arch": "arch", "bayesian": "bayesian",
+                 "exhaustive": "exhaustive"}.get(style, "random")
+    extras: dict = {}
+    with JsonlRecordSink(payload["record_path"], style=style_tag) as sink:
+        if style == "random":
+            summary = campaign.random_campaign(
+                int(params.pop("n", 10)), workers=workers,
+                record_sink=sink, on_progress=on_progress, **params)
+        elif style == "exhaustive":
+            summary = campaign.exhaustive_campaign(
+                tick_stride=int(params.pop("tick_stride", 10)),
+                max_experiments=params.pop("max_experiments", None),
+                workers=workers, record_sink=sink,
+                on_progress=on_progress, **params)
+        elif style == "arch":
+            summary, outcomes = campaign.architectural_campaign(
+                int(params.pop("n", 25)), workers=workers,
+                record_sink=sink, on_progress=on_progress, **params)
+            extras["outcomes"] = dict(outcomes)
+        else:                             # bayesian (validated by JobSpec)
+            result = campaign.bayesian_campaign(
+                top_k=params.pop("top_k", None),
+                threshold=float(params.pop("threshold", 0.0)),
+                workers=workers, record_sink=sink,
+                on_progress=on_progress, **params)
+            summary = result.summary
+            extras["mined"] = len(result.candidates)
+            extras["train_seconds"] = result.train_seconds
+
+    done = {"type": "done",
+            "summary": {"total": summary.total,
+                        "hazards": summary.hazards,
+                        "hazard_rate": summary.hazard_rate,
+                        **extras}}
+    journal = campaign._last_journal
+    if journal is not None:
+        done["journal"] = {"hits": journal.hits,
+                           "appended": journal.appended}
+    return done
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.service.runner <job.json>",
+              file=sys.stderr)
+        return 2
+    payload = json.loads(open(argv[0]).read())
+
+    interval = float(os.environ.get(ALIVE_INTERVAL_ENV, "5.0"))
+    stop = threading.Event()
+
+    def alive_loop() -> None:
+        while not stop.wait(interval):
+            _emit({"type": "alive"})
+
+    beater = threading.Thread(target=alive_loop, daemon=True)
+    beater.start()
+    try:
+        done = run_job(payload)
+    except Exception as exc:              # report, don't traceback-spam
+        stop.set()
+        _emit({"type": "error",
+               "message": f"{type(exc).__name__}: {exc}"})
+        return 1
+    stop.set()
+    _emit(done)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

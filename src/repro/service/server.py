@@ -1,0 +1,594 @@
+"""The always-on campaign service: ``repro serve``.
+
+A single-threaded asyncio server exposing a small HTTP/JSON surface
+over the campaign engine.  Everything is stdlib — the HTTP layer is
+hand-rolled over ``asyncio`` streams (``Connection: close`` framing,
+NDJSON for event streams), because the service must run wherever the
+simulator runs.
+
+Endpoints::
+
+    GET  /healthz            process liveness (always 200 while up)
+    GET  /readyz             accepting work? 503 when draining/degraded
+    GET  /stats              queue depths, running set, disk headroom
+    POST /jobs               submit a campaign spec (Idempotency-Key
+                             header honoured; 429 + Retry-After under
+                             backpressure)
+    GET  /jobs               list jobs
+    GET  /jobs/<id>          one job's durable state
+    POST /jobs/<id>/cancel   cancel (dequeue, or kill the runner)
+    GET  /jobs/<id>/events   NDJSON per-stage progress, streamed live
+    GET  /jobs/<id>/records  the merged record stream of a finished job
+
+Campaigns execute in worker subprocesses (:mod:`repro.service.runner`)
+driving the existing pipeline with the completion journal on — the
+server supervises lifecycles, it never simulates.  A SIGKILL'd server
+restarted on the same ``cache_dir`` replays the job journal, SIGKILLs
+any orphaned runners, requeues interrupted jobs with ``resume=True``,
+and the resumed campaigns skip every journaled experiment.  SIGTERM
+drains gracefully: stop admitting, terminate runners, journal every
+interrupted job as resumable, exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import jobs as J
+from .jobs import JobSpec, JobStore, SpecError
+from .queue import AdmissionControl, TenantQueues
+from .watchdog import Watchdog
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` can be tuned with."""
+
+    cache_dir: str | Path
+    host: str = "127.0.0.1"
+    port: int = 0                          # 0: pick a free port
+    #: Concurrent runner subprocesses.
+    max_running: int = 1
+    #: Global / per-tenant queue caps (admission control).
+    max_queue_depth: int = 64
+    max_tenant_depth: int = 16
+    #: Disk headroom floor under ``cache_dir``; below it the service
+    #: degrades: running jobs finish, new submissions get 429.
+    min_disk_free_bytes: int = 256 * 1024 * 1024
+    #: Seconds without any runner event before the watchdog kills and
+    #: requeues a job.
+    stall_timeout: float = 120.0
+    #: Tries per job (stalls and crashes included) before it fails.
+    max_attempts: int = 3
+    #: Default ``workers`` for specs that leave it unset.
+    default_workers: int | None = None
+    #: Runner stderr destination ("inherit" | "devnull").
+    runner_stderr: str = "inherit"
+
+
+class CampaignService:
+    """Supervises the durable job table, queues, and runner processes."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.cache_dir = Path(config.cache_dir)
+        self.store = JobStore(self.cache_dir / "service")
+        self.queues = TenantQueues()
+        self.admission = AdmissionControl(
+            self.cache_dir,
+            max_queue_depth=config.max_queue_depth,
+            max_tenant_depth=config.max_tenant_depth,
+            min_disk_free_bytes=config.min_disk_free_bytes)
+        self.watchdog = Watchdog(stall_timeout=config.stall_timeout)
+        self.accepting = True
+        self.draining = False
+        self.port: int | None = None
+        self._procs: dict[str, asyncio.subprocess.Process] = {}
+        self._cancelling: set[str] = set()
+        self._events: dict[str, list[dict]] = {}
+        self._event_cond = asyncio.Condition()
+        self._stop = asyncio.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover, bind, and start the scheduler and watchdog."""
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._install_signal_handlers()
+        self._tasks.append(asyncio.create_task(self._scheduler()))
+        self._tasks.append(asyncio.create_task(
+            self.watchdog.run(self._on_stall, self._stop)))
+        print(f"serving on {self.config.host}:{self.port}", flush=True)
+
+    def _recover(self) -> None:
+        """Replay the job journal; kill orphaned runners; requeue."""
+        requeued = self.store.recover()
+        for job in self.store.jobs.values():
+            if job.pid:
+                self._kill_orphan_runner(job.pid)
+        for job in requeued:
+            self.queues.push(job.spec.tenant, job.id)
+            self._note(job)
+
+    @staticmethod
+    def _kill_orphan_runner(pid: int) -> None:
+        """SIGKILL ``pid`` iff it still is a service runner process.
+
+        The pid check reads ``/proc/<pid>/cmdline`` — recycled pids
+        belonging to unrelated processes are left alone.
+        """
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+        except OSError:
+            return                         # no such process
+        if b"repro.service.runner" not in cmdline:
+            return
+        with contextlib.suppress(OSError):
+            os.kill(pid, signal.SIGKILL)
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError, ValueError):
+                return          # non-main thread (tests) or platform
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, requeue runners, exit.
+
+        Every running campaign is journaled as ``queued`` +
+        ``resume=True`` before the process exits, so the next
+        ``repro serve`` on this ``cache_dir`` picks each one up with
+        zero re-executed experiments.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self.accepting = False
+        for job_id, proc in list(self._procs.items()):
+            job = self.store.jobs[job_id]
+            if job.state == J.RUNNING:
+                self.store.transition(job, J.DRAINING)
+                await self._note_async(job)
+            with contextlib.suppress(ProcessLookupError):
+                proc.terminate()
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while self._procs and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        async with self._event_cond:
+            self._event_cond.notify_all()
+
+    async def wait_stopped(self) -> None:
+        await self._stop.wait()
+
+    # -- scheduling ------------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while not self._stop.is_set():
+            launched = False
+            if (not self.draining
+                    and len(self._procs) < self.config.max_running):
+                job_id = self.queues.pop()
+                if job_id is not None:
+                    job = self.store.jobs[job_id]
+                    if job.state == J.QUEUED:
+                        await self._launch(job)
+                        launched = True
+            if not launched:
+                await asyncio.sleep(0.02)
+
+    async def _launch(self, job: J.Job) -> None:
+        job_dir = self.store.job_dir(job)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "spec": job.spec.to_dict(),
+            "cache_dir": str(self.cache_dir),
+            "record_path": str(self.store.record_path(job)),
+            "resume": job.resume,
+            "default_workers": self.config.default_workers,
+        }
+        self.store.spec_path(job).write_text(json.dumps(payload, indent=1))
+        stderr = (asyncio.subprocess.DEVNULL
+                  if self.config.runner_stderr == "devnull" else None)
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.service.runner",
+            str(self.store.spec_path(job)),
+            stdout=asyncio.subprocess.PIPE, stderr=stderr,
+            env=os.environ.copy())
+        self._procs[job.id] = proc
+        self.store.transition(job, J.RUNNING, pid=proc.pid,
+                              attempts=job.attempts + 1)
+        self.watchdog.beat(job.id)
+        await self._note_async(job)
+        self._tasks.append(asyncio.create_task(self._pump(job, proc)))
+
+    async def _pump(self, job: J.Job,
+                    proc: asyncio.subprocess.Process) -> None:
+        """Read one runner's NDJSON events until EOF, then settle."""
+        done_event: dict | None = None
+        error_event: dict | None = None
+        assert proc.stdout is not None
+        while True:
+            try:
+                line = await proc.stdout.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                continue
+            if not line:
+                break
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            self.watchdog.beat(job.id)
+            if event.get("type") == "done":
+                done_event = event
+            elif event.get("type") == "error":
+                error_event = event
+            elif event.get("type") != "alive":
+                await self._push_event(job.id, event)
+        await proc.wait()
+        self.watchdog.forget(job.id)
+        await self._settle(job, done_event, error_event)
+        # Free the scheduler slot only after the settle transition is
+        # journaled — drain's wait-for-empty then implies every
+        # interrupted job is durably requeued.
+        if self._procs.get(job.id) is proc:
+            del self._procs[job.id]
+
+    async def _settle(self, job: J.Job, done_event: dict | None,
+                      error_event: dict | None) -> None:
+        if job.id in self._cancelling:
+            self._cancelling.discard(job.id)
+            self.store.transition(job, J.CANCELLED)
+        elif done_event is not None:
+            summary = dict(done_event.get("summary") or {})
+            if done_event.get("journal"):
+                summary["journal"] = done_event["journal"]
+            self.store.transition(job, J.COMPLETED, summary=summary)
+        elif error_event is not None:
+            self.store.transition(
+                job, J.FAILED,
+                error=error_event.get("message", "runner error"))
+        elif self.draining or job.state == J.DRAINING:
+            self.store.transition(job, J.QUEUED, resume=True)
+        elif job.attempts < self.config.max_attempts:
+            # Crashed or stalled runner: requeue under the retry policy;
+            # the completion journal makes the retry skip finished work.
+            self.store.transition(job, J.QUEUED, resume=True)
+            self.queues.push(job.spec.tenant, job.id)
+        else:
+            self.store.transition(
+                job, J.FAILED,
+                error=f"runner died {job.attempts} time(s); giving up")
+        await self._note_async(job)
+
+    async def _on_stall(self, job_id: str) -> None:
+        proc = self._procs.get(job_id)
+        if proc is None:
+            return
+        await self._push_event(job_id, {
+            "type": "stalled",
+            "after_seconds": self.watchdog.stall_timeout})
+        with contextlib.suppress(ProcessLookupError):
+            proc.kill()
+        # _pump sees EOF and applies the retry policy.
+
+    # -- event fan-out ---------------------------------------------------------
+
+    def _note(self, job: J.Job) -> None:
+        self._events.setdefault(job.id, []).append(
+            {"type": "state", "state": job.state,
+             "attempts": job.attempts, "resume": job.resume})
+
+    async def _note_async(self, job: J.Job) -> None:
+        await self._push_event(job.id, {
+            "type": "state", "state": job.state,
+            "attempts": job.attempts, "resume": job.resume})
+
+    async def _push_event(self, job_id: str, event: dict) -> None:
+        async with self._event_cond:
+            self._events.setdefault(job_id, []).append(event)
+            self._event_cond.notify_all()
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, headers, body = request
+                await self._route(method, path, headers, body, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            body = await asyncio.wait_for(reader.readexactly(length),
+                                          timeout=30.0)
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    async def _respond(writer, status: int, payload,
+                       extra_headers: dict | None = None) -> None:
+        reasons = {200: "OK", 201: "Created", 400: "Bad Request",
+                   404: "Not Found", 405: "Method Not Allowed",
+                   429: "Too Many Requests", 503: "Service Unavailable"}
+        body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        headers = [f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
+                   "Content-Type: application/json",
+                   f"Content-Length: {len(body)}",
+                   "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    async def _route(self, method, path, headers, body, writer) -> None:
+        if path == "/healthz":
+            await self._respond(writer, 200, {"status": "ok"})
+            return
+        if path == "/readyz":
+            if self.draining or not self.accepting:
+                await self._respond(writer, 503, {"status": "draining"})
+            elif self.admission.degraded():
+                await self._respond(
+                    writer, 503,
+                    {"status": "degraded",
+                     "disk_free": self.admission.disk_free()})
+            else:
+                await self._respond(writer, 200, {"status": "ready"})
+            return
+        if path == "/stats":
+            await self._respond(writer, 200, {
+                "queued": self.queues.depth(),
+                "running": sorted(self._procs),
+                "accepting": self.accepting and not self.draining,
+                "degraded": self.admission.degraded(),
+                "disk_free": self.admission.disk_free(),
+                "jobs": len(self.store.jobs)})
+            return
+        if path == "/jobs" and method == "POST":
+            await self._submit(headers, body, writer)
+            return
+        if path == "/jobs" and method == "GET":
+            await self._respond(writer, 200, {
+                "jobs": [job.to_dict()
+                         for job in self.store.jobs.values()]})
+            return
+        if path.startswith("/jobs/"):
+            parts = path.split("/")        # ['', 'jobs', id, action?]
+            job = self.store.jobs.get(parts[2])
+            if job is None:
+                await self._respond(writer, 404,
+                                    {"error": f"no job {parts[2]!r}"})
+                return
+            action = parts[3] if len(parts) > 3 else None
+            if action is None and method == "GET":
+                await self._respond(writer, 200, job.to_dict())
+            elif action == "cancel" and method == "POST":
+                await self._cancel(job, writer)
+            elif action == "events" and method == "GET":
+                await self._stream_events(job, writer)
+            elif action == "records" and method == "GET":
+                await self._stream_records(job, writer)
+            else:
+                await self._respond(writer, 405,
+                                    {"error": "unsupported action"})
+            return
+        await self._respond(writer, 404, {"error": f"no route {path!r}"})
+
+    async def _submit(self, headers, body, writer) -> None:
+        try:
+            spec = JobSpec.from_dict(json.loads(body or b"{}"))
+        except (json.JSONDecodeError, SpecError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        key = headers.get("idempotency-key") or spec.digest()
+        existing = self.store.get_by_key(key)
+        if existing is not None:
+            # Idempotent resubmission: never counted against admission.
+            await self._respond(writer, 200, existing.to_dict())
+            return
+        if self.draining or not self.accepting:
+            await self._respond(writer, 503, {"error": "draining"})
+            return
+        decision = self.admission.admit(self.queues, spec.tenant)
+        if not decision.accepted:
+            await self._respond(
+                writer, 429, {"error": decision.reason},
+                extra_headers={"Retry-After":
+                               str(int(decision.retry_after) or 1)})
+            return
+        job, created = self.store.submit(spec, idempotency_key=key)
+        if created:
+            self.store.transition(job, J.QUEUED)
+            self.queues.push(spec.tenant, job.id)
+            await self._note_async(job)
+        await self._respond(writer, 201 if created else 200, job.to_dict())
+
+    async def _cancel(self, job: J.Job, writer) -> None:
+        if job.state in J.TERMINAL_STATES:
+            await self._respond(writer, 200, job.to_dict())
+            return
+        if job.state in (J.SUBMITTED, J.QUEUED):
+            self.queues.remove(job.spec.tenant, job.id)
+            self.store.transition(job, J.CANCELLED)
+            await self._note_async(job)
+        elif job.id in self._procs:
+            self._cancelling.add(job.id)
+            with contextlib.suppress(ProcessLookupError):
+                self._procs[job.id].kill()
+        await self._respond(writer, 200, job.to_dict())
+
+    async def _stream_events(self, job: J.Job, writer) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        cursor = 0
+        while True:
+            async with self._event_cond:
+                events = self._events.get(job.id, [])
+                batch = events[cursor:]
+                cursor = len(events)
+                if not batch:
+                    if (job.state in J.TERMINAL_STATES
+                            or self._stop.is_set()):
+                        break
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            self._event_cond.wait(), timeout=0.5)
+                    continue
+            for event in batch:
+                writer.write(json.dumps(
+                    event, separators=(",", ":")).encode() + b"\n")
+            await writer.drain()
+
+    async def _stream_records(self, job: J.Job, writer) -> None:
+        path = self.store.record_path(job)
+        if job.state != J.COMPLETED or not path.exists():
+            await self._respond(
+                writer, 404,
+                {"error": f"job {job.id} has no finished record stream"})
+            return
+        payload = path.read_bytes()
+        writer.write((f"HTTP/1.1 200 OK\r\n"
+                      f"Content-Type: application/x-ndjson\r\n"
+                      f"Content-Length: {len(payload)}\r\n"
+                      f"Connection: close\r\n\r\n").encode())
+        writer.write(payload)
+        await writer.drain()
+
+
+async def _serve_async(config: ServiceConfig) -> None:
+    service = CampaignService(config)
+    await service.start()
+    await service.wait_stopped()
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run the service until SIGTERM/SIGINT completes a drain."""
+    try:
+        asyncio.run(_serve_async(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServiceThread:
+    """In-process harness: the service on a background event loop.
+
+    For tests — ``with ServiceThread(config) as svc:`` yields an object
+    with ``.port`` bound and a ``stop()``/``drain()`` that join the
+    thread.  Signal handlers are skipped automatically (non-main
+    thread).
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.service: CampaignService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.service = CampaignService(self.config)
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self.port = self.service.port
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.service.wait_stopped()
+        with contextlib.suppress(Exception):
+            asyncio.run(main())
+        self._started.set()
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+        if self.port is None:
+            raise RuntimeError("service did not start in time")
+        return self
+
+    def _call(self, coro_factory) -> None:
+        loop = self._loop
+        if loop is None or self.service is None or loop.is_closed():
+            return                        # already stopped (e.g. drained)
+        coro = coro_factory()
+        try:
+            future = asyncio.run_coroutine_threadsafe(coro, loop)
+        except RuntimeError:              # closed between check and submit
+            coro.close()
+            return
+        with contextlib.suppress(Exception):
+            future.result(timeout=30.0)
+
+    def drain(self) -> None:
+        self._call(lambda: self.service.drain())
+        self._thread.join(timeout=30.0)
+
+    def stop(self) -> None:
+        self._call(lambda: self.service.stop())
+        self._thread.join(timeout=30.0)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

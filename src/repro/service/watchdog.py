@@ -1,0 +1,51 @@
+"""Stuck-campaign detection via progress heartbeats.
+
+Runner subprocesses emit an NDJSON event for every pipeline progress
+callback, plus a periodic ``alive`` beat when a stage is legitimately
+slow.  The watchdog scans running jobs and, when one has gone
+``stall_timeout`` seconds without *any* event, hands it to the kill
+callback — the server SIGKILLs the runner and requeues the job under
+the retry policy (``resume=True``, so the restarted attempt replays the
+completion journal instead of redoing finished experiments).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+class Watchdog:
+    """Periodic stall scanner over a ``{job_id: last_beat}`` table."""
+
+    def __init__(self, *, stall_timeout: float = 120.0,
+                 interval: float | None = None):
+        self.stall_timeout = stall_timeout
+        self.interval = interval if interval is not None else max(
+            0.05, stall_timeout / 4.0)
+        self._beats: dict[str, float] = {}
+
+    def beat(self, job_id: str) -> None:
+        self._beats[job_id] = time.monotonic()
+
+    def forget(self, job_id: str) -> None:
+        self._beats.pop(job_id, None)
+
+    def stalled(self, now: float | None = None) -> list[str]:
+        now = time.monotonic() if now is None else now
+        return [job_id for job_id, last in self._beats.items()
+                if now - last > self.stall_timeout]
+
+    async def run(self, on_stall, stop: asyncio.Event) -> None:
+        """Scan until ``stop``; ``on_stall(job_id)`` may be a coroutine."""
+        while not stop.is_set():
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=self.interval)
+                return
+            except asyncio.TimeoutError:
+                pass
+            for job_id in self.stalled():
+                self.forget(job_id)       # one kill per stall episode
+                result = on_stall(job_id)
+                if asyncio.iscoroutine(result):
+                    await result

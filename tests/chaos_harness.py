@@ -17,7 +17,11 @@ through the sanctioned chaos ports —
 * :func:`run_driver_killed` — runs a campaign in a subprocess that
   SIGKILLs *itself* (the whole driver, not a worker) after a given
   number of emitted records: no cleanup handlers run, so whatever
-  resume finds on disk is exactly what durability guaranteed.
+  resume finds on disk is exactly what durability guaranteed;
+* :func:`start_service` / :func:`service_spec` — a real ``repro
+  serve`` subprocess over the standard small scenario set, for killing
+  the *service host* mid-campaign and asserting the restarted server
+  resumes every job bit-for-bit.
 
 The equivalence-under-chaos suite (``tests/test_chaos_equivalence.py``)
 runs every campaign style under these disturbances and asserts the
@@ -131,6 +135,47 @@ campaign.{invoke}
 print("UNEXPECTED: campaign survived its own SIGKILL", file=sys.stderr)
 sys.exit(3)
 """
+
+
+#: The chaos suite's standard small scenario set, as service spec
+#: entries — mirrors ``_DRIVER_TEMPLATE`` / ``small_scenarios()`` so
+#: service campaigns share cache keys with the in-test oracle.
+SERVICE_SCENARIOS = (("highway_cruise", 24.0),
+                     ("lead_vehicle_cutin", 16.0),
+                     ("queued_traffic", 18.0))
+
+
+def service_spec(n: int = 10, seed: int = 11, **extra) -> dict:
+    """A random-campaign submission over the standard small set."""
+    return {"style": "random", "params": {"n": n, "seed": seed},
+            "scenarios": [{"name": name, "duration": duration}
+                          for name, duration in SERVICE_SCENARIOS],
+            **extra}
+
+
+def start_service(cache_dir: str | Path, *extra_args: str,
+                  env: dict | None = None):
+    """Start a ``repro serve`` subprocess; returns ``(proc, port)``.
+
+    The server picks a free port and prints it; stdout is consumed up
+    to that line.  The caller owns the process — SIGKILL it to model a
+    crashed host, SIGTERM it for a graceful drain.
+    """
+    environ = {**os.environ, "PYTHONPATH": SRC_DIR}
+    environ.update(env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--cache-dir", str(cache_dir), "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=environ)
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    try:
+        port = int(line.strip().rsplit(":", 1)[1])
+    except (IndexError, ValueError):
+        proc.kill()
+        raise RuntimeError(f"service did not report a port: {line!r}")
+    return proc, port
 
 
 def run_driver_killed(cache_dir: str | Path, invoke: str,

@@ -37,7 +37,7 @@ class TestConditioningAblation:
         do_engine = BayesianFaultInjector.train(golden)
         cond_engine = ConditioningFaultInjector.train(golden)
         disagreements = 0
-        for scene in campaign.scene_rows()[::10]:
+        for scene in list(campaign.scene_rows())[::10]:
             for variable, value in [("throttle", 1.0), ("brake", 1.0),
                                     ("tracked_gap", 0.0)]:
                 do_pred = do_engine.predicted_potential(scene, variable,
@@ -66,14 +66,14 @@ class TestDiscreteAblation:
 
     def test_actuation_inference_bounded(self, campaign, golden):
         engine = DiscreteBayesianFaultInjector.train(golden, n_bins=5)
-        scene = campaign.scene_rows()[50]
+        scene = list(campaign.scene_rows())[50]
         actuation = engine.infer_actuation(scene, "gap", 0.01)
         assert 0.0 <= actuation["throttle"] <= 1.0
         assert 0.0 <= actuation["brake"] <= 1.0
 
     def test_intervened_node_passes_through(self, campaign, golden):
         engine = DiscreteBayesianFaultInjector.train(golden, n_bins=5)
-        scene = campaign.scene_rows()[50]
+        scene = list(campaign.scene_rows())[50]
         actuation = engine.infer_actuation(scene, "throttle", 1.0)
         assert actuation["throttle"] == 1.0
 

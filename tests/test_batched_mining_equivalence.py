@@ -82,7 +82,7 @@ class TestAffineMap:
 
 class TestBatchedMiningEquivalence:
     def test_fcrit_identical_to_scalar_oracle(self, campaign, injector):
-        scenes = campaign.scene_rows()
+        scenes = list(campaign.scene_rows())
         scalar, scalar_report = injector.mine_critical_faults(scenes)
         batched, batched_report = injector.mine_critical_faults_batched(
             scenes)

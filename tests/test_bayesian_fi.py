@@ -50,13 +50,15 @@ class TestTemplate:
 class TestSceneRows:
     def test_rows_pair_consecutive_ticks(self, small_campaign):
         golden = small_campaign.golden_runs()["highway_cruise"]
-        rows = scene_rows_from_trace("highway_cruise", golden.trace)
+        rows = list(scene_rows_from_trace("highway_cruise",
+                                         golden.trace))
         assert len(rows) == len(golden.trace) - 1
         assert rows[0].injection_tick > rows[0].evidence_tick
 
     def test_rows_carry_observed_delta(self, small_campaign):
         golden = small_campaign.golden_runs()["highway_cruise"]
-        rows = scene_rows_from_trace("highway_cruise", golden.trace)
+        rows = list(scene_rows_from_trace("highway_cruise",
+                                         golden.trace))
         assert all(r.observed_delta_long > 0 for r in rows)
         assert all(r.observed_safe for r in rows)
 
@@ -77,7 +79,8 @@ class TestTraining:
 class TestCounterfactuals:
     def scene(self, small_campaign, scenario, index=50):
         golden = small_campaign.golden_runs()[scenario]
-        return scene_rows_from_trace(scenario, golden.trace)[index]
+        return list(scene_rows_from_trace(scenario,
+                                         golden.trace))[index]
 
     def test_neutral_intervention_tracks_golden(self, small_campaign,
                                                 injector):
@@ -122,7 +125,7 @@ class TestCounterfactuals:
 
 class TestMining:
     def test_mining_finds_candidates(self, small_campaign, injector):
-        scenes = small_campaign.scene_rows()
+        scenes = list(small_campaign.scene_rows())
         candidates, report = injector.mine_critical_faults(scenes)
         assert report.n_scored > 0
         assert report.n_scenes == len(scenes)

@@ -10,12 +10,15 @@ campaign style through :mod:`tests.chaos_harness` disturbances and
 compares against the undisturbed serial reference.
 """
 
+import os
+import time
 from dataclasses import asdict, replace
 
 import pytest
 
 from chaos_harness import (chaos_worker_kills, corrupt_journal,
-                           failing_writes, run_driver_killed)
+                           failing_writes, run_driver_killed,
+                           service_spec, start_service)
 from repro.core import Campaign, CampaignConfig, ResilienceConfig
 from repro.core.persistence import merge_record_shards
 from repro.sim import highway_cruise, lead_vehicle_cutin, queued_traffic
@@ -155,6 +158,102 @@ class TestDriverKillResume:
         # for the replayed records.
         assert strip_wall(summary.records) == \
             strip_wall(oracle["random"].records)
+
+
+class TestServiceChaos:
+    """Kill the campaign *service host*; restart must resume exactly.
+
+    These drive a real ``repro serve`` subprocess — the same binary an
+    operator runs — through the chaos suite's standard small campaign,
+    using the stdlib client.
+    """
+
+    @staticmethod
+    def _records_from_ndjson(raw: bytes):
+        from repro.core.persistence import iter_records_jsonl
+        import tempfile
+        with tempfile.NamedTemporaryFile(suffix=".jsonl") as handle:
+            handle.write(raw)
+            handle.flush()
+            return list(iter_records_jsonl(handle.name))
+
+    def test_sigkill_server_restart_resumes_bit_identical(self, tmp_path,
+                                                          oracle):
+        from repro.service.client import ServiceClient
+        cache = tmp_path / "cache"
+        proc, port = start_service(cache)
+        try:
+            client = ServiceClient(port=port)
+            job = client.submit(service_spec())
+            # Follow the live NDJSON stream until four experiments have
+            # validated, then SIGKILL the server mid-campaign.
+            for event in client.events(job["id"]):
+                if (event.get("type") == "progress"
+                        and event.get("stage") == "validated"
+                        and event["done"] >= 4):
+                    break
+            runner_pid = client.job(job["id"])["pid"]
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        # The orphaned runner notices its parent is gone (broken event
+        # pipe) and exits rather than finishing unsupervised.
+        deadline = time.monotonic() + 60
+        while os.path.exists(f"/proc/{runner_pid}") \
+                and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert not os.path.exists(f"/proc/{runner_pid}")
+
+        proc2, port2 = start_service(cache)
+        try:
+            client = ServiceClient(port=port2)
+            recovered = client.job(job["id"])
+            assert recovered["resume"] is True
+            final = client.wait(job["id"], timeout=420)
+            assert final["state"] == "completed"
+            # Zero re-execution: the resumed attempt claimed at least
+            # the four validated experiments from the journal.
+            journal = final["summary"]["journal"]
+            assert journal["hits"] >= 4
+            assert journal["hits"] + journal["appended"] == 10
+            records = self._records_from_ndjson(
+                client.records(job["id"]))
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=60)
+        assert strip_wall(records) == strip_wall(oracle["random"].records)
+
+    def test_duplicate_idempotent_submission_executes_once(self, tmp_path,
+                                                           oracle):
+        from repro.service.client import ServiceClient
+        cache = tmp_path / "cache"
+        proc, port = start_service(cache)
+        try:
+            client = ServiceClient(port=port)
+            first = client.submit(service_spec(),
+                                  idempotency_key="chaos-dup")
+            for _ in range(5):
+                again = client.submit(service_spec(),
+                                      idempotency_key="chaos-dup")
+                assert again["id"] == first["id"]
+            final = client.wait(first["id"], timeout=420)
+            assert final["state"] == "completed"
+            assert len(client.jobs()) == 1
+            # One campaign execution: all ten experiments ran fresh,
+            # none were journal replays of a duplicate run.
+            assert final["summary"]["journal"] == {"hits": 0,
+                                                  "appended": 10}
+            records = self._records_from_ndjson(
+                client.records(first["id"]))
+            # Resubmitting after completion still returns the same job.
+            done_again = client.submit(service_spec(),
+                                       idempotency_key="chaos-dup")
+            assert done_again["id"] == first["id"]
+            assert done_again["state"] == "completed"
+        finally:
+            proc.terminate()
+            proc.wait(timeout=60)
+        assert strip_wall(records) == strip_wall(oracle["random"].records)
 
 
 class TestLeaseEquivalence:

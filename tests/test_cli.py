@@ -102,8 +102,33 @@ class TestMergeCLI:
         assert "4/4" not in out          # 0 hazards of 4 experiments
 
     def test_merge_empty_glob_is_clean_error(self, tmp_path):
-        with pytest.raises(SystemExit, match="matches no files"):
+        with pytest.raises(SystemExit) as excinfo:
             main(["merge", str(tmp_path / "records-*.jsonl.gz")])
+        message = str(excinfo.value)
+        assert "matches no files" in message
+        assert "records-*.jsonl.gz" in message   # names the pattern
+        assert "\n" not in message               # one line, no traceback
+
+    def test_merge_missing_literal_shard_is_clean_error(self, tmp_path):
+        """A literal (non-glob) path that does not exist errors cleanly
+        too — naming the path, not leaking a stream-parser errno."""
+        missing = tmp_path / "shard7.jsonl"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["merge", str(missing)])
+        message = str(excinfo.value)
+        assert "does not exist" in message
+        assert "shard7.jsonl" in message
+        assert "\n" not in message
+
+    def test_merge_empty_glob_alongside_real_shard_still_errors(
+            self, tmp_path):
+        """One dead pattern poisons the merge even when other arguments
+        match — merging fewer shards than pointed at would fabricate a
+        smaller campaign."""
+        self._shard(tmp_path / "a.jsonl", "random")
+        with pytest.raises(SystemExit, match="matches no files"):
+            main(["merge", str(tmp_path / "a.jsonl"),
+                  str(tmp_path / "gone-*.jsonl")])
 
     def test_merge_mixed_styles_is_clean_one_line_error(self, tmp_path):
         self._shard(tmp_path / "a.jsonl", "random")

@@ -437,6 +437,34 @@ class TestLeaseBoard:
             a.heartbeat(min_interval=0.0)
         assert not b.try_claim("scene")   # refreshed well past first TTL
 
+    def test_heartbeat_oserror_warns_and_retries_next_beat(self, tmp_path):
+        """A shared-FS flake during TTL refresh degrades to a warning.
+
+        The owning worker must not crash, the on-disk lease must stay
+        intact (it just drifts toward expiry), and — because a failed
+        beat leaves the rate-limit timer un-armed — the very next
+        heartbeat call must retry instead of waiting out another
+        interval.
+        """
+        from chaos_harness import failing_writes
+        a = self.board(tmp_path, "host-a", ttl=0.9)   # interval ttl/3
+        assert a.try_claim("scene")
+        a.heartbeat(min_interval=0.0)       # a successful beat arms it
+        before = a._read_lease(a._lease_path("scene"))
+        time.sleep(0.35)                    # let the interval elapse
+        with failing_writes("lease-") as state:
+            with pytest.warns(RuntimeWarning, match="lease heartbeat"):
+                a.heartbeat()               # flake: warn, never raise
+        assert state["failed"] == 1
+        after = a._read_lease(a._lease_path("scene"))
+        assert after == before              # refresh never landed
+        # Immediately after the flake: had the failed beat armed the
+        # timer, this call would be rate-limited away; instead it
+        # retries and the lease refreshes.
+        a.heartbeat()
+        refreshed = a._read_lease(a._lease_path("scene"))
+        assert refreshed["expires"] > before["expires"]
+
     def test_publication_is_the_done_marker(self, tmp_path):
         a = self.board(tmp_path, "host-a")
         b = self.board(tmp_path, "host-b")

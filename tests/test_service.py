@@ -1,0 +1,422 @@
+"""Unit tests for the campaign service: durable jobs, queues,
+admission control, watchdog, and the HTTP surface.
+
+Campaign-executing paths run through :class:`ServiceThread` (the
+in-process harness) with ``max_running=0`` wherever a job should stay
+pinned in the queue — the full execute/kill/resume paths live in
+``tests/test_chaos_equivalence.py::TestServiceChaos``.
+"""
+
+import json
+import time
+
+import pytest
+
+from chaos_harness import failing_writes
+from repro.service import (ServiceClient, ServiceConfig, ServiceThread,
+                           TenantQueues, Watchdog)
+from repro.service.client import ServiceError
+from repro.service.jobs import (CANCELLED, COMPLETED, DRAINING, FAILED,
+                                QUEUED, RUNNING, JobJournal, JobSpec,
+                                JobStore, SpecError)
+from repro.service.queue import AdmissionControl
+
+
+def spec_dict(n=3, tenant="default", **extra):
+    return {"style": "random", "params": {"n": n, "seed": 1},
+            "tenant": tenant, **extra}
+
+
+class TestJobSpec:
+    def test_round_trips_through_dict(self):
+        spec = JobSpec.from_dict(
+            {"style": "bayesian", "params": {"top_k": 5},
+             "scenarios": [{"name": "highway_cruise", "duration": 20.0}],
+             "workers": 2, "lease": True, "tenant": "team-a"})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_digest_is_canonical(self):
+        a = JobSpec.from_dict({"style": "random", "params": {"n": 5}})
+        b = JobSpec.from_dict({"params": {"n": 5}, "style": "random"})
+        c = JobSpec.from_dict({"style": "random", "params": {"n": 6}})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"style": "unknown"},
+        {"style": "random", "params": []},
+        {"style": "random", "scenarios": []},
+        {"style": "random", "scenarios": [{"duration": 5.0}]},
+    ])
+    def test_rejects_malformed_payloads(self, payload):
+        with pytest.raises(SpecError):
+            JobSpec.from_dict(payload)
+
+
+class TestJobJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "j")
+        journal.append({"type": "submitted", "job": "job-1"})
+        journal.append({"type": "state", "job": "job-1", "state": QUEUED})
+        events = JobJournal(tmp_path / "j").replay()
+        assert [e["type"] for e in events] == ["submitted", "state"]
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_corrupt_event_is_skipped_not_fatal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j")
+        journal.append({"type": "submitted", "job": "job-1"})
+        journal.append({"type": "state", "job": "job-1", "state": QUEUED})
+        (tmp_path / "j" / "evt-00000002.json").write_bytes(b"\x00torn{")
+        events = JobJournal(tmp_path / "j").replay()
+        assert [e["type"] for e in events] == ["submitted"]
+
+    def test_sequence_continues_after_reopen(self, tmp_path):
+        JobJournal(tmp_path / "j").append({"type": "submitted"})
+        reopened = JobJournal(tmp_path / "j")
+        reopened.append({"type": "state"})
+        names = sorted(p.name for p in (tmp_path / "j").glob("evt-*"))
+        assert names == ["evt-00000001.json", "evt-00000002.json"]
+
+
+class TestJobStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        spec = JobSpec.from_dict(spec_dict())
+        job, created = store.submit(spec)
+        again, created_again = store.submit(spec)
+        assert created and not created_again
+        assert again is job
+
+    def test_explicit_key_beats_digest(self, tmp_path):
+        store = JobStore(tmp_path)
+        a, _ = store.submit(JobSpec.from_dict(spec_dict(n=1)), "same-key")
+        b, created = store.submit(JobSpec.from_dict(spec_dict(n=2)),
+                                  "same-key")
+        assert b is a and not created
+
+    def test_illegal_transition_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(JobSpec.from_dict(spec_dict()))
+        with pytest.raises(ValueError, match="illegal transition"):
+            store.transition(job, COMPLETED)     # submitted -> completed
+
+    def test_recovery_requeues_running_jobs_as_resumable(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(JobSpec.from_dict(spec_dict()))
+        store.transition(job, QUEUED)
+        store.transition(job, RUNNING, pid=12345, attempts=1)
+        # ... server dies here (nothing else is written) ...
+        recovered = JobStore(tmp_path)
+        requeued = recovered.recover()
+        assert [j.id for j in requeued] == [job.id]
+        back = recovered.jobs[job.id]
+        assert back.state == QUEUED
+        assert back.resume is True
+        assert back.attempts == 1
+        assert back.pid == 12345             # for the orphan-runner kill
+
+    def test_recovery_preserves_terminal_states_and_idempotency(
+            self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(JobSpec.from_dict(spec_dict()), "the-key")
+        store.transition(job, QUEUED)
+        store.transition(job, RUNNING, attempts=1)
+        store.transition(job, COMPLETED, summary={"total": 3})
+        recovered = JobStore(tmp_path)
+        assert recovered.recover() == []
+        back = recovered.get_by_key("the-key")
+        assert back is not None
+        assert back.state == COMPLETED
+        assert back.summary == {"total": 3}
+        # New submissions continue the id sequence, never reuse it.
+        fresh, _ = recovered.submit(JobSpec.from_dict(spec_dict(n=9)))
+        assert fresh.id != back.id
+
+    def test_recovery_converges_after_crash_during_recovery(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(JobSpec.from_dict(spec_dict()))
+        store.transition(job, QUEUED)
+        store.transition(job, RUNNING, attempts=1)
+        JobStore(tmp_path).recover()     # writes the requeue, "crashes"
+        second = JobStore(tmp_path)
+        second.recover()
+        assert second.jobs[job.id].state == QUEUED
+        assert second.jobs[job.id].resume is True
+
+    def test_draining_jobs_recover_as_resumable(self, tmp_path):
+        store = JobStore(tmp_path)
+        job, _ = store.submit(JobSpec.from_dict(spec_dict()))
+        store.transition(job, QUEUED)
+        store.transition(job, RUNNING, attempts=1)
+        store.transition(job, DRAINING)
+        recovered = JobStore(tmp_path)
+        recovered.recover()
+        assert recovered.jobs[job.id].state == QUEUED
+        assert recovered.jobs[job.id].resume is True
+
+    def test_journal_write_fault_surfaces_not_corrupts(self, tmp_path):
+        """ENOSPC while journaling a submission is a loud error; the
+        events already on disk replay untouched."""
+        store = JobStore(tmp_path)
+        store.submit(JobSpec.from_dict(spec_dict(n=1)))
+        with failing_writes("evt-"):
+            with pytest.raises(OSError):
+                store.submit(JobSpec.from_dict(spec_dict(n=2)))
+        recovered = JobStore(tmp_path)
+        recovered.recover()
+        assert len(recovered.jobs) == 1
+
+
+class TestTenantQueues:
+    def test_fifo_within_tenant(self):
+        queues = TenantQueues()
+        for i in range(3):
+            queues.push("a", f"job-{i}")
+        assert [queues.pop() for _ in range(3)] == \
+            ["job-0", "job-1", "job-2"]
+        assert queues.pop() is None
+
+    def test_round_robin_across_tenants(self):
+        queues = TenantQueues()
+        queues.push("a", "a1")
+        queues.push("a", "a2")
+        queues.push("b", "b1")
+        queues.push("c", "c1")
+        order = [queues.pop() for _ in range(4)]
+        # One job per tenant per cycle: tenant a cannot starve b and c.
+        assert order.index("b1") < order.index("a2")
+        assert order.index("c1") < order.index("a2")
+        assert sorted(order) == ["a1", "a2", "b1", "c1"]
+
+    def test_remove_and_depth(self):
+        queues = TenantQueues()
+        queues.push("a", "a1")
+        queues.push("b", "b1")
+        assert queues.depth() == 2
+        assert queues.remove("a", "a1") is True
+        assert queues.remove("a", "a1") is False
+        assert queues.depth("a") == 0
+        assert queues.depth() == 1
+
+
+class TestAdmissionControl:
+    def test_queue_depth_cap(self, tmp_path):
+        control = AdmissionControl(tmp_path, max_queue_depth=2,
+                                   max_tenant_depth=2,
+                                   min_disk_free_bytes=0)
+        queues = TenantQueues()
+        assert control.admit(queues, "a").accepted
+        queues.push("a", "a1")
+        queues.push("b", "b1")
+        decision = control.admit(queues, "c")
+        assert not decision.accepted
+        assert "queue full" in decision.reason
+        assert decision.retry_after > 0
+
+    def test_tenant_cap_spares_other_tenants(self, tmp_path):
+        control = AdmissionControl(tmp_path, max_queue_depth=100,
+                                   max_tenant_depth=1,
+                                   min_disk_free_bytes=0)
+        queues = TenantQueues()
+        queues.push("a", "a1")
+        assert not control.admit(queues, "a").accepted
+        assert control.admit(queues, "b").accepted
+
+    def test_disk_headroom_floor_degrades(self, tmp_path):
+        starved = AdmissionControl(tmp_path,
+                                   min_disk_free_bytes=1 << 62)
+        assert starved.degraded()
+        decision = starved.admit(TenantQueues(), "a")
+        assert not decision.accepted
+        assert "degraded" in decision.reason
+
+
+class TestWatchdog:
+    def test_stall_detection_and_forget(self):
+        watchdog = Watchdog(stall_timeout=0.05)
+        watchdog.beat("job-1")
+        watchdog.beat("job-2")
+        assert watchdog.stalled() == []
+        time.sleep(0.08)
+        assert sorted(watchdog.stalled()) == ["job-1", "job-2"]
+        watchdog.beat("job-1")
+        watchdog.forget("job-2")
+        assert watchdog.stalled() == []
+
+
+@pytest.fixture
+def idle_service(tmp_path):
+    """A live service whose scheduler never launches (max_running=0):
+    jobs stay queued, making queue/admission behaviour observable."""
+    config = ServiceConfig(cache_dir=tmp_path / "cache", max_running=0,
+                           max_queue_depth=3, max_tenant_depth=2)
+    with ServiceThread(config) as thread:
+        yield ServiceClient(port=thread.port), thread
+
+
+class TestServiceHTTP:
+    def test_probes(self, idle_service):
+        client, _ = idle_service
+        assert client.healthz() == {"status": "ok"}
+        assert client.readyz() == {"status": "ready"}
+
+    def test_submit_and_get(self, idle_service):
+        client, _ = idle_service
+        job = client.submit(spec_dict())
+        assert job["state"] == "queued"
+        assert client.job(job["id"])["id"] == job["id"]
+        assert [j["id"] for j in client.jobs()] == [job["id"]]
+
+    def test_unknown_job_is_404(self, idle_service):
+        client, _ = idle_service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_malformed_spec_is_400(self, idle_service):
+        client, _ = idle_service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"style": "nope"})
+        assert excinfo.value.status == 400
+
+    def test_idempotency_key_header(self, idle_service):
+        client, _ = idle_service
+        a = client.submit(spec_dict(n=1), idempotency_key="key-1")
+        b = client.submit(spec_dict(n=2), idempotency_key="key-1")
+        assert b["id"] == a["id"]
+        assert len(client.jobs()) == 1
+
+    def test_queue_backpressure_is_429_with_retry_after(self,
+                                                        idle_service):
+        client, _ = idle_service
+        for i in range(2):
+            client.submit(spec_dict(n=i + 10, tenant=f"t{i}"))
+        # Global cap is 3; tenant cap is 2 — tenant t0 trips its cap.
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec_dict(n=50, tenant="t0"))
+            client.submit(spec_dict(n=51, tenant="t0"))
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after is not None
+
+    def test_cancel_queued_job(self, idle_service):
+        client, _ = idle_service
+        job = client.submit(spec_dict())
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        assert client.stats()["queued"] == 0
+
+    def test_stats_shape(self, idle_service):
+        client, _ = idle_service
+        stats = client.stats()
+        assert stats["accepting"] is True
+        assert stats["running"] == []
+        assert stats["degraded"] is False
+        assert stats["disk_free"] > 0
+
+    def test_degraded_mode_rejects_but_stays_healthy(self, tmp_path):
+        config = ServiceConfig(cache_dir=tmp_path / "cache",
+                               max_running=0,
+                               min_disk_free_bytes=1 << 62)
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            assert client.healthz() == {"status": "ok"}
+            with pytest.raises(ServiceError) as ready:
+                client.readyz()
+            assert ready.value.status == 503
+            assert ready.value.payload["status"] == "degraded"
+            with pytest.raises(ServiceError) as submit:
+                client.submit(spec_dict())
+            assert submit.value.status == 429
+            assert "degraded" in submit.value.payload["error"]
+
+    def test_drain_rejects_new_work_and_journals_queue(self, tmp_path):
+        config = ServiceConfig(cache_dir=tmp_path / "cache",
+                               max_running=0)
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            job = client.submit(spec_dict())
+            thread.drain()
+        # The drained server is gone; its durable state must bring the
+        # queued job back on the next start.
+        store = JobStore(tmp_path / "cache" / "service")
+        store.recover()
+        assert store.jobs[job["id"]].state == QUEUED
+
+    def test_restarted_service_remembers_idempotency_keys(self, tmp_path):
+        cache = tmp_path / "cache"
+        config = ServiceConfig(cache_dir=cache, max_running=0)
+        with ServiceThread(config) as thread:
+            first = ServiceClient(port=thread.port).submit(
+                spec_dict(), idempotency_key="sticky")
+        with ServiceThread(config) as thread:
+            again = ServiceClient(port=thread.port).submit(
+                spec_dict(), idempotency_key="sticky")
+            assert again["id"] == first["id"]
+            assert len(ServiceClient(port=thread.port).jobs()) == 1
+
+    def test_events_endpoint_replays_state_history(self, idle_service):
+        client, _ = idle_service
+        job = client.submit(spec_dict())
+        client.cancel(job["id"])
+        events = list(client.events(job["id"]))
+        states = [e["state"] for e in events if e["type"] == "state"]
+        assert states == ["queued", "cancelled"]
+
+    def test_records_of_unfinished_job_is_404(self, idle_service):
+        client, _ = idle_service
+        job = client.submit(spec_dict())
+        with pytest.raises(ServiceError) as excinfo:
+            client.records(job["id"])
+        assert excinfo.value.status == 404
+
+
+class TestServiceExecution:
+    """One real (tiny) campaign through the in-process service."""
+
+    def test_job_executes_and_reports_summary(self, tmp_path):
+        config = ServiceConfig(cache_dir=tmp_path / "cache")
+        spec = {"style": "random", "params": {"n": 2, "seed": 1},
+                "scenarios": [{"name": "highway_cruise",
+                               "duration": 14.0}]}
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            job = client.submit(spec)
+            final = client.wait(job["id"], timeout=240)
+            assert final["state"] == "completed"
+            assert final["summary"]["total"] == 2
+            assert final["summary"]["journal"]["appended"] == 2
+            raw = client.records(job["id"])
+            lines = [json.loads(line)
+                     for line in raw.decode().strip().splitlines()]
+            assert len(lines) == 3           # _meta header + 2 records
+            assert lines[0]["_meta"]["style"] == "random"
+            events = list(client.events(job["id"]))
+            stages = {e["stage"] for e in events
+                      if e["type"] == "progress"}
+            assert "validated" in stages
+
+    def test_stalled_runner_is_killed_and_failed(self, tmp_path):
+        """A runner that wedges (no events, no exit) trips the
+        watchdog; with retries exhausted the job fails with a clear
+        error."""
+        import os
+        from repro.service.runner import (ALIVE_INTERVAL_ENV,
+                                          STALL_AFTER_ENV)
+        os.environ[STALL_AFTER_ENV] = "0"
+        os.environ[ALIVE_INTERVAL_ENV] = "0.05"
+        try:
+            config = ServiceConfig(cache_dir=tmp_path / "cache",
+                                   stall_timeout=1.0, max_attempts=1)
+            spec = {"style": "random", "params": {"n": 2, "seed": 1},
+                    "scenarios": [{"name": "highway_cruise",
+                                   "duration": 14.0}]}
+            with ServiceThread(config) as thread:
+                client = ServiceClient(port=thread.port)
+                job = client.submit(spec)
+                final = client.wait(job["id"], timeout=120)
+                assert final["state"] == "failed"
+                assert "died" in final["error"]
+        finally:
+            os.environ.pop(STALL_AFTER_ENV, None)
+            os.environ.pop(ALIVE_INTERVAL_ENV, None)

@@ -255,7 +255,7 @@ class TestInjectorTrainerEquivalence:
         for run in golden:
             trainer.add_run(run)
         streamed = trainer.finish()
-        scenes = golden_campaign.scene_rows()
+        scenes = list(golden_campaign.scene_rows())
         mined_batch, _ = batch.mine_critical_faults_batched(scenes)
         mined_streamed, _ = streamed.mine_critical_faults_batched(scenes)
         assert candidate_keys(mined_streamed) == candidate_keys(mined_batch)
