@@ -49,7 +49,9 @@ ACTIVE_STATES = frozenset({SUBMITTED, QUEUED, RUNNING, DRAINING})
 #: to queued (the crashed-server path).
 _TRANSITIONS = {
     SUBMITTED: {QUEUED, CANCELLED},
-    QUEUED: {RUNNING, CANCELLED, FAILED},
+    # queued -> queued: a failed launch attempt (spawn error) re-queues
+    # the job while journaling the consumed attempt.
+    QUEUED: {QUEUED, RUNNING, CANCELLED, FAILED},
     RUNNING: {DRAINING, COMPLETED, FAILED, CANCELLED, QUEUED},
     DRAINING: {QUEUED, COMPLETED, FAILED, CANCELLED},
     COMPLETED: set(),
@@ -298,12 +300,17 @@ class JobStore:
     # -- recovery ------------------------------------------------------------
 
     def recover(self) -> list[Job]:
-        """Rebuild the table from the journal; returns requeued jobs.
+        """Rebuild the table from the journal; returns every job the
+        caller must put back on the scheduler queues.
 
         Jobs the dead server left ``running`` (or mid-``draining``)
         come back ``queued`` with ``resume=True`` — and the requeue is
         itself journaled, so a crash *during* recovery converges to the
-        same state.
+        same state.  Jobs whose last journaled state already *is*
+        ``queued`` — normal queued submissions, and every job a
+        graceful drain settled as ``queued`` + ``resume=True`` — are
+        returned too (no new journal event needed): leaving them out
+        would strand them "queued" forever, never scheduled.
         """
         for event in self.journal.replay():
             kind = event.get("type")
@@ -342,5 +349,7 @@ class JobStore:
                 requeued.append(job)
             elif job.state == SUBMITTED:
                 self.transition(job, QUEUED)
+                requeued.append(job)
+            elif job.state == QUEUED:
                 requeued.append(job)
         return requeued

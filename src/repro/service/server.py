@@ -39,6 +39,7 @@ import os
 import signal
 import sys
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -72,6 +73,42 @@ class ServiceConfig:
     default_workers: int | None = None
     #: Runner stderr destination ("inherit" | "devnull").
     runner_stderr: str = "inherit"
+    #: Memory bounds for an always-on process: per-job cap on retained
+    #: progress/state events (older ones fall off the front), and how
+    #: many finished jobs keep an event history at all (oldest expire).
+    max_events_per_job: int = 512
+    max_finished_event_logs: int = 256
+
+
+class _EventLog:
+    """One job's bounded event history.
+
+    Cursors are absolute positions in the job's event sequence: when
+    the cap drops old events, a lagging stream resumes at ``base``
+    (the trimmed prefix is skipped) rather than re-reading shifted
+    list indices.
+    """
+
+    __slots__ = ("cap", "base", "items")
+
+    def __init__(self, cap: int = 512):
+        self.cap = cap
+        self.base = 0
+        self.items: list[dict] = []
+
+    def append(self, event: dict) -> None:
+        self.items.append(event)
+        overflow = len(self.items) - self.cap
+        if overflow > 0:
+            del self.items[:overflow]
+            self.base += overflow
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.items)
+
+    def since(self, cursor: int) -> list[dict]:
+        return self.items[max(cursor - self.base, 0):]
 
 
 class CampaignService:
@@ -93,11 +130,15 @@ class CampaignService:
         self.port: int | None = None
         self._procs: dict[str, asyncio.subprocess.Process] = {}
         self._cancelling: set[str] = set()
-        self._events: dict[str, list[dict]] = {}
+        self._events: dict[str, _EventLog] = {}
+        self._finished: deque[str] = deque()
         self._event_cond = asyncio.Condition()
         self._stop = asyncio.Event()
         self._server: asyncio.AbstractServer | None = None
         self._tasks: list[asyncio.Task] = []
+        #: One pump task per live runner; done callbacks prune them, so
+        #: an always-on server does not accumulate finished tasks.
+        self._pumps: set[asyncio.Task] = set()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -118,26 +159,33 @@ class CampaignService:
         requeued = self.store.recover()
         for job in self.store.jobs.values():
             if job.pid:
-                self._kill_orphan_runner(job.pid)
+                self._kill_orphan_runner(job)
         for job in requeued:
             self.queues.push(job.spec.tenant, job.id)
             self._note(job)
 
-    @staticmethod
-    def _kill_orphan_runner(pid: int) -> None:
-        """SIGKILL ``pid`` iff it still is a service runner process.
+    def _kill_orphan_runner(self, job: J.Job) -> None:
+        """SIGKILL ``job.pid`` iff it still is *this job's* runner.
 
-        The pid check reads ``/proc/<pid>/cmdline`` — recycled pids
-        belonging to unrelated processes are left alone.
+        The check reads ``/proc/<pid>/cmdline`` and requires both the
+        runner module and this job's unique spec path in the argv, so a
+        recycled pid — even one now belonging to another serve host's
+        runner on a shared ``cache_dir`` — is left alone.  Where
+        ``/proc`` does not exist this degrades to a no-op by design:
+        an orphaned runner self-terminates on its next event write
+        anyway (its stdout pipe died with the server, and the runner
+        hard-exits on ``BrokenPipeError``).
         """
         try:
-            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+            cmdline = Path(f"/proc/{job.pid}/cmdline").read_bytes()
         except OSError:
-            return                         # no such process
-        if b"repro.service.runner" not in cmdline:
+            return                         # no such process (or no /proc)
+        args = cmdline.split(b"\0")
+        if (b"repro.service.runner" not in args
+                or str(self.store.spec_path(job)).encode() not in args):
             return
         with contextlib.suppress(OSError):
-            os.kill(pid, signal.SIGKILL)
+            os.kill(job.pid, signal.SIGKILL)
 
     def _install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -177,9 +225,10 @@ class CampaignService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._tasks:
+        pending = [*self._tasks, *self._pumps]
+        for task in pending:
             task.cancel()
-        for task in self._tasks:
+        for task in pending:
             with contextlib.suppress(asyncio.CancelledError):
                 await task
         async with self._event_cond:
@@ -191,20 +240,40 @@ class CampaignService:
     # -- scheduling ------------------------------------------------------------
 
     async def _scheduler(self) -> None:
+        """Launch queued jobs as slots free up.
+
+        The loop body is exception-guarded: a launch blowing up must
+        never kill the scheduler task — it logs and keeps scheduling
+        (the expected hazards are handled inside :meth:`_launch`; this
+        guard is the backstop for the unexpected ones).
+        """
         while not self._stop.is_set():
             launched = False
-            if (not self.draining
-                    and len(self._procs) < self.config.max_running):
-                job_id = self.queues.pop()
-                if job_id is not None:
-                    job = self.store.jobs[job_id]
-                    if job.state == J.QUEUED:
-                        await self._launch(job)
-                        launched = True
+            try:
+                if (not self.draining
+                        and len(self._procs) < self.config.max_running):
+                    job_id = self.queues.pop()
+                    if job_id is not None:
+                        job = self.store.jobs[job_id]
+                        if job.state == J.QUEUED:
+                            launched = await self._launch(job)
+            except Exception as exc:       # noqa: BLE001 — keep scheduling
+                print(f"scheduler: launch failed: {exc!r}",
+                      file=sys.stderr, flush=True)
             if not launched:
                 await asyncio.sleep(0.02)
 
-    async def _launch(self, job: J.Job) -> None:
+    async def _launch(self, job: J.Job) -> bool:
+        """Spawn one runner; True iff the job is now running.
+
+        Two launch-time hazards are settled here instead of being left
+        to kill the scheduler: the spawn itself failing (``OSError`` —
+        the attempt is journaled and the job re-queued under the retry
+        budget, then failed), and a cancel landing while the subprocess
+        was being created (the job is no longer ``queued``, so the
+        freshly spawned runner is killed rather than left to run
+        unsupervised).
+        """
         job_dir = self.store.job_dir(job)
         job_dir.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -217,17 +286,40 @@ class CampaignService:
         self.store.spec_path(job).write_text(json.dumps(payload, indent=1))
         stderr = (asyncio.subprocess.DEVNULL
                   if self.config.runner_stderr == "devnull" else None)
-        proc = await asyncio.create_subprocess_exec(
-            sys.executable, "-m", "repro.service.runner",
-            str(self.store.spec_path(job)),
-            stdout=asyncio.subprocess.PIPE, stderr=stderr,
-            env=os.environ.copy())
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.service.runner",
+                str(self.store.spec_path(job)),
+                stdout=asyncio.subprocess.PIPE, stderr=stderr,
+                env=os.environ.copy())
+        except OSError as exc:
+            if job.attempts + 1 < self.config.max_attempts:
+                self.store.transition(job, J.QUEUED,
+                                      attempts=job.attempts + 1)
+                self.queues.push(job.spec.tenant, job.id)
+            else:
+                self.store.transition(
+                    job, J.FAILED, attempts=job.attempts + 1,
+                    error=f"failed to spawn runner: {exc}")
+            await self._note_async(job)
+            return False
+        if job.state != J.QUEUED or self.draining:
+            # Cancelled (or drain started) while spawning: kill the
+            # fresh runner instead of supervising it; a drained job
+            # stays durably queued for the next server.
+            with contextlib.suppress(ProcessLookupError):
+                proc.kill()
+            await proc.wait()
+            return False
         self._procs[job.id] = proc
         self.store.transition(job, J.RUNNING, pid=proc.pid,
                               attempts=job.attempts + 1)
         self.watchdog.beat(job.id)
         await self._note_async(job)
-        self._tasks.append(asyncio.create_task(self._pump(job, proc)))
+        pump = asyncio.create_task(self._pump(job, proc))
+        self._pumps.add(pump)
+        pump.add_done_callback(self._pumps.discard)
+        return True
 
     async def _pump(self, job: J.Job,
                     proc: asyncio.subprocess.Process) -> None:
@@ -302,8 +394,23 @@ class CampaignService:
 
     # -- event fan-out ---------------------------------------------------------
 
+    def _event_log(self, job_id: str) -> _EventLog:
+        log = self._events.get(job_id)
+        if log is None:
+            log = self._events[job_id] = _EventLog(
+                self.config.max_events_per_job)
+        return log
+
+    def _retire_events(self, job_id: str) -> None:
+        """Bound total event memory: finished jobs keep their history
+        until ``max_finished_event_logs`` newer ones have finished,
+        then the oldest logs expire (their streams end cleanly)."""
+        self._finished.append(job_id)
+        while len(self._finished) > self.config.max_finished_event_logs:
+            self._events.pop(self._finished.popleft(), None)
+
     def _note(self, job: J.Job) -> None:
-        self._events.setdefault(job.id, []).append(
+        self._event_log(job.id).append(
             {"type": "state", "state": job.state,
              "attempts": job.attempts, "resume": job.resume})
 
@@ -311,10 +418,12 @@ class CampaignService:
         await self._push_event(job.id, {
             "type": "state", "state": job.state,
             "attempts": job.attempts, "resume": job.resume})
+        if job.state in J.TERMINAL_STATES:
+            self._retire_events(job.id)
 
     async def _push_event(self, job_id: str, event: dict) -> None:
         async with self._event_cond:
-            self._events.setdefault(job_id, []).append(event)
+            self._event_log(job_id).append(event)
             self._event_cond.notify_all()
 
     # -- HTTP ------------------------------------------------------------------
@@ -361,7 +470,8 @@ class CampaignService:
                        extra_headers: dict | None = None) -> None:
         reasons = {200: "OK", 201: "Created", 400: "Bad Request",
                    404: "Not Found", 405: "Method Not Allowed",
-                   429: "Too Many Requests", 503: "Service Unavailable"}
+                   409: "Conflict", 429: "Too Many Requests",
+                   503: "Service Unavailable"}
         body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
         headers = [f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
                    "Content-Type: application/json",
@@ -435,6 +545,14 @@ class CampaignService:
         key = headers.get("idempotency-key") or spec.digest()
         existing = self.store.get_by_key(key)
         if existing is not None:
+            if existing.spec.digest() != spec.digest():
+                # Same key, different spec: refuse loudly instead of
+                # silently discarding the new spec.
+                await self._respond(
+                    writer, 409,
+                    {"error": f"Idempotency-Key {key!r} is already bound"
+                              f" to {existing.id} with a different spec"})
+                return
             # Idempotent resubmission: never counted against admission.
             await self._respond(writer, 200, existing.to_dict())
             return
@@ -477,9 +595,10 @@ class CampaignService:
         cursor = 0
         while True:
             async with self._event_cond:
-                events = self._events.get(job.id, [])
-                batch = events[cursor:]
-                cursor = len(events)
+                log = self._events.get(job.id)
+                batch = [] if log is None else log.since(cursor)
+                if log is not None:
+                    cursor = log.end
                 if not batch:
                     if (job.state in J.TERMINAL_STATES
                             or self._stop.is_set()):

@@ -223,6 +223,46 @@ class TestServiceChaos:
             proc2.wait(timeout=60)
         assert strip_wall(records) == strip_wall(oracle["random"].records)
 
+    def test_sigterm_drain_restart_completes_bit_identical(
+            self, tmp_path, oracle):
+        """Graceful drain journals the interrupted job as queued +
+        resume; the restarted server must actually *run* it to
+        completion (regression: drained jobs were recovered 'queued'
+        but never pushed back onto the scheduler queues)."""
+        from repro.service.client import ServiceClient
+        cache = tmp_path / "cache"
+        proc, port = start_service(cache)
+        try:
+            client = ServiceClient(port=port)
+            job = client.submit(service_spec())
+            for event in client.events(job["id"]):
+                if (event.get("type") == "progress"
+                        and event.get("stage") == "validated"
+                        and event["done"] >= 2):
+                    break
+            proc.terminate()              # graceful drain, not a crash
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        proc2, port2 = start_service(cache)
+        try:
+            client = ServiceClient(port=port2)
+            assert client.job(job["id"])["resume"] is True
+            final = client.wait(job["id"], timeout=420)
+            assert final["state"] == "completed"
+            journal = final["summary"]["journal"]
+            assert journal["hits"] >= 2       # drained work not redone
+            assert journal["hits"] + journal["appended"] == 10
+            records = self._records_from_ndjson(
+                client.records(job["id"]))
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=60)
+        assert strip_wall(records) == strip_wall(oracle["random"].records)
+
     def test_duplicate_idempotent_submission_executes_once(self, tmp_path,
                                                            oracle):
         from repro.service.client import ServiceClient

@@ -7,14 +7,20 @@ pinned in the queue — the full execute/kill/resume paths live in
 ``tests/test_chaos_equivalence.py::TestServiceChaos``.
 """
 
+import contextlib
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
 import time
 
 import pytest
 
 from chaos_harness import failing_writes
-from repro.service import (ServiceClient, ServiceConfig, ServiceThread,
-                           TenantQueues, Watchdog)
+from repro.service import (CampaignService, ServiceClient, ServiceConfig,
+                           ServiceThread, TenantQueues, Watchdog)
 from repro.service.client import ServiceError
 from repro.service.jobs import (CANCELLED, COMPLETED, DRAINING, FAILED,
                                 QUEUED, RUNNING, JobJournal, JobSpec,
@@ -144,6 +150,27 @@ class TestJobStore:
         assert second.jobs[job.id].state == QUEUED
         assert second.jobs[job.id].resume is True
 
+    def test_recovery_returns_already_queued_jobs(self, tmp_path):
+        """Jobs whose last journaled state already is ``queued`` —
+        normal queued submissions, and jobs a graceful drain settled
+        as queued+resume — must come back from recover() so the server
+        pushes them onto the scheduler queues (regression: they used
+        to be stranded 'queued' forever after a restart)."""
+        store = JobStore(tmp_path)
+        waiting, _ = store.submit(JobSpec.from_dict(spec_dict(n=1)))
+        store.transition(waiting, QUEUED)
+        drained, _ = store.submit(JobSpec.from_dict(spec_dict(n=2)))
+        store.transition(drained, QUEUED)
+        store.transition(drained, RUNNING, attempts=1)
+        store.transition(drained, DRAINING)
+        store.transition(drained, QUEUED, resume=True)  # graceful drain
+        recovered = JobStore(tmp_path)
+        requeued = recovered.recover()
+        assert sorted(j.id for j in requeued) == \
+            sorted([waiting.id, drained.id])
+        assert recovered.jobs[waiting.id].state == QUEUED
+        assert recovered.jobs[drained.id].resume is True
+
     def test_draining_jobs_recover_as_resumable(self, tmp_path):
         store = JobStore(tmp_path)
         job, _ = store.submit(JobSpec.from_dict(spec_dict()))
@@ -245,6 +272,49 @@ class TestWatchdog:
         assert watchdog.stalled() == []
 
 
+class TestEventLog:
+    def test_cap_drops_oldest_and_keeps_absolute_cursors(self):
+        from repro.service.server import _EventLog
+        log = _EventLog(cap=4)
+        for i in range(10):
+            log.append({"i": i})
+        assert log.base == 6 and log.end == 10
+        assert [e["i"] for e in log.since(0)] == [6, 7, 8, 9]
+        assert [e["i"] for e in log.since(8)] == [8, 9]
+        assert log.since(10) == []
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/cmdline"),
+                    reason="orphan matching reads /proc")
+class TestOrphanRunnerKill:
+    def test_only_this_jobs_runner_is_killed(self, tmp_path):
+        """A recycled pid — even one running *some* runner, but for a
+        different job/spec — must be spared; only a process whose argv
+        carries this job's spec path is SIGKILLed."""
+        service = CampaignService(
+            ServiceConfig(cache_dir=tmp_path / "cache"))
+        job, _ = service.store.submit(JobSpec.from_dict(spec_dict()))
+        sleeper = [sys.executable, "-c", "import time; time.sleep(60)",
+                   "repro.service.runner"]
+        impostor = subprocess.Popen(sleeper + ["/elsewhere/spec.json"])
+        genuine = subprocess.Popen(
+            sleeper + [str(service.store.spec_path(job))])
+        try:
+            job.pid = impostor.pid
+            service._kill_orphan_runner(job)
+            time.sleep(0.2)
+            assert impostor.poll() is None    # wrong spec path: spared
+            job.pid = genuine.pid
+            service._kill_orphan_runner(job)
+            genuine.wait(timeout=10)
+            assert genuine.returncode == -signal.SIGKILL
+        finally:
+            for proc in (impostor, genuine):
+                with contextlib.suppress(ProcessLookupError):
+                    proc.kill()
+                proc.wait(timeout=10)
+
+
 @pytest.fixture
 def idle_service(tmp_path):
     """A live service whose scheduler never launches (max_running=0):
@@ -283,8 +353,19 @@ class TestServiceHTTP:
     def test_idempotency_key_header(self, idle_service):
         client, _ = idle_service
         a = client.submit(spec_dict(n=1), idempotency_key="key-1")
-        b = client.submit(spec_dict(n=2), idempotency_key="key-1")
+        b = client.submit(spec_dict(n=1), idempotency_key="key-1")
         assert b["id"] == a["id"]
+        assert len(client.jobs()) == 1
+
+    def test_idempotency_key_conflict_is_409(self, idle_service):
+        """Reusing a key with a *different* spec must not silently
+        discard the new spec — it is a loud conflict."""
+        client, _ = idle_service
+        a = client.submit(spec_dict(n=1), idempotency_key="key-1")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec_dict(n=2), idempotency_key="key-1")
+        assert excinfo.value.status == 409
+        assert a["id"] in excinfo.value.payload["error"]
         assert len(client.jobs()) == 1
 
     def test_queue_backpressure_is_429_with_retry_after(self,
@@ -338,10 +419,31 @@ class TestServiceHTTP:
             job = client.submit(spec_dict())
             thread.drain()
         # The drained server is gone; its durable state must bring the
-        # queued job back on the next start.
+        # queued job back on the next start — recover() has to *return*
+        # it, or the next scheduler never hears about it.
         store = JobStore(tmp_path / "cache" / "service")
-        store.recover()
+        requeued = store.recover()
+        assert [j.id for j in requeued] == [job["id"]]
         assert store.jobs[job["id"]].state == QUEUED
+
+    def test_drained_job_completes_after_restart(self, tmp_path):
+        """End-to-end drain → restart: the job a drain left queued must
+        actually launch and finish on the next server, not just be
+        recovered as 'queued'."""
+        cache = tmp_path / "cache"
+        spec = {"style": "random", "params": {"n": 2, "seed": 1},
+                "scenarios": [{"name": "highway_cruise",
+                               "duration": 14.0}]}
+        with ServiceThread(ServiceConfig(cache_dir=cache,
+                                         max_running=0)) as thread:
+            job = ServiceClient(port=thread.port).submit(spec)
+            assert job["state"] == "queued"
+            thread.drain()
+        with ServiceThread(ServiceConfig(cache_dir=cache)) as thread:
+            final = ServiceClient(port=thread.port).wait(job["id"],
+                                                         timeout=240)
+            assert final["state"] == "completed"
+            assert final["summary"]["total"] == 2
 
     def test_restarted_service_remembers_idempotency_keys(self, tmp_path):
         cache = tmp_path / "cache"
@@ -354,6 +456,28 @@ class TestServiceHTTP:
                 spec_dict(), idempotency_key="sticky")
             assert again["id"] == first["id"]
             assert len(ServiceClient(port=thread.port).jobs()) == 1
+
+    def test_finished_job_event_logs_expire(self, tmp_path):
+        """Event histories are bounded in an always-on process: once
+        enough newer jobs finish, the oldest finished job's log is
+        dropped — its stream ends cleanly instead of replaying."""
+        config = ServiceConfig(cache_dir=tmp_path / "cache",
+                               max_running=0, max_queue_depth=64,
+                               max_tenant_depth=64,
+                               max_finished_event_logs=2)
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            ids = []
+            for i in range(4):
+                job = client.submit(spec_dict(n=100 + i))
+                client.cancel(job["id"])
+                ids.append(job["id"])
+            assert thread.service is not None
+            assert len(thread.service._events) <= 2
+            assert list(client.events(ids[0])) == []
+            states = [e["state"] for e in client.events(ids[-1])
+                      if e["type"] == "state"]
+            assert states == ["queued", "cancelled"]
 
     def test_events_endpoint_replays_state_history(self, idle_service):
         client, _ = idle_service
@@ -395,6 +519,74 @@ class TestServiceExecution:
             stages = {e["stage"] for e in events
                       if e["type"] == "progress"}
             assert "validated" in stages
+
+    def test_spawn_failure_fails_job_not_scheduler(self, tmp_path):
+        """An OSError from create_subprocess_exec consumes launch
+        attempts and fails the job — and the scheduler survives it to
+        run the next job end-to-end."""
+        import asyncio
+        real = asyncio.create_subprocess_exec
+
+        async def refuse(*args, **kwargs):
+            raise OSError("chaos: exec refused")
+
+        config = ServiceConfig(cache_dir=tmp_path / "cache",
+                               max_attempts=2)
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            asyncio.create_subprocess_exec = refuse
+            try:
+                job = client.submit(spec_dict())
+                final = client.wait(job["id"], timeout=60)
+            finally:
+                asyncio.create_subprocess_exec = real
+            assert final["state"] == "failed"
+            assert "spawn" in final["error"]
+            assert final["attempts"] == 2     # both tries consumed
+            ok = client.submit(
+                {"style": "random", "params": {"n": 1, "seed": 1},
+                 "scenarios": [{"name": "highway_cruise",
+                                "duration": 14.0}]})
+            assert client.wait(ok["id"], timeout=240)["state"] == \
+                "completed"
+
+    def test_cancel_during_launch_kills_runner_not_scheduler(
+            self, tmp_path):
+        """A cancel racing create_subprocess_exec used to blow up the
+        scheduler task with an illegal queued→running transition (and
+        leave the fresh runner unsupervised); now the runner is killed
+        and scheduling continues."""
+        import asyncio
+        real = asyncio.create_subprocess_exec
+        entered = threading.Event()
+        release = threading.Event()
+
+        async def slow_spawn(*args, **kwargs):
+            if not entered.is_set():
+                entered.set()
+                while not release.is_set():
+                    await asyncio.sleep(0.01)
+            return await real(*args, **kwargs)
+
+        config = ServiceConfig(cache_dir=tmp_path / "cache")
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.port)
+            asyncio.create_subprocess_exec = slow_spawn
+            try:
+                job = client.submit(spec_dict())
+                assert entered.wait(timeout=10)
+                cancelled = client.cancel(job["id"])  # lands mid-spawn
+                assert cancelled["state"] == "cancelled"
+                release.set()
+            finally:
+                asyncio.create_subprocess_exec = real
+            ok = client.submit(
+                {"style": "random", "params": {"n": 1, "seed": 1},
+                 "scenarios": [{"name": "highway_cruise",
+                                "duration": 14.0}]})
+            assert client.wait(ok["id"], timeout=240)["state"] == \
+                "completed"
+            assert client.job(job["id"])["state"] == "cancelled"
 
     def test_stalled_runner_is_killed_and_failed(self, tmp_path):
         """A runner that wedges (no events, no exit) trips the
