@@ -147,3 +147,15 @@ class VehicleController:
     def _slew(previous: float, target: float, max_delta: float) -> float:
         return previous + float(np.clip(target - previous,
                                         -max_delta, max_delta))
+
+
+def safe_stop_command(last_command: ActuationCommand | None,
+                      brake_level: float) -> ActuationCommand:
+    """The graceful-degradation fallback: when critical inputs go stale
+    the pipeline stops trusting the planner/controller stack and asks
+    for a controlled stop — zero throttle, a firm configured brake, and
+    the last commanded steering held (yanking the wheel to center on a
+    curve would trade one hazard for another)."""
+    steering = 0.0 if last_command is None else last_command.steering
+    return ActuationCommand(throttle=0.0, brake=float(brake_level),
+                            steering=steering)

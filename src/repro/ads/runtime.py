@@ -10,6 +10,15 @@ Faults are armed on the pipeline as :class:`ArmedFault` records.  After a
 stage computes its payload and before the payload is handed downstream,
 every active fault targeting that stage corrupts the payload in place —
 precisely "modifying the software state of the ADS" as DriveFI does.
+
+Interface faults ride the :class:`~repro.ads.channels.ChannelBus` sitting
+at each stage boundary: payloads are *delivered* through the bus, which
+can drop, freeze, delay, or reorder them, or hang the producing module
+outright.  When graceful degradation is enabled (the default) the
+pipeline watches the bus's per-channel staleness and swaps the normal
+controller for a safe-stop command once a critical input exceeds its
+TTL — recorded so campaigns can tell masked-by-degradation from a real
+safety violation.
 """
 
 from __future__ import annotations
@@ -20,7 +29,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..sim.world import World
-from .control import ControllerConfig, ControllerSnapshot, VehicleController
+from .channels import ChannelBus, ChannelFault, DegradationConfig
+from .control import (ControllerConfig, ControllerSnapshot,
+                      VehicleController, safe_stop_command)
 from .localization import EgoLocalizer, LocalizerConfig, LocalizerSnapshot
 from .messages import ActuationCommand, PlannerOutput, WorldModel
 from .perception import Perception, PerceptionConfig
@@ -42,6 +53,7 @@ class ADSConfig:
     localizer: LocalizerConfig = field(default_factory=LocalizerConfig)
     planner: PlannerConfig = field(default_factory=PlannerConfig)
     controller: ControllerConfig = field(default_factory=ControllerConfig)
+    degradation: DegradationConfig = field(default_factory=DegradationConfig)
 
     @property
     def control_period(self) -> float:
@@ -98,6 +110,13 @@ class PipelineSnapshot:
     model: WorldModel | None
     command: tuple[float, float, float]
     faults: tuple[tuple[str, float, int, int, bool], ...]
+    # Interface-fault state (defaults keep pre-existing pickled
+    # snapshots restorable): armed channel faults, the per-channel bus
+    # delivery state as one pickle blob (see ChannelBus.snapshot), and
+    # the degradation counter.
+    channel_faults: tuple = ()
+    channels: bytes | None = None
+    degraded_ticks: int = 0
 
 
 class ADSPipeline:
@@ -114,6 +133,8 @@ class ADSPipeline:
         self.controller = VehicleController(self.config.controller)
         self.tick_index = 0
         self.faults: list[ArmedFault] = []
+        self.bus = ChannelBus()
+        self._degraded_ticks = 0
         self._plan: PlannerOutput | None = None
         self._model: WorldModel | None = None
         self._command = ActuationCommand(0.0, 0.0, 0.0)
@@ -129,6 +150,23 @@ class ADSPipeline:
         self.faults.append(fault)
         return fault
 
+    def arm_channel_fault(self, kind: str, channel: str, start_tick: int,
+                          duration_ticks: int = 2,
+                          param: int = 0) -> ChannelFault:
+        """Schedule an interface fault on one message channel."""
+        return self.bus.arm(kind, channel, start_tick,
+                            duration_ticks=duration_ticks, param=param)
+
+    @property
+    def fault_landed(self) -> bool:
+        """True once any armed fault (value or interface) took effect."""
+        return any(f.landed for f in self.faults) or self.bus.landed
+
+    @property
+    def degraded_ticks(self) -> int:
+        """Ticks the safe-stop fallback was in command."""
+        return self._degraded_ticks
+
     def _corrupt(self, stage: str, payload: object) -> None:
         for fault in self.faults:
             if fault.variable.stage == stage and fault.active(
@@ -140,6 +178,7 @@ class ADSPipeline:
 
     def snapshot(self) -> PipelineSnapshot:
         """Capture the full stack state as a picklable snapshot."""
+        channel_faults, channels = self.bus.snapshot()
         return PipelineSnapshot(
             tick_index=self.tick_index,
             sensors=self.sensors.snapshot(),
@@ -151,7 +190,10 @@ class ADSPipeline:
             command=(self._command.throttle, self._command.brake,
                      self._command.steering),
             faults=tuple((f.variable.name, f.value, f.start_tick,
-                          f.duration_ticks, f.landed) for f in self.faults))
+                          f.duration_ticks, f.landed) for f in self.faults),
+            channel_faults=channel_faults,
+            channels=channels,
+            degraded_ticks=self._degraded_ticks)
 
     def restore(self, snapshot: PipelineSnapshot) -> None:
         """Rewind the stack to a snapshot taken from an identically
@@ -173,6 +215,10 @@ class ADSPipeline:
                 snapshot.faults:
             fault = self.arm_fault(name, value, start_tick, duration_ticks)
             fault.landed = landed
+        self.bus = ChannelBus()
+        self.bus.restore(getattr(snapshot, "channel_faults", ()),
+                         getattr(snapshot, "channels", None))
+        self._degraded_ticks = int(getattr(snapshot, "degraded_ticks", 0))
 
     # -- execution ------------------------------------------------------------
 
@@ -187,29 +233,66 @@ class ADSPipeline:
         The caller owns stepping the world with the returned command.
         """
         dt = self.config.control_period
-        bundle = self.sensors.measure(world)
-        self._corrupt("sensing", bundle)
+        tick = self.tick_index
+        bus = self.bus
+
+        if bus.hung("sensing", tick):
+            bundle = bus.held("sensing")
+        else:
+            bundle = self.sensors.measure(world)
+            self._corrupt("sensing", bundle)
+            bundle = bus.deliver("sensing", bundle, tick)
 
         if self.is_planning_tick or self._plan is None:
-            detections = self.perception.process(bundle)
-            self._corrupt("perception", detections)
+            if bus.hung("perception", tick):
+                detections = bus.held("perception")
+            else:
+                detections = self.perception.process(bundle)
+                self._corrupt("perception", detections)
+                detections = bus.deliver("perception", detections, tick)
 
             planning_dt = self.config.planner_period
-            tracks = self.tracker.update(detections, planning_dt)
-            ego = self.localizer.update(bundle.gps, bundle.imu,
-                                        bundle.imu.yaw_rate, planning_dt)
-            model = WorldModel(time=bundle.time, ego=ego, tracks=tracks,
-                               lane_offset=bundle.lane_offset,
-                               lane_heading=bundle.lane_heading)
-            self._corrupt("world_model", model)
+            if bus.hung("world_model", tick):
+                model = bus.held("world_model")
+            else:
+                tracks = self.tracker.update(detections, planning_dt)
+                ego = self.localizer.update(bundle.gps, bundle.imu,
+                                            bundle.imu.yaw_rate, planning_dt)
+                model = WorldModel(time=bundle.time, ego=ego, tracks=tracks,
+                                   lane_offset=bundle.lane_offset,
+                                   lane_heading=bundle.lane_heading)
+                self._corrupt("world_model", model)
+                model = bus.deliver("world_model", model, tick)
             self._model = model
 
-            plan = self.planner.plan(model, planning_dt)
-            self._corrupt("planning", plan)
+            if bus.hung("planning", tick):
+                plan = bus.held("planning")
+            else:
+                plan = self.planner.plan(model, planning_dt)
+                self._corrupt("planning", plan)
+                plan = bus.deliver("planning", plan, tick)
             self._plan = plan
 
-        command = self.controller.actuate(self._plan, bundle.imu.v, dt)
-        self._corrupt("actuation", command)
+        degradation = self.config.degradation
+        degraded = False
+        if degradation.enabled:
+            for channel in degradation.critical_channels:
+                if bus.age(channel, tick) > degradation.ttl_ticks:
+                    degraded = True
+                    break
+
+        if bus.hung("actuation", tick):
+            command = bus.held("actuation")
+        else:
+            if degraded:
+                command = safe_stop_command(self._command,
+                                            degradation.brake_level)
+                self._degraded_ticks += 1
+            else:
+                command = self.controller.actuate(self._plan, bundle.imu.v,
+                                                  dt)
+            self._corrupt("actuation", command)
+            command = bus.deliver("actuation", command, tick)
         command = command.clipped()
         self._command = command
         self.tick_index += 1

@@ -1,12 +1,15 @@
 """Analysis: campaign metrics and table/series rendering."""
 
-from .metrics import (AccelerationReport, acceleration_report,
-                      critical_scene_count, delta_distribution, hazard_table)
+from .metrics import (AccelerationReport, DegradationReport,
+                      acceleration_report, critical_scene_count,
+                      degradation_report, delta_distribution, hazard_table)
 from .report import ascii_table, csv_series
 
 __all__ = [
     "AccelerationReport",
     "acceleration_report",
+    "DegradationReport",
+    "degradation_report",
     "hazard_table",
     "delta_distribution",
     "critical_scene_count",

@@ -77,6 +77,41 @@ def hazard_table(summary: CampaignSummary) -> list[tuple[str, int, int, float]]:
     return rows
 
 
+@dataclass(frozen=True)
+class DegradationReport:
+    """Efficacy of the graceful-degradation fallback in one campaign.
+
+    ``engaged`` counts experiments where the safe-stop fallback took
+    command at least once; ``masked`` is the subset that still ended
+    hazard-free — the faults degradation absorbed.  ``violations`` are
+    experiments that ended hazardous *despite* the fallback engaging:
+    the residual the staleness TTL did not cover.
+    """
+
+    total: int
+    engaged: int
+    masked: int
+
+    @property
+    def violations(self) -> int:
+        """Experiments where degradation engaged but a hazard landed."""
+        return self.engaged - self.masked
+
+    @property
+    def mask_rate(self) -> float:
+        """Masked fraction of degradation-engaged experiments."""
+        if self.engaged == 0:
+            return 0.0
+        return self.masked / self.engaged
+
+
+def degradation_report(summary: CampaignSummary) -> DegradationReport:
+    """Fold a campaign summary into the masked-vs-violation split."""
+    return DegradationReport(total=summary.total,
+                             engaged=summary.degraded,
+                             masked=summary.masked)
+
+
 def delta_distribution(deltas: np.ndarray,
                        edges: list[float] | None = None
                        ) -> list[tuple[str, int]]:

@@ -30,11 +30,14 @@ replaces static sharding with dynamic TTL-leased scenario claims.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
+from .ads.runtime import ADSConfig
 from .analysis.metrics import delta_distribution, hazard_table
 from .analysis.report import ascii_table
 from .core.campaign import Campaign, CampaignConfig
+from .core.interface_faults import DegradationConfig, interface_fault
 from .core.persistence import (JsonlRecordSink, save_candidates,
                                save_summary)
 from .core.resilience import ResilienceConfig
@@ -64,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--cache-dir when given, else a temporary "
                             "directory); peak trace memory becomes "
                             "O(largest trace) instead of O(all traces)")
+    cache.add_argument("--no-degradation", action="store_true",
+                       help="disable the ADS graceful-degradation mode "
+                            "(stale-channel detection and safe-stop "
+                            "fallback), exposing the brittle oracle "
+                            "behavior to interface faults")
 
     campaign = argparse.ArgumentParser(add_help=False)
     campaign.add_argument("--shard-index", type=int, default=0,
@@ -132,6 +140,21 @@ def _build_parser() -> argparse.ArgumentParser:
     random_cmd.add_argument("--save", help="write records to a JSON file")
     random_cmd.add_argument("--record-out", default=None,
                             help=record_out_help)
+    random_cmd.add_argument("--interface-share", type=float, default=0.0,
+                            metavar="FRACTION",
+                            help="probability each experiment draws an "
+                                 "interface fault (message drop/freeze/"
+                                 "delay/jitter/hang at a module boundary) "
+                                 "instead of a value corruption "
+                                 "(default 0: value faults only)")
+    random_cmd.add_argument("--interface-kinds", default=None,
+                            metavar="KIND[,KIND...]",
+                            help="restrict interface draws to these "
+                                 "kinds (default: all five)")
+    random_cmd.add_argument("--interface-channels", default=None,
+                            metavar="CH[,CH...]",
+                            help="restrict interface draws to these "
+                                 "channels (default: all)")
 
     arch_cmd = sub.add_parser("arch", parents=[cache, campaign],
                               help="random architectural faults")
@@ -142,6 +165,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=workers_help)
     arch_cmd.add_argument("--record-out", default=None,
                           help=record_out_help)
+    arch_cmd.add_argument("--interface-hangs", action="store_true",
+                          help="drive HANG outcomes into the simulator "
+                               "as interface hang faults on the stuck "
+                               "kernel's channel instead of counting "
+                               "them as recoverable only")
 
     bayes_cmd = sub.add_parser("bayesian", parents=[cache, campaign],
                                help="mine + validate F_crit")
@@ -162,6 +190,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bayes_cmd.add_argument("--save", help="write candidates to a JSON file")
     bayes_cmd.add_argument("--record-out", default=None,
                            help=record_out_help)
+    bayes_cmd.add_argument("--interface-probe", default=None,
+                           metavar="KIND[,KIND...]",
+                           help="validate each mined candidate alongside "
+                                "these interface-fault kinds on the "
+                                "candidate variable's channel at the "
+                                "same tick")
 
     grid_cmd = sub.add_parser("exhaustive", parents=[cache, campaign],
                               help="min/max grid sample")
@@ -174,15 +208,31 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument("--save", help="write records to a JSON file")
     grid_cmd.add_argument("--record-out", default=None,
                           help=record_out_help)
+    grid_cmd.add_argument("--interface-grid", action="store_true",
+                          help="append the interface-fault grid (every "
+                               "kind x channel x strided tick) to each "
+                               "scenario's value grid")
 
     inject_cmd = sub.add_parser("inject", parents=[cache],
                                 help="one specific fault")
     inject_cmd.add_argument("scenario")
-    inject_cmd.add_argument("variable")
-    inject_cmd.add_argument("value", type=float)
+    inject_cmd.add_argument("variable",
+                            help="ADS variable to corrupt (with --kind: "
+                                 "the channel to fault instead)")
+    inject_cmd.add_argument("value", type=float,
+                            help="corruption value (with --kind: the "
+                                 "fault parameter — delay depth or "
+                                 "jitter window; 0 uses the default)")
     inject_cmd.add_argument("tick", type=int)
     inject_cmd.add_argument("--duration", type=int, default=4,
                             help="control ticks the corruption persists")
+    inject_cmd.add_argument("--kind", default="value",
+                            help="fault kind: value (default) or an "
+                                 "interface kind (drop, freeze, delay, "
+                                 "jitter, hang)")
+    inject_cmd.add_argument("--channel", default=None,
+                            help="channel for interface kinds "
+                                 "(default: the variable positional)")
 
     scenes_cmd = sub.add_parser("scenes", help="scene delta distribution")
     scenes_cmd.add_argument("-n", type=int, default=7200)
@@ -249,11 +299,22 @@ def _print_summary(summary, label: str) -> None:
     print(f"{label}: {summary.hazards}/{summary.total} hazards "
           f"({summary.hazard_rate:.1%}){failed} "
           f"in {summary.wall_seconds:.1f}s")
+    if getattr(summary, "degraded", 0):
+        print(f"  degradation engaged in {summary.degraded} experiments, "
+              f"masked {summary.masked}")
     rows = [[v, n, h, f"{rate:.1%}"]
             for v, n, h, rate in hazard_table(summary)]
     if rows:
         print(ascii_table(["variable", "experiments", "hazards", "rate"],
                           rows))
+
+
+def _split_list(value: str | None) -> tuple[str, ...] | None:
+    """A comma-separated CLI list as a tuple (None passes through)."""
+    if value is None:
+        return None
+    return tuple(token.strip() for token in value.split(",")
+                 if token.strip())
 
 
 def _open_sink(args) -> "JsonlRecordSink | None":
@@ -391,7 +452,12 @@ def main(argv: list[str] | None = None) -> int:
             resume=getattr(args, "resume", False),
             lease_mode=getattr(args, "lease", False),
             lease_ttl=getattr(args, "lease_ttl", 30.0))
+        ads = ADSConfig()
+        if getattr(args, "no_degradation", False):
+            ads = dataclasses.replace(
+                ads, degradation=DegradationConfig(enabled=False))
         config = CampaignConfig(
+            ads=ads,
             use_checkpoints=not getattr(args, "no_checkpoints", False),
             shard_index=getattr(args, "shard_index", 0),
             shard_count=getattr(args, "shard_count", 1),
@@ -408,10 +474,16 @@ def main(argv: list[str] | None = None) -> int:
         _print_golden(campaign)
     elif args.command == "random":
         sink = _open_sink(args)
-        summary = campaign.random_campaign(args.n, seed=args.seed,
-                                           workers=args.workers,
-                                           record_sink=sink,
-                                           **_campaign_kwargs(args))
+        try:
+            summary = campaign.random_campaign(
+                args.n, seed=args.seed, workers=args.workers,
+                record_sink=sink,
+                interface_share=args.interface_share,
+                interface_kinds=_split_list(args.interface_kinds),
+                interface_channels=_split_list(args.interface_channels),
+                **_campaign_kwargs(args))
+        except ValueError as error:    # bad --interface-kinds/-channels
+            raise SystemExit(f"error: {error}")
         _print_summary(summary, "random campaign")
         _close_sink(sink)
         if args.save:
@@ -421,6 +493,7 @@ def main(argv: list[str] | None = None) -> int:
         sink = _open_sink(args)
         summary, outcomes = campaign.architectural_campaign(
             args.n, seed=args.seed, workers=args.workers, record_sink=sink,
+            interface_hangs=args.interface_hangs,
             **_campaign_kwargs(args))
         print(ascii_table(["outcome", "count"],
                           sorted(outcomes.items())))
@@ -428,11 +501,15 @@ def main(argv: list[str] | None = None) -> int:
         _close_sink(sink)
     elif args.command == "bayesian":
         sink = _open_sink(args)
-        result = campaign.bayesian_campaign(
-            top_k=args.top_k, threshold=args.threshold,
-            use_batched=not args.scalar_miner, workers=args.workers,
-            streaming_training=not args.batch_training,
-            record_sink=sink, **_campaign_kwargs(args))
+        try:
+            result = campaign.bayesian_campaign(
+                top_k=args.top_k, threshold=args.threshold,
+                use_batched=not args.scalar_miner, workers=args.workers,
+                streaming_training=not args.batch_training,
+                interface_probe=_split_list(args.interface_probe) or (),
+                record_sink=sink, **_campaign_kwargs(args))
+        except ValueError as error:    # bad --interface-probe kind
+            raise SystemExit(f"error: {error}")
         print(f"scored {result.mining.n_scored} candidate faults over "
               f"{result.mining.n_scenes} scenes in "
               f"{result.mining.wall_seconds:.1f}s")
@@ -445,11 +522,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"candidates written to {args.save}")
     elif args.command == "exhaustive":
         sink = _open_sink(args)
-        summary = campaign.exhaustive_campaign(tick_stride=args.stride,
-                                               max_experiments=args.max,
-                                               workers=args.workers,
-                                               record_sink=sink,
-                                               **_campaign_kwargs(args))
+        summary = campaign.exhaustive_campaign(
+            tick_stride=args.stride, max_experiments=args.max,
+            workers=args.workers, record_sink=sink,
+            interface_grid=args.interface_grid,
+            **_campaign_kwargs(args))
         _print_summary(summary, "grid sample")
         if config.shard_count == 1:
             # grid_size needs every golden trace; a shard only has its
@@ -471,8 +548,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.out:
             print(f"merged records written to {args.out}")
     elif args.command == "inject":
-        fault = FaultSpec(args.variable, args.value, args.tick,
-                          args.duration)
+        if args.kind != "value":
+            channel = args.channel or args.variable
+            try:
+                fault = interface_fault(
+                    args.kind, channel, args.tick,
+                    duration_ticks=args.duration,
+                    param=int(args.value) if args.value else None)
+            except ValueError as error:
+                raise SystemExit(f"error: {error}")
+        elif args.channel is not None:
+            raise SystemExit("error: --channel needs an interface --kind")
+        else:
+            fault = FaultSpec(args.variable, args.value, args.tick,
+                              args.duration)
         try:
             record = campaign.run_fault(args.scenario, fault)
         except KeyError as error:
@@ -481,6 +570,7 @@ def main(argv: list[str] | None = None) -> int:
         print(ascii_table(["field", "value"], [
             ["outcome", record.hazard.value],
             ["landed", record.landed],
+            ["degraded", record.degraded],
             ["min delta_long (m)", record.min_delta_long],
             ["min delta_lat (m)", record.min_delta_lat]]))
     elif args.command == "scenes":

@@ -27,6 +27,10 @@ from .bayesian_fi import (MINED_VARIABLES, BayesianFaultInjector,
 from .checkpoint import CheckpointStore
 from .fault_models import (DEFAULT_VARIABLES, ArchitecturalFaultModel,
                            minmax_fault_grid, random_fault)
+from .interface_faults import (interface_fault, interface_fault_grid,
+                               random_interface_fault,
+                               validate_interface_channel,
+                               validate_interface_kind)
 from .parallel import (ExperimentJob, collect_golden_runs,
                        execute_experiment, run_experiments)
 from .resilience import CampaignJournal, ResilienceConfig
@@ -427,7 +431,8 @@ class Campaign:
         """Work key of an explicit job list (the barrier driver's form)."""
         return Campaign._work_key(*(
             (name, fault.variable, fault.value, fault.start_tick,
-             fault.duration_ticks) for name, fault in jobs))
+             fault.duration_ticks, fault.kind, fault.channel)
+            for name, fault in jobs))
 
     def _open_journal(self, work_key: str) -> CampaignJournal | None:
         """The completion journal of this invocation, started (or None).
@@ -741,6 +746,9 @@ class Campaign:
                         workers: int | None = None,
                         record_sink=None,
                         pipeline: bool = True,
+                        interface_share: float = 0.0,
+                        interface_kinds: tuple | None = None,
+                        interface_channels: tuple | None = None,
                         on_progress=None) -> CampaignSummary:
         """Fault model (b), uniformly random (the paper's baseline).
 
@@ -753,9 +761,21 @@ class Campaign:
         streaming per-scenario driver — record-for-record identical to
         the barrier path, which ``pipeline=False`` preserves as the
         reference oracle.
+
+        ``interface_share`` mixes interface faults into the draw: each
+        experiment becomes an interface fault (uniform over
+        ``interface_kinds`` x ``interface_channels``, defaults = all)
+        with that probability.  At the default 0.0 no extra random
+        draws are made, so existing seeded campaigns reproduce their
+        historical fault sequences bit-for-bit.
         """
+        for kind in interface_kinds or ():
+            validate_interface_kind(kind)
+        for channel in interface_channels or ():
+            validate_interface_channel(channel)
         if pipeline:
-            plan = self._random_plan(n_experiments, seed)
+            plan = self._random_plan(n_experiments, seed, interface_share,
+                                     interface_kinds, interface_channels)
             return self._run_pipeline(plan, workers, record_sink,
                                       on_progress).summary
         self._require_unsharded("random_campaign")
@@ -763,42 +783,65 @@ class Campaign:
         self._progress(on_progress, "golden", None, len(self.scenarios),
                        len(self.scenarios))
         jobs = self._random_jobs(n_experiments, seed,
-                                 self._require_injection_ticks)
+                                 self._require_injection_ticks,
+                                 interface_share, interface_kinds,
+                                 interface_channels)
         return self._run_jobs(jobs, workers, record_sink, on_progress)
 
     def _random_jobs(self, n_experiments: int, seed: int | None,
-                     ticks_of) -> list[ExperimentJob]:
+                     ticks_of, interface_share: float = 0.0,
+                     interface_kinds: tuple | None = None,
+                     interface_channels: tuple | None = None
+                     ) -> list[ExperimentJob]:
         """The seeded random draw, parametrized over the tick source.
 
         ``ticks_of(name)`` supplies each scenario's eligible ticks; the
         draw sequence itself (scenario choice, value, tick index) is
         identical for any source that returns the same lists, which is
         how a shard reproduces the global draw from schedule-derived
-        ticks without simulating foreign golden runs.
+        ticks without simulating foreign golden runs.  The
+        interface-fault coin flip is guarded so a zero share adds no
+        draw — the historical stream is untouched.
         """
         rng = np.random.default_rng(self.config.seed if seed is None
                                     else seed)
         names = [s.name for s in self.scenarios]
+        duration = self.config.fault_duration_ticks
         jobs: list[ExperimentJob] = []
         for _ in range(n_experiments):
             scenario_name = names[int(rng.integers(len(names)))]
-            fault = random_fault(
-                rng, ticks_of(scenario_name),
-                duration_ticks=self.config.fault_duration_ticks)
+            if interface_share > 0.0 and float(rng.random()) \
+                    < interface_share:
+                fault = random_interface_fault(
+                    rng, ticks_of(scenario_name), kinds=interface_kinds,
+                    channels=interface_channels, duration_ticks=duration)
+            else:
+                fault = random_fault(rng, ticks_of(scenario_name),
+                                     duration_ticks=duration)
             jobs.append((scenario_name, fault))
         return jobs
 
-    def _random_plan(self, n_experiments: int, seed: int | None):
+    def _random_plan(self, n_experiments: int, seed: int | None,
+                     interface_share: float = 0.0,
+                     interface_kinds: tuple | None = None,
+                     interface_channels: tuple | None = None):
         from .pipeline import StagePlan
 
         def global_jobs(ctx):
             return self._random_jobs(
                 n_experiments, seed,
-                lambda name: ctx.injection_ticks(name, require=True))
+                lambda name: ctx.injection_ticks(name, require=True),
+                interface_share, interface_kinds, interface_channels)
 
+        key_params = ["random", n_experiments, seed]
+        if interface_share > 0.0:
+            # Conditional so the journal/lease directories of existing
+            # interface-free campaigns keep their names.
+            key_params += [interface_share,
+                           tuple(interface_kinds or ()),
+                           tuple(interface_channels or ())]
         return StagePlan(style="random", global_jobs=global_jobs,
-                         work_key=self._work_key("random", n_experiments,
-                                                 seed))
+                         work_key=self._work_key(*key_params))
 
     @staticmethod
     def _progress(on_progress, stage, scenario, done, total) -> None:
@@ -828,11 +871,17 @@ class Campaign:
                             workers: int | None = None,
                             record_sink=None,
                             pipeline: bool = True,
+                            interface_grid: bool = False,
                             on_progress=None) -> CampaignSummary:
-        """Fault model (b) on the min/max grid (strided subsample)."""
+        """Fault model (b) on the min/max grid (strided subsample).
+
+        ``interface_grid`` appends the interface-fault grid (every kind
+        x channel x strided tick, default parameters) to each
+        scenario's value grid, so one sweep covers both fault families.
+        """
         if pipeline:
             plan = self._exhaustive_plan(tick_stride, variable_names,
-                                         max_experiments)
+                                         max_experiments, interface_grid)
             return self._run_pipeline(plan, workers, record_sink,
                                       on_progress).summary
         self._require_unsharded("exhaustive_campaign")
@@ -842,24 +891,37 @@ class Campaign:
         jobs: list[ExperimentJob] = []
         for scenario in self.scenarios:
             ticks = self.injection_ticks(scenario, stride=tick_stride)
-            grid = minmax_fault_grid(
-                ticks, variable_names,
-                duration_ticks=self.config.fault_duration_ticks)
+            grid = self._exhaustive_grid(ticks, variable_names,
+                                         interface_grid)
             jobs.extend((scenario.name, fault) for fault in grid)
             if max_experiments is not None and len(jobs) >= max_experiments:
                 jobs = jobs[:max_experiments]
                 break
         return self._run_jobs(jobs, workers, record_sink, on_progress)
 
+    def _exhaustive_grid(self, ticks: list[int],
+                         variable_names: list[str] | None,
+                         interface_grid: bool) -> list[FaultSpec]:
+        """One scenario's exhaustive grid: values, then interface faults."""
+        duration = self.config.fault_duration_ticks
+        grid = minmax_fault_grid(ticks, variable_names,
+                                 duration_ticks=duration)
+        if interface_grid:
+            grid.extend(interface_fault_grid(ticks,
+                                             duration_ticks=duration))
+        return grid
+
     def _exhaustive_plan(self, tick_stride: int,
                          variable_names: list[str] | None,
-                         max_experiments: int | None):
+                         max_experiments: int | None,
+                         interface_grid: bool = False):
         from .pipeline import StagePlan
-        duration = self.config.fault_duration_ticks
-        work_key = self._work_key(
-            "exhaustive", tick_stride,
-            tuple(variable_names) if variable_names else None,
-            max_experiments)
+        key_params = ["exhaustive", tick_stride,
+                      tuple(variable_names) if variable_names else None,
+                      max_experiments]
+        if interface_grid:
+            key_params.append("interface-grid")
+        work_key = self._work_key(*key_params)
 
         if max_experiments is None:
             # Truly per-scenario: a scenario's grid depends only on its
@@ -868,8 +930,8 @@ class Campaign:
             def per_scenario(ctx, scenario):
                 ticks = ctx.injection_ticks(scenario.name,
                                             stride=tick_stride)
-                grid = minmax_fault_grid(ticks, variable_names,
-                                         duration_ticks=duration)
+                grid = self._exhaustive_grid(ticks, variable_names,
+                                             interface_grid)
                 return [(scenario.name, fault) for fault in grid]
 
             return StagePlan(style="exhaustive",
@@ -883,8 +945,8 @@ class Campaign:
             for scenario in self.scenarios:
                 ticks = ctx.injection_ticks(scenario.name,
                                             stride=tick_stride)
-                grid = minmax_fault_grid(ticks, variable_names,
-                                         duration_ticks=duration)
+                grid = self._exhaustive_grid(ticks, variable_names,
+                                             interface_grid)
                 jobs.extend((scenario.name, fault) for fault in grid)
                 if len(jobs) >= max_experiments:
                     jobs = jobs[:max_experiments]
@@ -909,6 +971,7 @@ class Campaign:
                                workers: int | None = None,
                                record_sink=None,
                                pipeline: bool = True,
+                               interface_hangs: bool = False,
                                on_progress=None
                                ) -> tuple[CampaignSummary, dict[str, int]]:
         """Fault model (a): register flips propagated into the stack.
@@ -919,9 +982,14 @@ class Campaign:
         sharded campaign reproduces the *global* outcome counts on every
         shard (the draw sequence is global); only the driven experiments
         are partitioned.
+
+        ``interface_hangs`` drives HANG outcomes into the simulator as
+        interface ``hang`` faults on the stuck kernel's channel instead
+        of counting them as detectable-and-recoverable only.
         """
         if pipeline:
-            plan = self._architectural_plan(n_experiments, model, seed)
+            plan = self._architectural_plan(n_experiments, model, seed,
+                                            interface_hangs)
             outcome = self._run_pipeline(plan, workers, record_sink,
                                          on_progress)
             return outcome.summary, outcome.extras["outcome_counts"]
@@ -930,13 +998,15 @@ class Campaign:
         self._progress(on_progress, "golden", None, len(self.scenarios),
                        len(self.scenarios))
         jobs, outcome_counts = self._architectural_jobs(
-            n_experiments, model, seed, self._require_injection_ticks)
+            n_experiments, model, seed, self._require_injection_ticks,
+            interface_hangs)
         summary = self._run_jobs(jobs, workers, record_sink, on_progress)
         return summary, outcome_counts
 
     def _architectural_jobs(self, n_experiments: int,
                             model: ArchitecturalFaultModel | None,
-                            seed: int | None, ticks_of
+                            seed: int | None, ticks_of,
+                            interface_hangs: bool = False
                             ) -> tuple[list[ExperimentJob], dict[str, int]]:
         """The seeded architectural draw, parametrized over tick source."""
         rng = np.random.default_rng(self.config.seed if seed is None
@@ -949,7 +1019,8 @@ class Campaign:
             scenario_name = names[int(rng.integers(len(names)))]
             arch = model.sample(
                 rng, ticks_of(scenario_name),
-                duration_ticks=self.config.fault_duration_ticks)
+                duration_ticks=self.config.fault_duration_ticks,
+                interface_hangs=interface_hangs)
             outcome_counts[arch.outcome.value] += 1
             if arch.fault is not None:
                 jobs.append((scenario_name, arch.fault))
@@ -957,20 +1028,23 @@ class Campaign:
 
     def _architectural_plan(self, n_experiments: int,
                             model: ArchitecturalFaultModel | None,
-                            seed: int | None):
+                            seed: int | None,
+                            interface_hangs: bool = False):
         from .pipeline import StagePlan
 
         def global_jobs(ctx):
             jobs, outcome_counts = self._architectural_jobs(
                 n_experiments, model, seed,
-                lambda name: ctx.injection_ticks(name, require=True))
+                lambda name: ctx.injection_ticks(name, require=True),
+                interface_hangs)
             ctx.extras["outcome_counts"] = outcome_counts
             return jobs
 
+        key_params = ["architectural", n_experiments, seed, model is None]
+        if interface_hangs:
+            key_params.append("interface-hangs")
         return StagePlan(style="architectural", global_jobs=global_jobs,
-                         work_key=self._work_key(
-                             "architectural", n_experiments, seed,
-                             model is None))
+                         work_key=self._work_key(*key_params))
 
     def bayesian_campaign(self, injector: BayesianFaultInjector | None = None,
                           variables: tuple[str, ...] = MINED_VARIABLES,
@@ -981,6 +1055,7 @@ class Campaign:
                           record_sink=None,
                           pipeline: bool = True,
                           streaming_training: bool = True,
+                          interface_probe: tuple[str, ...] = (),
                           on_progress=None
                           ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
@@ -1009,11 +1084,21 @@ class Campaign:
         the streamed CPDs reproduce it exactly for tabular counts and
         to well under 1e-9 relative for the linear-Gaussian
         weights/variances (test-enforced).
+
+        ``interface_probe`` names interface-fault kinds (e.g.
+        ``("freeze", "delay")``); each mined candidate is then validated
+        alongside companion jobs that apply those kinds on the
+        candidate variable's channel at the candidate's tick — probing
+        whether a *message-level* failure of the same module at the
+        same moment is as hazardous as the mined value corruption.
         """
+        for kind in interface_probe:
+            validate_interface_kind(kind)
         if pipeline:
             plan = self._bayesian_plan(injector, variables, threshold,
                                        top_k, use_batched,
-                                       streaming_training)
+                                       streaming_training,
+                                       interface_probe)
             outcome = self._run_pipeline(plan, workers, record_sink,
                                          on_progress)
             return BayesianCampaignResult(
@@ -1056,15 +1141,36 @@ class Campaign:
                 save_candidates(candidates, cache_path)
         self._progress(on_progress, "mined", None, len(self.scenarios),
                        len(self.scenarios))
-        jobs: list[ExperimentJob] = [
-            (candidate.scenario,
-             candidate.to_fault_spec(
-                 duration_ticks=self.config.fault_duration_ticks))
-            for candidate in candidates]
+        jobs: list[ExperimentJob] = []
+        for candidate in candidates:
+            jobs.append((candidate.scenario,
+                         candidate.to_fault_spec(
+                             duration_ticks=self.config.fault_duration_ticks)))
+            jobs.extend(self._probe_jobs(candidate, interface_probe))
         summary = self._run_jobs(jobs, workers, record_sink, on_progress)
         return BayesianCampaignResult(
             injector=injector, candidates=candidates, mining=mining,
             summary=summary, train_seconds=train_seconds)
+
+    def _probe_jobs(self, candidate: CandidateFault,
+                    interface_probe: tuple[str, ...]
+                    ) -> list[ExperimentJob]:
+        """A candidate's interface-fault companions, in probe order.
+
+        Each probe kind hits the channel of the module that publishes
+        the candidate's variable, at the candidate's injection tick,
+        with the kind's default parameter.
+        """
+        if not interface_probe:
+            return []
+        from ..ads.variables import variable_by_name
+        channel = variable_by_name(candidate.variable).stage
+        duration = self.config.fault_duration_ticks
+        return [(candidate.scenario,
+                 interface_fault(kind, channel,
+                                 int(candidate.injection_tick),
+                                 duration_ticks=duration))
+                for kind in interface_probe]
 
     def _train_streaming(self, golden: dict[str, RunResult],
                          on_progress) -> BayesianFaultInjector:
@@ -1101,7 +1207,8 @@ class Campaign:
     def _bayesian_plan(self, injector: BayesianFaultInjector | None,
                        variables: tuple[str, ...], threshold: float,
                        top_k: int | None, use_batched: bool,
-                       streaming_training: bool = True):
+                       streaming_training: bool = True,
+                       interface_probe: tuple[str, ...] = ()):
         from .pipeline import MiningPlan, StagePlan
         caching = injector is None and self.cache_dir is not None
         duration = self.config.fault_duration_ticks
@@ -1109,6 +1216,22 @@ class Campaign:
         def job_of(candidate: CandidateFault) -> ExperimentJob:
             return (candidate.scenario,
                     candidate.to_fault_spec(duration_ticks=duration))
+
+        def expand(entries):
+            """``(identity, candidate)`` entries -> ``(identity, job)``
+            entries, interleaving each candidate's probe jobs after its
+            value job.  The value job keeps the candidate's own
+            identity (eager dispatch already used it, so it dedups);
+            probes get derived identities, dispatched at finalize and
+            deduplicated on resume like any other entry.
+            """
+            expanded = []
+            for identity, candidate in entries:
+                expanded.append((identity, job_of(candidate)))
+                for k, probe in enumerate(
+                        self._probe_jobs(candidate, interface_probe)):
+                    expanded.append((identity + ("probe", k), probe))
+            return expanded
 
         fold = None
         if injector is None and streaming_training:
@@ -1168,8 +1291,8 @@ class Campaign:
             ctx.extras["candidates"] = candidates
             ctx.extras["mining"] = self._cached_mining_report(candidates,
                                                               variables)
-            return [(("cache", i), job_of(c))
-                    for i, c in enumerate(candidates)]
+            return expand([(("cache", i), c)
+                           for i, c in enumerate(candidates)])
 
         def mine_scenario(ctx, scenario):
             start = time.perf_counter()
@@ -1211,8 +1334,7 @@ class Campaign:
                     from .persistence import save_candidates
                     cache_path.parent.mkdir(parents=True, exist_ok=True)
                     save_candidates(candidates, cache_path)
-            return [(identity, job_of(candidate))
-                    for identity, candidate in entries]
+            return expand(entries)
 
         # Validation of an already-mined scenario may only start before
         # the global merge when nothing global gates the job set: a
@@ -1220,10 +1342,12 @@ class Campaign:
         miner = MiningPlan(prepare=prepare, mine_scenario=mine_scenario,
                            finalize=finalize, job_of=job_of,
                            eager_dispatch=top_k is None, fold=fold)
+        key_params = ["bayesian", tuple(variables), float(threshold),
+                      top_k, use_batched, injector is None]
+        if interface_probe:
+            key_params.append(tuple(interface_probe))
         return StagePlan(style="bayesian", golden_scope="all", miner=miner,
-                         work_key=self._work_key(
-                             "bayesian", tuple(variables), float(threshold),
-                             top_k, use_batched, injector is None))
+                         work_key=self._work_key(*key_params))
 
     def _candidate_cache_path(self, variables, threshold,
                               top_k) -> Path | None:

@@ -21,6 +21,7 @@ from ..ads.variables import REGISTRY, InjectableVariable, variable_by_name
 from ..arch.injector import ArchitecturalInjector, Outcome
 from ..arch.kernels import (Kernel, dot_kernel, idm_kernel, kalman_kernel,
                             matmul_kernel, pid_kernel)
+from .interface_faults import interface_fault
 from .simulate import FaultSpec
 
 #: Variables excluded from output-corruption campaigns by default: gps_x
@@ -111,15 +112,31 @@ class ArchitecturalFaultModel:
                              f"{unknown}")
 
     def sample(self, rng: np.random.Generator, injection_ticks: list[int],
-               duration_ticks: int = 2) -> ArchFaultOutcome:
-        """One architectural injection, mapped to an ADS-level fault."""
+               duration_ticks: int = 2,
+               interface_hangs: bool = False) -> ArchFaultOutcome:
+        """One architectural injection, mapped to an ADS-level fault.
+
+        With ``interface_hangs`` a HANG outcome — which the default
+        model treats as detectable-and-recoverable, so it never reaches
+        the ADS — is instead propagated as an interface ``hang`` fault
+        on the channel of the kernel's module: the stuck kernel stops
+        its module from publishing.  The extra tick draw happens only on
+        that path, so the default sampling stream is unchanged.
+        """
         kernel = self.kernels[int(rng.integers(len(self.kernels)))]
         result = self._injectors[kernel.name].inject(rng)
         if result.outcome is not Outcome.SDC:
+            fault = None
+            if interface_hangs and result.outcome is Outcome.HANG:
+                variable = variable_by_name(KERNEL_VARIABLE_MAP[kernel.name])
+                tick = int(injection_ticks[
+                    int(rng.integers(len(injection_ticks)))])
+                fault = interface_fault("hang", variable.stage, tick,
+                                        duration_ticks=duration_ticks)
             return ArchFaultOutcome(kernel=kernel.name,
                                     outcome=result.outcome,
                                     relative_error=result.relative_error,
-                                    fault=None)
+                                    fault=fault)
         variable = variable_by_name(KERNEL_VARIABLE_MAP[kernel.name])
         value = self._map_error_to_value(variable, result.relative_error,
                                          rng)

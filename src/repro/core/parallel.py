@@ -107,7 +107,9 @@ def _to_record(result: RunResult, scenario_name: str, fault: FaultSpec,
         min_delta_long=result.min_delta_long,
         min_delta_lat=result.min_delta_lat,
         sim_seconds=result.sim_seconds,
-        wall_seconds=result.wall_seconds)
+        wall_seconds=result.wall_seconds,
+        kind=fault.kind, channel=fault.channel,
+        degraded=result.degraded)
 
 
 def execute_experiment(scenario: Scenario, config: "CampaignConfig",

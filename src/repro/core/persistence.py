@@ -94,6 +94,16 @@ def record_to_dict(record: ExperimentRecord) -> dict:
     if record.error is not None:
         payload["error"] = record.error
         payload["attempts"] = record.attempts
+    # Interface-fault and degradation fields, only-when-set (same
+    # byte-compatibility contract as error/attempts above): a value
+    # fault that never degraded serializes exactly as it did before
+    # interface faults existed.
+    if record.kind != "value":
+        payload["kind"] = record.kind
+    if record.channel is not None:
+        payload["channel"] = record.channel
+    if record.degraded:
+        payload["degraded"] = True
     return payload
 
 

@@ -153,7 +153,9 @@ def failure_record(scenario_name: str, fault, config,
         sim_seconds=0.0, wall_seconds=0.0,
         error=f"{failure.error}: {failure.message}"
               if failure.message else failure.error,
-        attempts=failure.attempts)
+        attempts=failure.attempts,
+        kind=getattr(fault, "kind", "value"),
+        channel=getattr(fault, "channel", None))
 
 
 def _backoff_delay(policy: ResilienceConfig, seed: int, key,
@@ -648,15 +650,25 @@ class CampaignJournal:
 
     @staticmethod
     def record_key(record) -> tuple:
-        """The experiment identity a journal entry is matched by."""
+        """The experiment identity a journal entry is matched by.
+
+        ``kind``/``channel`` join the key so an interface fault and a
+        value fault can never alias (the synthetic ``kind@channel``
+        variable label already separates them; the explicit fields make
+        the invariant independent of the labeling convention).
+        """
         return (record.scenario, record.injection_tick, record.variable,
-                record.value, record.duration_ticks, record.seed)
+                record.value, record.duration_ticks, record.seed,
+                getattr(record, "kind", "value"),
+                getattr(record, "channel", None))
 
     @staticmethod
     def job_key(scenario_name: str, fault, seed: int) -> tuple:
         """Identity of a not-yet-run job (mirrors :meth:`record_key`)."""
         return (scenario_name, fault.start_tick, fault.variable,
-                fault.value, fault.duration_ticks, seed)
+                fault.value, fault.duration_ticks, seed,
+                getattr(fault, "kind", "value"),
+                getattr(fault, "channel", None))
 
     def claim(self, scenario_name: str, fault, seed: int):
         """Pop the journaled record of this job, if one survives.

@@ -66,6 +66,16 @@ class ExperimentRecord:
     #: that eventually succeed report like first-try successes, keeping
     #: streams bit-for-bit comparable across supervision settings).
     attempts: int = 1
+    #: Fault family: ``"value"`` for payload corruptions, or an
+    #: interface fault kind (drop/freeze/delay/jitter/hang).  Serialized
+    #: only when not ``"value"`` so legacy streams stay byte-identical.
+    kind: str = "value"
+    #: Target channel of an interface fault; ``None`` for value faults.
+    channel: str | None = None
+    #: True when the graceful-degradation safe stop engaged during the
+    #: run.  ``degraded and not hazardous`` is a *masked* outcome: the
+    #: fault landed but degradation contained it.
+    degraded: bool = False
 
     @property
     def failed(self) -> bool:
@@ -76,6 +86,11 @@ class ExperimentRecord:
     def hazardous(self) -> bool:
         """True for any safety hazard."""
         return self.hazard is not Hazard.NONE
+
+    @property
+    def masked_by_degradation(self) -> bool:
+        """Safe stop engaged and no hazard manifested."""
+        return self.degraded and self.hazard is Hazard.NONE
 
     @property
     def pre_injection_safe(self) -> bool:
@@ -116,6 +131,8 @@ class CampaignSummary:
         self._hazards = 0
         self._landed = 0
         self._failures = 0
+        self._degraded = 0
+        self._masked = 0
         self._wall_seconds = 0.0
         self._hazard_counts: Counter = Counter()
         self._hazards_by_variable: Counter = Counter()
@@ -144,6 +161,10 @@ class CampaignSummary:
         self._hazard_counts[record.hazard.value] += 1
         if record.landed:
             self._landed += 1
+        if record.degraded:
+            self._degraded += 1
+            if not record.hazardous:
+                self._masked += 1
         if record.hazardous:
             self._hazards += 1
             self._hazards_by_variable[record.variable] += 1
@@ -184,6 +205,17 @@ class CampaignSummary:
         return self._landed
 
     @property
+    def degraded(self) -> int:
+        """Experiments where the safe-stop fallback engaged."""
+        return self._degraded
+
+    @property
+    def masked(self) -> int:
+        """Degraded experiments that ended with no hazard — faults the
+        graceful-degradation mode contained."""
+        return self._masked
+
+    @property
     def wall_seconds(self) -> float:
         """Total host time across experiments."""
         return self._wall_seconds
@@ -222,6 +254,8 @@ class CampaignSummary:
             merged._hazards += summary._hazards
             merged._landed += summary._landed
             merged._failures += summary._failures
+            merged._degraded += summary._degraded
+            merged._masked += summary._masked
             merged._wall_seconds += summary._wall_seconds
             merged._hazard_counts.update(summary._hazard_counts)
             merged._hazards_by_variable.update(summary._hazards_by_variable)
@@ -243,6 +277,8 @@ class CampaignSummary:
                 and self.hazards == other.hazards
                 and self.landed == other.landed
                 and self.failures == other.failures
+                and self.degraded == other.degraded
+                and self.masked == other.masked
                 and self.hazard_breakdown() == other.hazard_breakdown()
                 and self.hazards_by_variable()
                 == other.hazards_by_variable()

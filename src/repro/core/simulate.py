@@ -43,12 +43,24 @@ NO_LEAD = -1.0
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """A scheduled corruption of one ADS variable."""
+    """A scheduled corruption of one ADS variable or message channel.
+
+    ``kind`` is ``"value"`` for the classic in-place payload corruption
+    (``variable`` names a registry entry, ``value`` the corrupted
+    reading).  Interface faults set ``kind`` to one of
+    ``repro.ads.channels.INTERFACE_KINDS`` and ``channel`` to a stage
+    boundary; ``variable`` then carries the synthetic ``"kind@channel"``
+    label and ``value`` the integer fault parameter (queue depth /
+    reorder window).  The extra fields default away so existing
+    value-fault streams, caches, and journals are untouched.
+    """
 
     variable: str
     value: float
     start_tick: int
     duration_ticks: int = 2
+    kind: str = "value"
+    channel: str | None = None
 
 
 @dataclass
@@ -66,12 +78,28 @@ class RunResult:
     pre_delta_long: float      # delta at first fault tick (golden: at start)
     pre_delta_lat: float
     landed: bool               # any armed fault touched a payload
-    sim_seconds: float
-    wall_seconds: float
+    degraded: bool = False     # safe-stop fallback engaged at least once
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
     faults: list[FaultSpec] = field(default_factory=list)
     #: Snapshots captured during the run (``checkpoint_ticks`` requests),
     #: keyed by tick.  ``None`` when capture was not requested.
     checkpoints: dict[int, Checkpoint] | None = None
+
+
+def _arm_faults(pipeline: ADSPipeline, faults: list[FaultSpec]) -> None:
+    """Arm value faults on the variable registry and interface faults on
+    the channel bus (shared by cold-start and checkpoint-resumed runs)."""
+    for fault in faults:
+        kind = getattr(fault, "kind", "value")
+        if kind == "value":
+            pipeline.arm_fault(fault.variable, fault.value,
+                               fault.start_tick, fault.duration_ticks)
+        else:
+            pipeline.arm_channel_fault(kind, fault.channel,
+                                       fault.start_tick,
+                                       fault.duration_ticks,
+                                       param=int(fault.value))
 
 
 def _fault_schedule(faults: list[FaultSpec],
@@ -201,7 +229,8 @@ def _simulate(scenario: Scenario, world: World, pipeline: ADSPipeline,
         collided=collided, went_off_road=went_off_road,
         min_delta_long=min_delta_long, min_delta_lat=min_delta_lat,
         pre_delta_long=pre_delta_long, pre_delta_lat=pre_delta_lat,
-        landed=any(f.landed for f in pipeline.faults),
+        landed=pipeline.fault_landed,
+        degraded=pipeline.degraded_ticks > 0,
         sim_seconds=world.time, wall_seconds=wall_seconds, faults=faults,
         checkpoints=checkpoints)
 
@@ -227,9 +256,7 @@ def run_scenario(scenario: Scenario, ads_config: ADSConfig | None = None,
     faults = list(faults or [])
     world = scenario.make_world()
     pipeline = ADSPipeline(ads_config, seed=seed)
-    for fault in faults:
-        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
-                           fault.duration_ticks)
+    _arm_faults(pipeline, faults)
 
     dt = ads_config.control_period
     total_seconds = duration if duration is not None else scenario.duration
@@ -277,9 +304,7 @@ def run_scenario_from_checkpoint(
     pipeline = ADSPipeline(ads_config, seed=checkpoint.seed)
     world.restore(checkpoint.world)
     pipeline.restore(checkpoint.pipeline)
-    for fault in faults:
-        pipeline.arm_fault(fault.variable, fault.value, fault.start_tick,
-                           fault.duration_ticks)
+    _arm_faults(pipeline, faults)
 
     dt = ads_config.control_period
     total_seconds = duration if duration is not None else scenario.duration

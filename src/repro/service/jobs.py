@@ -95,6 +95,7 @@ class JobSpec:
             params = {}
         if not isinstance(params, dict):
             raise SpecError("spec.params must be an object")
+        cls._validate_interface_params(params)
         scenarios = payload.get("scenarios")
         if scenarios is not None:
             if not isinstance(scenarios, list) or not scenarios:
@@ -114,6 +115,31 @@ class JobSpec:
         return cls(style=style, params=dict(params), scenarios=scenarios,
                    workers=workers, lease=bool(payload.get("lease", False)),
                    tenant=tenant)
+
+    @staticmethod
+    def _validate_interface_params(params: dict) -> None:
+        """Refuse unknown interface-fault kinds/channels at submission.
+
+        A bad entry would otherwise be accepted, queued, and only blow
+        up mid-campaign inside the runner; a clean 400 naming the
+        offending field is the contract instead.
+        """
+        from ..ads.channels import CHANNELS, INTERFACE_KINDS
+        for field_name, valid in (("interface_kinds", INTERFACE_KINDS),
+                                  ("interface_probe", INTERFACE_KINDS),
+                                  ("interface_channels", CHANNELS)):
+            values = params.get(field_name)
+            if values is None:
+                continue
+            if isinstance(values, str) or not isinstance(values,
+                                                         (list, tuple)):
+                raise SpecError(f"spec.params.{field_name} must be a "
+                                f"list, got {values!r}")
+            for value in values:
+                if value not in valid:
+                    raise SpecError(
+                        f"spec.params.{field_name} has unknown entry "
+                        f"{value!r}; expected one of {list(valid)}")
 
     def to_dict(self) -> dict:
         return {

@@ -1,0 +1,121 @@
+"""Record-stream compatibility across the interface-fault extension.
+
+The persistence contract: ``kind``/``channel``/``degraded`` serialize
+only when set, so value-fault records keep the exact byte layout
+streams had before interface faults existed — old JSONL shards load
+unchanged, new value-fault shards are byte-identical to what the old
+code would have written, and ``repro merge`` folds a mix of both.
+"""
+
+import json
+
+from repro.core import CampaignSummary, ExperimentRecord, Hazard
+from repro.core.persistence import (JsonlRecordSink, iter_records_jsonl,
+                                    merge_record_shards, record_from_dict,
+                                    record_to_dict)
+
+#: A literal record line exactly as pre-interface-fault streams wrote
+#: it (no kind/channel/degraded keys anywhere).
+LEGACY_LINE = {
+    "scenario": "highway_cruise", "injection_tick": 40,
+    "variable": "throttle", "value": 1.0, "duration_ticks": 4,
+    "seed": 0, "hazard": "none", "landed": True,
+    "pre_delta_long": 12.5, "pre_delta_lat": 3.0,
+    "min_delta_long": 11.0, "min_delta_lat": 2.5,
+    "sim_seconds": 24.0, "wall_seconds": 0.25,
+}
+
+
+def value_record(**overrides):
+    fields = dict(
+        scenario="highway_cruise", injection_tick=40, variable="throttle",
+        value=1.0, duration_ticks=4, seed=0, hazard=Hazard.NONE,
+        landed=True, pre_delta_long=12.5, pre_delta_lat=3.0,
+        min_delta_long=11.0, min_delta_lat=2.5, sim_seconds=24.0,
+        wall_seconds=0.25)
+    fields.update(overrides)
+    return ExperimentRecord(**fields)
+
+
+def interface_record(**overrides):
+    return value_record(variable="freeze@planning", value=0.0,
+                        kind="freeze", channel="planning", degraded=True,
+                        **overrides)
+
+
+class TestOnlyWhenSetSerialization:
+    def test_value_record_keeps_legacy_byte_layout(self):
+        assert record_to_dict(value_record()) == LEGACY_LINE
+
+    def test_legacy_line_loads_with_defaults(self):
+        record = record_from_dict(dict(LEGACY_LINE))
+        assert record.kind == "value"
+        assert record.channel is None
+        assert not record.degraded
+        assert not record.masked_by_degradation
+
+    def test_interface_record_round_trips(self):
+        record = interface_record()
+        restored = record_from_dict(
+            json.loads(json.dumps(record_to_dict(record))))
+        assert restored == record
+        assert restored.kind == "freeze"
+        assert restored.channel == "planning"
+        assert restored.degraded
+        assert restored.masked_by_degradation
+
+    def test_degraded_hazardous_record_is_not_masked(self):
+        record = interface_record(hazard=Hazard.COLLISION)
+        restored = record_from_dict(record_to_dict(record))
+        assert restored.degraded and not restored.masked_by_degradation
+
+
+class TestMixedShardMerge:
+    """Pre-interface and post-interface shards fold into one summary."""
+
+    def write_shard(self, path, records, style="random"):
+        sink = JsonlRecordSink(path, style=style)
+        for record in records:
+            sink.add(record)
+        sink.close()
+
+    def test_legacy_literal_stream_loads_unchanged(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        with open(path, "w") as stream:
+            json.dump({"_meta": {"style": "random"}}, stream)
+            stream.write("\n")
+            json.dump(LEGACY_LINE, stream)
+            stream.write("\n")
+        records = list(iter_records_jsonl(path))
+        assert records == [value_record()]
+
+    def test_merge_folds_old_and_new_shards(self, tmp_path):
+        old = tmp_path / "records-0.jsonl"
+        new = tmp_path / "records-1.jsonl"
+        with open(old, "w") as stream:
+            json.dump({"_meta": {"style": "random"}}, stream)
+            stream.write("\n")
+            json.dump(LEGACY_LINE, stream)
+            stream.write("\n")
+        self.write_shard(new, [interface_record(),
+                               interface_record(hazard=Hazard.COLLISION)])
+        merged = merge_record_shards([old, new],
+                                     out_path=tmp_path / "merged.jsonl")
+        assert merged.total == 3
+        assert merged.hazards == 1
+        assert merged.degraded == 2
+        assert merged.masked == 1
+        # the merged stream re-reads to the same aggregate
+        refolded = CampaignSummary()
+        for record in iter_records_jsonl(tmp_path / "merged.jsonl"):
+            refolded.add(record)
+        assert refolded.same_aggregates(merged)
+
+    def test_summary_merge_folds_degradation_counters(self):
+        left, right = CampaignSummary(), CampaignSummary()
+        left.add(value_record())
+        right.add(interface_record())
+        right.add(interface_record(hazard=Hazard.COLLISION))
+        merged = CampaignSummary.merge([left, right])
+        assert merged.degraded == 2
+        assert merged.masked == 1

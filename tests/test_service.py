@@ -59,6 +59,21 @@ class TestJobSpec:
         with pytest.raises(SpecError):
             JobSpec.from_dict(payload)
 
+    @pytest.mark.parametrize("field,value", [
+        ("interface_kinds", ["freeze", "explode"]),
+        ("interface_probe", ["teleport"]),
+        ("interface_channels", ["planning", "warp_drive"]),
+    ])
+    def test_unknown_interface_entry_names_offending_field(self, field,
+                                                           value):
+        with pytest.raises(SpecError, match=rf"spec\.params\.{field}"):
+            JobSpec.from_dict(spec_dict(**{"params": {"n": 3, field: value}}))
+
+    def test_interface_params_must_be_lists(self):
+        with pytest.raises(SpecError, match=r"spec\.params\.interface_kinds"):
+            JobSpec.from_dict(
+                spec_dict(**{"params": {"n": 3, "interface_kinds": "freeze"}}))
+
 
 class TestJobJournal:
     def test_append_replay_round_trip(self, tmp_path):
@@ -349,6 +364,26 @@ class TestServiceHTTP:
         with pytest.raises(ServiceError) as excinfo:
             client.submit({"style": "nope"})
         assert excinfo.value.status == 400
+
+    def test_unknown_interface_kind_is_400_naming_field(self, idle_service):
+        client, _ = idle_service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec_dict(
+                **{"params": {"n": 3, "interface_kinds": ["freeze",
+                                                          "explode"]}}))
+        assert excinfo.value.status == 400
+        assert "spec.params.interface_kinds" in str(excinfo.value)
+        assert "explode" in str(excinfo.value)
+
+    def test_unknown_interface_channel_is_400_naming_field(
+            self, idle_service):
+        client, _ = idle_service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(spec_dict(
+                **{"params": {"n": 3,
+                              "interface_channels": ["warp_drive"]}}))
+        assert excinfo.value.status == 400
+        assert "spec.params.interface_channels" in str(excinfo.value)
 
     def test_idempotency_key_header(self, idle_service):
         client, _ = idle_service
