@@ -12,8 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..sim.fastmath import clip_scalar
 from .messages import ActuationCommand, PlannerOutput
 
 
@@ -47,7 +46,7 @@ class PIDController:
                   + self.kd * derivative)
         if self.output_low < output < self.output_high:
             self._integral = candidate_integral  # integrate only unsaturated
-        return float(np.clip(output, self.output_low, self.output_high))
+        return clip_scalar(output, self.output_low, self.output_high)
 
 
 @dataclass(frozen=True)
@@ -145,8 +144,8 @@ class VehicleController:
 
     @staticmethod
     def _slew(previous: float, target: float, max_delta: float) -> float:
-        return previous + float(np.clip(target - previous,
-                                        -max_delta, max_delta))
+        return previous + clip_scalar(target - previous,
+                                      -max_delta, max_delta)
 
 
 def safe_stop_command(last_command: ActuationCommand | None,

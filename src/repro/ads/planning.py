@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sim.collision import SENSOR_RANGE
+from ..sim.fastmath import clip_scalar
 from .messages import PlannerOutput, WorldModel
 from .prediction import time_to_collision
 
@@ -76,8 +77,8 @@ class Planner:
             ttc = time_to_collision(model.ego.x, v, lead, cfg.body_length)
             if ttc < cfg.hard_brake_ttc:
                 accel = -cfg.vehicle_max_decel
-        accel = float(np.clip(accel, -cfg.vehicle_max_decel,
-                              cfg.comfort_accel))
+        accel = clip_scalar(accel, -cfg.vehicle_max_decel,
+                            cfg.comfort_accel)
 
         if accel >= 0.0:
             throttle = accel / cfg.vehicle_max_accel
@@ -85,15 +86,15 @@ class Planner:
         else:
             throttle = 0.0
             brake = -accel / cfg.vehicle_max_decel
-        steering = float(np.clip(
+        steering = clip_scalar(
             -cfg.lateral_gain * model.lane_offset
             - cfg.heading_gain * model.lane_heading,
-            -cfg.max_steering, cfg.max_steering))
-        target_speed = float(np.clip(v + accel * cfg.speed_horizon,
-                                     0.0, cfg.cruise_speed))
+            -cfg.max_steering, cfg.max_steering)
+        target_speed = clip_scalar(v + accel * cfg.speed_horizon,
+                                   0.0, cfg.cruise_speed)
         return PlannerOutput(target_speed=target_speed,
-                             throttle=float(np.clip(throttle, 0.0, 1.0)),
-                             brake=float(np.clip(brake, 0.0, 1.0)),
+                             throttle=clip_scalar(throttle, 0.0, 1.0),
+                             brake=clip_scalar(brake, 0.0, 1.0),
                              steering=steering,
                              gap=float(gap),
                              closing_speed=float(closing))

@@ -118,6 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="SECONDS",
                           help="lease lifetime between heartbeats "
                                "(default 30)")
+    campaign.add_argument("--batch-sim", type=int, default=0, metavar="N",
+                          help="validate up to N same-scenario "
+                               "experiments per fused numpy batch "
+                               "(records are bit-for-bit the scalar "
+                               "engine's; default 0 keeps the scalar "
+                               "reference engine)")
 
     workers_help = ("processes for golden-run collection and experiment "
                     "validation (default serial)")
@@ -461,7 +467,8 @@ def main(argv: list[str] | None = None) -> int:
             use_checkpoints=not getattr(args, "no_checkpoints", False),
             shard_index=getattr(args, "shard_index", 0),
             shard_count=getattr(args, "shard_count", 1),
-            resilience=resilience)
+            resilience=resilience,
+            batch_sim=getattr(args, "batch_sim", 0))
     except ValueError as error:     # e.g. shard_index out of range
         raise SystemExit(f"error: {error}")
     campaign = Campaign(config=config,

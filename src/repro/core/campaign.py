@@ -13,7 +13,8 @@ import hashlib
 import tempfile
 import time
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -72,6 +73,15 @@ class CampaignConfig:
     #: outside the cache fingerprint: how a campaign survives
     #: infrastructure faults does not change what it computes.
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Lanes per fused numpy batch during validation: values > 1 step up
+    #: to that many same-scenario experiments per
+    #: :func:`repro.core.simulate.run_experiments_batched` call instead
+    #: of one :class:`~repro.sim.world.World` each.  0 (the default)
+    #: keeps the scalar engine — the bit-for-bit reference oracle — and
+    #: the batched records are test-enforced identical to it, so this
+    #: too sits outside the cache fingerprint: *how* experiments are
+    #: stepped does not change what they compute.
+    batch_sim: int = 0
 
     def __post_init__(self):
         if self.shard_count < 1:
@@ -81,6 +91,9 @@ class CampaignConfig:
             raise ValueError(
                 f"shard_index must be in [0, {self.shard_count}), "
                 f"got {self.shard_index}")
+        if self.batch_sim < 0:
+            raise ValueError(f"batch_sim must be >= 0, "
+                             f"got {self.batch_sim}")
 
 
 class Campaign:
@@ -741,6 +754,25 @@ class Campaign:
                                 record_sink=record_sink,
                                 on_progress=on_progress).run(plan)
 
+    @contextmanager
+    def _batch_override(self, batch_sim: int | None):
+        """Temporarily override ``config.batch_sim`` for one campaign.
+
+        ``batch_sim`` sits outside the cache fingerprint (the engines
+        are bit-for-bit equivalent), so swapping the config keeps every
+        golden/checkpoint/candidate cache, journal, and work key valid.
+        ``None`` means "use the config as-is".
+        """
+        if batch_sim is None or batch_sim == self.config.batch_sim:
+            yield
+            return
+        previous = self.config
+        self.config = replace(previous, batch_sim=batch_sim)
+        try:
+            yield
+        finally:
+            self.config = previous
+
     def random_campaign(self, n_experiments: int,
                         seed: int | None = None,
                         workers: int | None = None,
@@ -749,6 +781,7 @@ class Campaign:
                         interface_share: float = 0.0,
                         interface_kinds: tuple | None = None,
                         interface_channels: tuple | None = None,
+                        batch_sim: int | None = None,
                         on_progress=None) -> CampaignSummary:
         """Fault model (b), uniformly random (the paper's baseline).
 
@@ -768,7 +801,21 @@ class Campaign:
         with that probability.  At the default 0.0 no extra random
         draws are made, so existing seeded campaigns reproduce their
         historical fault sequences bit-for-bit.
+
+        ``batch_sim`` overrides :attr:`CampaignConfig.batch_sim` for
+        this campaign: values > 1 validate through the fused batched
+        engine (records bit-for-bit the scalar engine's), 0 forces the
+        scalar oracle, ``None`` keeps the config's setting.
         """
+        if batch_sim is not None:
+            with self._batch_override(batch_sim):
+                return self.random_campaign(
+                    n_experiments, seed=seed, workers=workers,
+                    record_sink=record_sink, pipeline=pipeline,
+                    interface_share=interface_share,
+                    interface_kinds=interface_kinds,
+                    interface_channels=interface_channels,
+                    on_progress=on_progress)
         for kind in interface_kinds or ():
             validate_interface_kind(kind)
         for channel in interface_channels or ():
@@ -872,13 +919,25 @@ class Campaign:
                             record_sink=None,
                             pipeline: bool = True,
                             interface_grid: bool = False,
+                            batch_sim: int | None = None,
                             on_progress=None) -> CampaignSummary:
         """Fault model (b) on the min/max grid (strided subsample).
 
         ``interface_grid`` appends the interface-fault grid (every kind
         x channel x strided tick, default parameters) to each
         scenario's value grid, so one sweep covers both fault families.
+        ``batch_sim`` overrides :attr:`CampaignConfig.batch_sim` for
+        this campaign (see :meth:`random_campaign`).
         """
+        if batch_sim is not None:
+            with self._batch_override(batch_sim):
+                return self.exhaustive_campaign(
+                    tick_stride=tick_stride,
+                    variable_names=variable_names,
+                    max_experiments=max_experiments, workers=workers,
+                    record_sink=record_sink, pipeline=pipeline,
+                    interface_grid=interface_grid,
+                    on_progress=on_progress)
         if pipeline:
             plan = self._exhaustive_plan(tick_stride, variable_names,
                                          max_experiments, interface_grid)
@@ -972,6 +1031,7 @@ class Campaign:
                                record_sink=None,
                                pipeline: bool = True,
                                interface_hangs: bool = False,
+                               batch_sim: int | None = None,
                                on_progress=None
                                ) -> tuple[CampaignSummary, dict[str, int]]:
         """Fault model (a): register flips propagated into the stack.
@@ -986,7 +1046,16 @@ class Campaign:
         ``interface_hangs`` drives HANG outcomes into the simulator as
         interface ``hang`` faults on the stuck kernel's channel instead
         of counting them as detectable-and-recoverable only.
+        ``batch_sim`` overrides :attr:`CampaignConfig.batch_sim` for
+        this campaign (see :meth:`random_campaign`).
         """
+        if batch_sim is not None:
+            with self._batch_override(batch_sim):
+                return self.architectural_campaign(
+                    n_experiments, model=model, seed=seed,
+                    workers=workers, record_sink=record_sink,
+                    pipeline=pipeline, interface_hangs=interface_hangs,
+                    on_progress=on_progress)
         if pipeline:
             plan = self._architectural_plan(n_experiments, model, seed,
                                             interface_hangs)
@@ -1056,6 +1125,7 @@ class Campaign:
                           pipeline: bool = True,
                           streaming_training: bool = True,
                           interface_probe: tuple[str, ...] = (),
+                          batch_sim: int | None = None,
                           on_progress=None
                           ) -> "BayesianCampaignResult":
         """Fault model (c): mine ``F_crit``, then validate in the simulator.
@@ -1091,7 +1161,21 @@ class Campaign:
         candidate variable's channel at the candidate's tick — probing
         whether a *message-level* failure of the same module at the
         same moment is as hazardous as the mined value corruption.
+
+        ``batch_sim`` overrides :attr:`CampaignConfig.batch_sim` for
+        the validation stage (see :meth:`random_campaign`); mining and
+        training are unaffected (they have their own batched engines).
         """
+        if batch_sim is not None:
+            with self._batch_override(batch_sim):
+                return self.bayesian_campaign(
+                    injector=injector, variables=variables,
+                    threshold=threshold, top_k=top_k,
+                    use_batched=use_batched, workers=workers,
+                    record_sink=record_sink, pipeline=pipeline,
+                    streaming_training=streaming_training,
+                    interface_probe=interface_probe,
+                    on_progress=on_progress)
         for kind in interface_probe:
             validate_interface_kind(kind)
         if pipeline:

@@ -68,8 +68,8 @@ from .resilience import (CampaignExecutionError, ResilienceConfig,
                          SupervisedExecutor, failure_record,
                          run_supervised_serial)
 from .results import ExperimentRecord
-from .simulate import (FaultSpec, RunResult, run_scenario,
-                       run_scenario_from_checkpoint)
+from .simulate import (FaultSpec, RunResult, run_experiments_batched,
+                       run_scenario, run_scenario_from_checkpoint)
 
 if TYPE_CHECKING:  # avoid a circular import with .campaign
     from .campaign import CampaignConfig
@@ -146,6 +146,59 @@ def execute_experiment(scenario: Scenario, config: "CampaignConfig",
     return _to_record(result, scenario.name, fault, config)
 
 
+def execute_experiment_batch(scenario: Scenario,
+                             config: "CampaignConfig",
+                             faults: list[FaultSpec],
+                             checkpoints: CheckpointStore | None = None
+                             ) -> list[ExperimentRecord]:
+    """Run several same-scenario experiments through the batched engine.
+
+    The vectorized sibling of ``len(faults)`` calls to
+    :func:`execute_experiment`: lanes share one
+    :class:`~repro.sim.batch.BatchWorldState` and advance under the
+    fused numpy kernels, with each lane forking from the same nearest
+    golden checkpoint its scalar twin would pick (full replay when the
+    store has none, or the snapshot's seed does not match).  Records are
+    bit-for-bit the scalar records, in ``faults`` order (wall clock
+    aside).
+    """
+    forks = []
+    for fault in faults:
+        checkpoint = (checkpoints.nearest(scenario.name, fault.start_tick)
+                      if checkpoints is not None else None)
+        if checkpoint is not None and checkpoint.seed != config.seed:
+            checkpoint = None
+        forks.append(checkpoint)
+    results = run_experiments_batched(
+        scenario, [[fault] for fault in faults],
+        ads_config=config.ads, safety_config=config.safety,
+        seed=config.seed, checkpoints=forks,
+        horizon_after_fault=config.horizon_after_fault,
+        batch_size=max(2, config.batch_sim), record_trace=False)
+    return [_to_record(result, scenario.name, fault, config)
+            for result, fault in zip(results, faults)]
+
+
+def _batch_chunks(jobs: list[ExperimentJob], order: list[int],
+                  batch_sim: int) -> list[tuple[str, list[int]]]:
+    """Grouped-order slots cut into same-scenario runs of <= batch_sim.
+
+    ``order`` is :func:`_grouped_order`'s slot permutation, so each run
+    stays on one scenario's checkpoints and fills its lanes from
+    consecutive submission slots — the streaming reorder buffer drains
+    as fast as it does on the scalar path.
+    """
+    chunks: list[tuple[str, list[int]]] = []
+    for slot in order:
+        name = jobs[slot][0]
+        if chunks and chunks[-1][0] == name \
+                and len(chunks[-1][1]) < batch_sim:
+            chunks[-1][1].append(slot)
+        else:
+            chunks.append((name, [slot]))
+    return chunks
+
+
 def _init_worker(scenarios: list[Scenario], config: "CampaignConfig",
                  checkpoints: CheckpointSource = None) -> None:
     global _WORKER_STATE
@@ -159,6 +212,27 @@ def _run_job(job: ExperimentJob) -> ExperimentRecord:
     scenario_name, fault = job
     return execute_experiment(by_name[scenario_name], config, fault,
                               checkpoints)
+
+
+def _run_job_batch(chunk: tuple[str, tuple[FaultSpec, ...]]
+                   ) -> list[ExperimentRecord]:
+    """One same-scenario batch as a single pool task.
+
+    Falls back to the per-fault scalar path inside the worker if the
+    batched engine raises, so a batch poisoned by one odd experiment
+    degrades to scalar execution instead of quarantining its chunk
+    mates along with it.
+    """
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    by_name, config, checkpoints = _WORKER_STATE
+    scenario_name, faults = chunk
+    scenario = by_name[scenario_name]
+    try:
+        return execute_experiment_batch(scenario, config, list(faults),
+                                        checkpoints)
+    except Exception:
+        return [execute_experiment(scenario, config, fault, checkpoints)
+                for fault in faults]
 
 
 def _init_golden_worker(scenarios: list[Scenario],
@@ -263,6 +337,48 @@ def _grouped_order(jobs: list[ExperimentJob]) -> list[int]:
                   key=lambda i: (first_seen[jobs[i][0]], i))
 
 
+def _run_serial_batched(jobs: list[ExperimentJob],
+                        config: "CampaignConfig",
+                        run_one: Callable,
+                        by_name: dict[str, Scenario],
+                        checkpoints: CheckpointStore | None,
+                        on_record) -> list[ExperimentRecord] | None:
+    """The serial path's batched twin: grouped chunks of fused lanes.
+
+    Execution runs in grouped order (each chunk stays on one scenario's
+    checkpoints and fills its lanes from consecutive submission slots);
+    emission stays in submission order through the same reorder buffer
+    the pooled path uses.  A chunk the batched engine rejects degrades
+    to the supervised scalar path job by job, so retry, quarantine, and
+    strict semantics match the scalar campaign's exactly.
+    """
+    order = _grouped_order(jobs)
+    records: list[ExperimentRecord | None] | None = \
+        None if on_record is not None else [None] * len(jobs)
+    pending: dict[int, ExperimentRecord] = {}
+    emit_next = 0
+    for name, slots in _batch_chunks(jobs, order, config.batch_sim):
+        if len(slots) == 1:
+            outputs = [run_one(name, jobs[slots[0]][1])]
+        else:
+            faults = [jobs[slot][1] for slot in slots]
+            try:
+                outputs = execute_experiment_batch(
+                    by_name[name], config, faults, checkpoints)
+            except Exception:
+                outputs = [run_one(name, fault) for fault in faults]
+        for slot, record in zip(slots, outputs):
+            if records is not None:
+                records[slot] = record
+                continue
+            pending[slot] = record
+            while emit_next in pending:
+                on_record(pending.pop(emit_next))
+                emit_next += 1
+    assert not pending, "batched reorder buffer must drain"
+    return records
+
+
 def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
                     jobs: list[ExperimentJob],
                     workers: int | None = None,
@@ -316,6 +432,9 @@ def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
                 return failure_record(name, fault, config, failure)
             return record
 
+        if getattr(config, "batch_sim", 0) > 1 and len(jobs) > 1:
+            return _run_serial_batched(jobs, config, run_one, by_name,
+                                       local_store, on_record)
         if on_record is not None:
             # Serial streaming: execute in submission order, flush each
             # record immediately — nothing is retained here.
@@ -330,7 +449,21 @@ def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
         return records
 
     order = _grouped_order(jobs)
-    workers = min(workers, len(jobs))
+    # Batched validation submits same-scenario chunks as single tasks
+    # (the fused lanes live worker-side); a persistently failing chunk
+    # quarantines every job in it — the chunked-execution semantics the
+    # pipeline driver already has, since a crash mid-batch cannot be
+    # attributed to one lane.  Engine-level rejections never get that
+    # far: the worker degrades them to scalar execution in place.
+    if getattr(config, "batch_sim", 0) > 1 and len(jobs) > 1:
+        submissions = [
+            (_run_job_batch,
+             (name, tuple(jobs[slot][1] for slot in slots)), tuple(slots))
+            for name, slots in _batch_chunks(jobs, order,
+                                             config.batch_sim)]
+    else:
+        submissions = [(_run_job, jobs[slot], slot) for slot in order]
+    workers = min(workers, len(submissions))
     records = None if on_record is not None else [None] * len(jobs)
     # Stream in submission order while supervised completions arrive in
     # any order: park out-of-order records in a reorder buffer and
@@ -345,18 +478,28 @@ def run_experiments(scenarios: list[Scenario], config: "CampaignConfig",
     with SupervisedExecutor(workers, context, initializer=_init_worker,
                             initargs=(scenarios, config, checkpoints),
                             policy=policy, seed=config.seed) as pool:
-        for slot in order:
-            pool.submit(_run_job, jobs[slot], tag=slot)
-        for slot, value, failure in pool.drain():
-            record = value if failure is None else failure_record(
-                jobs[slot][0], jobs[slot][1], config, failure)
-            if records is not None:
-                records[slot] = record
-                continue
-            pending[slot] = record
-            while emit_next in pending:
-                on_record(pending.pop(emit_next))
-                emit_next += 1
+        for fn, payload, tag in submissions:
+            timeout = None
+            if isinstance(tag, tuple) and policy.job_timeout is not None:
+                timeout = policy.job_timeout * len(tag)
+            pool.submit(fn, payload, tag=tag, timeout=timeout)
+        for tag, value, failure in pool.drain():
+            slots = list(tag) if isinstance(tag, tuple) else [tag]
+            if failure is None:
+                outputs = list(value) if isinstance(tag, tuple) \
+                    else [value]
+            else:
+                outputs = [failure_record(jobs[slot][0], jobs[slot][1],
+                                          config, failure)
+                           for slot in slots]
+            for slot, record in zip(slots, outputs):
+                if records is not None:
+                    records[slot] = record
+                    continue
+                pending[slot] = record
+                while emit_next in pending:
+                    on_record(pending.pop(emit_next))
+                    emit_next += 1
     if records is not None:
         return records
     assert not pending, "reorder buffer must drain"

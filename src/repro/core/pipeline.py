@@ -70,7 +70,8 @@ from typing import TYPE_CHECKING, Callable
 from ..sim.scenario import Scenario
 from .checkpoint import CheckpointStore
 from .parallel import (ExperimentJob, _golden_run, _policy, _pool_context,
-                       _picklable, _warn_serial_fallback, execute_experiment)
+                       _picklable, _warn_serial_fallback,
+                       execute_experiment, execute_experiment_batch)
 from .resilience import (CampaignExecutionError, LeaseBoard,
                          SupervisedExecutor, failure_record,
                          run_supervised_serial)
@@ -211,12 +212,30 @@ def _pipeline_golden_job(job: tuple[str, tuple[int, ...] | None]
 
 
 def _pipeline_validate_chunk(chunk) -> list:
-    """Run one scenario's chunk of experiments; returns (key, record)s."""
+    """Run one scenario's chunk of experiments; returns (key, record)s.
+
+    With ``config.batch_sim > 1`` the chunk's experiments step as fused
+    lanes of one :class:`~repro.sim.batch.BatchWorldState`
+    (:func:`~repro.core.parallel.execute_experiment_batch`); an
+    engine-level rejection degrades to the scalar loop in place, so the
+    supervised retry/quarantine machinery above never sees the
+    difference.  Records are bit-for-bit the scalar path's.
+    """
     assert _PIPELINE_STATE is not None, "pipeline pool not initialized"
     name, items = chunk
     state = _PIPELINE_STATE
     scenario = state.by_name[name]
     checkpoints = state.checkpoints_for(name)
+    if getattr(state.config, "batch_sim", 0) > 1 and len(items) > 1:
+        try:
+            records = execute_experiment_batch(
+                scenario, state.config, [fault for _, fault in items],
+                checkpoints)
+        except Exception:
+            pass
+        else:
+            return [(key, record)
+                    for (key, _), record in zip(items, records)]
     return [(key, execute_experiment(scenario, state.config, fault,
                                      checkpoints))
             for key, fault in items]
@@ -718,6 +737,11 @@ class CampaignPipeline:
             return
         policy = _policy(self.config)
         chunk = max(1, len(items) // (self.workers * 4))
+        if getattr(self.config, "batch_sim", 0) > 1:
+            # Chunks below the lane count waste the fused kernels;
+            # chunk boundaries don't affect record values or emission
+            # order (keys carry the slots), so rounding up is free.
+            chunk = max(chunk, self.config.batch_sim)
         for start in range(0, len(items), chunk):
             part = tuple(items[start:start + chunk])
             timeout = (policy.job_timeout * len(part)
@@ -738,17 +762,39 @@ class CampaignPipeline:
             if store.has_scenario(name):
                 checkpoints = store
         policy = _policy(self.config)
+        batch_sim = getattr(self.config, "batch_sim", 0)
         try:
-            for key, fault in items:
-                record, failure = run_supervised_serial(
-                    lambda: execute_experiment(scenario, self.config,
-                                               fault, checkpoints),
-                    policy, self.config.seed,
-                    (name, fault.start_tick, fault.variable, fault.value))
-                if failure is not None:
-                    record = failure_record(name, fault, self.config,
-                                            failure)
-                self._record_done(key, record)
+            pending = list(items)
+            while pending:
+                part, pending = (pending[:batch_sim],
+                                 pending[batch_sim:]) \
+                    if batch_sim > 1 else (pending[:1], pending[1:])
+                records = None
+                if len(part) > 1:
+                    try:
+                        records = execute_experiment_batch(
+                            scenario, self.config,
+                            [fault for _, fault in part], checkpoints)
+                    except Exception:
+                        # Degrade to the supervised scalar loop below —
+                        # retry, quarantine, and strict semantics stay
+                        # the scalar path's.
+                        records = None
+                if records is not None:
+                    for (key, _), record in zip(part, records):
+                        self._record_done(key, record)
+                    continue
+                for key, fault in part:
+                    record, failure = run_supervised_serial(
+                        lambda: execute_experiment(scenario, self.config,
+                                                   fault, checkpoints),
+                        policy, self.config.seed,
+                        (name, fault.start_tick, fault.variable,
+                         fault.value))
+                    if failure is not None:
+                        record = failure_record(name, fault, self.config,
+                                                failure)
+                    self._record_done(key, record)
         finally:
             if loaded_here:
                 # Serial twin of the worker-side spool protocol: the

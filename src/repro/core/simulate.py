@@ -16,17 +16,19 @@ entry points share one tick loop:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
 from ..ads.runtime import ADSConfig, ADSPipeline
+from ..sim.batch import BatchWorldState
 from ..sim.collision import SENSOR_RANGE
 from ..sim.scenario import Scenario
 from ..sim.trace import Trace
 from ..sim.world import World
 from .checkpoint import Checkpoint
 from .results import Hazard
-from .safety import SafetyConfig, world_safety_potential
+from .safety import SafetyConfig, safety_potential, world_safety_potential
 
 #: Signals recorded at every planner tick of a run.  The Bayesian network
 #: trains on the belief/actuation subset; the ``gt_*`` and ``lat_free*``
@@ -314,3 +316,260 @@ def run_scenario_from_checkpoint(
     return _simulate(scenario, world, pipeline, checkpoint.seed, faults,
                      safety_config, n_ticks, checkpoint.tick, monitor_from,
                      stop_after, record_trace)
+
+
+class _BatchLane:
+    """Book-keeping for one experiment occupying one batch lane."""
+
+    def __init__(self, index: int, world: World, pipeline: ADSPipeline,
+                 seed: int, faults: list[FaultSpec], tick: int, n_ticks: int,
+                 monitor_from: int, stop_after: int | None):
+        self.index = index
+        self.world = world
+        self.pipeline = pipeline
+        self.seed = seed
+        self.faults = faults
+        self.tick = tick
+        self.n_ticks = n_ticks
+        self.monitor_from = monitor_from
+        self.stop_after = stop_after
+        self.trace = Trace()
+        self.collided = False
+        self.went_off_road = False
+        self.min_delta_long = float("inf")
+        self.min_delta_lat = float("inf")
+        self.pre_delta_long = float("inf")
+        self.pre_delta_lat = float("inf")
+        self.wall_start = time.perf_counter()
+        self.is_planning = False
+        self.command = None
+
+    def result(self, scenario_name: str) -> RunResult:
+        if self.collided:
+            hazard = Hazard.COLLISION
+        elif self.went_off_road:
+            hazard = Hazard.OFF_ROAD
+        elif self.min_delta_long <= 0.0:
+            hazard = Hazard.SAFETY_VIOLATION
+        else:
+            hazard = Hazard.NONE
+        return RunResult(
+            scenario=scenario_name, seed=self.seed, trace=self.trace,
+            hazard=hazard, collided=self.collided,
+            went_off_road=self.went_off_road,
+            min_delta_long=self.min_delta_long,
+            min_delta_lat=self.min_delta_lat,
+            pre_delta_long=self.pre_delta_long,
+            pre_delta_lat=self.pre_delta_lat,
+            landed=self.pipeline.fault_landed,
+            degraded=self.pipeline.degraded_ticks > 0,
+            sim_seconds=self.world.time,
+            wall_seconds=time.perf_counter() - self.wall_start,
+            faults=self.faults, checkpoints=None)
+
+
+def _prepare_lane(scenario: Scenario, index: int, faults: list[FaultSpec],
+                  checkpoint: Checkpoint | None, ads_config: ADSConfig,
+                  seed: int, duration: float | None,
+                  horizon_after_fault: float | None) -> _BatchLane:
+    """Build one lane exactly the way the scalar entry points do."""
+    faults = list(faults)
+    world = scenario.make_world()
+    if checkpoint is not None:
+        if not faults:
+            raise ValueError("checkpoint resume needs at least one fault; "
+                             "use run_scenario for fault-free runs")
+        if checkpoint.scenario != scenario.name:
+            raise ValueError(f"checkpoint is for {checkpoint.scenario!r}, "
+                             f"not {scenario.name!r}")
+        earliest = min(f.start_tick for f in faults)
+        if earliest < checkpoint.tick:
+            raise ValueError(
+                f"fault at tick {earliest} precedes checkpoint tick "
+                f"{checkpoint.tick}; resume cannot rewind")
+        lane_seed = checkpoint.seed
+        start_tick = checkpoint.tick
+    else:
+        lane_seed = seed
+        start_tick = 0
+    pipeline = ADSPipeline(ads_config, seed=lane_seed)
+    if checkpoint is not None:
+        world.restore(checkpoint.world)
+        pipeline.restore(checkpoint.pipeline)
+    _arm_faults(pipeline, faults)
+    dt = ads_config.control_period
+    total_seconds = duration if duration is not None else scenario.duration
+    n_ticks = int(round(total_seconds / dt))
+    monitor_from, stop_after = _fault_schedule(faults, horizon_after_fault,
+                                               dt)
+    return _BatchLane(index, world, pipeline, lane_seed, faults, start_tick,
+                      n_ticks, monitor_from, stop_after)
+
+
+def run_experiments_batched(scenario: Scenario, fault_lists,
+                            ads_config: ADSConfig | None = None,
+                            safety_config: SafetyConfig | None = None,
+                            seed: int = 0, checkpoints=None,
+                            duration: float | None = None,
+                            horizon_after_fault: float | None = 8.0,
+                            batch_size: int = 8,
+                            record_trace: bool = False) -> list[RunResult]:
+    """Run K fault experiments of one scenario over a lane batch.
+
+    The vectorized sibling of K calls to :func:`run_scenario` /
+    :func:`run_scenario_from_checkpoint`: up to ``batch_size``
+    experiments occupy lanes of one :class:`BatchWorldState`; physics
+    and ground-truth safety signals advance in fused numpy kernels
+    while each lane's :class:`ADSPipeline` ticks per lane.  Lanes retire
+    as their runs end (collision, post-fault horizon, or scenario end)
+    and pending experiments take their place.  Results are bit-for-bit
+    the scalar results, in submission order (wall clock aside).
+
+    ``fault_lists`` is one fault list per experiment; ``checkpoints``
+    optionally aligns a golden :class:`Checkpoint` (or ``None``) with
+    each, forking that lane from the prefix instead of replaying it.
+    Checkpoint capture is not supported here — golden collection stays
+    on the scalar path.
+    """
+    ads_config = ads_config or ADSConfig()
+    safety_config = safety_config or SafetyConfig()
+    fault_lists = [list(faults) for faults in fault_lists]
+    if checkpoints is None:
+        checkpoints = [None] * len(fault_lists)
+    if len(checkpoints) != len(fault_lists):
+        raise ValueError("checkpoints must align with fault_lists")
+    if not fault_lists:
+        return []
+
+    results: list[RunResult | None] = [None] * len(fault_lists)
+    pending = list(range(len(fault_lists)))
+    dt = ads_config.control_period
+    n_lanes = max(1, min(int(batch_size), len(fault_lists)))
+
+    def next_lane() -> _BatchLane | None:
+        """Prepare the next pending experiment, finalizing any run whose
+        window is already over (zero loop iterations in the scalar path
+        — same early-exit RunResult)."""
+        while pending:
+            index = pending.pop(0)
+            lane = _prepare_lane(scenario, index, fault_lists[index],
+                                 checkpoints[index], ads_config, seed,
+                                 duration, horizon_after_fault)
+            if lane.tick < lane.n_ticks:
+                return lane
+            results[index] = lane.result(scenario.name)
+        return None
+
+    slots: list[_BatchLane | None] = []
+    for _ in range(n_lanes):
+        slots.append(next_lane())
+    live = [lane for lane in slots if lane is not None]
+    if not live:
+        return results
+    batch = BatchWorldState([lane.world for lane in live],
+                            reference=scenario.make_world())
+    # Re-map: slot s of the batch holds slots[s]; trailing empty slots
+    # (fewer experiments than lanes) start deactivated.
+    slots = live
+    for extra in range(len(slots), batch.n_lanes):
+        batch.deactivate(extra)
+
+    while any(lane is not None for lane in slots):
+        # 1. Per-lane ADS ticks on the (synced) scalar worlds, mapping
+        #    each command to kernel control inputs.
+        for slot, lane in enumerate(slots):
+            if lane is None:
+                continue
+            lane.is_planning = lane.pipeline.is_planning_tick
+            lane.command = lane.pipeline.tick(lane.world)
+            batch.set_controls(slot, lane.command.throttle,
+                               lane.command.brake, lane.command.steering,
+                               dt)
+        # 2. One fused physics step for every lane, then scatter back.
+        batch.step(dt)
+        batch.scatter()
+        # 3. Batched ground-truth signals.
+        gap, lead_speed, lateral_free = batch.safety_inputs()
+        collided = batch.collided_mask()
+        off_road = batch.off_road_mask()
+        # 4. Per-lane monitoring, recording, and retirement.
+        for slot, lane in enumerate(slots):
+            if lane is None:
+                continue
+            tick = lane.tick
+            recording = record_trace and lane.is_planning
+            if tick >= lane.monitor_from or recording:
+                speed = float(lead_speed[slot])
+                state = lane.world.ego.state
+                potential = safety_potential(
+                    v=state.v, theta=state.theta, phi=state.phi,
+                    gap=float(gap[slot]),
+                    lead_speed=None if math.isnan(speed) else speed,
+                    lateral_free=float(lateral_free[slot]),
+                    config=safety_config)
+            else:
+                potential = None
+            if tick == lane.monitor_from:
+                lane.pre_delta_long = potential.longitudinal
+                lane.pre_delta_lat = potential.lateral
+            if tick >= lane.monitor_from:
+                lane.min_delta_long = min(lane.min_delta_long,
+                                          potential.longitudinal)
+                lane.min_delta_lat = min(lane.min_delta_lat,
+                                         potential.lateral)
+                if collided[slot]:
+                    lane.collided = True
+                if off_road[slot]:
+                    lane.went_off_road = True
+            if recording:
+                _record_tick(lane, tick, potential)
+            lane.tick = tick + 1
+            if (lane.collided
+                    or (lane.stop_after is not None
+                        and tick >= lane.stop_after)
+                    or lane.tick >= lane.n_ticks):
+                results[lane.index] = lane.result(scenario.name)
+                slots[slot] = next_lane()
+                if slots[slot] is None:
+                    batch.deactivate(slot)
+                else:
+                    batch.attach(slot, slots[slot].world)
+    return results
+
+
+def _record_tick(lane: _BatchLane, tick: int, potential) -> None:
+    """The trace-recording block of ``_simulate``, per batch lane (rare
+    path: validation runs record no traces)."""
+    world = lane.world
+    command = lane.command
+    plan = lane.pipeline.last_plan
+    model = lane.pipeline.last_model
+    gap = plan.gap if plan is not None else SENSOR_RANGE
+    closing = plan.closing_speed if plan is not None else 0.0
+    lat = model.lane_offset if model is not None else 0.0
+    lead = world.lead_obstacle(extra_margin=1.0)
+    if lead is None:
+        gt_gap, gt_lead_v = SENSOR_RANGE, NO_LEAD
+    else:
+        gt_gap = ((lead.x - world.ego.state.x)
+                  - (world.ego.params.length + lead.length) / 2.0)
+        gt_lead_v = lead.v
+    lane.trace.record({
+        "time": world.time,
+        "tick": float(tick),
+        "x": world.ego.state.x,
+        "v": world.ego.state.v,
+        "gap": gap,
+        "closing": closing,
+        "lat": lat,
+        "lat_free": world.lateral_clearance(),
+        "lat_free_up": world.lateral_clearance_toward(+1),
+        "lat_free_down": world.lateral_clearance_toward(-1),
+        "gt_gap": gt_gap,
+        "gt_lead_v": gt_lead_v,
+        "throttle": command.throttle,
+        "brake": command.brake,
+        "steering": command.steering,
+        "delta_long": potential.longitudinal,
+        "delta_lat": potential.lateral,
+    })

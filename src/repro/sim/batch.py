@@ -1,0 +1,369 @@
+"""Structure-of-arrays batch simulation: N worlds per fused numpy kernel.
+
+:class:`BatchWorldState` holds N lanes of the *same scenario build* —
+per-lane ego states as an ``(N, 5)`` float64 matrix, per-lane NPC
+positions as ``(N, M)`` matrices, and vectorized NPC script state — and
+advances all of them with one set of elementwise ufunc calls per tick
+(:func:`~repro.sim.kinematics.batched_rk4_step` for the egos, masked
+array updates for the scripts).  Ground-truth safety signals come from
+the batched variants in :mod:`repro.sim.collision`.
+
+The contract is the repo-wide one: every lane is bit-for-bit the scalar
+:class:`~repro.sim.world.World` stepped alone.  The engine achieves that
+by construction —
+
+* arithmetic mirrors the scalar operation order exactly (the kernels
+  document the clamp/select mapping);
+* anything that is *not* elementwise float64 arithmetic stays scalar:
+  the actuation-to-controls mapping (quadratic drag uses Python ``**``)
+  runs per lane through :meth:`~repro.sim.vehicle.Vehicle.controls_for`,
+  and exact collision confirmation runs the lane's own
+  ``World.in_collision`` behind a conservative vectorized prescreen;
+* each lane keeps its authoritative scalar ``World`` object, which the
+  engine scatters state back into every step — so sensors, pipelines,
+  and snapshots see exactly what they would have seen.
+
+Lanes can join (``attach``) and retire (``deactivate``) independently;
+retired lanes are zeroed so the fused kernels never see stale state, and
+a retired lane never perturbs survivors (lanes only interact through
+their own columns).  The ``(N, 5)``/``(N, M)`` layout is deliberately
+the flat dense form a GPU backend (``arch/gpu.py``/``arch/kernels.py``)
+can consume unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .collision import (batched_ego_collides, batched_lateral_clearance,
+                        batched_lateral_safe_distance,
+                        batched_longitudinal_safe_distance,
+                        batched_nearest_lead, batched_off_road, SENSOR_RANGE)
+from .kinematics import BatchKernelWorkspace, VehicleState, batched_rk4_step
+from .npc import LaneChangeCommand
+from .world import World
+
+
+def _merge_command_lists(lists) -> list[LaneChangeCommand]:
+    """Order-preserving union of lane-command lists.
+
+    Every per-lane list is a subsequence of the scenario's original
+    script (completed changes are removed), so a greedy positional merge
+    reconstructs a consistent master ordering.
+    """
+    master: list[LaneChangeCommand] = []
+    for commands in lists:
+        position = 0
+        for command in commands:
+            try:
+                index = master.index(command, position)
+            except ValueError:
+                master.insert(position, command)
+                index = position
+            position = index + 1
+    return master
+
+
+def _match_subsequence(commands, master) -> list[bool]:
+    """Remaining-mask of ``commands`` against the master script."""
+    mask = [False] * len(master)
+    position = 0
+    for command in commands:
+        index = master.index(command, position)
+        mask[index] = True
+        position = index + 1
+    return mask
+
+
+class BatchSnapshot:
+    """Opaque capture of a :class:`BatchWorldState` (all lanes)."""
+
+    def __init__(self, worlds, active):
+        self.worlds = worlds
+        self.active = active
+
+
+class BatchWorldState:
+    """N same-scenario worlds advanced in lockstep by fused kernels."""
+
+    def __init__(self, worlds: list[World], reference: World | None = None):
+        if not worlds:
+            raise ValueError("batch needs at least one lane")
+        self.worlds: list[World] = list(worlds)
+        n = len(self.worlds)
+        template = reference if reference is not None else self.worlds[0]
+        self.road = template.road
+        self.ego_params = template.ego.params
+        npcs = template.npcs
+        m = len(npcs)
+        self._npc_ids = [npc.npc_id for npc in npcs]
+        self._npc_lengths = np.array([npc.length for npc in npcs])
+        self._npc_widths = np.array([npc.width for npc in npcs])
+        self._npc_limits = [npc.acceleration_limit for npc in npcs]
+        self._speed_commands = [list(npc.speed_commands) for npc in npcs]
+        if reference is not None:
+            self._lane_master = [list(npc.lane_commands) for npc in npcs]
+        else:
+            self._lane_master = [
+                _merge_command_lists([w.npcs[j].lane_commands
+                                      for w in self.worlds])
+                for j in range(m)]
+
+        self.ego = np.zeros((n, 5))
+        self.time = np.zeros(n)
+        self.acceleration = np.zeros(n)
+        self.steering_rate = np.zeros(n)
+        self.npc_x = np.zeros((n, m))
+        self.npc_y = np.zeros((n, m))
+        self.npc_v = np.zeros((n, m))
+        self.lane_start = np.full((n, m), np.nan)
+        self.lane_remaining = [
+            np.zeros((n, len(self._lane_master[j])), dtype=bool)
+            for j in range(m)]
+        self.active = np.zeros(n, dtype=bool)
+
+        self._workspace = BatchKernelWorkspace(n)
+        self._ego_out = np.empty((n, 5))
+        self._target = np.empty(n)
+        self._mask = np.empty(n, dtype=bool)
+        for lane, world in enumerate(self.worlds):
+            self.attach(lane, world)
+
+    # -- lane membership ----------------------------------------------------
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.worlds)
+
+    @property
+    def n_obstacles(self) -> int:
+        return len(self._npc_ids)
+
+    def attach(self, lane: int, world: World) -> None:
+        """Load ``world`` (same scenario build) into ``lane``."""
+        if len(world.npcs) != self.n_obstacles:
+            raise ValueError(
+                f"lane world has {len(world.npcs)} NPCs, batch has "
+                f"{self.n_obstacles}; batches hold one scenario build")
+        self.worlds[lane] = world
+        state = world.ego.state
+        self.ego[lane, 0] = state.x
+        self.ego[lane, 1] = state.y
+        self.ego[lane, 2] = state.v
+        self.ego[lane, 3] = state.theta
+        self.ego[lane, 4] = state.phi
+        self.time[lane] = world.time
+        self.acceleration[lane] = 0.0
+        self.steering_rate[lane] = 0.0
+        for j, npc in enumerate(world.npcs):
+            if npc.npc_id != self._npc_ids[j]:
+                raise ValueError("lane world NPC roster does not match "
+                                 "the batch scenario build")
+            self.npc_x[lane, j] = npc.x
+            self.npc_y[lane, j] = npc.y
+            self.npc_v[lane, j] = npc.v
+            start = npc._lane_start_y
+            self.lane_start[lane, j] = (np.nan if start is None
+                                        else float(start))
+            self.lane_remaining[j][lane, :] = _match_subsequence(
+                npc.lane_commands, self._lane_master[j])
+        self.active[lane] = True
+
+    def deactivate(self, lane: int) -> None:
+        """Retire a lane: zero its state so kernels never see residue."""
+        self.active[lane] = False
+        self.ego[lane, :] = 0.0
+        self.time[lane] = 0.0
+        self.acceleration[lane] = 0.0
+        self.steering_rate[lane] = 0.0
+        self.npc_x[lane, :] = 0.0
+        self.npc_y[lane, :] = 0.0
+        self.npc_v[lane, :] = 0.0
+        self.lane_start[lane, :] = np.nan
+        for remaining in self.lane_remaining:
+            remaining[lane, :] = False
+
+    def set_controls(self, lane: int, throttle: float, brake: float,
+                     steering: float, dt: float) -> None:
+        """Map a lane's actuation command to kernel inputs (scalar path:
+        drag and slew depend on the current state)."""
+        accel, rate = self.worlds[lane].ego.controls_for(
+            throttle, brake, steering, dt)
+        self.acceleration[lane] = accel
+        self.steering_rate[lane] = rate
+
+    # -- stepping -----------------------------------------------------------
+
+    def _step_npcs(self, dt: float) -> None:
+        time = self.time
+        for j in range(self.n_obstacles):
+            x = self.npc_x[:, j]
+            y = self.npc_y[:, j]
+            v = self.npc_v[:, j]
+            target = self._target
+            np.copyto(target, v)
+            for command in self._speed_commands[j]:
+                np.greater_equal(time, command.t, out=self._mask)
+                np.copyto(target, command.target, where=self._mask)
+            limit = self._npc_limits[j] * dt
+            delta_v = np.clip(target - v, -limit, limit)
+            # max(0.0, v + delta_v): select mirrors the scalar operand
+            # order (z if z > 0.0 else 0.0).
+            z = v + delta_v
+            np.copyto(v, np.where(z > 0.0, z, 0.0))
+            x += v * dt
+
+            master = self._lane_master[j]
+            if not master:
+                continue
+            remaining = self.lane_remaining[j]
+            active_cmd = np.full(self.n_lanes, -1, dtype=np.intp)
+            for k, command in enumerate(master):
+                sel = remaining[:, k] & (time >= command.t)
+                active_cmd[sel] = k
+            start_col = self.lane_start[:, j]
+            needs_start = (active_cmd >= 0) & np.isnan(start_col)
+            start_col[needs_start] = y[needs_start]
+            for k, command in enumerate(master):
+                group = active_cmd == k
+                if not group.any():
+                    continue
+                progress = np.clip(
+                    (time[group] + dt - command.t) / command.duration,
+                    0.0, 1.0)
+                blend = 0.5 * (1.0 - np.cos(np.pi * progress))
+                start = start_col[group]
+                y[group] = start + (command.target_y - start) * blend
+                finished = progress >= 1.0
+                if finished.any():
+                    rows = np.nonzero(group)[0][finished]
+                    start_col[rows] = np.nan
+                    remaining[rows, k] = False
+
+    def step(self, dt: float) -> None:
+        """Advance every lane ``dt`` seconds (scripts, then egos).
+
+        Call :meth:`set_controls` for each live lane first; then
+        :meth:`scatter` to push the results back into the lane worlds.
+        Mirrors ``World.step``: NPC scripts read the pre-step clock, the
+        ego integrates the commanded controls, and the clock advances
+        last.
+        """
+        self._step_npcs(dt)
+        params = self.ego_params
+        batched_rk4_step(self.ego, self.acceleration, self.steering_rate,
+                         params.wheelbase, dt, out=self._ego_out,
+                         workspace=self._workspace)
+        self.ego, self._ego_out = self._ego_out, self.ego
+        speed = self.ego[:, 2]
+        mask = self._mask
+        np.greater(speed, params.max_speed, out=mask)
+        np.copyto(speed, params.max_speed, where=mask)
+        np.clip(self.ego[:, 4], -params.max_steering_angle,
+                params.max_steering_angle, out=self.ego[:, 4])
+        self.time += dt
+
+    def scatter(self, lanes=None) -> None:
+        """Write batch state back into the per-lane ``World`` objects.
+
+        ``float()`` conversions are bit-preserving; the obstacle cache
+        of each touched world is invalidated.
+        """
+        if lanes is None:
+            lanes = np.nonzero(self.active)[0]
+        for lane in lanes:
+            lane = int(lane)
+            world = self.worlds[lane]
+            world.ego.state = VehicleState(
+                x=float(self.ego[lane, 0]), y=float(self.ego[lane, 1]),
+                v=float(self.ego[lane, 2]), theta=float(self.ego[lane, 3]),
+                phi=float(self.ego[lane, 4]))
+            world.time = float(self.time[lane])
+            for j, npc in enumerate(world.npcs):
+                npc.x = float(self.npc_x[lane, j])
+                npc.y = float(self.npc_y[lane, j])
+                npc.v = float(self.npc_v[lane, j])
+                start = self.lane_start[lane, j]
+                npc._lane_start_y = (None if np.isnan(start)
+                                     else float(start))
+                master = self._lane_master[j]
+                remaining = self.lane_remaining[j][lane]
+                if len(npc.lane_commands) != int(remaining.sum()):
+                    npc.lane_commands = [
+                        command for k, command in enumerate(master)
+                        if remaining[k]]
+            world.invalidate_obstacles()
+
+    # -- batched ground-truth signals ---------------------------------------
+
+    def safety_inputs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-lane ``(gap, lead_speed, lateral_free)`` for the safety
+        potential; ``lead_speed`` is NaN where the corridor is clear (the
+        scalar path's ``None``), with ``gap`` pinned at SENSOR_RANGE."""
+        params = self.ego_params
+        ego_x = self.ego[:, 0]
+        ego_y = self.ego[:, 1]
+        lead_index, has_lead = batched_nearest_lead(
+            ego_x, ego_y, params.width, self.npc_x, self.npc_y,
+            self._npc_widths)
+        n = self.n_lanes
+        gap = np.full(n, SENSOR_RANGE)
+        lead_speed = np.full(n, np.nan)
+        if has_lead.any():
+            rows = np.nonzero(has_lead)[0]
+            cols = lead_index[rows]
+            gap[rows] = ((self.npc_x[rows, cols] - ego_x[rows])
+                         - (params.length
+                            + self._npc_lengths[cols]) / 2.0)
+            lead_speed[rows] = self.npc_v[rows, cols]
+        lateral_free = batched_lateral_clearance(
+            ego_x, ego_y, params.length, params.width, self.npc_x,
+            self.npc_y, self._npc_lengths, self._npc_widths, self.road)
+        return gap, lead_speed, lateral_free
+
+    def longitudinal_d_safe(self) -> np.ndarray:
+        """Per-lane ``World.longitudinal_d_safe``."""
+        params = self.ego_params
+        return batched_longitudinal_safe_distance(
+            self.ego[:, 0], self.ego[:, 1], params.length, params.width,
+            self.npc_x, self.npc_y, self._npc_lengths, self._npc_widths)
+
+    def lateral_d_safe(self) -> np.ndarray:
+        """Per-lane ``World.lateral_d_safe``."""
+        params = self.ego_params
+        return batched_lateral_safe_distance(
+            self.ego[:, 0], self.ego[:, 1], params.length, params.width,
+            self.npc_x, self.npc_y, self._npc_lengths, self._npc_widths,
+            self.road)
+
+    def collided_mask(self) -> np.ndarray:
+        """Per-lane ``World.in_collision``: vectorized prescreen, exact
+        per-lane SAT confirm (requires a prior :meth:`scatter`)."""
+        params = self.ego_params
+        return batched_ego_collides(
+            self.ego[:, 0], self.ego[:, 1], params.length, params.width,
+            self.npc_x, self.npc_y, self._npc_lengths, self._npc_widths,
+            lambda lane: self.worlds[lane].in_collision())
+
+    def off_road_mask(self) -> np.ndarray:
+        """Per-lane ``World.off_road``."""
+        return batched_off_road(self.ego[:, 1], self.ego_params.width,
+                                self.road)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot(self) -> BatchSnapshot:
+        """Capture every lane (delegates to each world's snapshot)."""
+        self.scatter()
+        return BatchSnapshot(
+            worlds=tuple(world.snapshot() for world in self.worlds),
+            active=self.active.copy())
+
+    def restore(self, snapshot: BatchSnapshot) -> None:
+        """Rewind all lanes to a snapshot of this batch."""
+        for lane, world_snapshot in enumerate(snapshot.worlds):
+            self.worlds[lane].restore(world_snapshot)
+            self.attach(lane, self.worlds[lane])
+        np.copyto(self.active, snapshot.active)
+        for lane in np.nonzero(~self.active)[0]:
+            self.deactivate(int(lane))

@@ -183,3 +183,177 @@ def ego_collides(ego_footprint: np.ndarray,
     """True if the ego body overlaps any obstacle body."""
     return any(obb_overlap(ego_footprint, obstacle.footprint())
                for obstacle in obstacles)
+
+
+# -- batched variants --------------------------------------------------------
+#
+# The batch simulation engine keeps N lanes of the same scenario in a
+# structure-of-arrays layout: per-lane ego positions as ``(N,)`` vectors
+# and per-lane obstacle positions as ``(N, M)`` matrices (M obstacles,
+# shared static dimensions).  Each function below is the elementwise
+# mirror of its scalar sibling above: identical operation order,
+# identical compare-and-select clamps (``min`` is written as
+# ``where(b < a, b, a)``, never ``np.minimum``, so signed-zero and tie
+# behaviour match Python's), so per lane the results are bit-for-bit
+# the scalar answers.
+
+
+def _select_smaller(current: np.ndarray, candidate: np.ndarray,
+                    eligible: np.ndarray) -> None:
+    """In place: ``current[i] = min(current[i], candidate[i])`` where
+    eligible, with Python-``min`` tie semantics (keep ``current``)."""
+    update = eligible & np.less(candidate, current)
+    current[update] = candidate[update]
+
+
+def batched_longitudinal_safe_distance(ego_x: np.ndarray, ego_y: np.ndarray,
+                                       ego_length: float, ego_width: float,
+                                       obs_x: np.ndarray, obs_y: np.ndarray,
+                                       obs_lengths, obs_widths,
+                                       out: np.ndarray | None = None
+                                       ) -> np.ndarray:
+    """Per-lane :func:`longitudinal_safe_distance` over ``(N, M)`` bodies."""
+    n = ego_x.shape[0]
+    if out is None:
+        out = np.empty(n)
+    out[:] = SENSOR_RANGE
+    for j in range(obs_x.shape[1]):
+        corridor_gap = (np.abs(obs_y[:, j] - ego_y)
+                        - (ego_width + float(obs_widths[j])) / 2.0)
+        gap = ((obs_x[:, j] - ego_x)
+               - (ego_length + float(obs_lengths[j])) / 2.0)
+        eligible = (corridor_gap < 0.0) & (obs_x[:, j] >= ego_x)
+        _select_smaller(out, gap, eligible)
+    return out
+
+
+def _batched_flank_margin(margin: np.ndarray, ego_x: np.ndarray,
+                          ego_y: np.ndarray, ego_length: float,
+                          ego_width: float, obs_x: np.ndarray,
+                          obs_y: np.ndarray, obs_lengths,
+                          obs_widths) -> np.ndarray:
+    """Fold side gaps of longitudinally-overlapping bodies into
+    ``margin`` (shared tail of the two lateral envelopes)."""
+    for j in range(obs_x.shape[1]):
+        longitudinal_gap = (np.abs(obs_x[:, j] - ego_x)
+                            - (ego_length + float(obs_lengths[j])) / 2.0)
+        side_gap = (np.abs(obs_y[:, j] - ego_y)
+                    - (ego_width + float(obs_widths[j])) / 2.0)
+        _select_smaller(margin, side_gap, longitudinal_gap < 0.0)
+    return margin
+
+
+def batched_lateral_safe_distance(ego_x: np.ndarray, ego_y: np.ndarray,
+                                  ego_length: float, ego_width: float,
+                                  obs_x: np.ndarray, obs_y: np.ndarray,
+                                  obs_lengths, obs_widths, road: Road,
+                                  out: np.ndarray | None = None
+                                  ) -> np.ndarray:
+    """Per-lane :func:`lateral_safe_distance` over ``(N, M)`` bodies."""
+    half_width = ego_width / 2.0
+    lane = np.floor_divide(ego_y, road.lane_width)
+    np.clip(lane, 0.0, float(road.n_lanes - 1), out=lane)
+    low = lane * road.lane_width
+    high = (lane + 1.0) * road.lane_width
+    a = (ego_y - half_width) - low
+    b = high - (ego_y + half_width)
+    margin = np.where(np.less(b, a), b, a)
+    if out is not None:
+        np.copyto(out, margin)
+        margin = out
+    return _batched_flank_margin(margin, ego_x, ego_y, ego_length,
+                                 ego_width, obs_x, obs_y, obs_lengths,
+                                 obs_widths)
+
+
+def batched_lateral_clearance(ego_x: np.ndarray, ego_y: np.ndarray,
+                              ego_length: float, ego_width: float,
+                              obs_x: np.ndarray, obs_y: np.ndarray,
+                              obs_lengths, obs_widths, road: Road,
+                              out: np.ndarray | None = None) -> np.ndarray:
+    """Per-lane :func:`lateral_clearance` over ``(N, M)`` bodies."""
+    half_width = ego_width / 2.0
+    a = ego_y - half_width - 0.0
+    b = road.width - (ego_y + half_width)
+    margin = np.where(np.less(b, a), b, a)
+    if out is not None:
+        np.copyto(out, margin)
+        margin = out
+    return _batched_flank_margin(margin, ego_x, ego_y, ego_length,
+                                 ego_width, obs_x, obs_y, obs_lengths,
+                                 obs_widths)
+
+
+def batched_off_road(ego_y: np.ndarray, ego_width: float,
+                     road: Road) -> np.ndarray:
+    """Per-lane ``World.off_road`` (road-edge margin gone negative)."""
+    half_width = ego_width / 2.0
+    a = ego_y - half_width - 0.0
+    b = road.width - (ego_y + half_width)
+    return np.where(np.less(b, a), b, a) < 0.0
+
+
+def batched_nearest_lead(ego_x: np.ndarray, ego_y: np.ndarray,
+                         ego_width: float, obs_x: np.ndarray,
+                         obs_y: np.ndarray, obs_widths,
+                         extra_margin: float = 0.0
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-lane :func:`nearest_lead` over ``(N, M)`` bodies.
+
+    Returns ``(lead_index, has_lead)``: the obstacle column index of
+    each lane's lead (first occurrence of the minimum x, matching the
+    scalar strict ``<`` scan) and a mask of lanes that have one.
+    """
+    n, m = obs_x.shape
+    if m == 0:
+        return (np.zeros(n, dtype=np.intp), np.zeros(n, dtype=bool))
+    eligible = np.empty((n, m), dtype=bool)
+    for j in range(m):
+        gap = (np.abs(obs_y[:, j] - ego_y)
+               - (ego_width + float(obs_widths[j])) / 2.0 - extra_margin)
+        eligible[:, j] = ((obs_x[:, j] >= ego_x) & (gap < 0.0)
+                          & ((obs_x[:, j] - ego_x) <= SENSOR_RANGE))
+    masked_x = np.where(eligible, obs_x, np.inf)
+    lead_index = np.argmin(masked_x, axis=1)
+    return lead_index, eligible.any(axis=1)
+
+
+def batched_collision_prescreen(ego_x: np.ndarray, ego_y: np.ndarray,
+                                ego_length: float, ego_width: float,
+                                obs_x: np.ndarray, obs_y: np.ndarray,
+                                obs_lengths, obs_widths) -> np.ndarray:
+    """Conservative per-lane collision candidate mask.
+
+    Bounding circles circumscribe the oriented boxes at any heading, so
+    disjoint circles guarantee :func:`obb_overlap` is False; lanes that
+    pass the prescreen still need the exact scalar SAT test.  The slack
+    absorbs rounding in the squared-distance comparison.
+    """
+    n, m = obs_x.shape
+    candidates = np.zeros(n, dtype=bool)
+    if m == 0:
+        return candidates
+    ego_radius = float(np.hypot(ego_length / 2.0, ego_width / 2.0))
+    for j in range(m):
+        reach = ego_radius + float(np.hypot(float(obs_lengths[j]) / 2.0,
+                                            float(obs_widths[j]) / 2.0))
+        reach = (reach + 1e-6) ** 2
+        dx = obs_x[:, j] - ego_x
+        dy = obs_y[:, j] - ego_y
+        candidates |= (dx * dx + dy * dy) <= reach
+    return candidates
+
+
+def batched_ego_collides(ego_x: np.ndarray, ego_y: np.ndarray,
+                         ego_length: float, ego_width: float,
+                         obs_x: np.ndarray, obs_y: np.ndarray,
+                         obs_lengths, obs_widths, exact) -> np.ndarray:
+    """Per-lane :func:`ego_collides`: vectorized circle prescreen, then
+    the caller-supplied exact test (``exact(lane) -> bool``, typically
+    the lane's own ``World.in_collision``) only for candidate lanes."""
+    result = batched_collision_prescreen(ego_x, ego_y, ego_length,
+                                         ego_width, obs_x, obs_y,
+                                         obs_lengths, obs_widths)
+    for lane in np.nonzero(result)[0]:
+        result[lane] = bool(exact(int(lane)))
+    return result

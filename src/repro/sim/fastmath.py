@@ -1,0 +1,29 @@
+"""Scalar mirrors of numpy ufuncs for hot per-tick paths.
+
+The ADS pipeline and the scripted traffic step clamp a handful of
+scalars every tick; going through ``np.clip`` costs a ufunc dispatch per
+call, which profiles as ~20% of a validation campaign.  ``clip_scalar``
+is the plain-Python replacement.
+
+Bit-for-bit contract: ``clip_scalar(x, lo, hi)`` equals
+``float(np.clip(x, lo, hi))`` for *every* IEEE-754 double value ``x`` —
+signed zeros, NaNs (which propagate through both failed comparisons),
+infinities, and denormals — over every *ordered* bound pair
+(``lo <= hi``, signed zeros in either slot).  The caveat exists because
+numpy composes ``minimum(maximum(x, lo), hi)``: with NaN or inverted
+(``lo > hi``) bounds that composition answers differently than the
+compare-and-select below — and no call site can produce such bounds.
+This equivalence is regression-tested in ``tests/test_kinematics.py``.
+Keep the comparison order if you touch this.
+"""
+
+from __future__ import annotations
+
+
+def clip_scalar(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to ``[low, high]``; bitwise-equal to ``np.clip``."""
+    if value < low:
+        return float(low)
+    if value > high:
+        return float(high)
+    return float(value)

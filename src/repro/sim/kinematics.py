@@ -10,6 +10,25 @@ steering angle.  The equations of motion are
 with ``L`` the wheelbase.  Speed and steering are driven by the control
 inputs (longitudinal acceleration and steering rate), which is how both
 the ego vehicle and the emergency-stop maneuver integrate forward.
+
+Two implementations share the exact same floating-point contract:
+
+* the scalar path (:func:`rk4_step`) integrates one vehicle with plain
+  float arithmetic — no per-call array allocations — and is the
+  bit-for-bit oracle;
+* the batched path (:func:`batched_rk4_step`) integrates N vehicles per
+  call over an ``(N, 5)`` structure-of-arrays matrix with one set of
+  elementwise ufunc calls and preallocated scratch (see
+  :class:`BatchKernelWorkspace`), producing bitwise-identical
+  trajectories lane for lane.
+
+Bitwise equivalence holds because both paths perform the same IEEE-754
+double operations in the same order: transcendentals go through the same
+numpy ufuncs (``np.cos``/``np.sin``/``np.tan`` are elementwise-identical
+between scalar and array calls), add/mul/div are correctly rounded
+everywhere, and clamps are expressed as the same compare-and-select
+(numpy's ``maximum``/``minimum`` are deliberately avoided — their
+signed-zero semantics differ from Python's ``max``/``min``).
 """
 
 from __future__ import annotations
@@ -44,6 +63,16 @@ class VehicleState:
         return replace(self, v=float(v))
 
 
+def _scalar_derivatives(v: float, theta: float, phi: float,
+                        acceleration: float, steering_rate: float,
+                        wheelbase: float) -> tuple:
+    """Derivative components as plain scalars (no array round-trip)."""
+    if v < 0.0:
+        v = 0.0
+    return (v * np.cos(theta), v * np.sin(theta), acceleration,
+            v * np.tan(phi) / wheelbase, steering_rate)
+
+
 def bicycle_derivatives(state: np.ndarray, acceleration: float,
                         steering_rate: float,
                         wheelbase: float) -> np.ndarray:
@@ -53,14 +82,9 @@ def bicycle_derivatives(state: np.ndarray, acceleration: float,
     not reverse), so the derivative uses the non-negative part of ``v``.
     """
     _, _, v, theta, phi = state
-    v = max(v, 0.0)
-    return np.array([
-        v * np.cos(theta),
-        v * np.sin(theta),
-        acceleration,
-        v * np.tan(phi) / wheelbase,
-        steering_rate,
-    ])
+    dx, dy, dv, dtheta, dphi = _scalar_derivatives(
+        v, theta, phi, acceleration, steering_rate, wheelbase)
+    return np.array([dx, dy, dv, dtheta, dphi])
 
 
 def rk4_step(state: VehicleState, acceleration: float, steering_rate: float,
@@ -69,29 +93,174 @@ def rk4_step(state: VehicleState, acceleration: float, steering_rate: float,
 
     The returned state has ``v`` clamped to be non-negative: the model
     covers forward driving and braking to a halt, not reversing.
+
+    Plain-float arithmetic throughout — the hot path allocates no
+    intermediate arrays.  The operation order mirrors the textbook
+    ``y1 = y0 + (dt/6) * (k1 + 2*k2 + 2*k3 + k4)`` expression exactly so
+    results stay bit-for-bit stable across refactors.
     """
-    y0 = state.as_array()
+    x0, y0 = state.x, state.y
+    v0, t0, p0 = state.v, state.theta, state.phi
 
-    def f(y: np.ndarray) -> np.ndarray:
-        return bicycle_derivatives(y, acceleration, steering_rate, wheelbase)
+    k1x, k1y, k1v, k1t, k1p = _scalar_derivatives(
+        v0, t0, p0, acceleration, steering_rate, wheelbase)
+    half = 0.5 * dt
+    k2x, k2y, k2v, k2t, k2p = _scalar_derivatives(
+        v0 + half * k1v, t0 + half * k1t, p0 + half * k1p,
+        acceleration, steering_rate, wheelbase)
+    k3x, k3y, k3v, k3t, k3p = _scalar_derivatives(
+        v0 + half * k2v, t0 + half * k2t, p0 + half * k2p,
+        acceleration, steering_rate, wheelbase)
+    k4x, k4y, k4v, k4t, k4p = _scalar_derivatives(
+        v0 + dt * k3v, t0 + dt * k3t, p0 + dt * k3p,
+        acceleration, steering_rate, wheelbase)
 
-    k1 = f(y0)
-    k2 = f(y0 + 0.5 * dt * k1)
-    k3 = f(y0 + 0.5 * dt * k2)
-    k4 = f(y0 + dt * k3)
-    y1 = y0 + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
-    if y1[2] < 0.0:
-        y1[2] = 0.0
-    new_state = VehicleState.from_array(y1)
-    return new_state
+    sixth = dt / 6.0
+    x1 = x0 + sixth * (k1x + 2 * k2x + 2 * k3x + k4x)
+    y1 = y0 + sixth * (k1y + 2 * k2y + 2 * k3y + k4y)
+    v1 = v0 + sixth * (k1v + 2 * k2v + 2 * k3v + k4v)
+    t1 = t0 + sixth * (k1t + 2 * k2t + 2 * k3t + k4t)
+    p1 = p0 + sixth * (k1p + 2 * k2p + 2 * k3p + k4p)
+    if v1 < 0.0:
+        v1 = 0.0
+    return VehicleState(x=float(x1), y=float(y1), v=float(v1),
+                        theta=float(t1), phi=float(p1))
+
+
+# -- batched kernels ---------------------------------------------------------
+
+
+class BatchKernelWorkspace:
+    """Preallocated scratch for :func:`batched_rk4_step`.
+
+    One workspace serves any batch of up to ``capacity`` lanes; reusing
+    it across steps keeps the integrator allocation-free (the point of
+    batching is one set of ufunc calls per step, not N).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        n = self.capacity
+        self.k1 = np.empty((n, 5))
+        self.k2 = np.empty((n, 5))
+        self.k3 = np.empty((n, 5))
+        self.k4 = np.empty((n, 5))
+        self.stage = np.empty((n, 5))
+        self.accum = np.empty((n, 5))
+        self.speed = np.empty(n)
+        self.trig = np.empty(n)
+        self.mask = np.empty(n, dtype=bool)
+
+
+def batched_bicycle_derivatives(states: np.ndarray, acceleration,
+                                steering_rate, wheelbase: float,
+                                out: np.ndarray | None = None,
+                                workspace: BatchKernelWorkspace | None = None
+                                ) -> np.ndarray:
+    """Derivatives for N lanes at once; ``states`` is ``(N, 5)``.
+
+    ``acceleration`` and ``steering_rate`` broadcast over lanes (scalar
+    or ``(N,)``).  Elementwise-identical to N calls of
+    :func:`bicycle_derivatives`.
+    """
+    states = np.asarray(states, dtype=np.float64)
+    n = states.shape[0]
+    if workspace is None or workspace.capacity < n:
+        workspace = BatchKernelWorkspace(n)
+    if out is None:
+        out = np.empty_like(states)
+    v = workspace.speed[:n]
+    trig = workspace.trig[:n]
+    mask = workspace.mask[:n]
+    np.copyto(v, states[:, 2])
+    # Same select as ``max(v, 0.0)`` — np.maximum would flip -0.0 to +0.0.
+    np.less(v, 0.0, out=mask)
+    np.copyto(v, 0.0, where=mask)
+    np.cos(states[:, 3], out=trig)
+    np.multiply(v, trig, out=out[:, 0])
+    np.sin(states[:, 3], out=trig)
+    np.multiply(v, trig, out=out[:, 1])
+    out[:, 2] = acceleration
+    np.tan(states[:, 4], out=trig)
+    np.multiply(v, trig, out=trig)
+    np.divide(trig, wheelbase, out=out[:, 3])
+    out[:, 4] = steering_rate
+    return out
+
+
+def batched_rk4_step(states: np.ndarray, acceleration, steering_rate,
+                     wheelbase: float, dt: float,
+                     out: np.ndarray | None = None,
+                     workspace: BatchKernelWorkspace | None = None
+                     ) -> np.ndarray:
+    """One RK4 step for N lanes; bitwise-equal per lane to
+    :func:`rk4_step`.
+
+    Every arithmetic step is the same IEEE operation in the same order
+    as the scalar path (sums regrouped only by commutative additions,
+    which are exact); the final speed clamp is the same
+    compare-and-select.  With a caller-provided ``workspace`` and
+    ``out`` the kernel performs no per-step allocations.
+    """
+    states = np.asarray(states, dtype=np.float64)
+    n = states.shape[0]
+    if workspace is None or workspace.capacity < n:
+        workspace = BatchKernelWorkspace(n)
+    if out is None:
+        out = np.empty_like(states)
+    ws = workspace
+    k1, k2, k3, k4 = ws.k1[:n], ws.k2[:n], ws.k3[:n], ws.k4[:n]
+    stage, accum = ws.stage[:n], ws.accum[:n]
+
+    batched_bicycle_derivatives(states, acceleration, steering_rate,
+                                wheelbase, out=k1, workspace=ws)
+    half = 0.5 * dt
+    np.multiply(k1, half, out=stage)
+    stage += states
+    batched_bicycle_derivatives(stage, acceleration, steering_rate,
+                                wheelbase, out=k2, workspace=ws)
+    np.multiply(k2, half, out=stage)
+    stage += states
+    batched_bicycle_derivatives(stage, acceleration, steering_rate,
+                                wheelbase, out=k3, workspace=ws)
+    np.multiply(k3, dt, out=stage)
+    stage += states
+    batched_bicycle_derivatives(stage, acceleration, steering_rate,
+                                wheelbase, out=k4, workspace=ws)
+
+    np.multiply(k2, 2.0, out=accum)
+    accum += k1
+    np.multiply(k3, 2.0, out=k2)
+    accum += k2
+    accum += k4
+    accum *= dt / 6.0
+    np.add(states, accum, out=out)
+    speed = out[:, 2]
+    mask = ws.mask[:n]
+    np.less(speed, 0.0, out=mask)
+    np.copyto(speed, 0.0, where=mask)
+    return out
 
 
 def simulate_constant_controls(state: VehicleState, acceleration: float,
                                steering_rate: float, wheelbase: float,
                                dt: float, n_steps: int) -> list[VehicleState]:
-    """Integrate ``n_steps`` of constant controls; returns all states."""
+    """Integrate ``n_steps`` of constant controls; returns all states.
+
+    Runs on the batched kernel (a 1-lane batch stepped in place with a
+    preallocated workspace) and unpacks to the historical
+    list-of-states shape; bitwise-identical to a scalar
+    :func:`rk4_step` loop.
+    """
     states = [state]
+    if n_steps <= 0:
+        return states
+    lane = state.as_array().reshape(1, 5)
+    scratch = np.empty_like(lane)
+    workspace = BatchKernelWorkspace(1)
     for _ in range(n_steps):
-        state = rk4_step(state, acceleration, steering_rate, wheelbase, dt)
-        states.append(state)
+        batched_rk4_step(lane, acceleration, steering_rate, wheelbase, dt,
+                         out=scratch, workspace=workspace)
+        lane, scratch = scratch, lane
+        states.append(VehicleState.from_array(lane[0]))
     return states

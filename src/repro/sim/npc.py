@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .collision import Obstacle
+from .fastmath import clip_scalar
 
 
 @dataclass(frozen=True)
@@ -80,17 +81,18 @@ class NPCVehicle:
     def step(self, t: float, dt: float) -> None:
         """Advance the script by ``dt`` from scenario time ``t``."""
         target = self._active_speed_target(t)
-        delta_v = np.clip(target - self.v,
-                          -self.acceleration_limit * dt,
-                          self.acceleration_limit * dt)
-        self.v = max(0.0, self.v + float(delta_v))
+        delta_v = clip_scalar(target - self.v,
+                              -self.acceleration_limit * dt,
+                              self.acceleration_limit * dt)
+        self.v = max(0.0, self.v + delta_v)
         self.x += self.v * dt
 
         change = self._active_lane_change(t)
         if change is not None:
             if self._lane_start_y is None:
                 self._lane_start_y = self.y
-            progress = np.clip((t + dt - change.t) / change.duration, 0.0, 1.0)
+            progress = clip_scalar((t + dt - change.t) / change.duration,
+                                   0.0, 1.0)
             # Cosine easing: zero lateral velocity at both ends.
             blend = 0.5 * (1.0 - np.cos(np.pi * progress))
             self.y = (self._lane_start_y

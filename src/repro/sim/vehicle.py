@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .fastmath import clip_scalar
 from .kinematics import VehicleState, rk4_step
 
 
@@ -49,12 +50,30 @@ class Vehicle:
         Pedals are clipped to their physical range; drag grows with the
         square of speed so top speed is naturally bounded.
         """
-        throttle = float(np.clip(throttle, 0.0, 1.0))
-        brake = float(np.clip(brake, 0.0, 1.0))
+        throttle = clip_scalar(throttle, 0.0, 1.0)
+        brake = clip_scalar(brake, 0.0, 1.0)
         accel = (throttle * self.params.max_acceleration
                  - brake * self.params.max_deceleration
                  - self.params.drag * self.state.v ** 2)
         return accel
+
+    def controls_for(self, throttle: float, brake: float, steering: float,
+                     dt: float) -> tuple[float, float]:
+        """Map an actuation command to ``(acceleration, steering_rate)``.
+
+        This is the scalar control mapping shared with the batch engine:
+        the quadratic drag term and the steering-rate slew depend on the
+        *current* state, so batched lanes call it lane-by-lane (cheap)
+        and feed the results to the fused RK4 kernel.
+        """
+        accel = self.acceleration_for(throttle, brake)
+        target = clip_scalar(steering, -self.params.max_steering_angle,
+                             self.params.max_steering_angle)
+        error = target - self.state.phi
+        steering_rate = clip_scalar(error / dt if dt > 0 else 0.0,
+                                    -self.params.max_steering_rate,
+                                    self.params.max_steering_rate)
+        return accel, steering_rate
 
     def apply_actuation(self, throttle: float, brake: float,
                         steering: float, dt: float) -> VehicleState:
@@ -64,22 +83,15 @@ class Vehicle:
         slews toward it at the steering-rate limit, and is clipped to the
         mechanical range.  Returns (and stores) the new state.
         """
-        accel = self.acceleration_for(throttle, brake)
-        target = float(np.clip(steering, -self.params.max_steering_angle,
-                               self.params.max_steering_angle))
-        error = target - self.state.phi
-        max_delta = self.params.max_steering_rate * dt
-        steering_rate = float(np.clip(error / dt if dt > 0 else 0.0,
-                                      -self.params.max_steering_rate,
-                                      self.params.max_steering_rate))
-        del max_delta
+        accel, steering_rate = self.controls_for(throttle, brake, steering,
+                                                 dt)
         new_state = rk4_step(self.state, accel, steering_rate,
                              self.params.wheelbase, dt)
         if new_state.v > self.params.max_speed:
             new_state = new_state.with_speed(self.params.max_speed)
-        phi = float(np.clip(new_state.phi,
-                            -self.params.max_steering_angle,
-                            self.params.max_steering_angle))
+        phi = clip_scalar(new_state.phi,
+                          -self.params.max_steering_angle,
+                          self.params.max_steering_angle)
         self.state = VehicleState(new_state.x, new_state.y, new_state.v,
                                   new_state.theta, phi)
         return self.state

@@ -34,6 +34,8 @@ class World:
     ego: Vehicle
     npcs: list[NPCVehicle] = field(default_factory=list)
     time: float = 0.0
+    _obstacle_cache: list[Obstacle] | None = field(
+        default=None, repr=False, compare=False)
 
     @classmethod
     def on_highway(cls, ego_speed: float = 30.0, ego_lane: int = 1,
@@ -49,10 +51,25 @@ class World:
     def add_npc(self, npc: NPCVehicle) -> None:
         """Register a scripted target vehicle."""
         self.npcs.append(npc)
+        self._obstacle_cache = None
 
     def obstacles(self) -> list[Obstacle]:
-        """Ground-truth snapshot of every non-ego body."""
-        return [npc.as_obstacle() for npc in self.npcs]
+        """Ground-truth snapshot of every non-ego body.
+
+        Built once per tick and cached: the safety signals
+        (``longitudinal_d_safe``, ``lateral_d_safe``,
+        ``lateral_clearance``, ``in_collision``) all query it within the
+        same tick.  Obstacles are frozen, so sharing the list is safe;
+        anything that moves an NPC (``step``, ``restore``, ``add_npc``,
+        or a batch engine scattering state back) invalidates it.
+        """
+        if self._obstacle_cache is None:
+            self._obstacle_cache = [npc.as_obstacle() for npc in self.npcs]
+        return self._obstacle_cache
+
+    def invalidate_obstacles(self) -> None:
+        """Drop the cached obstacle snapshot (NPC state changed)."""
+        self._obstacle_cache = None
 
     def step(self, throttle: float, brake: float, steering: float,
              dt: float) -> None:
@@ -65,6 +82,7 @@ class World:
             npc.step(self.time, dt)
         self.ego.apply_actuation(throttle, brake, steering, dt)
         self.time += dt
+        self._obstacle_cache = None
 
     # -- checkpoint support ---------------------------------------------------
 
@@ -84,6 +102,7 @@ class World:
         self.ego.state = snapshot.ego
         for npc, npc_snapshot in zip(self.npcs, snapshot.npcs):
             npc.restore(npc_snapshot)
+        self._obstacle_cache = None
 
     # -- ground-truth safety signals ----------------------------------------
 

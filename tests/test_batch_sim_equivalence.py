@@ -1,0 +1,176 @@
+"""Batched validation equals the scalar oracle, record for record.
+
+The acceptance contract of the vectorized batch engine: every campaign
+style run with ``batch_sim=N`` emits a record stream *bit-for-bit*
+identical (wall-clock timing aside) to the scalar
+:class:`~repro.sim.world.World` reference — order included — across
+the serial barrier path, the process pool, and the streaming pipeline
+driver.  The streams here include interface faults (drop / freeze /
+delay / jitter / hang) and graceful-degradation outcomes, so the
+batched path is held to the full PR-8 fault surface, not just value
+corruption.  Checkpoint-forked batched validation must likewise equal
+the full-replay reference, at both the campaign and engine levels.
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.arch.injector import Outcome
+from repro.core import Campaign, CampaignConfig, ListSink
+from repro.core.fault_models import ArchFaultOutcome
+from repro.core.interface_faults import CHANNELS, interface_fault
+from repro.core.simulate import FaultSpec, run_experiments_batched
+from repro.sim import highway_cruise, lead_vehicle_cutin, two_lead_reveal
+
+#: Lanes per fused batch in every batched run below.  Three splits the
+#: per-scenario job lists into uneven chunks (full + remainder), which
+#: is the shape that catches chunking / reorder bugs.
+BATCH = 3
+
+STYLES = ["random", "exhaustive", "architectural", "bayesian"]
+
+
+def small_scenarios():
+    return [replace(highway_cruise(), duration=24.0),
+            replace(lead_vehicle_cutin(), duration=16.0),
+            replace(two_lead_reveal(), duration=18.0)]
+
+
+def strip_wall(records):
+    rows = []
+    for record in records:
+        row = asdict(record)
+        row.pop("wall_seconds")   # host timing necessarily differs
+        rows.append(row)
+    return rows
+
+
+class HangingModel:
+    """Architectural stub that always hangs, forcing interface faults
+    through the batched architectural path (register flips hang too
+    rarely to cover it reliably)."""
+
+    def sample(self, rng, injection_ticks, duration_ticks=2,
+               interface_hangs=False):
+        tick = int(injection_ticks[int(rng.integers(len(injection_ticks)))])
+        channel = CHANNELS[int(rng.integers(len(CHANNELS)))]
+        fault = (interface_fault("hang", channel, tick,
+                                 duration_ticks=duration_ticks)
+                 if interface_hangs else None)
+        return ArchFaultOutcome(kernel="dot16", outcome=Outcome.HANG,
+                                relative_error=0.0, fault=fault)
+
+
+def run_style(style, *, batch_sim, pipeline, workers):
+    sink = ListSink()
+    campaign = Campaign(small_scenarios(), CampaignConfig())
+    kwargs = dict(pipeline=pipeline, workers=workers, record_sink=sink,
+                  batch_sim=batch_sim)
+    if style == "random":
+        campaign.random_campaign(12, seed=11, interface_share=0.5,
+                                 **kwargs)
+    elif style == "exhaustive":
+        campaign.exhaustive_campaign(tick_stride=40,
+                                     variable_names=["brake"],
+                                     interface_grid=True, **kwargs)
+    elif style == "architectural":
+        campaign.architectural_campaign(8, model=HangingModel(), seed=3,
+                                        interface_hangs=True, **kwargs)
+    else:
+        campaign.bayesian_campaign(top_k=4,
+                                   interface_probe=("freeze", "delay"),
+                                   **kwargs)
+    return strip_wall(sink.records)
+
+
+@pytest.fixture(scope="module")
+def scalar_reference():
+    """Scalar-oracle record streams, one serial barrier run per style."""
+    cache = {}
+
+    def get(style):
+        if style not in cache:
+            cache[style] = run_style(style, batch_sim=0, pipeline=False,
+                                     workers=None)
+        return cache[style]
+
+    return get
+
+
+class TestBatchedDriverEquivalence:
+    """batch_sim=N == batch_sim=0 for every style and every driver."""
+
+    @pytest.mark.parametrize("style", STYLES)
+    @pytest.mark.parametrize("pipeline", [False, True])
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_records_equal_scalar_oracle(self, scalar_reference, style,
+                                         pipeline, workers):
+        reference = scalar_reference(style)
+        assert reference, "oracle campaign produced no records"
+        batched = run_style(style, batch_sim=BATCH, pipeline=pipeline,
+                            workers=workers)
+        assert batched == reference
+
+    def test_streams_cover_the_interface_fault_surface(self,
+                                                       scalar_reference):
+        """The equality above must be exercised on PR-8 faults too."""
+        kinds = {row["kind"] for style in STYLES
+                 for row in scalar_reference(style)}
+        assert "value" in kinds
+        assert kinds - {"value"}, "no interface faults in any stream"
+
+    def test_single_lane_batch_is_still_batched_code(self,
+                                                     scalar_reference):
+        """batch_sim=2 with odd job counts runs 1-lane tail chunks."""
+        batched = run_style("random", batch_sim=2, pipeline=True,
+                            workers=None)
+        assert batched == scalar_reference("random")
+
+
+class TestCheckpointForkOracle:
+    """Checkpoint-forked batched validation == full replay from t=0."""
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_campaign_fork_equals_full_replay(self, pipeline):
+        def run(use_checkpoints):
+            sink = ListSink()
+            campaign = Campaign(
+                small_scenarios(),
+                CampaignConfig(use_checkpoints=use_checkpoints))
+            campaign.random_campaign(10, seed=7, interface_share=0.4,
+                                     batch_sim=BATCH, pipeline=pipeline,
+                                     record_sink=sink)
+            return strip_wall(sink.records)
+
+        assert run(True) == run(False)
+
+    def test_engine_fork_equals_full_replay(self):
+        campaign = Campaign(small_scenarios(), CampaignConfig())
+        campaign.golden_runs()
+        scenario = campaign.scenarios[1]
+        config = campaign.config
+        fault_lists = [
+            [FaultSpec(variable="brake", value=0.0, start_tick=tick)]
+            for tick in (40, 55, 70, 90)]
+        forks = [campaign.checkpoints.nearest(scenario.name,
+                                              faults[0].start_tick)
+                 for faults in fault_lists]
+        assert all(forks), "golden run captured no usable checkpoints"
+
+        def run(checkpoints):
+            results = run_experiments_batched(
+                scenario, fault_lists, ads_config=config.ads,
+                safety_config=config.safety, seed=config.seed,
+                checkpoints=checkpoints,
+                horizon_after_fault=config.horizon_after_fault,
+                batch_size=BATCH, record_trace=False)
+            rows = []
+            for result in results:
+                row = asdict(result)
+                row.pop("wall_seconds")
+                row.pop("trace")     # None with record_trace=False
+                rows.append(row)
+            return rows
+
+        assert run(forks) == run(None)

@@ -1,10 +1,13 @@
 """Tests for the bicycle model and RK4 integration."""
 
+import struct
+
 import numpy as np
 import pytest
 
 from repro.sim import (VehicleState, bicycle_derivatives, rk4_step,
                        simulate_constant_controls)
+from repro.sim.fastmath import clip_scalar
 
 WHEELBASE = 2.8
 
@@ -104,3 +107,106 @@ class TestRK4:
                                             dt=0.1, n_steps=5)
         assert states[0] == state
         assert len(states) == 6
+
+
+class TestScalarPathRegression:
+    """The allocation-free scalar hot path is bit-for-bit stable."""
+
+    @staticmethod
+    def _reference_rk4_step(state, acceleration, steering_rate,
+                            wheelbase, dt):
+        """Straightforward array-based RK4 (one allocation per stage).
+
+        The shape the scalar path had before the allocation-free
+        rewrite; :func:`rk4_step` must reproduce it bit for bit.
+        """
+        arr = state.as_array()
+        k1 = bicycle_derivatives(arr, acceleration, steering_rate,
+                                 wheelbase)
+        k2 = bicycle_derivatives(arr + 0.5 * dt * k1, acceleration,
+                                 steering_rate, wheelbase)
+        k3 = bicycle_derivatives(arr + 0.5 * dt * k2, acceleration,
+                                 steering_rate, wheelbase)
+        k4 = bicycle_derivatives(arr + dt * k3, acceleration,
+                                 steering_rate, wheelbase)
+        new = arr + dt / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        if new[2] < 0.0:
+            new[2] = 0.0
+        return VehicleState.from_array(new)
+
+    def test_rk4_step_bitwise_equals_reference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            state = VehicleState(
+                x=float(rng.normal(scale=100.0)),
+                y=float(rng.normal(scale=3.0)),
+                v=float(rng.uniform(-1.0, 40.0)),
+                theta=float(rng.normal(scale=0.3)),
+                phi=float(rng.normal(scale=0.1)))
+            accel = float(rng.uniform(-6.0, 3.5))
+            rate = float(rng.uniform(-0.5, 0.5))
+            dt = float(rng.choice([0.01, 0.05, 0.1]))
+            fast = rk4_step(state, accel, rate, WHEELBASE, dt)
+            ref = self._reference_rk4_step(state, accel, rate,
+                                           WHEELBASE, dt)
+            assert fast == ref    # dataclass equality: all five floats
+
+    def test_rk4_trajectory_bitwise_equals_reference(self):
+        # Divergence compounds over steps, so chain the comparison.
+        fast = ref = VehicleState(v=22.0, phi=0.02)
+        for step in range(500):
+            accel = 1.5 if step < 250 else -4.0
+            fast = rk4_step(fast, accel, 0.01, WHEELBASE, 0.02)
+            ref = self._reference_rk4_step(ref, accel, 0.01,
+                                           WHEELBASE, 0.02)
+            assert fast == ref
+
+
+class TestClipScalar:
+    """``clip_scalar`` must equal ``float(np.clip(...))`` bitwise.
+
+    The contract :mod:`repro.sim.fastmath` promises: every IEEE-754
+    double *value* — signed zeros, NaNs, infinities, denormals — over
+    every ordered bound pair (``lo <= hi``, signed zeros in either
+    slot).  NaN or inverted bounds are outside the contract: numpy's
+    ``minimum(maximum(...))`` composition answers those differently,
+    and no call site can produce them.
+    """
+
+    CORNERS = [0.0, -0.0, 1.0, -1.0, float("inf"), float("-inf"),
+               float("nan"), 5e-324, -5e-324, 2.2250738585072014e-308,
+               -2.2250738585072014e-308, 1e308, -1e308, 0.5, -0.5]
+    BOUNDS = [(-1.0, 1.0), (0.0, 1.0), (0.0, -0.0), (-0.0, 0.0),
+              (-0.0, -0.0), (0.0, 0.0), (float("-inf"), float("inf")),
+              (float("-inf"), 0.0), (-0.0, float("inf"))]
+
+    @staticmethod
+    def _bits(value: float) -> bytes:
+        return struct.pack("<d", value)
+
+    def test_corner_inputs_bitwise(self):
+        for low, high in self.BOUNDS:
+            for value in self.CORNERS:
+                ours = clip_scalar(value, low, high)
+                theirs = float(np.clip(value, low, high))
+                assert self._bits(ours) == self._bits(theirs), \
+                    (value, low, high, ours, theirs)
+
+    def test_random_inputs_bitwise(self):
+        rng = np.random.default_rng(11)
+        raw = rng.integers(0, 2 ** 64, size=6000, dtype=np.uint64)
+        doubles = raw.view(np.float64)
+        checked = 0
+        for i in range(0, len(doubles), 3):
+            value, low, high = (float(doubles[i]), float(doubles[i + 1]),
+                                float(doubles[i + 2]))
+            if not low <= high:    # unordered/NaN bounds: no contract
+                low, high = min(high, low), max(high, low)
+                if not low <= high:
+                    continue
+            checked += 1
+            ours = clip_scalar(value, low, high)
+            theirs = float(np.clip(value, low, high))
+            assert self._bits(ours) == self._bits(theirs), \
+                (value, low, high)
+        assert checked > 500
