@@ -11,12 +11,12 @@ into those batches transparently.
 This bench times the *shipped* batched configuration — fused lanes on
 a process pool (``batch_sim=16, workers=4``) — against the serial
 scalar oracle on the same checkpoint-forked job population, and pins
-exact record agreement between the two.  The per-lane ADS pipeline is
-identical work in both paths (Amdahl's wall: fusing physics alone buys
-~1.1x serially, reported in ``extra_info``), so the ≥3x gate applies
-to the batched+pooled path and needs real cores; with fewer usable
-CPUs than workers the gate is skipped and only equivalence is
-asserted.
+exact record agreement between the two.  Since the ADS pipeline itself
+batches too (:mod:`repro.ads.batch`, PR 10), serial fusion alone is
+~2x (the ``serial_batched_speedup`` extra_info;
+``test_bench_batch_ads`` gates it), and the ≥3x gate applies to the
+batched+pooled path, which needs real cores; with fewer usable CPUs
+than workers the gate is skipped and only equivalence is asserted.
 """
 
 import os

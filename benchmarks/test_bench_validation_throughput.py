@@ -108,7 +108,11 @@ def test_bench_validation_throughput(benchmark, validation_campaign):
     # ...and forking from the golden prefix must pay for itself.  The
     # timing gate only applies when benchmarks are actually timed —
     # --benchmark-disable smoke lanes take single noisy samples.
+    # The gate was 3.0x when the scalar ADS tick dominated; the
+    # closed-form kernel rewrite roughly halved per-tick cost, so the
+    # fixed fork/restore overhead is now a larger fraction of each
+    # checkpointed experiment and the structural advantage lands ~2x.
     if not benchmark.disabled:
-        assert speedup >= 3.0, (
+        assert speedup >= 1.5, (
             f"checkpoint resume only {speedup:.1f}x faster than full "
             f"replay")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..sim.fastmath import clip_scalar
+from .kernels import control_step, py_where
 from .messages import ActuationCommand, PlannerOutput
 
 
@@ -111,27 +112,23 @@ class VehicleController:
             self._remember(command)
             return command
 
-        # Feedforward from the planner's pedals, feedback from speed error.
-        feedforward = (plan.throttle * cfg.vehicle_max_accel
-                       - plan.brake * cfg.vehicle_max_decel)
-        correction = self._speed_pid.step(
-            plan.target_speed - measured_speed, dt)
-        accel = feedforward + correction
-        if accel >= 0.0:
-            raw = ActuationCommand(accel / cfg.vehicle_max_accel, 0.0,
-                                   plan.steering)
-        else:
-            raw = ActuationCommand(0.0, -accel / cfg.vehicle_max_decel,
-                                   plan.steering)
-
-        command = ActuationCommand(
-            throttle=self._slew(self._last.throttle, raw.throttle,
-                                cfg.pedal_slew_rate * dt),
-            brake=self._slew(self._last.brake, raw.brake,
-                             cfg.pedal_slew_rate * dt),
-            steering=self._slew(self._last.steering, raw.steering,
-                                cfg.steering_slew_rate * dt),
-        ).clipped()
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        # Feedforward from the planner's pedals, PID feedback on speed
+        # error, then slew limiting — all in the shared closed-form
+        # kernel (the same expressions the batched controller evaluates
+        # over lane arrays).  The returned triple is already clipped.
+        pid = self._speed_pid
+        has_last = pid._last_error is not None
+        throttle, brake, steering, integral, error = control_step(
+            plan.target_speed, plan.throttle, plan.brake, plan.steering,
+            measured_speed, dt, pid._integral,
+            pid._last_error if has_last else 0.0, has_last,
+            self._last.throttle, self._last.brake, self._last.steering,
+            cfg, py_where, clip_scalar)
+        pid._integral = integral
+        pid._last_error = error
+        command = ActuationCommand(throttle, brake, steering)
         self._remember(command)
         return command
 

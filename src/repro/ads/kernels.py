@@ -1,0 +1,275 @@
+"""Shared closed-form numeric kernels for the ADS stack.
+
+One implementation, two callers: the scalar modules
+(:mod:`repro.ads.tracking`, :mod:`repro.ads.localization`,
+:mod:`repro.ads.planning`, :mod:`repro.ads.control`) call these with
+Python floats, and the batched pipeline (:mod:`repro.ads.batch`) calls
+the polymorphic ones with ``(k,)`` float64 arrays.  Because both paths
+execute the *same* expressions in the *same* order, the batched lanes
+are bit-for-bit the scalar oracle by construction — the repo-wide
+equivalence contract.
+
+Three rules keep that true:
+
+* **No BLAS.**  ``np.linalg.inv`` and ``@`` accumulate in an order that
+  varies with backend and shape, so the 3x3 innovation solve and the
+  4x4 covariance products are written out element by element
+  (adjugate/determinant inverse, explicit row/column updates).
+* **No ``**`` with float exponents.**  Python's ``float.__pow__``,
+  numpy's scalar power, and numpy's array power disagree in the last
+  ulp; squares and fourth powers are multiplication chains.
+* **Branches are ``where`` selects.**  Callers pass ``where``/``clip``
+  (:func:`py_where` + ``clip_scalar`` for floats, ``np.where`` +
+  ``np.clip`` for arrays); both operands of every select are safe to
+  evaluate (guarded denominators), and the select mappings mirror the
+  scalar ``max``/``min``/``if`` forms exactly, including signed zeros
+  (``max(a, 0.0)`` keeps ``a`` on ties, hence ``where(0.0 > a, 0.0,
+  a)``; ``max(0.0, b)`` keeps ``0.0`` on ties, hence ``where(b > 0.0,
+  b, 0.0)``).
+
+Transcendentals go through numpy (``np.cos`` on a Python float and on
+an array agree bitwise element for element; ``math.cos`` does not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INF = float("inf")
+
+
+def py_where(condition, if_true, if_false):
+    """Scalar twin of ``np.where`` (both operands already evaluated)."""
+    return if_true if condition else if_false
+
+
+# -- constant-velocity Kalman filter (object tracks, state [x,y,vx,vy]) ----
+#
+# Plain-float closed form shared by the scalar tracker and the batched
+# per-lane trackers (track lists are ragged, so tracks never vectorize
+# across lanes; the win here is dropping BLAS for ~order-of-magnitude
+# less per-track cost).  ``mean`` is a length-4 list, ``cov`` a
+# row-major length-16 list; both are mutated in place.
+
+def kf_predict4(mean: list, cov: list, dt: float, q: float) -> None:
+    """Constant-velocity predict: F = I + dt*(x<-vx, y<-vy), plus
+    white-acceleration process noise q * g g^T with g = [a,a,dt,dt]
+    structure (a = dt^2/2), exactly the scalar tracker's model."""
+    mean[0] = mean[0] + dt * mean[2]
+    mean[1] = mean[1] + dt * mean[3]
+    # fP: row0 += dt*row2, row1 += dt*row3.
+    t = cov[:]
+    for j in range(4):
+        t[j] = cov[j] + dt * cov[8 + j]
+        t[4 + j] = cov[4 + j] + dt * cov[12 + j]
+    # (fP)F^T: col0 += dt*col2, col1 += dt*col3.
+    for i in range(0, 16, 4):
+        cov[i] = t[i] + dt * t[i + 2]
+        cov[i + 1] = t[i + 1] + dt * t[i + 3]
+        cov[i + 2] = t[i + 2]
+        cov[i + 3] = t[i + 3]
+    a = (dt * dt) / 2.0
+    qaa = q * (a * a)
+    qad = q * (a * dt)
+    qdd = q * (dt * dt)
+    cov[0] = cov[0] + qaa
+    cov[2] = cov[2] + qad
+    cov[5] = cov[5] + qaa
+    cov[7] = cov[7] + qad
+    cov[8] = cov[8] + qad
+    cov[10] = cov[10] + qdd
+    cov[13] = cov[13] + qad
+    cov[15] = cov[15] + qdd
+
+
+def _inv3(s00, s01, s02, s10, s11, s12, s20, s21, s22):
+    """Adjugate/determinant inverse of a 3x3 (returns 9 elements).
+
+    Deterministic elementwise arithmetic — the replacement for
+    ``np.linalg.inv`` on the innovation covariance.
+    """
+    c00 = s11 * s22 - s12 * s21
+    c01 = s10 * s22 - s12 * s20
+    c02 = s10 * s21 - s11 * s20
+    det = s00 * c00 - s01 * c01 + s02 * c02
+    idet = 1.0 / det
+    return (c00 * idet,
+            -(s01 * s22 - s02 * s21) * idet,
+            (s01 * s12 - s02 * s11) * idet,
+            -c01 * idet,
+            (s00 * s22 - s02 * s20) * idet,
+            -(s00 * s12 - s02 * s10) * idet,
+            c02 * idet,
+            -(s00 * s21 - s01 * s20) * idet,
+            (s00 * s11 - s01 * s10) * idet)
+
+
+def _update_h012(mean: list, cov: list, z0, z1, z2, r0, r1, r2) -> None:
+    """Measurement update with H = rows 0,1,2 of I (shared by the track
+    filter and the EKF correct): S = P[:3,:3] + diag(r), K = P[:,:3]
+    S^-1, mean += K (z - H mean), P = (I - K H) P."""
+    i00, i01, i02, i10, i11, i12, i20, i21, i22 = _inv3(
+        cov[0] + r0, cov[1], cov[2],
+        cov[4], cov[5] + r1, cov[6],
+        cov[8], cov[9], cov[10] + r2)
+    v0 = z0 - mean[0]
+    v1 = z1 - mean[1]
+    v2 = z2 - mean[2]
+    new_cov = cov[:]
+    for i in range(4):
+        p0, p1, p2 = cov[i * 4], cov[i * 4 + 1], cov[i * 4 + 2]
+        k0 = p0 * i00 + p1 * i10 + p2 * i20
+        k1 = p0 * i01 + p1 * i11 + p2 * i21
+        k2 = p0 * i02 + p1 * i12 + p2 * i22
+        mean[i] = mean[i] + (k0 * v0 + k1 * v1 + k2 * v2)
+        for j in range(4):
+            new_cov[i * 4 + j] = cov[i * 4 + j] - (
+                k0 * cov[j] + k1 * cov[4 + j] + k2 * cov[8 + j])
+    cov[:] = new_cov
+
+
+def kf_update4(mean: list, cov: list, zx, zy, zv,
+               r_pos: float, r_speed: float) -> None:
+    """Track measurement update: z = [x, y, vx], R = diag of squared
+    noises (squares as multiplication chains, not ``**``)."""
+    _update_h012(mean, cov, zx, zy, zv,
+                 r_pos * r_pos, r_pos * r_pos, r_speed * r_speed)
+
+
+# -- ego EKF (localization, state [x, y, v, theta]) ------------------------
+#
+# Polymorphic over floats and (k,) arrays: the scalar localizer passes
+# component floats, the batched localizer passes component arrays.
+# ``mean`` and ``cov`` are length-4 / length-16 lists of components,
+# mutated in place.
+
+def ekf_predict(mean: list, cov: list, yaw_rate, dt: float,
+                q_pos: float, q_speed: float, q_heading: float) -> None:
+    """Bicycle-model predict with the heading-linearized Jacobian
+    F = [[1,0,c*dt,-v*s*dt],[0,1,s*dt,v*c*dt],[0,0,1,0],[0,0,0,1]]."""
+    v, theta = mean[2], mean[3]
+    c = np.cos(theta)
+    s = np.sin(theta)
+    mean[0] = mean[0] + v * c * dt
+    mean[1] = mean[1] + v * s * dt
+    mean[3] = mean[3] + yaw_rate * dt
+    a02 = c * dt
+    a03 = -v * s * dt
+    a12 = s * dt
+    a13 = v * c * dt
+    # FP: row0 += a02*row2 + a03*row3; row1 += a12*row2 + a13*row3.
+    t = cov[:]
+    for j in range(4):
+        t[j] = cov[j] + (a02 * cov[8 + j] + a03 * cov[12 + j])
+        t[4 + j] = cov[4 + j] + (a12 * cov[8 + j] + a13 * cov[12 + j])
+    # (FP)F^T: col0 += a02*col2 + a03*col3; col1 += a12*col2 + a13*col3.
+    for i in range(0, 16, 4):
+        cov[i] = t[i] + (a02 * t[i + 2] + a03 * t[i + 3])
+        cov[i + 1] = t[i + 1] + (a12 * t[i + 2] + a13 * t[i + 3])
+        cov[i + 2] = t[i + 2]
+        cov[i + 3] = t[i + 3]
+    cov[0] = cov[0] + q_pos * dt
+    cov[5] = cov[5] + q_pos * dt
+    cov[10] = cov[10] + q_speed * dt
+    cov[15] = cov[15] + q_heading * dt
+
+
+def ekf_correct(mean: list, cov: list, zx, zy, zv,
+                gps_noise: float, imu_speed_noise: float, where) -> None:
+    """GPS + IMU-speed correct (H = rows 0,1,2), then the non-negative
+    speed clamp: scalar ``if v < 0: v = 0`` == ``where(v < 0, 0, v)``."""
+    _update_h012(mean, cov, zx, zy, zv,
+                 gps_noise * gps_noise, gps_noise * gps_noise,
+                 imu_speed_noise * imu_speed_noise)
+    mean[2] = where(mean[2] < 0.0, 0.0, mean[2])
+
+
+# -- IDM planner -----------------------------------------------------------
+
+def plan_step(ego_x, ego_v, lead_x, lead_vx, has_lead,
+              lane_offset, lane_heading, no_lead_gap, cfg, where, clip):
+    """The full planning step of :class:`repro.ads.planning.Planner`.
+
+    Only valid for ``cfg.idm_exponent == 4.0`` (the free-flow term is a
+    multiplication chain); the planner falls back to its own ``**`` for
+    other exponents and such configs never fuse.  ``lead_x``/``lead_vx``
+    must be finite where ``has_lead`` is false (selected out).
+
+    Returns ``(target_speed, throttle, brake, steering, gap, closing)``.
+    """
+    v = where(0.0 > ego_v, 0.0, ego_v)                    # max(ego.v, 0.0)
+    raw_gap = (lead_x - ego_x) - cfg.body_length
+    bounded = where(0.01 > raw_gap, 0.01, raw_gap)        # max(raw, 0.01)
+    gap = where(has_lead, bounded, no_lead_gap)
+    closing = where(has_lead, v - lead_vx, 0.0)
+
+    v0 = max(cfg.cruise_speed, 0.1)
+    desired = (cfg.min_gap + v * cfg.time_headway
+               + v * closing
+               / (2.0 * np.sqrt(cfg.comfort_accel * cfg.comfort_decel)))
+    desired = where(cfg.min_gap > desired, cfg.min_gap, desired)
+    rv = v / v0
+    rv2 = rv * rv
+    rg = desired / gap
+    accel = cfg.comfort_accel * (1.0 - rv2 * rv2 - rg * rg)
+
+    # Hard brake when the ground-truth-style TTC falls below threshold
+    # (prediction.time_to_collision: gap<0 -> 0, closing<=1e-9 -> inf).
+    safe_closing = where(closing > 1e-9, closing, 1.0)
+    ttc = where(raw_gap < 0.0, 0.0,
+                where(closing > 1e-9, raw_gap / safe_closing, _INF))
+    accel = where(has_lead & (ttc < cfg.hard_brake_ttc),
+                  -cfg.vehicle_max_decel, accel)
+    accel = clip(accel, -cfg.vehicle_max_decel, cfg.comfort_accel)
+
+    positive = accel >= 0.0
+    throttle = where(positive, accel / cfg.vehicle_max_accel, 0.0)
+    brake = where(positive, 0.0, -accel / cfg.vehicle_max_decel)
+    steering = clip(-cfg.lateral_gain * lane_offset
+                    - cfg.heading_gain * lane_heading,
+                    -cfg.max_steering, cfg.max_steering)
+    target_speed = clip(v + accel * cfg.speed_horizon, 0.0,
+                        cfg.cruise_speed)
+    return (target_speed, clip(throttle, 0.0, 1.0), clip(brake, 0.0, 1.0),
+            steering, gap, closing)
+
+
+# -- PID + slew controller -------------------------------------------------
+
+def control_step(plan_target, plan_throttle, plan_brake, plan_steering,
+                 measured_speed, dt, integral, last_error, has_last_error,
+                 last_throttle, last_brake, last_steering,
+                 cfg, where, clip):
+    """One :meth:`VehicleController.actuate` cycle (enabled path).
+
+    Returns ``(throttle, brake, steering, new_integral, error)`` where
+    the command triple is already ``.clipped()`` — it is both the slew
+    memory and the pre-corruption command.  The caller stores ``error``
+    as the PID's last error.  ``last_error`` must be finite where
+    ``has_last_error`` is false (its derivative is selected out).
+    """
+    feedforward = (plan_throttle * cfg.vehicle_max_accel
+                   - plan_brake * cfg.vehicle_max_decel)
+    error = plan_target - measured_speed
+    derivative = where(has_last_error, (error - last_error) / dt, 0.0)
+    candidate = integral + error * dt
+    output = (cfg.speed_kp * error + cfg.speed_ki * candidate
+              + 0.0 * derivative)
+    low, high = -cfg.vehicle_max_decel, cfg.vehicle_max_accel
+    new_integral = where((low < output) & (output < high),
+                         candidate, integral)
+    accel = feedforward + clip(output, low, high)
+
+    positive = accel >= 0.0
+    raw_throttle = where(positive, accel / cfg.vehicle_max_accel, 0.0)
+    raw_brake = where(positive, 0.0, -accel / cfg.vehicle_max_decel)
+    pedal_delta = cfg.pedal_slew_rate * dt
+    steer_delta = cfg.steering_slew_rate * dt
+    throttle = last_throttle + clip(raw_throttle - last_throttle,
+                                    -pedal_delta, pedal_delta)
+    brake = last_brake + clip(raw_brake - last_brake,
+                              -pedal_delta, pedal_delta)
+    steering = last_steering + clip(plan_steering - last_steering,
+                                    -steer_delta, steer_delta)
+    return (clip(throttle, 0.0, 1.0), clip(brake, 0.0, 1.0),
+            clip(steering, -0.55, 0.55), new_integral, error)

@@ -5,6 +5,11 @@ State is ``[x, y, v, theta]`` with a bicycle-model motion prediction
 IMU observes speed.  Like the object tracker, the EKF is a masking
 mechanism: a single corrupted GPS fix is weighed against the motion
 model instead of teleporting the pose estimate.
+
+The predict/correct math lives in :mod:`repro.ads.kernels` as explicit
+closed-form arithmetic (no BLAS) over the state components — the same
+expressions the batched localizer evaluates over ``(k,)`` component
+arrays, which is what makes batched lanes bit-for-bit this filter.
 """
 
 from __future__ import annotations
@@ -13,7 +18,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernels import ekf_correct, ekf_predict, py_where
 from .messages import EgoEstimate, GpsFix, ImuSample
+
+#: First-fix covariance diag([2, 2, 1, 0.05]) in the flat row-major layout.
+_FIRST_FIX_COV = (2.0, 0.0, 0.0, 0.0,
+                  0.0, 2.0, 0.0, 0.0,
+                  0.0, 0.0, 1.0, 0.0,
+                  0.0, 0.0, 0.0, 0.05)
 
 
 @dataclass(frozen=True)
@@ -37,12 +49,17 @@ class LocalizerConfig:
 
 
 class EgoLocalizer:
-    """EKF over ``[x, y, v, theta]``."""
+    """EKF over ``[x, y, v, theta]``.
+
+    The belief is held as a length-4 mean list and a row-major length-16
+    covariance list (the kernels' layout); snapshots keep the historical
+    ndarray format so pickled checkpoints stay readable.
+    """
 
     def __init__(self, config: LocalizerConfig | None = None):
         self.config = config or LocalizerConfig()
-        self._mean: np.ndarray | None = None
-        self._cov: np.ndarray | None = None
+        self._mean: list[float] | None = None
+        self._cov: list[float] | None = None
 
     def reset(self) -> None:
         """Forget the state (new scenario)."""
@@ -52,14 +69,17 @@ class EgoLocalizer:
     def snapshot(self) -> LocalizerSnapshot:
         """Capture the belief (arrays copied, not aliased)."""
         return LocalizerSnapshot(
-            mean=None if self._mean is None else self._mean.copy(),
-            covariance=None if self._cov is None else self._cov.copy())
+            mean=None if self._mean is None else np.array(self._mean),
+            covariance=(None if self._cov is None
+                        else np.array(self._cov).reshape(4, 4)))
 
     def restore(self, snapshot: LocalizerSnapshot) -> None:
         """Rewind the belief to a snapshot."""
-        self._mean = None if snapshot.mean is None else snapshot.mean.copy()
+        self._mean = (None if snapshot.mean is None
+                      else [float(value) for value in snapshot.mean])
         self._cov = (None if snapshot.covariance is None
-                     else snapshot.covariance.copy())
+                     else [float(value)
+                           for value in np.ravel(snapshot.covariance)])
 
     def update(self, gps: GpsFix, imu: ImuSample, yaw_rate: float,
                dt: float) -> EgoEstimate:
@@ -67,47 +87,16 @@ class EgoLocalizer:
         if not self.config.enabled:
             return EgoEstimate(x=gps.x, y=gps.y, v=imu.v, theta=imu.heading)
         if self._mean is None:
-            self._mean = np.array([gps.x, gps.y, imu.v, imu.heading])
-            self._cov = np.diag([2.0, 2.0, 1.0, 0.05])
+            self._mean = [gps.x, gps.y, imu.v, imu.heading]
+            self._cov = list(_FIRST_FIX_COV)
             return self._estimate()
-        self._predict(yaw_rate, dt)
-        self._correct(gps, imu)
+        cfg = self.config
+        ekf_predict(self._mean, self._cov, yaw_rate, dt,
+                    cfg.position_process_noise, cfg.speed_process_noise,
+                    cfg.heading_process_noise)
+        ekf_correct(self._mean, self._cov, gps.x, gps.y, imu.v,
+                    cfg.gps_noise, cfg.imu_speed_noise, py_where)
         return self._estimate()
-
-    def _predict(self, yaw_rate: float, dt: float) -> None:
-        x, y, v, theta = self._mean
-        self._mean = np.array([
-            x + v * np.cos(theta) * dt,
-            y + v * np.sin(theta) * dt,
-            v,
-            theta + yaw_rate * dt,
-        ])
-        jacobian = np.array([
-            [1, 0, np.cos(theta) * dt, -v * np.sin(theta) * dt],
-            [0, 1, np.sin(theta) * dt, v * np.cos(theta) * dt],
-            [0, 0, 1, 0],
-            [0, 0, 0, 1],
-        ])
-        cfg = self.config
-        process = np.diag([cfg.position_process_noise,
-                           cfg.position_process_noise,
-                           cfg.speed_process_noise,
-                           cfg.heading_process_noise]) * dt
-        self._cov = jacobian @ self._cov @ jacobian.T + process
-
-    def _correct(self, gps: GpsFix, imu: ImuSample) -> None:
-        h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0], [0, 0, 1.0, 0]])
-        z = np.array([gps.x, gps.y, imu.v])
-        cfg = self.config
-        r = np.diag([cfg.gps_noise ** 2, cfg.gps_noise ** 2,
-                     cfg.imu_speed_noise ** 2])
-        innovation = z - h @ self._mean
-        s = h @ self._cov @ h.T + r
-        gain = self._cov @ h.T @ np.linalg.inv(s)
-        self._mean = self._mean + gain @ innovation
-        self._cov = (np.eye(4) - gain @ h) @ self._cov
-        if self._mean[2] < 0.0:
-            self._mean[2] = 0.0
 
     def _estimate(self) -> EgoEstimate:
         x, y, v, theta = (float(value) for value in self._mean)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sim.fastmath import clip_scalar
+
 
 @dataclass
 class Detection:
@@ -90,10 +92,20 @@ class WorldModel:
     tracks: list[TrackedObject] = field(default_factory=list)
     lane_offset: float = 0.0
     lane_heading: float = 0.0
+    # Memoized lead selection per corridor width: the planner and the
+    # fault-variable setters each re-derive the lead every planning
+    # tick.  Any mutation that can change the selection (track x, ego x)
+    # must call invalidate_lead_cache().
+    _lead_cache: dict = field(default_factory=dict, init=False,
+                              repr=False, compare=False)
 
     def lead_track(self, corridor_half_width: float = 1.9
                    ) -> TrackedObject | None:
         """Nearest tracked object ahead within the travel corridor."""
+        try:
+            return self._lead_cache[corridor_half_width]
+        except KeyError:
+            pass
         lead = None
         for track in self.tracks:
             if track.x <= self.ego.x:
@@ -102,7 +114,12 @@ class WorldModel:
                 continue
             if lead is None or track.x < lead.x:
                 lead = track
+        self._lead_cache[corridor_half_width] = lead
         return lead
+
+    def invalidate_lead_cache(self) -> None:
+        """Drop memoized leads after a selection-relevant mutation."""
+        self._lead_cache.clear()
 
 
 @dataclass
@@ -127,8 +144,6 @@ class ActuationCommand:
 
     def clipped(self) -> "ActuationCommand":
         """Physical range enforcement."""
-        def clip01(value: float) -> float:
-            return min(max(value, 0.0), 1.0)
-        steering = min(max(self.steering, -0.55), 0.55)
-        return ActuationCommand(clip01(self.throttle), clip01(self.brake),
-                                steering)
+        return ActuationCommand(clip_scalar(self.throttle, 0.0, 1.0),
+                                clip_scalar(self.brake, 0.0, 1.0),
+                                clip_scalar(self.steering, -0.55, 0.55))

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..sim.collision import SENSOR_RANGE
 from ..sim.fastmath import clip_scalar
+from .kernels import plan_step, py_where
 from .messages import PlannerOutput, WorldModel
 from .prediction import time_to_collision
 
@@ -63,8 +64,27 @@ class Planner:
         acceleration into the planned speed ``v_p``.
         """
         cfg = self.config
-        v = max(model.ego.v, 0.0)
         lead = model.lead_track()
+        if cfg.idm_exponent == 4.0:
+            # Common case: the whole step runs through the shared
+            # closed-form kernel (the same expressions the batched
+            # planner evaluates over lane arrays).  Lead placeholders
+            # are selected out by ``has_lead``.
+            has_lead = lead is not None
+            target, throttle, brake, steering, gap, closing = plan_step(
+                model.ego.x, model.ego.v,
+                lead.x if has_lead else model.ego.x,
+                lead.vx if has_lead else 0.0, has_lead,
+                model.lane_offset, model.lane_heading, SENSOR_RANGE,
+                cfg, py_where, clip_scalar)
+            return PlannerOutput(target_speed=target, throttle=throttle,
+                                 brake=brake, steering=steering,
+                                 gap=float(gap),
+                                 closing_speed=float(closing))
+
+        # Generic-exponent fallback (float ``**``); such configs never
+        # fuse, so this path has no batched twin to match bitwise.
+        v = max(model.ego.v, 0.0)
         if lead is None:
             gap = SENSOR_RANGE
             closing = 0.0

@@ -1,0 +1,62 @@
+"""Per-stage wall-clock counters for the ADS control cycle.
+
+One process-global :class:`StageTimer` accumulates monotonic
+nanoseconds and per-lane call counts for the five pipeline stages, in
+both execution engines: the scalar :class:`~repro.ads.runtime.ADSPipeline`
+brackets each stage of its tick, and the batched
+:class:`~repro.ads.batch.BatchADSState` brackets each fused stage kernel
+(charging the elapsed window once and the call count per lane, so
+``calls`` stays comparable across engines: one count is one lane-stage
+execution).
+
+The timer is explicitly enabled (``--profile-stages`` /
+``CampaignConfig.profile_stages``); disabled — the default — the hot
+paths pay one attribute check per stage boundary and nothing else.
+Being process-global, the counters cover work executed in the calling
+process: serial campaigns are captured exactly, while pool/pipeline
+workers accumulate into their own (uncollected) timers — profile with
+``workers=1`` to attribute everything.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Stage keys in control-cycle order (:data:`repro.ads.channels.CHANNELS`).
+STAGES = ("sensing", "perception", "world_model", "planning", "actuation")
+
+
+class StageTimer:
+    """Accumulates wall nanoseconds and lane-call counts per stage."""
+
+    __slots__ = ("enabled", "nanos", "calls")
+
+    def __init__(self):
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (does not change ``enabled``)."""
+        self.nanos = dict.fromkeys(STAGES, 0)
+        self.calls = dict.fromkeys(STAGES, 0)
+
+    @staticmethod
+    def start() -> int:
+        """Monotonic reference for a matching :meth:`stop`."""
+        return time.perf_counter_ns()
+
+    def stop(self, stage: str, started: int, lanes: int = 1) -> None:
+        """Charge the window since ``started`` (``lanes`` executions)."""
+        self.nanos[stage] += time.perf_counter_ns() - started
+        self.calls[stage] += lanes
+
+    def report(self) -> dict:
+        """``{stage: {"seconds": ..., "calls": ...}}`` for visited
+        stages, in control-cycle order."""
+        return {stage: {"seconds": self.nanos[stage] / 1e9,
+                        "calls": self.calls[stage]}
+                for stage in STAGES if self.calls[stage]}
+
+
+#: The process-global timer both execution engines report into.
+STAGE_TIMER = StageTimer()

@@ -36,6 +36,7 @@ from .localization import EgoLocalizer, LocalizerConfig, LocalizerSnapshot
 from .messages import ActuationCommand, PlannerOutput, WorldModel
 from .perception import Perception, PerceptionConfig
 from .planning import Planner, PlannerConfig
+from .profiling import STAGE_TIMER
 from .sensors import SensorSnapshot, SensorSuite, SensorSuiteConfig
 from .tracking import MultiObjectTracker, TrackerConfig, TrackerSnapshot
 from .variables import InjectableVariable, variable_by_name
@@ -235,26 +236,34 @@ class ADSPipeline:
         dt = self.config.control_period
         tick = self.tick_index
         bus = self.bus
+        timer = STAGE_TIMER if STAGE_TIMER.enabled else None
 
         if bus.hung("sensing", tick):
             bundle = bus.held("sensing")
         else:
+            started = timer.start() if timer else 0
             bundle = self.sensors.measure(world)
             self._corrupt("sensing", bundle)
             bundle = bus.deliver("sensing", bundle, tick)
+            if timer:
+                timer.stop("sensing", started)
 
         if self.is_planning_tick or self._plan is None:
             if bus.hung("perception", tick):
                 detections = bus.held("perception")
             else:
+                started = timer.start() if timer else 0
                 detections = self.perception.process(bundle)
                 self._corrupt("perception", detections)
                 detections = bus.deliver("perception", detections, tick)
+                if timer:
+                    timer.stop("perception", started)
 
             planning_dt = self.config.planner_period
             if bus.hung("world_model", tick):
                 model = bus.held("world_model")
             else:
+                started = timer.start() if timer else 0
                 tracks = self.tracker.update(detections, planning_dt)
                 ego = self.localizer.update(bundle.gps, bundle.imu,
                                             bundle.imu.yaw_rate, planning_dt)
@@ -263,14 +272,19 @@ class ADSPipeline:
                                    lane_heading=bundle.lane_heading)
                 self._corrupt("world_model", model)
                 model = bus.deliver("world_model", model, tick)
+                if timer:
+                    timer.stop("world_model", started)
             self._model = model
 
             if bus.hung("planning", tick):
                 plan = bus.held("planning")
             else:
+                started = timer.start() if timer else 0
                 plan = self.planner.plan(model, planning_dt)
                 self._corrupt("planning", plan)
                 plan = bus.deliver("planning", plan, tick)
+                if timer:
+                    timer.stop("planning", started)
             self._plan = plan
 
         degradation = self.config.degradation
@@ -284,6 +298,7 @@ class ADSPipeline:
         if bus.hung("actuation", tick):
             command = bus.held("actuation")
         else:
+            started = timer.start() if timer else 0
             if degraded:
                 command = safe_stop_command(self._command,
                                             degradation.brake_level)
@@ -293,6 +308,8 @@ class ADSPipeline:
                                                   dt)
             self._corrupt("actuation", command)
             command = bus.deliver("actuation", command, tick)
+            if timer:
+                timer.stop("actuation", started)
         command = command.clipped()
         self._command = command
         self.tick_index += 1

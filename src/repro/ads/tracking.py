@@ -4,6 +4,12 @@ This is the world model ``W_t`` of the paper's ML module, and one of the
 three resilience mechanisms credited for masking random faults: a single
 corrupted detection is averaged against the track's state and prior
 covariance instead of being believed outright.
+
+The filter math lives in :mod:`repro.ads.kernels` as explicit
+closed-form arithmetic on plain floats (no BLAS): an order of magnitude
+cheaper per track than 4x4 ``ndarray`` products, deterministic across
+backends, and the exact same code path the batched pipeline runs per
+lane — which is what makes batched lanes bit-for-bit the scalar oracle.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .kernels import kf_predict4, kf_update4
 from .messages import Detection, TrackedObject
 
 
@@ -38,34 +45,33 @@ class TrackerSnapshot:
 
 @dataclass
 class _KalmanTrack:
-    """Internal filter state for one object: [x, y, vx, vy]."""
+    """Internal filter state for one object: [x, y, vx, vy].
+
+    ``mean`` is a length-4 float list, ``covariance`` a row-major
+    length-16 float list (the kernels' closed-form layout).
+    """
 
     track_id: int
-    mean: np.ndarray
-    covariance: np.ndarray
+    mean: list[float]
+    covariance: list[float]
     age: int = 0
     misses: int = 0
 
     def predict(self, dt: float, q: float) -> None:
-        f = np.eye(4)
-        f[0, 2] = dt
-        f[1, 3] = dt
-        g = np.array([[dt ** 2 / 2, 0], [0, dt ** 2 / 2], [dt, 0], [0, dt]])
-        self.mean = f @ self.mean
-        self.covariance = (f @ self.covariance @ f.T
-                           + q * (g @ g.T))
+        kf_predict4(self.mean, self.covariance, dt, q)
 
     def update(self, detection: Detection, r_pos: float,
                r_speed: float) -> None:
         # Measure position and longitudinal speed: z = [x, y, vx].
-        h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0], [0, 0, 1.0, 0]])
-        z = np.array([detection.x, detection.y, detection.v])
-        r = np.diag([r_pos ** 2, r_pos ** 2, r_speed ** 2])
-        innovation = z - h @ self.mean
-        s = h @ self.covariance @ h.T + r
-        gain = self.covariance @ h.T @ np.linalg.inv(s)
-        self.mean = self.mean + gain @ innovation
-        self.covariance = (np.eye(4) - gain @ h) @ self.covariance
+        kf_update4(self.mean, self.covariance,
+                   detection.x, detection.y, detection.v, r_pos, r_speed)
+
+
+#: Fresh-track covariance diag([2, 2, 4, 1]) in the flat layout.
+_NEW_TRACK_COV = (2.0, 0.0, 0.0, 0.0,
+                  0.0, 2.0, 0.0, 0.0,
+                  0.0, 0.0, 4.0, 0.0,
+                  0.0, 0.0, 0.0, 1.0)
 
 
 @dataclass
@@ -108,8 +114,8 @@ class MultiObjectTracker:
             detection = detections[index]
             self._tracks.append(_KalmanTrack(
                 track_id=self._next_id,
-                mean=np.array([detection.x, detection.y, detection.v, 0.0]),
-                covariance=np.diag([2.0, 2.0, 4.0, 1.0]),
+                mean=[detection.x, detection.y, detection.v, 0.0],
+                covariance=list(_NEW_TRACK_COV),
                 age=1))
             self._next_id += 1
         self._tracks = [t for t in self._tracks
@@ -121,17 +127,22 @@ class MultiObjectTracker:
                 for t in self._tracks if t.age >= self.config.confirm_age]
 
     def snapshot(self) -> TrackerSnapshot:
-        """Capture all filter states (arrays copied, not aliased)."""
+        """Capture all filter states (as arrays: the snapshot format
+        predates the flat-list filter layout and stays pickle-stable)."""
         return TrackerSnapshot(
-            tracks=tuple((t.track_id, t.mean.copy(), t.covariance.copy(),
+            tracks=tuple((t.track_id, np.array(t.mean),
+                          np.array(t.covariance).reshape(4, 4),
                           t.age, t.misses) for t in self._tracks),
             next_id=self._next_id)
 
     def restore(self, snapshot: TrackerSnapshot) -> None:
         """Rewind to a snapshot (tracks rebuilt from copies)."""
         self._tracks = [
-            _KalmanTrack(track_id=track_id, mean=mean.copy(),
-                         covariance=covariance.copy(), age=age, misses=misses)
+            _KalmanTrack(track_id=track_id,
+                         mean=[float(value) for value in mean],
+                         covariance=[float(value)
+                                     for value in np.ravel(covariance)],
+                         age=age, misses=misses)
             for track_id, mean, covariance, age, misses in snapshot.tracks]
         self._next_id = snapshot.next_id
 

@@ -88,6 +88,7 @@ def _set_tracked_gap(model: WorldModel, value: float) -> bool:
     if lead is None:
         return False
     lead.x = model.ego.x + value
+    model.invalidate_lead_cache()   # moving the lead can change selection
     return True
 
 

@@ -124,6 +124,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(records are bit-for-bit the scalar "
                                "engine's; default 0 keeps the scalar "
                                "reference engine)")
+    campaign.add_argument("--profile-stages", action="store_true",
+                          help="collect wall-clock counters per ADS "
+                               "stage (sensing/perception/world-model/"
+                               "planning/actuation) and print them with "
+                               "the summary; counters cover this "
+                               "process only, so profile with "
+                               "--workers 1")
 
     workers_help = ("processes for golden-run collection and experiment "
                     "validation (default serial)")
@@ -313,6 +320,14 @@ def _print_summary(summary, label: str) -> None:
     if rows:
         print(ascii_table(["variable", "experiments", "hazards", "rate"],
                           rows))
+    timings = getattr(summary, "extra_info", {}).get("stage_timings")
+    if timings:
+        total = sum(cell["seconds"] for cell in timings.values()) or 1.0
+        stage_rows = [[stage, f"{cell['seconds']:.3f}",
+                       f"{cell['seconds'] / total:.1%}", cell["calls"]]
+                      for stage, cell in timings.items()]
+        print(ascii_table(["stage", "seconds", "share", "lane-calls"],
+                          stage_rows))
 
 
 def _split_list(value: str | None) -> tuple[str, ...] | None:
@@ -468,7 +483,8 @@ def main(argv: list[str] | None = None) -> int:
             shard_index=getattr(args, "shard_index", 0),
             shard_count=getattr(args, "shard_count", 1),
             resilience=resilience,
-            batch_sim=getattr(args, "batch_sim", 0))
+            batch_sim=getattr(args, "batch_sim", 0),
+            profile_stages=getattr(args, "profile_stages", False))
     except ValueError as error:     # e.g. shard_index out of range
         raise SystemExit(f"error: {error}")
     campaign = Campaign(config=config,

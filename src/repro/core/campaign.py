@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..ads.profiling import STAGE_TIMER
 from ..ads.runtime import ADSConfig
 from ..arch.injector import Outcome
 from ..sim.scenario import Scenario, default_scenarios
@@ -82,6 +83,13 @@ class CampaignConfig:
     #: too sits outside the cache fingerprint: *how* experiments are
     #: stepped does not change what they compute.
     batch_sim: int = 0
+    #: Collect per-stage wall-clock counters around the five ADS stages
+    #: (:data:`repro.ads.profiling.STAGES`) during validation, surfaced
+    #: as the ``stage_timings`` block of the summary's ``extra_info``.
+    #: Observability only — outside the cache fingerprint, and the
+    #: counters cover calling-process work (profile with ``workers=1``
+    #: to attribute everything; see :mod:`repro.ads.profiling`).
+    profile_stages: bool = False
 
     def __post_init__(self):
         if self.shard_count < 1:
@@ -688,6 +696,13 @@ class Campaign:
             self._ensure_checkpoints(name for name, _ in jobs)
             checkpoints = self.checkpoints
         summary = CampaignSummary(keep_records=record_sink is None)
+        with self._stage_profile(summary):
+            return self._drain_jobs(jobs, workers, checkpoints, summary,
+                                    record_sink, on_progress)
+
+    def _drain_jobs(self, jobs, workers, checkpoints, summary,
+                    record_sink, on_progress) -> CampaignSummary:
+        """The execution half of :meth:`_run_jobs` (profiled caller)."""
         emitted = 0
 
         def emit(record: ExperimentRecord) -> None:
@@ -750,9 +765,42 @@ class Campaign:
 
     def _run_pipeline(self, plan, workers, record_sink, on_progress):
         from .pipeline import CampaignPipeline
-        return CampaignPipeline(self, workers=workers,
-                                record_sink=record_sink,
-                                on_progress=on_progress).run(plan)
+        driver = CampaignPipeline(self, workers=workers,
+                                  record_sink=record_sink,
+                                  on_progress=on_progress)
+        if not self.config.profile_stages:
+            return driver.run(plan)
+        STAGE_TIMER.reset()
+        STAGE_TIMER.enabled = True
+        try:
+            result = driver.run(plan)
+        finally:
+            STAGE_TIMER.enabled = False
+        report = STAGE_TIMER.report()
+        if report:
+            result.summary.extra_info["stage_timings"] = report
+        return result
+
+    @contextmanager
+    def _stage_profile(self, summary: CampaignSummary):
+        """Arm the process-global stage timer for one campaign run and
+        fold the report into ``summary.extra_info['stage_timings']``.
+
+        A no-op unless ``config.profile_stages`` is set.  The timer is
+        reset on entry, so the block reports this run only, and always
+        disarmed on exit (including on error)."""
+        if not self.config.profile_stages:
+            yield
+            return
+        STAGE_TIMER.reset()
+        STAGE_TIMER.enabled = True
+        try:
+            yield
+        finally:
+            STAGE_TIMER.enabled = False
+            report = STAGE_TIMER.report()
+            if report:
+                summary.extra_info["stage_timings"] = report
 
     @contextmanager
     def _batch_override(self, batch_sim: int | None):

@@ -138,6 +138,10 @@ class CampaignSummary:
         self._hazards_by_variable: Counter = Counter()
         self._experiments_by_variable: Counter = Counter()
         self._hazardous_scenes: set[tuple[str, int]] = set()
+        #: Out-of-band annotations (e.g. the ``stage_timings`` block
+        #: written when profiling is on).  Not part of the scientific
+        #: aggregates: :meth:`same_aggregates` ignores it.
+        self.extra_info: dict = {}
         for record in records or []:
             self.add(record)
 
@@ -262,6 +266,14 @@ class CampaignSummary:
             merged._experiments_by_variable.update(
                 summary._experiments_by_variable)
             merged._hazardous_scenes |= summary._hazardous_scenes
+            timings = summary.extra_info.get("stage_timings")
+            if timings:
+                target = merged.extra_info.setdefault("stage_timings", {})
+                for stage, cell in timings.items():
+                    bucket = target.setdefault(stage,
+                                               {"seconds": 0.0, "calls": 0})
+                    bucket["seconds"] += cell["seconds"]
+                    bucket["calls"] += cell["calls"]
             if merged.keep_records:
                 merged.records.extend(summary.records)
         return merged

@@ -20,6 +20,8 @@ import math
 import time
 from dataclasses import dataclass, field
 
+from ..ads.batch import BatchADSState, can_fuse
+from ..ads.messages import ActuationCommand
 from ..ads.runtime import ADSConfig, ADSPipeline
 from ..sim.batch import BatchWorldState
 from ..sim.collision import SENSOR_RANGE
@@ -343,6 +345,9 @@ class _BatchLane:
         self.wall_start = time.perf_counter()
         self.is_planning = False
         self.command = None
+        #: True when this lane runs on the fused ADS path (set by the
+        #: batched driver from :func:`repro.ads.batch.can_fuse`).
+        self.fused = False
 
     def result(self, scenario_name: str) -> RunResult:
         if self.collided:
@@ -473,21 +478,37 @@ def run_experiments_batched(scenario: Scenario, fault_lists,
     slots = live
     for extra in range(len(slots), batch.n_lanes):
         batch.deactivate(extra)
+    ads = BatchADSState(batch, ads_config)
+    for slot, lane in enumerate(slots):
+        lane.fused = can_fuse(lane.pipeline)
+        if lane.fused:
+            ads.attach(slot, lane.pipeline)
 
     while any(lane is not None for lane in slots):
-        # 1. Per-lane ADS ticks on the (synced) scalar worlds, mapping
-        #    each command to kernel control inputs.
+        # 1. ADS: lanes whose armed faults the fused path cannot
+        #    represent (interface faults, restored bus residue, tight
+        #    degradation TTLs) peel to their scalar pipelines on the
+        #    (synced) scalar worlds; everything else advances through
+        #    one fused BatchADSState tick, which also maps the executed
+        #    commands to kernel control inputs.
         for slot, lane in enumerate(slots):
-            if lane is None:
+            if lane is None or lane.fused:
                 continue
             lane.is_planning = lane.pipeline.is_planning_tick
             lane.command = lane.pipeline.tick(lane.world)
             batch.set_controls(slot, lane.command.throttle,
                                lane.command.brake, lane.command.steering,
                                dt)
-        # 2. One fused physics step for every lane, then scatter back.
+        ads.tick_all()
+        # 2. One fused physics step for every lane.  Only peeled lanes
+        #    scatter back eagerly (their next scalar tick reads the
+        #    World); fused lanes stay array-resident and scatter on
+        #    demand (collision confirm, trace recording, retirement).
         batch.step(dt)
-        batch.scatter()
+        peeled = [slot for slot, lane in enumerate(slots)
+                  if lane is not None and not lane.fused]
+        if peeled:
+            batch.scatter(peeled)
         # 3. Batched ground-truth signals.
         gap, lead_speed, lateral_free = batch.safety_inputs()
         collided = batch.collided_mask()
@@ -496,13 +517,21 @@ def run_experiments_batched(scenario: Scenario, fault_lists,
         for slot, lane in enumerate(slots):
             if lane is None:
                 continue
+            if lane.fused:
+                lane.is_planning = bool(ads.planned[slot])
             tick = lane.tick
             recording = record_trace and lane.is_planning
             if tick >= lane.monitor_from or recording:
                 speed = float(lead_speed[slot])
-                state = lane.world.ego.state
+                if lane.fused:
+                    v = float(batch.ego[slot, 2])
+                    theta = float(batch.ego[slot, 3])
+                    phi = float(batch.ego[slot, 4])
+                else:
+                    state = lane.world.ego.state
+                    v, theta, phi = state.v, state.theta, state.phi
                 potential = safety_potential(
-                    v=state.v, theta=state.theta, phi=state.phi,
+                    v=v, theta=theta, phi=phi,
                     gap=float(gap[slot]),
                     lead_speed=None if math.isnan(speed) else speed,
                     lateral_free=float(lateral_free[slot]),
@@ -522,31 +551,56 @@ def run_experiments_batched(scenario: Scenario, fault_lists,
                 if off_road[slot]:
                     lane.went_off_road = True
             if recording:
-                _record_tick(lane, tick, potential)
+                if lane.fused:
+                    batch.scatter([slot])
+                    lane.command = ActuationCommand(
+                        float(ads.cmd_throttle[slot]),
+                        float(ads.cmd_brake[slot]),
+                        float(ads.cmd_steering[slot]))
+                    if ads.plan_valid[slot]:
+                        plan_gap = float(ads.plan_gap[slot])
+                        closing = float(ads.plan_closing[slot])
+                    else:
+                        plan_gap, closing = SENSOR_RANGE, 0.0
+                    model = ads.models[slot]
+                else:
+                    plan = lane.pipeline.last_plan
+                    plan_gap = (plan.gap if plan is not None
+                                else SENSOR_RANGE)
+                    closing = (plan.closing_speed if plan is not None
+                               else 0.0)
+                    model = lane.pipeline.last_model
+                lat = model.lane_offset if model is not None else 0.0
+                _record_tick(lane, tick, potential, plan_gap, closing, lat)
             lane.tick = tick + 1
             if (lane.collided
                     or (lane.stop_after is not None
                         and tick >= lane.stop_after)
                     or lane.tick >= lane.n_ticks):
+                if lane.fused:
+                    batch.scatter([slot])
+                    ads.deactivate(slot)
                 results[lane.index] = lane.result(scenario.name)
                 slots[slot] = next_lane()
                 if slots[slot] is None:
                     batch.deactivate(slot)
                 else:
-                    batch.attach(slot, slots[slot].world)
+                    fresh = slots[slot]
+                    batch.attach(slot, fresh.world)
+                    fresh.fused = can_fuse(fresh.pipeline)
+                    if fresh.fused:
+                        ads.attach(slot, fresh.pipeline)
     return results
 
 
-def _record_tick(lane: _BatchLane, tick: int, potential) -> None:
+def _record_tick(lane: _BatchLane, tick: int, potential, gap: float,
+                 closing: float, lat: float) -> None:
     """The trace-recording block of ``_simulate``, per batch lane (rare
-    path: validation runs record no traces)."""
+    path: validation runs record no traces).  The belief-side columns
+    (``gap``/``closing``/``lat``/``lane.command``) come from the caller,
+    which reads them from the scalar pipeline or the fused arrays."""
     world = lane.world
     command = lane.command
-    plan = lane.pipeline.last_plan
-    model = lane.pipeline.last_model
-    gap = plan.gap if plan is not None else SENSOR_RANGE
-    closing = plan.closing_speed if plan is not None else 0.0
-    lat = model.lane_offset if model is not None else 0.0
     lead = world.lead_obstacle(extra_margin=1.0)
     if lead is None:
         gt_gap, gt_lead_v = SENSOR_RANGE, NO_LEAD

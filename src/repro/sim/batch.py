@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .collision import (batched_ego_collides, batched_lateral_clearance,
+from .collision import (Obstacle, batched_ego_collides,
+                        batched_lateral_clearance,
                         batched_lateral_safe_distance,
                         batched_longitudinal_safe_distance,
-                        batched_nearest_lead, batched_off_road, SENSOR_RANGE)
+                        batched_nearest_lead, batched_off_road, obb_overlap,
+                        SENSOR_RANGE)
 from .kinematics import BatchKernelWorkspace, VehicleState, batched_rk4_step
 from .npc import LaneChangeCommand
 from .world import World
@@ -192,6 +194,34 @@ class BatchWorldState:
         self.acceleration[lane] = accel
         self.steering_rate[lane] = rate
 
+    def apply_controls(self, rows: np.ndarray, throttle: np.ndarray,
+                       brake: np.ndarray, steering: np.ndarray,
+                       dt: float) -> None:
+        """Vectorized :meth:`set_controls` for a set of lanes.
+
+        Mirrors ``Vehicle.controls_for`` expression for expression
+        (pedal clips, quadratic drag from the *current* batch speed,
+        steering-rate slew from the current batch wheel angle), so a
+        fused lane's kernel inputs are bitwise the scalar path's.
+        """
+        params = self.ego_params
+        t = np.clip(throttle, 0.0, 1.0)
+        b = np.clip(brake, 0.0, 1.0)
+        v = self.ego[rows, 2]
+        accel = (t * params.max_acceleration
+                 - b * params.max_deceleration
+                 - params.drag * (v * v))
+        target = np.clip(steering, -params.max_steering_angle,
+                         params.max_steering_angle)
+        error = target - self.ego[rows, 4]
+        if dt > 0:
+            rate = np.clip(error / dt, -params.max_steering_rate,
+                           params.max_steering_rate)
+        else:
+            rate = np.zeros_like(error)
+        self.acceleration[rows] = accel
+        self.steering_rate[rows] = rate
+
     # -- stepping -----------------------------------------------------------
 
     def _step_npcs(self, dt: float) -> None:
@@ -338,12 +368,40 @@ class BatchWorldState:
 
     def collided_mask(self) -> np.ndarray:
         """Per-lane ``World.in_collision``: vectorized prescreen, exact
-        per-lane SAT confirm (requires a prior :meth:`scatter`)."""
+        per-lane SAT confirm.
+
+        The confirm runs the same footprint SAT as ``World.in_collision``
+        directly from the batch arrays (``float()`` reads are what a
+        scatter would have written), so callers that keep lanes
+        array-resident — the batched ADS path — need no prior
+        :meth:`scatter` and no world sync at all.
+        """
         params = self.ego_params
+
+        def confirm(lane: int) -> bool:
+            # Retired slots are zeroed (ego and NPCs collapse onto the
+            # origin) and would otherwise confirm as phantom collisions
+            # every remaining tick of the batch.
+            if not self.active[lane]:
+                return False
+            ego_fp = Obstacle(
+                obstacle_id=-1,
+                x=float(self.ego[lane, 0]), y=float(self.ego[lane, 1]),
+                theta=float(self.ego[lane, 3]), length=params.length,
+                width=params.width).footprint()
+            return any(
+                obb_overlap(ego_fp, Obstacle(
+                    obstacle_id=j,
+                    x=float(self.npc_x[lane, j]),
+                    y=float(self.npc_y[lane, j]),
+                    length=float(self._npc_lengths[j]),
+                    width=float(self._npc_widths[j])).footprint())
+                for j in range(self.n_obstacles))
+
         return batched_ego_collides(
             self.ego[:, 0], self.ego[:, 1], params.length, params.width,
             self.npc_x, self.npc_y, self._npc_lengths, self._npc_widths,
-            lambda lane: self.worlds[lane].in_collision())
+            confirm, ego_theta=self.ego[:, 3])
 
     def off_road_mask(self) -> np.ndarray:
         """Per-lane ``World.off_road``."""

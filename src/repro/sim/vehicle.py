@@ -54,7 +54,7 @@ class Vehicle:
         brake = clip_scalar(brake, 0.0, 1.0)
         accel = (throttle * self.params.max_acceleration
                  - brake * self.params.max_deceleration
-                 - self.params.drag * self.state.v ** 2)
+                 - self.params.drag * (self.state.v * self.state.v))
         return accel
 
     def controls_for(self, throttle: float, brake: float, steering: float,

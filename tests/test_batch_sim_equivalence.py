@@ -128,6 +128,48 @@ class TestBatchedDriverEquivalence:
         assert batched == scalar_reference("random")
 
 
+class TestFusedADSPath:
+    """The batched runs above must actually exercise the fused ADS
+    engine — and an all-peeled configuration must still match."""
+
+    def test_default_config_fuses_lanes(self, monkeypatch):
+        from repro.ads.batch import BatchADSState
+        attached = []
+        original = BatchADSState.attach
+
+        def counting(self, slot, pipeline):
+            attached.append(slot)
+            return original(self, slot, pipeline)
+
+        monkeypatch.setattr(BatchADSState, "attach", counting)
+        run_style("random", batch_sim=BATCH, pipeline=False, workers=None)
+        assert attached, "no lane ever took the fused ADS path"
+
+    def test_forced_peel_still_matches_scalar(self):
+        """``planner_divisor=6`` leaves plans staler than the default
+        degradation TTL, so :func:`can_fuse` rejects every lane and the
+        safe-stop fallback engages routinely — the all-peeled batched
+        driver must still equal the scalar oracle, degradation
+        included."""
+        from repro.ads.batch import can_fuse
+        from repro.ads.runtime import ADSConfig, ADSPipeline
+        ads = replace(ADSConfig(), planner_divisor=6)
+        assert not can_fuse(ADSPipeline(ads))
+
+        def run(batch_sim):
+            sink = ListSink()
+            campaign = Campaign(small_scenarios(),
+                                CampaignConfig(ads=ads))
+            campaign.random_campaign(8, seed=5, interface_share=0.3,
+                                     batch_sim=batch_sim, pipeline=False,
+                                     record_sink=sink)
+            return strip_wall(sink.records)
+
+        reference = run(0)
+        assert run(BATCH) == reference
+        assert any(row["degraded"] for row in reference)
+
+
 class TestCheckpointForkOracle:
     """Checkpoint-forked batched validation == full replay from t=0."""
 
